@@ -1,0 +1,93 @@
+// Ablation A6 (BDD half): the cost of the condensation substrate — BDD
+// construction, canonical absorption, and minimal-cube read-back for the
+// derivation shapes recursive network queries produce.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.h"
+#include "provenance/condense.h"
+#include "provenance/prov_expr.h"
+
+namespace provnet {
+namespace {
+
+// Chain: v0 * v1 * ... * v{n-1} — a linear route's provenance.
+ProvExpr ChainExpr(uint32_t n) {
+  ProvExpr e = ProvExpr::One();
+  for (uint32_t i = 0; i < n; ++i) e = ProvExpr::Times(e, ProvExpr::Var(i));
+  return e;
+}
+
+// Diamonds: product of n (v_{2i} + v_{2i+1}) alternatives — multipath
+// provenance; 2^n derivations share structure.
+ProvExpr DiamondExpr(uint32_t n) {
+  ProvExpr e = ProvExpr::One();
+  for (uint32_t i = 0; i < n; ++i) {
+    e = ProvExpr::Times(
+        e, ProvExpr::Plus(ProvExpr::Var(2 * i), ProvExpr::Var(2 * i + 1)));
+  }
+  return e;
+}
+
+// Absorption chain: v0 + v0*v1 + v0*v1*v2 + ... — condenses to <v0>.
+ProvExpr AbsorptionExpr(uint32_t n) {
+  ProvExpr sum = ProvExpr::Zero();
+  ProvExpr prefix = ProvExpr::One();
+  for (uint32_t i = 0; i < n; ++i) {
+    prefix = ProvExpr::Times(prefix, ProvExpr::Var(i));
+    sum = ProvExpr::Plus(sum, prefix);
+  }
+  return sum;
+}
+
+void BM_BddBuildChain(benchmark::State& state) {
+  ProvExpr expr = ChainExpr(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    BddManager mgr;
+    benchmark::DoNotOptimize(ProvToBdd(expr, mgr));
+  }
+}
+BENCHMARK(BM_BddBuildChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CondenseChain(benchmark::State& state) {
+  ProvExpr expr = ChainExpr(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Condense(expr));
+  }
+}
+BENCHMARK(BM_CondenseChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CondenseDiamond(benchmark::State& state) {
+  ProvExpr expr = DiamondExpr(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Condense(expr));
+  }
+}
+BENCHMARK(BM_CondenseDiamond)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_CondenseAbsorption(benchmark::State& state) {
+  ProvExpr expr = AbsorptionExpr(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    CondensedProv c = Condense(expr);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CondenseAbsorption)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BddIteDeep(benchmark::State& state) {
+  for (auto _ : state) {
+    BddManager mgr;
+    BddRef f = mgr.True();
+    for (uint32_t v = 0; v < static_cast<uint32_t>(state.range(0)); ++v) {
+      f = mgr.Ite(mgr.Var(v), f, mgr.Not(f));
+    }
+    benchmark::DoNotOptimize(mgr.SatCount(f, static_cast<uint32_t>(
+                                                 state.range(0))));
+  }
+}
+BENCHMARK(BM_BddIteDeep)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace provnet
+
+BENCHMARK_MAIN();

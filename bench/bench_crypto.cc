@@ -1,0 +1,93 @@
+// Ablation A1: the cost ladder of "says" (Section 2.2) and the crypto
+// primitives behind SeNDLog's overhead — per-tuple signing/verification is
+// what separates the Figure 3 curves.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/authenticator.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "util/random.h"
+
+namespace provnet {
+namespace {
+
+Bytes MakePayload(size_t size) {
+  Bytes payload(size);
+  Rng rng(7);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+  return payload;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key = MakePayload(32);
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, payload));
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_RsaSign(benchmark::State& state) {
+  Rng rng(1);
+  RsaKeyPair kp =
+      RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), rng).value();
+  Bytes payload = MakePayload(100);  // a typical tuple message
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaSign(kp.priv, payload).value());
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_RsaVerify(benchmark::State& state) {
+  Rng rng(2);
+  RsaKeyPair kp =
+      RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), rng).value();
+  Bytes payload = MakePayload(100);
+  Bytes sig = RsaSign(kp.priv, payload).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaVerify(kp.pub, payload, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(256)->Arg(512)->Arg(1024);
+
+// The says ladder end to end: tag creation + verification per tuple.
+void BM_SaysRoundTrip(benchmark::State& state) {
+  KeyStore keystore(11, 256);
+  Authenticator auth(&keystore);
+  Bytes payload = MakePayload(100);
+  SaysLevel level = static_cast<SaysLevel>(state.range(0));
+  for (auto _ : state) {
+    SaysTag tag = auth.Say("n0", payload, level).value();
+    benchmark::DoNotOptimize(auth.Verify(tag, payload));
+  }
+  state.SetLabel(SaysLevelName(level));
+}
+BENCHMARK(BM_SaysRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  uint64_t seed = 100;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), rng).value());
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace provnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Ablation A6 (engine half): the runtime primitives under every curve —
+// table insert/lookup, parsing, and the end-to-end fixpoint at small N.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/bestpath.h"
+#include "apps/programs.h"
+#include "core/table.h"
+#include "datalog/parser.h"
+
+namespace provnet {
+namespace {
+
+void BM_TableInsert(benchmark::State& state) {
+  TableOptions opts;
+  int64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table table("bench", opts);
+    state.ResumeTiming();
+    for (int64_t k = 0; k < state.range(0); ++k) {
+      StoredTuple entry;
+      entry.tuple = Tuple("t", {Value::Int(i++), Value::Int(k)});
+      benchmark::DoNotOptimize(table.Insert(std::move(entry), 0.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableInsert)->Arg(1000);
+
+void BM_TableIndexedLookup(benchmark::State& state) {
+  TableOptions opts;
+  Table table("bench", opts);
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    StoredTuple entry;
+    entry.tuple = Tuple("t", {Value::Int(k % 64), Value::Int(k)});
+    table.Insert(std::move(entry), 0.0);
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.LookupByColumn(0, Value::Int(key++ % 64)));
+  }
+}
+BENCHMARK(BM_TableIndexedLookup)->Arg(10000);
+
+void BM_AggregateMinInsert(benchmark::State& state) {
+  TableOptions opts;
+  opts.agg = AggKind::kMin;
+  opts.agg_column = 1;
+  opts.key_columns = {0};
+  Table table("agg", opts);
+  int64_t i = 0;
+  for (auto _ : state) {
+    StoredTuple entry;
+    entry.tuple = Tuple("cost", {Value::Int(i % 128), Value::Int(1000 - i % 997)});
+    benchmark::DoNotOptimize(table.Insert(std::move(entry), 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_AggregateMinInsert);
+
+void BM_ParseBestPathProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseProgram(BestPathNdlogProgram()).value());
+  }
+}
+BENCHMARK(BM_ParseBestPathProgram);
+
+void BM_BestPathFixpoint(benchmark::State& state) {
+  Rng rng(99);
+  Topology topo =
+      Topology::RingPlusRandom(static_cast<size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    EngineOptions base;
+    Result<BestPathRun> run = RunBestPath(topo, Variant::kNdlog, base);
+    benchmark::DoNotOptimize(run.value().stats.derivations);
+  }
+  state.SetLabel("NDLog");
+}
+BENCHMARK(BM_BestPathFixpoint)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_TupleSerializeRoundTrip(benchmark::State& state) {
+  Tuple t("bestPath",
+          {Value::Address(3), Value::Address(9),
+           Value::List({Value::Address(3), Value::Address(5),
+                        Value::Address(9)}),
+           Value::Int(17)});
+  for (auto _ : state) {
+    ByteWriter w;
+    t.Serialize(w);
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(Tuple::Deserialize(r).value());
+  }
+}
+BENCHMARK(BM_TupleSerializeRoundTrip);
+
+}  // namespace
+}  // namespace provnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Ablation A4: proactive versus reactive provenance (Section 5).
+//
+// Proactive: record provenance for every derivation as it happens.
+// Reactive: record nothing until an anomaly is declared, then enable
+// recording and re-derive (here: re-run the computation). Reactive trades
+// recording/storage during normal operation for reconstruction work at
+// incident time.
+
+#include <cstdio>
+
+#include "apps/bestpath.h"
+#include "apps/programs.h"
+#include "util/logging.h"
+
+using namespace provnet;
+
+namespace {
+
+size_t TotalOnlineRecords(Engine& engine) {
+  size_t total = 0;
+  for (NodeId n = 0; n < engine.num_nodes(); ++n) {
+    total += engine.node(n).online_store().size();
+  }
+  return total;
+}
+
+size_t TotalOfflineBytes(Engine& engine) {
+  size_t total = 0;
+  for (NodeId n = 0; n < engine.num_nodes(); ++n) {
+    total += engine.node(n).offline_store().ApproxBytes();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A4: proactive vs reactive provenance ===\n\n");
+  std::printf("%4s %-10s %10s %12s %14s %12s\n", "N", "mode", "wall(s)",
+              "records", "storage(B)", "extra_wall(s)");
+
+  for (size_t n : {10, 20, 40}) {
+    Rng rng(77 + n);
+    Topology topo = Topology::RingPlusRandom(n, 3, rng);
+
+    // Proactive: recording on from the start.
+    {
+      EngineOptions opts;
+      opts.prov_mode = ProvMode::kPointers;
+      opts.record_offline = true;
+      auto engine =
+          Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+      PROVNET_CHECK(engine->InsertLinkFacts().ok());
+      RunStats stats = engine->Run().value();
+      std::printf("%4zu %-10s %10.3f %12zu %14zu %12s\n", n, "proactive",
+                  stats.wall_seconds, TotalOnlineRecords(*engine),
+                  TotalOfflineBytes(*engine), "-");
+    }
+
+    // Reactive: recording off during normal operation; on anomaly, enable
+    // recording and recompute to materialize the lineage.
+    {
+      EngineOptions opts;
+      opts.prov_mode = ProvMode::kPointers;
+      opts.record_offline = true;
+      opts.recording_enabled = false;
+      auto engine =
+          Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+      PROVNET_CHECK(engine->InsertLinkFacts().ok());
+      RunStats normal = engine->Run().value();
+      size_t quiet_records = TotalOnlineRecords(*engine);
+
+      // Anomaly detected: flip recording on and rebuild state with
+      // provenance this time.
+      EngineOptions incident = opts;
+      incident.recording_enabled = true;
+      auto engine2 =
+          Engine::Create(topo, BestPathNdlogProgram(), incident).value();
+      PROVNET_CHECK(engine2->InsertLinkFacts().ok());
+      RunStats rebuild = engine2->Run().value();
+
+      std::printf("%4zu %-10s %10.3f %12zu %14zu %12.3f\n", n, "reactive",
+                  normal.wall_seconds, quiet_records,
+                  TotalOfflineBytes(*engine), rebuild.wall_seconds);
+    }
+  }
+  std::printf("\nexpected shape: reactive stores ~0 during normal operation "
+              "and runs faster,\nbut pays a full recomputation at incident "
+              "time (Section 5).\n");
+  return 0;
+}

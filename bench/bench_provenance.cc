@@ -1,0 +1,118 @@
+// Ablation A2: condensed versus full provenance (Section 4.4) — wire sizes
+// and computation for the derivation shapes of the Best-Path workload, plus
+// quantifiable-provenance (Section 4.5) evaluation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "provenance/condense.h"
+#include "provenance/derivation.h"
+#include "provenance/semiring.h"
+
+namespace provnet {
+namespace {
+
+ProvExpr MultiPathExpr(uint32_t alternatives, uint32_t hops) {
+  ProvExpr sum = ProvExpr::Zero();
+  for (uint32_t a = 0; a < alternatives; ++a) {
+    ProvExpr product = ProvExpr::One();
+    for (uint32_t h = 0; h < hops; ++h) {
+      product = ProvExpr::Times(product, ProvExpr::Var(a * hops + h));
+    }
+    sum = ProvExpr::Plus(sum, product);
+  }
+  return sum;
+}
+
+DerivationPtr ChainDerivation(uint32_t hops) {
+  Tuple base("link", {Value::Address(0), Value::Address(1), Value::Int(1)});
+  DerivationPtr node = MakeBaseDerivation(base, 0, "n0", 0.0, -1.0);
+  for (uint32_t h = 1; h <= hops; ++h) {
+    Tuple t("path", {Value::Address(0), Value::Address(h), Value::Int(h)});
+    node = MakeRuleDerivation(t, "sp2", h, "n" + std::to_string(h), 0.0, -1.0,
+                              {node, MakeBaseDerivation(base, h, "nx", 0, -1)});
+  }
+  return node;
+}
+
+// Wire size: full derivation tree vs condensed annotation for the same
+// lineage — the local-vs-condensed trade the paper motivates.
+void BM_WireSizeFullTree(benchmark::State& state) {
+  DerivationPtr tree = ChainDerivation(static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = tree->WireSize();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_WireSizeFullTree)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WireSizeCondensed(benchmark::State& state) {
+  ProvExpr expr = MultiPathExpr(3, static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    CondensedProv c = Condense(expr);
+    ByteWriter w;
+    c.Serialize(w);
+    bytes = w.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_WireSizeCondensed)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SemiringTrustLevel(benchmark::State& state) {
+  ProvExpr expr = MultiPathExpr(static_cast<uint32_t>(state.range(0)), 8);
+  std::unordered_map<ProvVar, int64_t> levels;
+  for (ProvVar v : expr.Variables()) levels[v] = static_cast<int64_t>(v % 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrustLevelOf(expr, levels, 0));
+  }
+}
+BENCHMARK(BM_SemiringTrustLevel)->Arg(4)->Arg(32);
+
+void BM_SemiringCount(benchmark::State& state) {
+  ProvExpr expr = MultiPathExpr(static_cast<uint32_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DerivationCount(expr));
+  }
+}
+BENCHMARK(BM_SemiringCount)->Arg(4)->Arg(32);
+
+void BM_ExprSerializeRoundTrip(benchmark::State& state) {
+  ProvExpr expr = MultiPathExpr(4, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ByteWriter w;
+    expr.Serialize(w);
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(ProvExpr::Deserialize(r).value());
+  }
+}
+BENCHMARK(BM_ExprSerializeRoundTrip)->Arg(8)->Arg(32);
+
+void BM_VerifyAuthenticatedTree(benchmark::State& state) {
+  KeyStore keystore(5, 256);
+  Authenticator auth(&keystore);
+  DerivationPtr tree = ChainDerivation(static_cast<uint32_t>(state.range(0)));
+  // Sign every node bottom-up.
+  std::function<DerivationPtr(const DerivationPtr&)> sign_all =
+      [&](const DerivationPtr& n) -> DerivationPtr {
+    auto copy = std::make_shared<DerivationNode>(*n);
+    copy->children.clear();
+    for (const DerivationPtr& c : n->children) {
+      copy->children.push_back(sign_all(c));
+    }
+    return SignDerivation(copy, auth, SaysLevel::kRsa).value();
+  };
+  DerivationPtr signed_tree = sign_all(tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyDerivationTree(signed_tree, auth, /*require_signatures=*/true));
+  }
+}
+BENCHMARK(BM_VerifyAuthenticatedTree)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace provnet
+
+BENCHMARK_MAIN();

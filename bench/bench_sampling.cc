@@ -1,0 +1,171 @@
+// Ablation A5: sampling and granularity optimizations (Section 5).
+//
+//  * 1-in-k provenance sampling (IP traceback): storage shrinks ~k-fold,
+//    traceback recall degrades gracefully.
+//  * Bloom-digest synopses (ForNet): constant storage per window, false
+//    positives instead of misses.
+//  * AS-level granularity: provenance volume vs attribution precision.
+
+#include <cstdio>
+#include <set>
+
+#include "apps/bestpath.h"
+#include "apps/forensics.h"
+#include "apps/programs.h"
+#include "util/logging.h"
+#include "provenance/granularity.h"
+
+using namespace provnet;
+
+namespace {
+
+struct SampleResult {
+  uint32_t k = 1;
+  size_t records = 0;
+  double recall = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: provenance sampling / digests / granularity "
+              "===\n\n");
+
+  Rng rng(31337);
+  const size_t n = 24;
+  Topology topo = Topology::RingPlusRandom(n, 3, rng);
+
+  // Ground truth with full recording (k = 1).
+  std::set<NodeId> truth;
+  Tuple probe;
+  {
+    EngineOptions opts;
+    opts.prov_mode = ProvMode::kPointers;
+    auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+    PROVNET_CHECK(engine->InsertLinkFacts().ok());
+    PROVNET_CHECK(engine->Run().ok());
+    // Pick the longest best path at node 0 as the probe.
+    size_t best_len = 0;
+    for (const Tuple& t : engine->TuplesAt(0, "bestPath")) {
+      if (t.arg(2).AsList().size() > best_len) {
+        best_len = t.arg(2).AsList().size();
+        probe = t;
+      }
+    }
+    TracebackReport report = Traceback(*engine, 0, probe).value();
+    truth = report.origin_nodes;
+  }
+  std::printf("probe tuple: %s\nground-truth origins: %zu nodes\n\n",
+              probe.ToString().c_str(), truth.size());
+
+  // Per-hop coverage: for every best path at node 0, the fraction of its
+  // hop links whose provenance record survived sampling (IP traceback
+  // reconstructs segment by segment from exactly such surviving marks).
+  std::printf("-- 1-in-k sampling --\n%6s %12s %14s %14s\n", "k", "records",
+              "hop_coverage", "full_trace");
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    EngineOptions opts;
+    opts.prov_mode = ProvMode::kPointers;
+    opts.sample_k = k;
+    auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+    PROVNET_CHECK(engine->InsertLinkFacts().ok());
+    PROVNET_CHECK(engine->Run().ok());
+    size_t records = 0;
+    for (NodeId i = 0; i < engine->num_nodes(); ++i) {
+      records += engine->node(i).online_store().size();
+    }
+    size_t hops_total = 0, hops_present = 0;
+    for (const Tuple& t : engine->TuplesAt(0, "bestPath")) {
+      const auto& path = t.arg(2).AsList();
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        NodeId hop = path[i].AsAddress();
+        // The hop's own link fact record: the mark this router would keep.
+        bool present = false;
+        for (const Tuple& link : engine->TuplesAt(hop, "link")) {
+          if (link.arg(1) == path[i + 1] &&
+              engine->node(hop).online_store().Lookup(DigestOf(link)) !=
+                  nullptr) {
+            present = true;
+            break;
+          }
+        }
+        ++hops_total;
+        if (present) ++hops_present;
+      }
+    }
+    double full = 0.0;
+    Result<TracebackReport> report = Traceback(*engine, 0, probe);
+    if (report.ok()) full = TracebackRecall(report.value(), truth);
+    std::printf("%6u %12zu %14.2f %14.2f\n", k, records,
+                hops_total == 0 ? 0.0
+                                : static_cast<double>(hops_present) /
+                                      static_cast<double>(hops_total),
+                full);
+  }
+
+  std::printf("\n-- Bloom digest synopses (ForNet) --\n%10s %12s %14s\n",
+              "bits", "storage(B)", "nodes_flagged");
+  {
+    EngineOptions opts;
+    opts.prov_mode = ProvMode::kPointers;
+    opts.record_offline = true;
+    auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+    PROVNET_CHECK(engine->InsertLinkFacts().ok());
+    PROVNET_CHECK(engine->Run().ok());
+    for (size_t bits : {256u, 1024u, 8192u, 65536u}) {
+      DigestTraceback digests(*engine, /*window_seconds=*/1.0, bits,
+                              /*hashes=*/4);
+      std::vector<NodeId> flagged =
+          digests.NodesThatMaySawTuple(probe, 0.0, 1e9);
+      std::printf("%10zu %12zu %14zu\n", bits, digests.TotalBytes(),
+                  flagged.size());
+    }
+  }
+
+  std::printf("\n-- AS granularity --\n%14s %12s %16s %16s\n", "nodes_per_as",
+              "as_count", "witness_vars", "total_cube_vars");
+  {
+    EngineOptions opts;
+    opts.authenticate = true;
+    opts.says_level = SaysLevel::kHmac;
+    opts.prov_mode = ProvMode::kCondensed;
+    auto engine =
+        Engine::Create(topo, BestPathSendlogProgram(), opts).value();
+    PROVNET_CHECK(engine->InsertLinkFacts().ok());
+    PROVNET_CHECK(engine->Run().ok());
+    // Aggregate over every best path at node 0 so the numbers are not
+    // dominated by one probe.
+    std::vector<CondensedProv> conds;
+    for (const Tuple& t : engine->TuplesAt(0, "bestPath")) {
+      Result<CondensedProv> c = engine->CondensedOf(0, t);
+      if (c.ok()) conds.push_back(std::move(c).value());
+    }
+    for (size_t per_as : {1u, 2u, 4u, 8u}) {
+      AsMapping mapping = AsMapping::Blocks(n, per_as);
+      size_t distinct = 0, total = 0;
+      for (const CondensedProv& cond : conds) {
+        // Principal var -> AS var: node principals are "n<i>".
+        CondensedProv projected = ProjectCondensedToAs(
+            cond, [&](ProvVar v) -> ProvVar {
+              Result<NodeId> node = engine->NodeOf(engine->VarName(v));
+              if (!node.ok()) return v;
+              return 1000000u + mapping.AsOf(node.value());
+            });
+        std::set<ProvVar> vars;
+        for (const auto& cube : projected.cubes) {
+          vars.insert(cube.begin(), cube.end());
+          total += cube.size();
+        }
+        distinct += vars.size();
+      }
+      std::printf("%14zu %12zu %16zu %16zu\n", per_as, mapping.num_ases(),
+                  distinct, total);
+    }
+  }
+
+  std::printf("\nexpected shape: records fall ~k-fold with sampling while "
+              "recall degrades\ngracefully; Bloom storage is constant per "
+              "window with false positives at\nsmall sizes; AS aggregation "
+              "shrinks provenance as nodes_per_as grows (Section 5).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 3: query completion time (s) of the Best-Path query
+// versus number of nodes, for NDLog / SeNDLog / SeNDLogProv.
+//
+// Absolute values differ from the paper (its testbed ran 100 P2 OS
+// processes with OpenSSL on 2008 hardware); the claims under reproduction
+// are the *shape*: all three curves grow superlinearly, SeNDLog sits above
+// NDLog (per-tuple signing), SeNDLogProv sits above SeNDLog (condensed
+// provenance), and the relative overheads shrink as N grows.
+
+#include <cstdio>
+
+#include "figure_common.h"
+
+int main() {
+  using provnet::bench::ConfigFromEnv;
+  using provnet::bench::RunSweep;
+  using provnet::bench::SweepPoint;
+
+  auto cfg = ConfigFromEnv();
+  std::printf("=== Figure 3: Best-Path query completion time (s) ===\n");
+  std::printf("workload: random graph, mean out-degree %zu, %zu run(s) per "
+              "point\n\n",
+              cfg.outdegree, cfg.runs);
+  std::vector<SweepPoint> points = RunSweep(cfg);
+
+  std::printf("%8s %12s %12s %14s %10s %10s\n", "N", "NDLog(s)", "SeNDLog(s)",
+              "SeNDLogProv(s)", "auth_ovh", "prov_ovh");
+  for (const SweepPoint& p : points) {
+    std::printf("%8zu %12.3f %12.3f %14.3f %9.0f%% %9.0f%%\n", p.n,
+                p.wall_seconds[0], p.wall_seconds[1], p.wall_seconds[2],
+                100.0 * (p.wall_seconds[1] / p.wall_seconds[0] - 1.0),
+                100.0 * (p.wall_seconds[2] / p.wall_seconds[1] - 1.0));
+  }
+  provnet::bench::PrintOverheadSummary(points, /*use_time=*/true);
+  return 0;
+}

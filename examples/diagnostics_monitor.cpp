@@ -1,0 +1,81 @@
+// Real-time diagnostics (Sections 3, 4.2): a continuous query watches
+// routing-table churn; when an entry flaps past a threshold, the monitor
+// raises an alarm and uses *online* provenance to identify the principals
+// whose inputs the flapping route depends on.
+//
+// Scenario: Best-Path converges on a 12-node ring-plus-random network; then
+// a misbehaving node keeps toggling one of its link costs, causing repeated
+// best-path replacements downstream.
+//
+// Build: cmake --build build && ./build/examples/diagnostics_monitor
+
+#include <cstdio>
+
+#include "apps/diagnostics.h"
+#include "apps/programs.h"
+#include "core/engine.h"
+
+using namespace provnet;
+
+int main() {
+  Rng rng(99);
+  const size_t n = 12;
+  Topology topo = Topology::RingPlusRandom(n, 3, rng);
+
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kPointers;
+  opts.record_online = true;
+  auto engine_or = Engine::Create(topo, BestPathNdlogProgram(), opts);
+  if (!engine_or.ok()) {
+    std::printf("engine creation failed: %s\n",
+                engine_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Engine> engine = std::move(engine_or).value();
+
+  // Monitor bestPath churn per (src, dst): alarm when an entry changes more
+  // than 4 times within 60 seconds of virtual time.
+  RouteFlapMonitor monitor(engine.get(), "bestPath", {0, 1},
+                           /*window_seconds=*/60.0, /*threshold=*/4);
+
+  if (!engine->InsertLinkFacts().ok()) return 1;
+  auto converge = engine->Run();
+  if (!converge.ok()) return 1;
+  std::printf("converged: %s\n", converge.value().ToString().c_str());
+  std::printf("changes during convergence: %zu, alarms: %zu\n\n",
+              monitor.total_changes(), monitor.alarms().size());
+
+  // Node 1 flaps its ring link cost between 1 and 50, ten times.
+  NodeId flapper = 1;
+  NodeId neighbor = 2;
+  std::printf("node %u starts flapping its link to %u...\n\n", flapper,
+              neighbor);
+  for (int round = 0; round < 10; ++round) {
+    int64_t cost = round % 2 == 0 ? 50 : 1;
+    Tuple link("link", {Value::Address(flapper), Value::Address(neighbor),
+                        Value::Int(cost)});
+    if (!engine->InsertFact(flapper, link).ok()) return 1;
+    if (!engine->Run().ok()) return 1;
+    engine->network().AdvanceTime(1.0);
+  }
+
+  std::printf("alarms raised: %zu (total entry changes seen: %zu)\n",
+              monitor.alarms().size(), monitor.total_changes());
+  size_t shown = 0;
+  for (const FlapAlarm& alarm : monitor.alarms()) {
+    if (++shown > 5) break;
+    std::printf("\nALARM at node %u, t=%.2f: %s flapped %zu times\n",
+                alarm.node, alarm.fired_at, alarm.tuple.ToString().c_str(),
+                alarm.changes);
+    auto suspects = monitor.SuspectPrincipals(alarm);
+    if (suspects.ok()) {
+      std::printf("  provenance drill-down, depends on:");
+      for (const Principal& p : suspects.value()) {
+        std::printf(" %s", p.c_str());
+      }
+      std::printf("\n  (the flapping principal n%u should appear here)\n",
+                  flapper);
+    }
+  }
+  return 0;
+}

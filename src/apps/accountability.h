@@ -1,0 +1,46 @@
+// Accountability (Section 3): PlanetFlow-style auditing. Every derivation a
+// principal asserts is a billable/auditable action; the auditor aggregates
+// per-principal activity from the offline provenance archives (call-detail
+// records for the network) and flags principals that exceed policy.
+#ifndef PROVNET_APPS_ACCOUNTABILITY_H_
+#define PROVNET_APPS_ACCOUNTABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace provnet {
+
+struct UsageRecord {
+  Principal principal;
+  uint64_t assertions = 0;   // derivations asserted by this principal
+  uint64_t bytes = 0;        // serialized size of those records
+  double first_seen = 0.0;
+  double last_seen = 0.0;
+};
+
+class FlowAuditor {
+ public:
+  // Builds the audit ledger from every node's offline archive, restricted
+  // to [from, to) (call-detail style windows).
+  FlowAuditor(Engine& engine, double from, double to);
+
+  const std::map<Principal, UsageRecord>& ledger() const { return ledger_; }
+
+  // Principals whose assertion count exceeds `quota`.
+  std::vector<Principal> OverQuota(uint64_t quota) const;
+
+  // Total accounted actions.
+  uint64_t TotalAssertions() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<Principal, UsageRecord> ledger_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_ACCOUNTABILITY_H_

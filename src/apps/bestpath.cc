@@ -1,0 +1,164 @@
+#include "apps/bestpath.h"
+
+#include <limits>
+
+#include "apps/programs.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kNdlog:
+      return "NDLog";
+    case Variant::kSendlog:
+      return "SeNDLog";
+    case Variant::kSendlogProv:
+      return "SeNDLogProv";
+  }
+  return "?";
+}
+
+EngineOptions OptionsForVariant(Variant variant, EngineOptions base) {
+  switch (variant) {
+    case Variant::kNdlog:
+      base.authenticate = false;
+      base.prov_mode = ProvMode::kNone;
+      break;
+    case Variant::kSendlog:
+      base.authenticate = true;
+      base.says_level = SaysLevel::kRsa;
+      base.prov_mode = ProvMode::kNone;
+      break;
+    case Variant::kSendlogProv:
+      base.authenticate = true;
+      base.says_level = SaysLevel::kRsa;
+      base.prov_mode = ProvMode::kCondensed;
+      break;
+  }
+  return base;
+}
+
+Result<BestPathRun> RunBestPath(const Topology& topo, Variant variant,
+                                EngineOptions base) {
+  EngineOptions options = OptionsForVariant(variant, std::move(base));
+  const std::string& source = variant == Variant::kNdlog
+                                  ? BestPathNdlogProgram()
+                                  : BestPathSendlogProgram();
+  PROVNET_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                           Engine::Create(topo, source, std::move(options)));
+  PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+  PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine->Run());
+  BestPathRun run;
+  run.engine = std::move(engine);
+  run.stats = stats;
+  return run;
+}
+
+std::map<std::pair<NodeId, NodeId>, int64_t> ReferenceShortestPaths(
+    const Topology& topo) {
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  size_t n = topo.num_nodes;
+  std::vector<std::vector<int64_t>> dist(n, std::vector<int64_t>(n, kInf));
+  for (const TopoEdge& e : topo.edges) {
+    dist[e.from][e.to] = std::min(dist[e.from][e.to], e.cost);
+  }
+  // Floyd-Warshall (self-distances excluded from the result; the query's
+  // paths have >= 1 edge and never revisit their source).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (dist[i][k] + dist[k][j] < dist[i][j]) {
+          dist[i][j] = dist[i][k] + dist[k][j];
+        }
+      }
+    }
+  }
+  std::map<std::pair<NodeId, NodeId>, int64_t> out;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && dist[i][j] < kInf) {
+        out[{static_cast<NodeId>(i), static_cast<NodeId>(j)}] = dist[i][j];
+      }
+    }
+  }
+  return out;
+}
+
+Status VerifyBestPaths(Engine& engine, const Topology& topo) {
+  auto oracle = ReferenceShortestPaths(topo);
+
+  // Edge lookup for path validation.
+  std::map<std::pair<NodeId, NodeId>, int64_t> edge_cost;
+  for (const TopoEdge& e : topo.edges) {
+    auto key = std::make_pair(e.from, e.to);
+    auto it = edge_cost.find(key);
+    if (it == edge_cost.end() || e.cost < it->second) edge_cost[key] = e.cost;
+  }
+
+  size_t exact = 0;
+  size_t found = 0;
+  for (NodeId node = 0; node < topo.num_nodes; ++node) {
+    for (const Tuple& t : engine.TuplesAt(node, "bestPath")) {
+      if (t.arity() != 4) {
+        return InternalError("bestPath arity: " + t.ToString());
+      }
+      NodeId src = t.arg(0).AsAddress();
+      NodeId dst = t.arg(1).AsAddress();
+      const auto& path = t.arg(2).AsList();
+      int64_t cost = t.arg(3).AsInt();
+      if (src != node) {
+        return InternalError("bestPath stored at wrong node: " +
+                             t.ToString());
+      }
+      // Path structure: starts at src, ends at dst, edges exist, costs sum.
+      if (path.size() < 2 || path.front().AsAddress() != src ||
+          path.back().AsAddress() != dst) {
+        return InternalError("malformed path: " + t.ToString());
+      }
+      int64_t sum = 0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        auto key = std::make_pair(path[i].AsAddress(),
+                                  path[i + 1].AsAddress());
+        auto it = edge_cost.find(key);
+        if (it == edge_cost.end()) {
+          return InternalError("path uses a nonexistent link: " +
+                               t.ToString());
+        }
+        sum += it->second;
+      }
+      if (sum != cost) {
+        return InternalError(StrFormat(
+            "path cost mismatch: sum=%lld vs %lld in %s",
+            static_cast<long long>(sum), static_cast<long long>(cost),
+            t.ToString().c_str()));
+      }
+      auto want = oracle.find({src, dst});
+      if (want == oracle.end()) {
+        return InternalError("bestPath for unreachable pair: " +
+                             t.ToString());
+      }
+      if (cost < want->second) {
+        return InternalError("path beats the oracle (impossible): " +
+                             t.ToString());
+      }
+      ++found;
+      if (cost == want->second) ++exact;
+    }
+  }
+  if (found < oracle.size()) {
+    return InternalError(StrFormat(
+        "missing best paths: found %zu of %zu reachable pairs", found,
+        oracle.size()));
+  }
+  if (exact != found) {
+    // Equal-cost ties can block the simple-path extension (path-vector
+    // semantics); surface it as an error so callers decide.
+    return FailedPreconditionError(StrFormat(
+        "%zu of %zu best paths are tie-blocked above the oracle cost",
+        found - exact, found));
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet

@@ -1,0 +1,52 @@
+// The evaluation workload (Section 6): the Best-Path query under the three
+// system variants, plus an independent shortest-path oracle for verifying
+// the distributed fixpoint.
+#ifndef PROVNET_APPS_BESTPATH_H_
+#define PROVNET_APPS_BESTPATH_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/engine.h"
+#include "net/topology.h"
+
+namespace provnet {
+
+// The evaluation's three system configurations.
+enum class Variant : uint8_t {
+  kNdlog = 0,        // no authentication, no provenance
+  kSendlog = 1,      // RSA-authenticated communication
+  kSendlogProv = 2,  // authenticated + condensed provenance
+};
+
+const char* VariantName(Variant variant);
+
+// Engine options implementing `variant` (says level / provenance switches).
+// Extra fields of `base` (seed, rsa_bits, latency, ...) are preserved.
+EngineOptions OptionsForVariant(Variant variant, EngineOptions base);
+
+struct BestPathRun {
+  std::unique_ptr<Engine> engine;
+  RunStats stats;
+};
+
+// Builds an engine for the Best-Path query on `topo` under `variant`,
+// inserts the link facts, and runs to the distributed fixpoint.
+Result<BestPathRun> RunBestPath(const Topology& topo, Variant variant,
+                                EngineOptions base = {});
+
+// Independent oracle: all-pairs shortest path costs via Bellman-Ford over
+// the topology (handles directed edges, positive costs). Key = (src, dst),
+// absent = unreachable. Self-pairs are excluded (as in the query, whose
+// paths have >= 1 edge; cycles back to the source are allowed).
+std::map<std::pair<NodeId, NodeId>, int64_t> ReferenceShortestPaths(
+    const Topology& topo);
+
+// Checks every node's bestPath table against the oracle. Returns an error
+// describing the first mismatch.
+Status VerifyBestPaths(Engine& engine, const Topology& topo);
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_BESTPATH_H_

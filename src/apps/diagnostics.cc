@@ -1,0 +1,77 @@
+#include "apps/diagnostics.h"
+
+#include <set>
+
+#include "util/hash.h"
+
+namespace provnet {
+
+RouteFlapMonitor::RouteFlapMonitor(Engine* engine, std::string predicate,
+                                   std::vector<int> key_columns,
+                                   double window_seconds, size_t threshold)
+    : engine_(engine),
+      predicate_(std::move(predicate)),
+      key_columns_(std::move(key_columns)),
+      window_(window_seconds),
+      threshold_(threshold) {
+  engine_->SetUpdateObserver(
+      [this](NodeId node, const Tuple& tuple, InsertOutcome outcome,
+             double now) { OnUpdate(node, tuple, outcome, now); });
+}
+
+uint64_t RouteFlapMonitor::KeyOf(NodeId node, const Tuple& tuple) const {
+  uint64_t h = Mix64(node);
+  for (int col : key_columns_) {
+    if (static_cast<size_t>(col) < tuple.arity()) {
+      h = HashCombine(h, tuple.arg(static_cast<size_t>(col)).Hash());
+    }
+  }
+  return h;
+}
+
+void RouteFlapMonitor::OnUpdate(NodeId node, const Tuple& tuple,
+                                InsertOutcome outcome, double now) {
+  if (tuple.predicate() != predicate_) return;
+  if (outcome != InsertOutcome::kReplaced) return;  // only value changes
+  ++total_changes_;
+
+  uint64_t key = KeyOf(node, tuple);
+  std::deque<double>& times = history_[key];
+  times.push_back(now);
+  while (!times.empty() && times.front() < now - window_) times.pop_front();
+
+  bool& alarmed = alarmed_[key];
+  if (times.size() > threshold_) {
+    if (!alarmed) {
+      alarmed = true;
+      FlapAlarm alarm;
+      alarm.node = node;
+      alarm.tuple = tuple;
+      alarm.changes = times.size();
+      alarm.fired_at = now;
+      alarms_.push_back(std::move(alarm));
+    }
+  } else {
+    alarmed = false;
+  }
+}
+
+Result<std::vector<Principal>> RouteFlapMonitor::SuspectPrincipals(
+    const FlapAlarm& alarm) {
+  PROVNET_ASSIGN_OR_RETURN(
+      DerivationPtr tree,
+      engine_->QueryDistributedProvenance(alarm.node, alarm.tuple));
+  std::set<Principal> principals;
+  // Leaf assertions are the base inputs whose churn explains the flap.
+  std::function<void(const DerivationNode&)> walk =
+      [&](const DerivationNode& n) {
+        if (n.children.empty() && !n.asserted_by.empty()) {
+          principals.insert(n.asserted_by);
+        }
+        for (const DerivationPtr& c : n.children) walk(*c);
+      };
+  walk(*tree);
+  return std::vector<Principal>(principals.begin(), principals.end());
+}
+
+}  // namespace provnet

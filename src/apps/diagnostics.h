@@ -1,0 +1,62 @@
+// Real-time diagnostics (Section 3): a continuous monitoring query that
+// counts changes to routing-table entries over a sliding window, raises an
+// alarm above a threshold ("an indication of possible divergence"), and
+// drills into the provenance of the flapping entry to locate the source.
+#ifndef PROVNET_APPS_DIAGNOSTICS_H_
+#define PROVNET_APPS_DIAGNOSTICS_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace provnet {
+
+struct FlapAlarm {
+  NodeId node = 0;
+  Tuple tuple;          // the most recent value of the flapping entry
+  size_t changes = 0;   // changes within the window when the alarm fired
+  double fired_at = 0.0;
+};
+
+// Sliding-window change counter over one predicate's entries, keyed by the
+// given key columns (e.g. bestPath keyed by (src, dst)). Attach to an
+// Engine before Run(); alarms accumulate for later inspection.
+class RouteFlapMonitor {
+ public:
+  // Counts kReplaced transitions of `predicate` per key over the last
+  // `window_seconds` of virtual time; fires when a key exceeds `threshold`
+  // changes. Re-fires only after the count falls below threshold again.
+  RouteFlapMonitor(Engine* engine, std::string predicate,
+                   std::vector<int> key_columns, double window_seconds,
+                   size_t threshold);
+
+  const std::vector<FlapAlarm>& alarms() const { return alarms_; }
+  size_t total_changes() const { return total_changes_; }
+
+  // Root-cause drill-down for an alarm: reconstructs the distributed
+  // provenance of the flapping tuple and returns the principals asserting
+  // its leaves (candidate sources of the instability).
+  Result<std::vector<Principal>> SuspectPrincipals(const FlapAlarm& alarm);
+
+ private:
+  void OnUpdate(NodeId node, const Tuple& tuple, InsertOutcome outcome,
+                double now);
+  uint64_t KeyOf(NodeId node, const Tuple& tuple) const;
+
+  Engine* engine_;
+  std::string predicate_;
+  std::vector<int> key_columns_;
+  double window_;
+  size_t threshold_;
+  std::map<uint64_t, std::deque<double>> history_;
+  std::map<uint64_t, bool> alarmed_;
+  std::vector<FlapAlarm> alarms_;
+  size_t total_changes_ = 0;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_DIAGNOSTICS_H_

@@ -1,0 +1,66 @@
+// Forensics (Section 3): offline traceback over distributed provenance,
+// Bloom-digest traceback (ForNet), and random moonwalks (Xie et al.) that
+// sample walks toward origins instead of querying all provenance.
+#ifndef PROVNET_APPS_FORENSICS_H_
+#define PROVNET_APPS_FORENSICS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "provenance/sampling.h"
+
+namespace provnet {
+
+struct TracebackReport {
+  // Base tuples found at the leaves of the reconstructed provenance.
+  std::vector<Tuple> origin_tuples;
+  // Nodes asserting those leaves (the attack origin candidates).
+  std::set<NodeId> origin_nodes;
+  // Provenance-query traffic spent on the reconstruction.
+  uint64_t query_messages = 0;
+  uint64_t query_bytes = 0;
+};
+
+// Full traceback: reconstructs the distributed provenance of `tuple` as
+// stored at `node` and reports the origins. Works against online or offline
+// stores (whatever the engine recorded).
+Result<TracebackReport> Traceback(Engine& engine, NodeId node,
+                                  const Tuple& tuple);
+
+// Recall of a sampled traceback versus ground truth: |found ∩ truth| /
+// |truth| over origin nodes.
+double TracebackRecall(const TracebackReport& report,
+                       const std::set<NodeId>& truth);
+
+// Random moonwalk: starting from a record of `tuple` at `node`, repeatedly
+// hop to a uniformly random provenance child (following remote pointers)
+// until a base record is reached; repeat `walks` times and histogram the
+// terminal nodes. High-count nodes are origin candidates without exhaustive
+// querying.
+Result<std::map<NodeId, size_t>> RandomMoonwalk(Engine& engine, NodeId node,
+                                                const Tuple& tuple,
+                                                size_t walks, Rng& rng);
+
+// ForNet-style digest traceback: builds per-node Bloom digests of every
+// tuple recorded in the offline stores, then reports which nodes may have
+// processed `tuple` in [from, to). False positives possible by design.
+class DigestTraceback {
+ public:
+  // One filter per node per `window_seconds`, each `bits` wide with
+  // `hashes` probes.
+  DigestTraceback(Engine& engine, double window_seconds, size_t bits,
+                  int hashes);
+
+  std::vector<NodeId> NodesThatMaySawTuple(const Tuple& tuple, double from,
+                                           double to) const;
+  size_t TotalBytes() const;
+
+ private:
+  std::vector<ProvDigestStore> stores_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_FORENSICS_H_

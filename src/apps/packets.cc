@@ -1,0 +1,81 @@
+#include "apps/packets.h"
+
+#include <functional>
+
+#include "apps/forensics.h"
+#include "apps/programs.h"
+
+namespace provnet {
+
+const std::string& PacketRoutingSendlogProgram() {
+  static const std::string* kSource = new std::string(
+      BestPathSendlogProgram() + R"(
+    // Forwarding plane: move packets one best-path hop at a time. The
+    // claimed source Src is ordinary payload — nothing checks it.
+    At S:
+    f2 packet(N,Src,D,Pay)@N :- packet(S,Src,D,Pay), S != D,
+                                bestPath(S,D,PathV,C),
+                                N := f_second(PathV).
+    f3 delivered(S,Src,Pay) :- packet(S,Src,D,Pay), S == D.
+  )");
+  return *kSource;
+}
+
+Status InjectPacket(Engine& engine, const PacketInjection& injection) {
+  Tuple packet("packet",
+               {Value::Address(injection.at),
+                Value::Address(injection.claimed_src),
+                Value::Address(injection.dst), Value::Int(injection.payload)});
+  PROVNET_RETURN_IF_ERROR(engine.InsertFact(injection.at, packet));
+  PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+  (void)stats;
+  return OkStatus();
+}
+
+Tuple DeliveredTuple(const PacketInjection& injection) {
+  return Tuple("delivered",
+               {Value::Address(injection.dst),
+                Value::Address(injection.claimed_src),
+                Value::Int(injection.payload)});
+}
+
+Result<SpoofVerdict> TracePacketOrigin(Engine& engine,
+                                       const PacketInjection& injection) {
+  Tuple delivered = DeliveredTuple(injection);
+  PROVNET_ASSIGN_OR_RETURN(
+      DerivationPtr tree,
+      engine.QueryDistributedProvenance(injection.dst, delivered));
+
+  SpoofVerdict verdict;
+  verdict.claimed_src = injection.claimed_src;
+
+  // The true origin is the location of the base "packet" fact at the
+  // provenance leaves; the forwarding path is every node whose records the
+  // reconstruction traversed (on packet-chain tuples only).
+  bool found_origin = false;
+  std::set<const DerivationNode*> seen;
+  std::function<void(const DerivationNode&)> walk =
+      [&](const DerivationNode& n) {
+        if (!seen.insert(&n).second) return;
+        const std::string& pred = n.tuple.predicate();
+        if (pred == "packet" || pred == "delivered") {
+          verdict.forwarding_path.insert(n.location);
+          if (n.children.empty() && n.rule == kBaseRule) {
+            verdict.true_origin = n.location;
+            found_origin = true;
+          }
+        }
+        for (const DerivationPtr& c : n.children) walk(*c);
+      };
+  walk(*tree);
+
+  if (!found_origin) {
+    return NotFoundError(
+        "packet provenance has no base injection record (sampled out or "
+        "expired?)");
+  }
+  verdict.spoofed = verdict.true_origin != verdict.claimed_src;
+  return verdict;
+}
+
+}  // namespace provnet

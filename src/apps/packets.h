@@ -1,0 +1,54 @@
+// Packet-level forwarding and spoofing traceback — the paper's original
+// forensics motivation (Section 3: IP traceback "to determine where packets
+// originated from without trusting the unauthenticated IP headers").
+//
+// A SeNDlog data plane forwards packets hop by hop along converged best
+// paths. The packet header carries a *claimed* source that an attacker can
+// spoof freely; the per-hop provenance records cannot be spoofed, so
+// traceback over them recovers the true injection point.
+#ifndef PROVNET_APPS_PACKETS_H_
+#define PROVNET_APPS_PACKETS_H_
+
+#include <set>
+#include <string>
+
+#include "core/engine.h"
+
+namespace provnet {
+
+// Best-Path routing plus the forwarding plane, one SeNDlog program:
+//   packet(S, Src, D, Pay)  - packet held at S, claiming source Src
+//   f2: forward toward D along bestPath's next hop
+//   f3: delivered(D, Src, Pay) when the packet reaches D
+const std::string& PacketRoutingSendlogProgram();
+
+struct PacketInjection {
+  NodeId at = 0;           // where the attacker really injects
+  NodeId claimed_src = 0;  // the (possibly spoofed) header source
+  NodeId dst = 0;
+  int64_t payload = 0;     // payload identifier
+};
+
+// Inserts the packet fact at the injection node and runs to fixpoint.
+Status InjectPacket(Engine& engine, const PacketInjection& injection);
+
+// The delivered tuple the destination observes for this injection.
+Tuple DeliveredTuple(const PacketInjection& injection);
+
+struct SpoofVerdict {
+  NodeId claimed_src = 0;  // what the header says
+  NodeId true_origin = 0;  // where provenance says the packet entered
+  bool spoofed = false;    // the two disagree
+  std::set<NodeId> forwarding_path;  // every node whose records touched it
+};
+
+// Traceback at the destination: reconstructs the packet's distributed
+// provenance and compares the header's claimed source with the injection
+// node found at the provenance leaves. Requires ProvMode::kPointers (or
+// record_online) during forwarding.
+Result<SpoofVerdict> TracePacketOrigin(Engine& engine,
+                                       const PacketInjection& injection);
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_PACKETS_H_

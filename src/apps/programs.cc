@@ -1,0 +1,64 @@
+#include "apps/programs.h"
+
+namespace provnet {
+
+const std::string& ReachableNdlogProgram() {
+  static const std::string* kSource = new std::string(R"(
+    // Section 2.1: distributed transitive closure.
+    r1 reachable(@S,D) :- link(@S,D).
+    r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+  )");
+  return *kSource;
+}
+
+const std::string& ReachableSendlogProgram() {
+  static const std::string* kSource = new std::string(R"(
+    // Section 2.2: reachability with authenticated imports.
+    At S:
+    s1 reachable(S,D) :- link(S,D).
+    s2 linkD(D,S)@D :- link(S,D).
+    s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).
+  )");
+  return *kSource;
+}
+
+const std::string& BestPathNdlogProgram() {
+  static const std::string* kSource = new std::string(R"(
+    // Section 6's Best-Path query: the all-pairs reachability query of
+    // Section 2.1 "with additional predicates to compute the actual path,
+    // cost of the path, and two extra rules for computing the best paths".
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(bestPath, infinity, infinity, keys(1,2)).
+
+    sp1 path(@S,D,P,C) :- link(@S,D,C), P := f_init(S,D).
+    sp2 path(@S,D,P,C) :- link(@S,Z,C1), bestPath(@Z,D,P2,C2),
+                          f_member(P2,S) == 0, C := C1 + C2,
+                          P := f_concatPath(S,P2).
+    sp3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+    sp4 bestPath(@S,D,P,C) :- bestPathCost(@S,D,C), path(@S,D,P,C).
+  )");
+  return *kSource;
+}
+
+const std::string& BestPathSendlogProgram() {
+  static const std::string* kSource = new std::string(R"(
+    // Best-Path in SeNDlog: bodies are local to the context S; neighbors
+    // export their link state (z2) and each improvement is pushed upstream
+    // (z3) under "says" authentication.
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(linkD, infinity, infinity, keys(1,2)).
+    materialize(bestPath, infinity, infinity, keys(1,2)).
+
+    At S:
+    z1 path(S,D,P,C) :- link(S,D,C), P := f_init(S,D).
+    z2 linkD(D,S,C)@D :- link(S,D,C).
+    z3 path(Z,D,P,C)@Z :- Z says linkD(S,Z,C1), W says bestPath(S,D,P2,C2),
+                          f_member(P2,Z) == 0, C := C1 + C2,
+                          P := f_concatPath(Z,P2).
+    z4 bestPathCost(S,D,min<C>) :- path(S,D,P,C).
+    z5 bestPath(S,D,P,C) :- bestPathCost(S,D,C), path(S,D,P,C).
+  )");
+  return *kSource;
+}
+
+}  // namespace provnet

@@ -1,0 +1,32 @@
+// The paper's NDlog / SeNDlog programs as built-in sources.
+#ifndef PROVNET_APPS_PROGRAMS_H_
+#define PROVNET_APPS_PROGRAMS_H_
+
+#include <string>
+
+namespace provnet {
+
+// Section 2.1: all-pairs reachability (NDlog, arity-2 links).
+//   r1 reachable(@S,D) :- link(@S,D).
+//   r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+const std::string& ReachableNdlogProgram();
+
+// Section 2.2: the SeNDlog variant with says-authenticated imports.
+//   At S:
+//   s1 reachable(S,D) :- link(S,D).
+//   s2 linkD(D,S)@D :- link(S,D).
+//   s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).
+const std::string& ReachableSendlogProgram();
+
+// Section 6's Best-Path query (NDlog): all-pairs shortest paths with path
+// vectors, MIN-cost aggregation, and cycle avoidance. Links carry costs:
+// link(@S,D,C).
+const std::string& BestPathNdlogProgram();
+
+// The SeNDlog Best-Path used by the SeNDLog / SeNDLogProv variants: same
+// computation, bodies localized in the "At S" context, imports via says.
+const std::string& BestPathSendlogProgram();
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_PROGRAMS_H_

@@ -1,0 +1,66 @@
+#include "apps/trust.h"
+
+namespace provnet {
+
+void TrustPolicy::TrustPrincipal(const Principal& principal) {
+  trusted_.insert(principal);
+}
+
+void TrustPolicy::DistrustPrincipal(const Principal& principal) {
+  trusted_.erase(principal);
+}
+
+bool TrustPolicy::AcceptsCondensed(const CondensedProv& prov) const {
+  std::vector<ProvVar> trusted_vars;
+  for (const Principal& p : trusted_) {
+    std::optional<ProvVar> v = engine_->registry().Find(p);
+    if (v.has_value()) trusted_vars.push_back(*v);
+  }
+  return prov.SatisfiedBy(trusted_vars);
+}
+
+Result<bool> TrustPolicy::AcceptsTuple(NodeId node, const Tuple& tuple) const {
+  PROVNET_ASSIGN_OR_RETURN(CondensedProv prov,
+                           engine_->CondensedOf(node, tuple));
+  return AcceptsCondensed(prov);
+}
+
+void TrustPolicy::SetSecurityLevel(const Principal& principal,
+                                   int64_t level) {
+  levels_[principal] = level;
+}
+
+Result<int64_t> TrustPolicy::TrustLevelOfTuple(NodeId node,
+                                               const Tuple& tuple,
+                                               int64_t default_level) const {
+  PROVNET_ASSIGN_OR_RETURN(ProvExpr prov, engine_->AnnotationOf(node, tuple));
+  std::unordered_map<ProvVar, int64_t> assignment;
+  for (const auto& [principal, level] : levels_) {
+    std::optional<ProvVar> v = engine_->registry().Find(principal);
+    if (v.has_value()) assignment[*v] = level;
+  }
+  return TrustLevelOf(prov, assignment, default_level);
+}
+
+Result<bool> TrustPolicy::AcceptsByVote(NodeId node, const Tuple& tuple,
+                                        size_t k) const {
+  PROVNET_ASSIGN_OR_RETURN(CondensedProv prov,
+                           engine_->CondensedOf(node, tuple));
+  return prov.VoteCount() >= k;
+}
+
+Result<TrustPolicy::FilterResult> TrustPolicy::FilterTable(
+    NodeId node, const std::string& pred) const {
+  FilterResult result;
+  for (const Tuple& tuple : engine_->TuplesAt(node, pred)) {
+    PROVNET_ASSIGN_OR_RETURN(bool ok, AcceptsTuple(node, tuple));
+    if (ok) {
+      result.accepted.push_back(tuple);
+    } else {
+      result.rejected.push_back(tuple);
+    }
+  }
+  return result;
+}
+
+}  // namespace provnet

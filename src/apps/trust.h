@@ -1,0 +1,61 @@
+// Trust management (Sections 3, 4.4, 4.5): Orchestra-style accept/reject of
+// updates by their source origins, security-level trust via the max/min
+// semiring, and K-of-N vote thresholds over condensed provenance.
+#ifndef PROVNET_APPS_TRUST_H_
+#define PROVNET_APPS_TRUST_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "provenance/condense.h"
+#include "provenance/semiring.h"
+
+namespace provnet {
+
+class TrustPolicy {
+ public:
+  explicit TrustPolicy(Engine* engine) : engine_(engine) {}
+
+  // --- Source-origin trust (condensed provenance, Section 4.4) -----------
+  void TrustPrincipal(const Principal& principal);
+  void DistrustPrincipal(const Principal& principal);
+
+  // Accepts a tuple iff some minimal witness set of its condensed
+  // provenance is fully trusted — the Orchestra rule: whether b is trusted
+  // is inconsequential given <a>, as long as a is trusted.
+  bool AcceptsCondensed(const CondensedProv& prov) const;
+  Result<bool> AcceptsTuple(NodeId node, const Tuple& tuple) const;
+
+  // --- Security levels (quantifiable provenance, Section 4.5) ------------
+  void SetSecurityLevel(const Principal& principal, int64_t level);
+  // Trust level of a stored tuple: max over derivations of the min input
+  // level, e.g. <a + a*b> with level(a)=2, level(b)=1 -> 2.
+  Result<int64_t> TrustLevelOfTuple(NodeId node, const Tuple& tuple,
+                                    int64_t default_level) const;
+
+  // --- Votes (Section 4.5 / Section 3 "over K principals assert") --------
+  // Accepts when the tuple has at least `k` independent minimal witness
+  // sets.
+  Result<bool> AcceptsByVote(NodeId node, const Tuple& tuple, size_t k) const;
+
+  // --- Bulk filtering -------------------------------------------------------
+  struct FilterResult {
+    std::vector<Tuple> accepted;
+    std::vector<Tuple> rejected;
+  };
+  // Partitions all stored tuples of `pred` at `node` under the
+  // source-origin rule.
+  Result<FilterResult> FilterTable(NodeId node, const std::string& pred) const;
+
+ private:
+  Engine* engine_;
+  std::set<Principal> trusted_;
+  std::map<Principal, int64_t> levels_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_APPS_TRUST_H_

@@ -1,0 +1,236 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace provnet {
+
+namespace {
+constexpr uint32_t kTerminalVar = 0xFFFFFFFFu;
+}  // namespace
+
+size_t BddManager::UniqueKeyHash::operator()(const UniqueKey& k) const {
+  uint64_t h = HashCombine(k.var, k.low);
+  return static_cast<size_t>(HashCombine(h, k.high));
+}
+
+size_t BddManager::IteKeyHash::operator()(const IteKey& k) const {
+  uint64_t h = HashCombine(k.f, k.g);
+  return static_cast<size_t>(HashCombine(h, k.h));
+}
+
+BddManager::BddManager() {
+  // Terminals: index 0 = false, 1 = true.
+  nodes_.push_back(Node{kTerminalVar, 0, 0});
+  nodes_.push_back(Node{kTerminalVar, 1, 1});
+}
+
+BddRef BddManager::MakeNode(uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  UniqueKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::Var(uint32_t v) { return MakeNode(v, kBddFalse, kBddTrue); }
+
+BddRef BddManager::NotVar(uint32_t v) {
+  return MakeNode(v, kBddTrue, kBddFalse);
+}
+
+uint32_t BddManager::TopVar(BddRef f) const {
+  PROVNET_CHECK(!IsTerminal(f)) << "TopVar of a terminal";
+  return nodes_[f].var;
+}
+
+BddRef BddManager::Low(BddRef f) const {
+  PROVNET_CHECK(!IsTerminal(f));
+  return nodes_[f].low;
+}
+
+BddRef BddManager::High(BddRef f) const {
+  PROVNET_CHECK(!IsTerminal(f));
+  return nodes_[f].high;
+}
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal shortcuts.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  IteKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  // Split on the top variable among f, g, h.
+  uint32_t var = kTerminalVar;
+  if (!IsTerminal(f)) var = std::min(var, nodes_[f].var);
+  if (!IsTerminal(g)) var = std::min(var, nodes_[g].var);
+  if (!IsTerminal(h)) var = std::min(var, nodes_[h].var);
+
+  auto cofactor = [this, var](BddRef x, bool positive) {
+    if (IsTerminal(x) || nodes_[x].var != var) return x;
+    return positive ? nodes_[x].high : nodes_[x].low;
+  };
+
+  BddRef high = Ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  BddRef low = Ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  BddRef result = MakeNode(var, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::And(BddRef a, BddRef b) { return Ite(a, b, kBddFalse); }
+
+BddRef BddManager::Or(BddRef a, BddRef b) { return Ite(a, kBddTrue, b); }
+
+BddRef BddManager::Not(BddRef a) { return Ite(a, kBddFalse, kBddTrue); }
+
+BddRef BddManager::Xor(BddRef a, BddRef b) { return Ite(a, Not(b), b); }
+
+BddRef BddManager::Restrict(BddRef f, uint32_t v, bool value) {
+  if (IsTerminal(f)) return f;
+  const Node& n = nodes_[f];
+  if (n.var > v) return f;  // v does not occur below (ordering)
+  if (n.var == v) return value ? n.high : n.low;
+  BddRef low = Restrict(n.low, v, value);
+  BddRef high = Restrict(n.high, v, value);
+  return MakeNode(n.var, low, high);
+}
+
+BddRef BddManager::Exists(BddRef f, uint32_t v) {
+  return Or(Restrict(f, v, false), Restrict(f, v, true));
+}
+
+bool BddManager::Eval(
+    BddRef f, const std::unordered_map<uint32_t, bool>& assignment) const {
+  while (!IsTerminal(f)) {
+    const Node& n = nodes_[f];
+    auto it = assignment.find(n.var);
+    bool bit = it != assignment.end() && it->second;
+    f = bit ? n.high : n.low;
+  }
+  return f == kBddTrue;
+}
+
+double BddManager::SatCount(BddRef f, uint32_t num_vars) const {
+  // count(node) = #satisfying assignments of vars in [var(node), num_vars).
+  std::unordered_map<BddRef, double> memo;
+  // Recursive lambda via explicit stack-free recursion helper.
+  struct Helper {
+    const std::vector<Node>& nodes;
+    uint32_t num_vars;
+    std::unordered_map<BddRef, double>& memo;
+    double Count(BddRef f) const {
+      if (f == kBddFalse) return 0.0;
+      if (f == kBddTrue) return 1.0;
+      auto it = memo.find(f);
+      if (it != memo.end()) return it->second;
+      const Node& n = nodes[f];
+      auto var_of = [this](BddRef x) {
+        return x <= kBddTrue ? num_vars : nodes[x].var;
+      };
+      double lo = Count(n.low) * std::pow(2.0, var_of(n.low) - n.var - 1);
+      double hi = Count(n.high) * std::pow(2.0, var_of(n.high) - n.var - 1);
+      double total = lo + hi;
+      memo.emplace(f, total);
+      return total;
+    }
+  };
+  Helper helper{nodes_, num_vars, memo};
+  if (f == kBddFalse) return 0.0;
+  if (f == kBddTrue) return std::pow(2.0, num_vars);
+  PROVNET_CHECK(nodes_[f].var < num_vars) << "variable outside num_vars";
+  return helper.Count(f) * std::pow(2.0, nodes_[f].var);
+}
+
+size_t BddManager::NodeCount(BddRef f) const {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef cur = stack.back();
+    stack.pop_back();
+    if (IsTerminal(cur) || !seen.insert(cur).second) continue;
+    stack.push_back(nodes_[cur].low);
+    stack.push_back(nodes_[cur].high);
+  }
+  return seen.size();
+}
+
+std::vector<uint32_t> BddManager::Support(BddRef f) const {
+  std::unordered_set<BddRef> seen;
+  std::unordered_set<uint32_t> vars;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef cur = stack.back();
+    stack.pop_back();
+    if (IsTerminal(cur) || !seen.insert(cur).second) continue;
+    vars.insert(nodes_[cur].var);
+    stack.push_back(nodes_[cur].low);
+    stack.push_back(nodes_[cur].high);
+  }
+  std::vector<uint32_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> BddManager::MonotoneCubes(BddRef f) const {
+  // Enumerate 1-paths; for a monotone function the variables taken positively
+  // along a path form a satisfying set, and dropping 0-branch literals keeps
+  // it satisfying. Then apply absorption: remove supersets.
+  std::vector<std::vector<uint32_t>> cubes;
+  std::vector<uint32_t> path;
+  struct Helper {
+    const std::vector<Node>& nodes;
+    std::vector<std::vector<uint32_t>>& cubes;
+    std::vector<uint32_t>& path;
+    void Walk(BddRef f) {
+      if (f == kBddFalse) return;
+      if (f == kBddTrue) {
+        cubes.push_back(path);
+        return;
+      }
+      const Node& n = nodes[f];
+      // 0-branch first (shorter cubes early helps absorption below).
+      Walk(n.low);
+      path.push_back(n.var);
+      Walk(n.high);
+      path.pop_back();
+    }
+  };
+  Helper helper{nodes_, cubes, path};
+  helper.Walk(f);
+
+  for (auto& cube : cubes) std::sort(cube.begin(), cube.end());
+  std::sort(cubes.begin(), cubes.end(),
+            [](const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  // Absorption: drop any cube that is a superset of an earlier (kept) cube.
+  std::vector<std::vector<uint32_t>> minimal;
+  for (const auto& cube : cubes) {
+    bool dominated = false;
+    for (const auto& kept : minimal) {
+      if (std::includes(cube.begin(), cube.end(), kept.begin(), kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(cube);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+}  // namespace provnet

@@ -1,0 +1,131 @@
+// Reduced Ordered Binary Decision Diagrams, from scratch.
+//
+// Replaces the paper's Buddy v2.4 dependency. Condensed provenance
+// (Section 4.4) encodes a provenance-semiring polynomial as a boolean
+// function over base-tuple/principal variables; the ROBDD is the canonical
+// form, and absorption (a + a*b = a) falls out of canonicity. Prime
+// implicants of the (monotone) function are the minimal support sets used to
+// print condensed annotations such as <a>.
+//
+// Nodes live in a manager-scoped arena with a unique table; there is no
+// garbage collection (managers are cheap to create per query/experiment and
+// drop wholesale).
+#ifndef PROVNET_BDD_BDD_H_
+#define PROVNET_BDD_BDD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace provnet {
+
+// A node handle within one BddManager. 0 and 1 are the terminals.
+using BddRef = uint32_t;
+
+constexpr BddRef kBddFalse = 0;
+constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // --- Construction -------------------------------------------------------
+
+  BddRef False() const { return kBddFalse; }
+  BddRef True() const { return kBddTrue; }
+
+  // The function "variable v" (v is an ordering index; lower = nearer root).
+  BddRef Var(uint32_t v);
+  // The function "NOT variable v".
+  BddRef NotVar(uint32_t v);
+
+  // --- Operations ---------------------------------------------------------
+
+  BddRef And(BddRef a, BddRef b);
+  BddRef Or(BddRef a, BddRef b);
+  BddRef Not(BddRef a);
+  BddRef Xor(BddRef a, BddRef b);
+  BddRef Ite(BddRef f, BddRef g, BddRef h);
+
+  // Cofactor: f with variable v fixed to `value`.
+  BddRef Restrict(BddRef f, uint32_t v, bool value);
+
+  // Existential quantification of a single variable.
+  BddRef Exists(BddRef f, uint32_t v);
+
+  // --- Inspection ---------------------------------------------------------
+
+  bool IsTerminal(BddRef f) const { return f <= kBddTrue; }
+  uint32_t TopVar(BddRef f) const;
+  BddRef Low(BddRef f) const;
+  BddRef High(BddRef f) const;
+
+  // Evaluates f under a full assignment (variables absent from the map
+  // default to false).
+  bool Eval(BddRef f, const std::unordered_map<uint32_t, bool>& assignment)
+      const;
+
+  // Number of satisfying assignments over `num_vars` total variables
+  // (variables with index >= num_vars must not occur in f).
+  double SatCount(BddRef f, uint32_t num_vars) const;
+
+  // Number of distinct DAG nodes reachable from f (terminals excluded).
+  size_t NodeCount(BddRef f) const;
+
+  // Variables appearing in f, ascending.
+  std::vector<uint32_t> Support(BddRef f) const;
+
+  // Prime implicants of a *monotone* f as sets of variable indices (each set
+  // sorted ascending; the list sorted lexicographically). For condensed
+  // provenance these are the minimal base-tuple sets that make the
+  // derivation hold: Cubes(a + a*b) == {{a}}.
+  std::vector<std::vector<uint32_t>> MonotoneCubes(BddRef f) const;
+
+  // Total nodes allocated in the arena (diagnostics / benches).
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint32_t var;
+    BddRef low;
+    BddRef high;
+  };
+
+  struct UniqueKey {
+    uint32_t var;
+    BddRef low;
+    BddRef high;
+    bool operator==(const UniqueKey& o) const {
+      return var == o.var && low == o.low && high == o.high;
+    }
+  };
+  struct UniqueKeyHash {
+    size_t operator()(const UniqueKey& k) const;
+  };
+
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey& o) const {
+      return f == o.f && g == o.g && h == o.h;
+    }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const;
+  };
+
+  BddRef MakeNode(uint32_t var, BddRef low, BddRef high);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_BDD_BDD_H_

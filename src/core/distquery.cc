@@ -1,0 +1,221 @@
+// Distributed provenance reconstruction (Section 4.1's "distributed
+// provenance ... only stores pointers to the previous node to reconstruct
+// its provenance on demand", and the IP-traceback analogy).
+//
+// The querying node walks the pointer graph: it asks each referenced node
+// for its ProvRecords of a tuple digest (kMsgProvRequest), receives them
+// (kMsgProvResponse), discovers further child references, and repeats until
+// closure. Every request/response is a real metered message — this is the
+// "expensive cost of querying the provenance" the taxonomy trades against
+// the zero shipping overhead of the pointer representation.
+
+#include <functional>
+
+#include "core/engine.h"
+#include "util/logging.h"
+
+namespace provnet {
+
+namespace {
+constexpr uint8_t kMsgProvRequest = 2;
+constexpr uint8_t kMsgProvResponse = 3;
+}  // namespace
+
+Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t digest, reader.GetU64());
+
+  // Prefer online records; fall back to the offline archive (forensics over
+  // expired state, Section 4.2).
+  std::vector<const ProvRecord*> found;
+  const std::vector<ProvRecord>* online =
+      contexts_[to]->online_store().Lookup(digest);
+  if (online != nullptr) {
+    for (const ProvRecord& rec : *online) found.push_back(&rec);
+  } else {
+    found = contexts_[to]->offline_store().FindByDigest(digest);
+  }
+
+  ByteWriter msg;
+  msg.PutU8(kMsgProvResponse);
+  msg.PutU64(query_id);
+  msg.PutU32(to);  // responding node
+  msg.PutU64(digest);
+  msg.PutVarint(found.size());
+  for (const ProvRecord* rec : found) rec->Serialize(msg);
+  return net_.Send(to, from, std::move(msg).Take());
+}
+
+Status Engine::HandleProvResponse(NodeId to, NodeId /*from*/,
+                                  ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
+  (void)query_id;
+  PROVNET_ASSIGN_OR_RETURN(uint32_t responder, reader.GetU32());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t digest, reader.GetU64());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+
+  if (prov_query_ == nullptr) return OkStatus();  // stale response
+  ProvQueryState& state = *prov_query_;
+  if (state.outstanding > 0) --state.outstanding;
+
+  std::vector<ProvRecord> records;
+  records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PROVNET_ASSIGN_OR_RETURN(ProvRecord rec, ProvRecord::Deserialize(reader));
+    records.push_back(std::move(rec));
+  }
+
+  auto key = std::make_pair(static_cast<NodeId>(responder), digest);
+  // Issue follow-up requests for unseen child references before storing.
+  for (const ProvRecord& rec : records) {
+    for (const ProvChildRef& ref : rec.children) {
+      if (ref.is_base) continue;
+      auto child_key = std::make_pair(ref.node, ref.digest);
+      if (state.requested.count(child_key)) continue;
+      state.requested.insert(child_key);
+      ByteWriter msg;
+      msg.PutU8(kMsgProvRequest);
+      msg.PutU64(next_query_id_++);
+      msg.PutU64(ref.digest);
+      PROVNET_RETURN_IF_ERROR(net_.Send(to, ref.node, std::move(msg).Take()));
+      ++state.outstanding;
+    }
+  }
+  state.collected[key] = std::move(records);
+  return OkStatus();
+}
+
+Result<DerivationPtr> Engine::QueryDistributedProvenance(NodeId node_id,
+                                                         const Tuple& tuple) {
+  if (node_id >= contexts_.size()) {
+    return InvalidArgumentError("unknown node");
+  }
+  TupleDigest root_digest = DigestOf(tuple);
+  prov_query_ = std::make_unique<ProvQueryState>();
+  ProvQueryState& state = *prov_query_;
+
+  // Seed with a self-request. Local store reads are free; we inline them,
+  // while remote references turn into real messages.
+  std::deque<std::pair<NodeId, TupleDigest>> local_frontier;
+  local_frontier.emplace_back(node_id, root_digest);
+  state.requested.insert({node_id, root_digest});
+
+  auto drain_local = [&]() -> Status {
+    while (!local_frontier.empty()) {
+      auto [n, digest] = local_frontier.front();
+      local_frontier.pop_front();
+      std::vector<ProvRecord> records;
+      const std::vector<ProvRecord>* online =
+          contexts_[n]->online_store().Lookup(digest);
+      if (online != nullptr) {
+        records = *online;
+      } else {
+        for (const ProvRecord* rec :
+             contexts_[n]->offline_store().FindByDigest(digest)) {
+          records.push_back(*rec);
+        }
+      }
+      for (const ProvRecord& rec : records) {
+        for (const ProvChildRef& ref : rec.children) {
+          if (ref.is_base) continue;
+          auto child_key = std::make_pair(ref.node, ref.digest);
+          if (state.requested.count(child_key)) continue;
+          state.requested.insert(child_key);
+          if (ref.node == node_id) {
+            local_frontier.emplace_back(ref.node, ref.digest);
+          } else {
+            ByteWriter msg;
+            msg.PutU8(kMsgProvRequest);
+            msg.PutU64(next_query_id_++);
+            msg.PutU64(ref.digest);
+            PROVNET_RETURN_IF_ERROR(
+                net_.Send(node_id, ref.node, std::move(msg).Take()));
+            ++state.outstanding;
+          }
+        }
+      }
+      state.collected[{n, digest}] = std::move(records);
+    }
+    return OkStatus();
+  };
+
+  PROVNET_RETURN_IF_ERROR(drain_local());
+  // Pump the network until all outstanding requests resolved. Responses may
+  // spawn further requests (handled inside HandleProvResponse).
+  uint64_t guard = 0;
+  while (state.outstanding > 0 && !net_.Idle()) {
+    net_.Step();
+    if (!async_error_.ok()) {
+      Status s = async_error_;
+      async_error_ = OkStatus();
+      prov_query_.reset();
+      return s;
+    }
+    if (++guard > options_.max_steps) {
+      prov_query_.reset();
+      return ResourceExhaustedError("provenance query did not converge");
+    }
+  }
+
+  // A tuple nobody recorded is not reconstructible at all.
+  if (state.collected[{node_id, root_digest}].empty()) {
+    prov_query_.reset();
+    return NotFoundError("no provenance records for " + tuple.ToString());
+  }
+
+  // Assemble the result as a DAG: completed subgraphs are memoized so shared
+  // sub-derivations resolve once (cycle markers inside a memoized subtree
+  // are a conservative approximation; engine pointer graphs are acyclic in
+  // the common case).
+  std::set<std::pair<NodeId, TupleDigest>> visiting;
+  std::map<std::pair<NodeId, TupleDigest>, DerivationPtr> memo;
+  std::function<DerivationPtr(NodeId, TupleDigest, const Tuple*)> build =
+      [&](NodeId n, TupleDigest digest,
+          const Tuple* known_tuple) -> DerivationPtr {
+    auto key = std::make_pair(n, digest);
+    auto memo_it = memo.find(key);
+    if (memo_it != memo.end()) return memo_it->second;
+    auto it = state.collected.find(key);
+    if (it == state.collected.end() || it->second.empty()) {
+      // Unknown (sampled-out, expired, or cut off): a "missing" leaf.
+      Tuple t = known_tuple != nullptr ? *known_tuple
+                                       : Tuple("unknown", {});
+      return MakeRuleDerivation(std::move(t), "missing", n, "", 0.0, -1.0, {});
+    }
+    if (visiting.count(key)) {
+      Tuple t = known_tuple != nullptr ? *known_tuple : it->second[0].tuple;
+      return MakeRuleDerivation(std::move(t), "cycle", n, "", 0.0, -1.0, {});
+    }
+    visiting.insert(key);
+    DerivationPtr merged;
+    for (const ProvRecord& rec : it->second) {
+      std::vector<DerivationPtr> children;
+      for (const ProvChildRef& ref : rec.children) {
+        if (ref.is_base) {
+          children.push_back(MakeBaseDerivation(ref.base_tuple, ref.node,
+                                                ref.asserted_by,
+                                                rec.created_at, -1.0));
+        } else {
+          children.push_back(build(ref.node, ref.digest, nullptr));
+        }
+      }
+      DerivationPtr alt = MakeRuleDerivation(rec.tuple, rec.rule,
+                                             rec.location, rec.asserted_by,
+                                             rec.created_at, -1.0,
+                                             std::move(children));
+      merged = merged == nullptr ? alt : MergeAlternatives(merged, alt);
+    }
+    visiting.erase(key);
+    memo.emplace(key, merged);
+    return merged;
+  };
+
+  DerivationPtr result = build(node_id, root_digest, &tuple);
+  prov_query_.reset();
+  if (result == nullptr) {
+    return NotFoundError("no provenance records for " + tuple.ToString());
+  }
+  return result;
+}
+
+}  // namespace provnet

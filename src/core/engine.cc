@@ -1,0 +1,779 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "datalog/analysis.h"
+#include "provenance/sampling.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+namespace {
+
+// Wire message types.
+constexpr uint8_t kMsgTuple = 1;
+constexpr uint8_t kMsgProvRequest = 2;
+constexpr uint8_t kMsgProvResponse = 3;
+
+// Provenance payload kinds inside tuple messages.
+constexpr uint8_t kProvNone = 0;
+constexpr uint8_t kProvCubes = 1;
+constexpr uint8_t kProvTree = 2;
+
+}  // namespace
+
+const char* ProvModeName(ProvMode mode) {
+  switch (mode) {
+    case ProvMode::kNone:
+      return "none";
+    case ProvMode::kCondensed:
+      return "condensed";
+    case ProvMode::kFull:
+      return "full";
+    case ProvMode::kPointers:
+      return "pointers";
+  }
+  return "?";
+}
+
+std::string RunStats::ToString() const {
+  return StrFormat(
+      "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
+      "prov=%llu) events=%llu derivations=%llu signs=%llu verifies=%llu "
+      "auth_failures=%llu",
+      wall_seconds, sim_seconds, static_cast<unsigned long long>(messages),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(tuple_bytes),
+      static_cast<unsigned long long>(auth_bytes),
+      static_cast<unsigned long long>(prov_bytes),
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(derivations),
+      static_cast<unsigned long long>(signs),
+      static_cast<unsigned long long>(verifies),
+      static_cast<unsigned long long>(auth_failures));
+}
+
+Engine::Engine(const Topology& topo, EngineOptions options)
+    : topo_(topo),
+      options_(std::move(options)),
+      net_(topo.num_nodes, options_.link_latency),
+      keystore_(options_.seed, options_.rsa_bits),
+      auth_(&keystore_) {}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
+                                               const std::string& source,
+                                               EngineOptions options) {
+  PROVNET_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  return Create(topo, std::move(program), std::move(options));
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
+                                               Program program,
+                                               EngineOptions options) {
+  std::unique_ptr<Engine> engine(new Engine(topo, std::move(options)));
+  PROVNET_RETURN_IF_ERROR(engine->Init(std::move(program)));
+  return engine;
+}
+
+Status Engine::Init(Program program) {
+  PROVNET_RETURN_IF_ERROR(AnalyzeProgram(program));
+  PROVNET_ASSIGN_OR_RETURN(LocalizedProgram localized,
+                           LocalizeProgram(program));
+  PROVNET_ASSIGN_OR_RETURN(
+      plan_, Plan::Compile(localized, program.materialize,
+                           options_.default_ttl));
+
+  if (!options_.node_names.empty() &&
+      options_.node_names.size() != topo_.num_nodes) {
+    return InvalidArgumentError("node_names size must match topology");
+  }
+
+  contexts_.reserve(topo_.num_nodes);
+  for (NodeId id = 0; id < topo_.num_nodes; ++id) {
+    Principal principal = options_.node_names.empty()
+                              ? "n" + std::to_string(id)
+                              : options_.node_names[id];
+    // Deterministic provenance variable ids: one per principal, in node
+    // order, interned up front so all nodes agree.
+    registry_.Intern(principal);
+    contexts_.push_back(
+        std::make_unique<NodeContext>(id, std::move(principal), &plan_));
+  }
+
+  // Pre-derive key material so PKI setup is not charged to query completion
+  // time (the paper measures steady-state execution, not key distribution).
+  if (options_.authenticate) {
+    for (const auto& ctx : contexts_) {
+      PROVNET_ASSIGN_OR_RETURN(const RsaKeyPair* kp,
+                               keystore_.KeyPairFor(ctx->principal()));
+      (void)kp;
+    }
+  }
+
+  net_.SetHandler([this](NodeId to, NodeId from, const Bytes& payload) {
+    Status s = HandleMessage(to, from, payload);
+    if (!s.ok() && async_error_.ok()) async_error_ = s;
+  });
+
+  // Program facts: stored at their first address-valued argument (or the
+  // declared location attribute).
+  for (const Atom& fact : program.facts) {
+    std::vector<Value> args;
+    args.reserve(fact.args.size());
+    for (const Term& t : fact.args) args.push_back(t.constant);
+    int loc = fact.loc_index >= 0 ? fact.loc_index : 0;
+    if (static_cast<size_t>(loc) >= args.size() ||
+        args[static_cast<size_t>(loc)].kind() != ValueKind::kAddress) {
+      return InvalidArgumentError("fact " + fact.predicate +
+                                  " has no address to place it at");
+    }
+    NodeId node = args[static_cast<size_t>(loc)].AsAddress();
+    if (node >= topo_.num_nodes) {
+      return InvalidArgumentError("fact " + fact.predicate +
+                                  " placed at unknown node");
+    }
+    PROVNET_RETURN_IF_ERROR(
+        InsertFact(node, Tuple(fact.predicate, std::move(args))));
+  }
+  return OkStatus();
+}
+
+Principal Engine::PrincipalOf(NodeId id) const {
+  PROVNET_CHECK(id < contexts_.size());
+  return contexts_[id]->principal();
+}
+
+Result<NodeId> Engine::NodeOf(const Principal& principal) const {
+  for (const auto& ctx : contexts_) {
+    if (ctx->principal() == principal) return ctx->id();
+  }
+  return NotFoundError("no node for principal " + principal);
+}
+
+ProvExpr Engine::BaseAnnotation(const Principal& principal,
+                                const Tuple& tuple) {
+  if (options_.prov_grain == ProvGrain::kPrincipal) {
+    return ProvExpr::Var(registry_.Intern(principal));
+  }
+  return ProvExpr::Var(registry_.Intern(tuple.ToString()));
+}
+
+Status Engine::InsertLinkFacts() {
+  for (const TopoEdge& e : topo_.edges) {
+    Tuple link("link", {Value::Address(e.from), Value::Address(e.to),
+                        Value::Int(e.cost)});
+    PROVNET_RETURN_IF_ERROR(InsertFact(e.from, link));
+  }
+  return OkStatus();
+}
+
+Status Engine::InsertFact(NodeId node_id, const Tuple& tuple, double ttl) {
+  if (node_id >= contexts_.size()) {
+    return InvalidArgumentError("InsertFact: unknown node");
+  }
+  StoredTuple entry;
+  entry.tuple = tuple;
+  entry.origin = TupleOrigin::kBase;
+  entry.asserted_by = PrincipalOf(node_id);
+  entry.rule = kBaseRule;
+  if (ttl >= 0) entry.expires_at = net_.now() + ttl;
+  if (options_.prov_mode == ProvMode::kCondensed ||
+      options_.prov_mode == ProvMode::kFull) {
+    entry.prov = BaseAnnotation(entry.asserted_by, tuple);
+  }
+  if (options_.prov_mode == ProvMode::kFull) {
+    DerivationPtr base = MakeBaseDerivation(tuple, node_id, entry.asserted_by,
+                                            net_.now(), ttl);
+    if (options_.authenticate) {
+      PROVNET_ASSIGN_OR_RETURN(base,
+                               SignDerivation(base, auth_,
+                                              options_.says_level));
+    }
+    entry.deriv = std::move(base);
+  }
+  return DeliverLocal(node_id, std::move(entry), nullptr, kBaseRule);
+}
+
+Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
+                            const std::vector<const StoredTuple*>* used,
+                            const std::string& rule_label) {
+  NodeContext& ctx = *contexts_[node_id];
+  Table& table = ctx.TableFor(entry.tuple.predicate());
+  TupleOrigin origin = entry.origin;
+  NodeId from_node = entry.from_node;
+  double expires_at = entry.expires_at;
+  // Received tuples are recorded under the *asserting* principal (who says
+  // them); unauthenticated traffic falls back to the transport-level sender.
+  Principal asserted_by = entry.asserted_by;
+  if (origin == TupleOrigin::kRemote && asserted_by.empty()) {
+    asserted_by = PrincipalOf(from_node);
+  }
+  InsertResult result = table.Insert(std::move(entry), net_.now());
+  if (observer_ && result.outcome != InsertOutcome::kRejected) {
+    observer_(node_id, result.stored, result.outcome, net_.now());
+  }
+
+  switch (result.outcome) {
+    case InsertOutcome::kNew:
+    case InsertOutcome::kReplaced:
+      MaybeRecordProvenance(node_id, result.stored, rule_label, origin,
+                            from_node, asserted_by, used, expires_at);
+      events_.push_back(PendingEvent{node_id, result.stored});
+      break;
+    case InsertOutcome::kRefreshed: {
+      // Alternative derivation of an existing tuple: record it, and keep the
+      // merged local annotation compact (re-condense when it outgrows the
+      // threshold).
+      MaybeRecordProvenance(node_id, result.stored, rule_label, origin,
+                            from_node, asserted_by, used, expires_at);
+      if (options_.prov_mode == ProvMode::kCondensed) {
+        StoredTuple* merged = table.FindMutable(result.stored);
+        if (merged != nullptr &&
+            merged->prov.NodeCount() > options_.condense_threshold) {
+          merged->prov = Condense(merged->prov).ToExpr();
+        }
+      }
+      break;
+    }
+    case InsertOutcome::kRejected:
+      break;
+  }
+  return OkStatus();
+}
+
+void Engine::MaybeRecordProvenance(NodeId node_id, const Tuple& tuple,
+                                   const std::string& rule,
+                                   TupleOrigin origin, NodeId from_node,
+                                   const Principal& asserted_by,
+                                   const std::vector<const StoredTuple*>* used,
+                                   double expires_at) {
+  bool recording = options_.prov_mode == ProvMode::kPointers ||
+                   options_.record_online || options_.record_offline;
+  if (!recording || !options_.recording_enabled) return;
+  if (options_.sample_k > 1) {
+    TupleSampler sampler(options_.sample_k, options_.seed);
+    if (!sampler.ShouldRecord(tuple)) return;
+  }
+
+  ProvRecord rec;
+  rec.tuple = tuple;
+  rec.location = node_id;
+  rec.asserted_by = asserted_by;
+  rec.created_at = net_.now();
+  rec.expires_at = expires_at;
+  switch (origin) {
+    case TupleOrigin::kBase:
+      rec.rule = kBaseRule;
+      break;
+    case TupleOrigin::kRemote: {
+      rec.rule = "recv";
+      ProvChildRef ref;
+      ref.node = from_node;
+      ref.digest = DigestOf(tuple);
+      ref.asserted_by = asserted_by;
+      rec.children.push_back(std::move(ref));
+      break;
+    }
+    case TupleOrigin::kLocalRule: {
+      rec.rule = rule;
+      if (used != nullptr) {
+        for (const StoredTuple* child : *used) {
+          ProvChildRef ref;
+          ref.node = node_id;
+          ref.digest = DigestOf(child->tuple);
+          ref.asserted_by = child->asserted_by;
+          if (child->origin == TupleOrigin::kBase) {
+            ref.is_base = true;
+            ref.base_tuple = child->tuple;
+          }
+          rec.children.push_back(std::move(ref));
+        }
+      }
+      break;
+    }
+  }
+
+  bool online = options_.record_online ||
+                options_.prov_mode == ProvMode::kPointers;
+  if (online) contexts_[node_id]->online_store().Add(rec);
+  if (options_.record_offline) contexts_[node_id]->offline_store().Add(rec);
+}
+
+Status Engine::ProcessEvent(const PendingEvent& event) {
+  NodeContext& ctx = *contexts_[event.node];
+  const Table* table = ctx.FindTable(event.tuple.predicate());
+  if (table == nullptr) return OkStatus();
+  const StoredTuple* current = table->Find(event.tuple);
+  // Stale event: the tuple was replaced (e.g. a better aggregate) before we
+  // got to it.
+  if (current == nullptr) return OkStatus();
+  StoredTuple delta = *current;  // copy: tables mutate during firing
+
+  const std::vector<Strand>* strands =
+      plan_.StrandsFor(event.tuple.predicate());
+  if (strands == nullptr) return OkStatus();
+  for (const Strand& strand : *strands) {
+    const CompiledRule& cr = plan_.rules()[strand.rule_index];
+    PROVNET_RETURN_IF_ERROR(
+        FireStrand(event.node, cr, strand.body_index, delta));
+  }
+  return OkStatus();
+}
+
+bool Engine::SaysMatches(const Term& says, const StoredTuple& entry,
+                         Env& env) const {
+  const Principal& principal = entry.asserted_by;
+  if (principal.empty()) return false;
+  auto matches_value = [this, &principal](const Value& v) {
+    if (v.kind() == ValueKind::kAddress) {
+      NodeId id = v.AsAddress();
+      return id < contexts_.size() && contexts_[id]->principal() == principal;
+    }
+    if (v.kind() == ValueKind::kString) return v.AsString() == principal;
+    return false;
+  };
+  if (says.kind == TermKind::kConstant) return matches_value(says.constant);
+  if (says.kind == TermKind::kVariable) {
+    auto it = env.find(says.name);
+    if (it != env.end()) return matches_value(it->second);
+    // Bind: prefer the node address when the principal names a node.
+    Result<NodeId> node = NodeOf(principal);
+    if (node.ok()) {
+      env.emplace(says.name, Value::Address(node.value()));
+    } else {
+      env.emplace(says.name, Value::Str(principal));
+    }
+    return true;
+  }
+  return false;
+}
+
+Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
+                          int delta_index, const StoredTuple& delta_entry) {
+  const Rule& rule = cr.lr.rule;
+  Env env;
+  env.emplace(cr.lr.local_var, Value::Address(node_id));
+
+  const Literal& delta_lit = rule.body[static_cast<size_t>(delta_index)];
+  if (!UnifyTuple(delta_lit.atom, delta_entry.tuple, env)) return OkStatus();
+  if (delta_lit.atom.says.has_value() &&
+      !SaysMatches(*delta_lit.atom.says, delta_entry, env)) {
+    return OkStatus();
+  }
+
+  std::vector<const StoredTuple*> used;
+  used.push_back(&delta_entry);
+  // Keep `used` in body order for readable derivation trees: we simply
+  // record the delta first, then joins in literal order.
+  return JoinFrom(node_id, cr, 0, delta_index, env, used);
+}
+
+Status Engine::JoinFrom(NodeId node_id, const CompiledRule& cr,
+                        size_t literal_pos, int delta_index, Env& env,
+                        std::vector<const StoredTuple*>& used) {
+  const Rule& rule = cr.lr.rule;
+  if (literal_pos == rule.body.size()) {
+    return EmitHead(node_id, cr, env, used);
+  }
+  if (static_cast<int>(literal_pos) == delta_index) {
+    return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
+  }
+  const Literal& lit = rule.body[literal_pos];
+  switch (lit.kind) {
+    case LiteralKind::kCondition: {
+      PROVNET_ASSIGN_OR_RETURN(bool pass, EvalCondition(lit.expr, env));
+      if (!pass) return OkStatus();
+      return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
+    }
+    case LiteralKind::kAssign: {
+      PROVNET_ASSIGN_OR_RETURN(Value v, EvalExpr(lit.expr, env));
+      auto it = env.find(lit.assign_var);
+      if (it != env.end()) {
+        // Rebinding acts as an equality filter.
+        if (!(it->second == v)) return OkStatus();
+        return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
+      }
+      env.emplace(lit.assign_var, std::move(v));
+      Status s = JoinFrom(node_id, cr, literal_pos + 1, delta_index, env,
+                          used);
+      env.erase(lit.assign_var);
+      return s;
+    }
+    case LiteralKind::kAtom: {
+      NodeContext& ctx = *contexts_[node_id];
+      Table* table = ctx.FindTableMutable(lit.atom.predicate);
+      if (table == nullptr) return OkStatus();
+
+      // Pick an indexable column: first arg that is a constant or a bound
+      // variable.
+      int index_col = -1;
+      Value index_val;
+      for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+        const Term& t = lit.atom.args[i];
+        if (t.kind == TermKind::kConstant) {
+          index_col = static_cast<int>(i);
+          index_val = t.constant;
+          break;
+        }
+        if (t.kind == TermKind::kVariable) {
+          auto it = env.find(t.name);
+          if (it != env.end()) {
+            index_col = static_cast<int>(i);
+            index_val = it->second;
+            break;
+          }
+        }
+      }
+
+      // Copy candidates: firing may insert into this very table (recursive
+      // rules), which would invalidate pointers mid-iteration.
+      std::vector<StoredTuple> candidates;
+      {
+        std::vector<const StoredTuple*> found =
+            index_col >= 0 ? table->LookupByColumn(index_col, index_val)
+                           : table->Scan();
+        candidates.reserve(found.size());
+        for (const StoredTuple* entry : found) candidates.push_back(*entry);
+      }
+
+      for (const StoredTuple& candidate : candidates) {
+        Env env2 = env;
+        if (!UnifyTuple(lit.atom, candidate.tuple, env2)) continue;
+        if (lit.atom.says.has_value() &&
+            !SaysMatches(*lit.atom.says, candidate, env2)) {
+          continue;
+        }
+        used.push_back(&candidate);
+        Status s =
+            JoinFrom(node_id, cr, literal_pos + 1, delta_index, env2, used);
+        used.pop_back();
+        PROVNET_RETURN_IF_ERROR(s);
+      }
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable literal kind");
+}
+
+Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
+                        const Env& env,
+                        const std::vector<const StoredTuple*>& used) {
+  const Rule& rule = cr.lr.rule;
+  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(rule.head, env));
+  ++stats_.derivations;
+
+  std::string label = rule.label.empty() ? rule.head.predicate : rule.label;
+
+  // Provenance annotation: product over the body tuples used.
+  ProvExpr prov;
+  if (options_.prov_mode == ProvMode::kCondensed ||
+      options_.prov_mode == ProvMode::kFull) {
+    prov = ProvExpr::One();
+    for (const StoredTuple* child : used) {
+      prov = ProvExpr::Times(prov, child->prov);
+    }
+  }
+
+  DerivationPtr deriv;
+  if (options_.prov_mode == ProvMode::kFull) {
+    std::vector<DerivationPtr> children;
+    children.reserve(used.size());
+    for (const StoredTuple* child : used) {
+      if (child->deriv != nullptr) children.push_back(child->deriv);
+    }
+    deriv = MakeRuleDerivation(head, label, node_id,
+                               contexts_[node_id]->principal(), net_.now(),
+                               -1.0, std::move(children));
+    if (options_.authenticate) {
+      PROVNET_ASSIGN_OR_RETURN(
+          deriv, SignDerivation(deriv, auth_, options_.says_level));
+    }
+  }
+
+  // Destination.
+  NodeId dest = node_id;
+  if (cr.lr.send_to.has_value()) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, env));
+    if (v.kind() != ValueKind::kAddress) {
+      return InvalidArgumentError("rule " + label +
+                                  ": destination is not an address: " +
+                                  v.ToString());
+    }
+    dest = v.AsAddress();
+    if (dest >= contexts_.size()) {
+      return InvalidArgumentError("rule " + label +
+                                  ": destination node out of range");
+    }
+  }
+
+  if (dest == node_id) {
+    StoredTuple entry;
+    entry.tuple = std::move(head);
+    entry.origin = TupleOrigin::kLocalRule;
+    entry.asserted_by = contexts_[node_id]->principal();
+    entry.rule = label;
+    entry.prov = std::move(prov);
+    entry.deriv = std::move(deriv);
+    return DeliverLocal(node_id, std::move(entry), &used, label);
+  }
+
+  // Remote head: the sender records the derivation step (distributed
+  // provenance keeps state at each hop), then ships the tuple.
+  MaybeRecordProvenance(node_id, head, label, TupleOrigin::kLocalRule, 0,
+                        contexts_[node_id]->principal(), &used, -1.0);
+  return SendTuple(node_id, dest, head, prov, deriv);
+}
+
+Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
+                         const ProvExpr& prov, const DerivationPtr& deriv) {
+  // Content: tuple + provenance payload. The says tag signs these bytes, so
+  // piggybacked provenance is authenticated too (Section 4.3).
+  ByteWriter content;
+  tuple.Serialize(content);
+  switch (options_.prov_mode) {
+    case ProvMode::kNone:
+    case ProvMode::kPointers:
+      content.PutU8(kProvNone);
+      break;
+    case ProvMode::kCondensed:
+      content.PutU8(kProvCubes);
+      break;
+    case ProvMode::kFull:
+      content.PutU8(kProvTree);
+      break;
+  }
+  size_t marker_end = content.size();  // the kind marker is protocol, not
+                                       // provenance payload
+  switch (options_.prov_mode) {
+    case ProvMode::kNone:
+    case ProvMode::kPointers:
+      break;
+    case ProvMode::kCondensed: {
+      CondensedProv condensed = Condense(prov);
+      condensed.Serialize(content);
+      break;
+    }
+    case ProvMode::kFull: {
+      PROVNET_CHECK(deriv != nullptr);
+      deriv->Serialize(content);
+      break;
+    }
+  }
+  size_t prov_part = content.size() - marker_end;
+
+  // A says tag ships whenever the program's dialect uses principals: with
+  // authentication it carries a MAC/signature; without it, the paper's
+  // "benign world" cleartext principal header.
+  bool attach_says = options_.authenticate || plan_.sendlog();
+  SaysLevel level = options_.authenticate ? options_.says_level
+                                          : SaysLevel::kCleartext;
+
+  ByteWriter msg;
+  msg.PutU8(kMsgTuple);
+  msg.PutBlob(content.bytes());
+  msg.PutU8(attach_says ? 1 : 0);
+  size_t pre_auth = msg.size();
+  if (attach_says) {
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        auth_.Say(contexts_[from]->principal(), content.bytes(), level));
+    tag.Serialize(msg);
+  }
+  size_t auth_part = msg.size() - pre_auth;
+
+  stats_.prov_bytes += prov_part;
+  stats_.auth_bytes += auth_part;
+  stats_.tuple_bytes += msg.size() - prov_part - auth_part;
+  return net_.Send(from, to, std::move(msg).Take());
+}
+
+Status Engine::HandleMessage(NodeId to, NodeId from, const Bytes& payload) {
+  ByteReader reader(payload);
+  PROVNET_ASSIGN_OR_RETURN(uint8_t type, reader.GetU8());
+  switch (type) {
+    case kMsgTuple:
+      return HandleTupleMessage(to, from, reader);
+    case kMsgProvRequest:
+      return HandleProvRequest(to, from, reader);
+    case kMsgProvResponse:
+      return HandleProvResponse(to, from, reader);
+    default:
+      return InvalidArgumentError("unknown message type");
+  }
+}
+
+Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
+  PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
+
+  Principal sender_principal;
+  if (has_says != 0) {
+    PROVNET_ASSIGN_OR_RETURN(SaysTag tag, SaysTag::Deserialize(reader));
+    if (options_.authenticate && options_.verify_incoming) {
+      Status verdict = auth_.Verify(tag, content);
+      if (!verdict.ok()) {
+        ++stats_.auth_failures;
+        return OkStatus();  // drop silently; the sender is untrusted
+      }
+    }
+    sender_principal = tag.principal;
+  }
+
+  ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
+  PROVNET_ASSIGN_OR_RETURN(uint8_t prov_kind, body.GetU8());
+
+  StoredTuple entry;
+  entry.tuple = std::move(tuple);
+  entry.origin = TupleOrigin::kRemote;
+  entry.from_node = from;
+  entry.asserted_by = sender_principal;
+  switch (prov_kind) {
+    case kProvNone:
+      break;
+    case kProvCubes: {
+      PROVNET_ASSIGN_OR_RETURN(CondensedProv cubes,
+                               CondensedProv::Deserialize(body));
+      entry.prov = cubes.ToExpr();
+      break;
+    }
+    case kProvTree: {
+      PROVNET_ASSIGN_OR_RETURN(entry.deriv, DerivationNode::Deserialize(body));
+      // Rebuild the annotation from the tree so local semiring queries keep
+      // working in full mode: leaves are base variables, unions are +,
+      // rule steps are *. Memoized: derivations are DAGs.
+      std::unordered_map<const DerivationNode*, ProvExpr> memo;
+      std::function<ProvExpr(const DerivationNode&)> annotate =
+          [&](const DerivationNode& n) -> ProvExpr {
+        auto it = memo.find(&n);
+        if (it != memo.end()) return it->second;
+        ProvExpr result;
+        if (n.children.empty()) {
+          result = BaseAnnotation(
+              n.asserted_by.empty() ? sender_principal : n.asserted_by,
+              n.tuple);
+        } else if (n.rule == kUnionRule) {
+          result = ProvExpr::Zero();
+          for (const DerivationPtr& c : n.children) {
+            result = ProvExpr::Plus(result, annotate(*c));
+          }
+        } else {
+          result = ProvExpr::One();
+          for (const DerivationPtr& c : n.children) {
+            result = ProvExpr::Times(result, annotate(*c));
+          }
+        }
+        memo.emplace(&n, result);
+        return result;
+      };
+      entry.prov = annotate(*entry.deriv);
+      break;
+    }
+    default:
+      return InvalidArgumentError("bad provenance payload kind");
+  }
+  return DeliverLocal(to, std::move(entry), nullptr, "recv");
+}
+
+Result<RunStats> Engine::Run() {
+  RunStats before = stats_;
+  uint64_t bytes0 = net_.total_bytes();
+  uint64_t msgs0 = net_.total_messages();
+  uint64_t signs0 = auth_.sign_count();
+  uint64_t verifies0 = auth_.verify_count();
+  double sim0 = net_.now();
+
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t steps = 0;
+  while (true) {
+    if (!async_error_.ok()) {
+      Status s = async_error_;
+      async_error_ = OkStatus();
+      return s;
+    }
+    if (!events_.empty()) {
+      PendingEvent event = std::move(events_.front());
+      events_.pop_front();
+      ++stats_.events;
+      PROVNET_RETURN_IF_ERROR(ProcessEvent(event));
+    } else if (!net_.Idle()) {
+      net_.Step();
+      ++stats_.deliveries;
+    } else {
+      break;  // distributed fixpoint: no events, no in-flight messages
+    }
+    if (++steps > options_.max_steps) {
+      return ResourceExhaustedError(
+          "engine exceeded max_steps; divergent program?");
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  RunStats out;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.sim_seconds = net_.now() - sim0;
+  out.deliveries = stats_.deliveries - before.deliveries;
+  out.events = stats_.events - before.events;
+  out.derivations = stats_.derivations - before.derivations;
+  out.messages = net_.total_messages() - msgs0;
+  out.bytes = net_.total_bytes() - bytes0;
+  out.tuple_bytes = stats_.tuple_bytes - before.tuple_bytes;
+  out.auth_bytes = stats_.auth_bytes - before.auth_bytes;
+  out.prov_bytes = stats_.prov_bytes - before.prov_bytes;
+  out.signs = auth_.sign_count() - signs0;
+  out.verifies = auth_.verify_count() - verifies0;
+  out.auth_failures = stats_.auth_failures - before.auth_failures;
+  return out;
+}
+
+std::vector<Tuple> Engine::TuplesAt(NodeId node_id,
+                                    const std::string& pred) const {
+  std::vector<Tuple> out;
+  const Table* table = contexts_[node_id]->FindTable(pred);
+  if (table == nullptr) return out;
+  for (const StoredTuple* entry : table->Scan()) out.push_back(entry->tuple);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<ProvExpr> Engine::AnnotationOf(NodeId node_id,
+                                      const Tuple& tuple) const {
+  const Table* table = contexts_[node_id]->FindTable(tuple.predicate());
+  if (table == nullptr) return NotFoundError("no such table");
+  const StoredTuple* entry = table->Find(tuple);
+  if (entry == nullptr) return NotFoundError("tuple not stored: " +
+                                             tuple.ToString());
+  return entry->prov;
+}
+
+Result<CondensedProv> Engine::CondensedOf(NodeId node_id,
+                                          const Tuple& tuple) const {
+  PROVNET_ASSIGN_OR_RETURN(ProvExpr prov, AnnotationOf(node_id, tuple));
+  return Condense(prov);
+}
+
+Result<DerivationPtr> Engine::LocalDerivationOf(NodeId node_id,
+                                                const Tuple& tuple) const {
+  const Table* table = contexts_[node_id]->FindTable(tuple.predicate());
+  if (table == nullptr) return NotFoundError("no such table");
+  const StoredTuple* entry = table->Find(tuple);
+  if (entry == nullptr) return NotFoundError("tuple not stored");
+  if (entry->deriv == nullptr) {
+    return FailedPreconditionError(
+        "no local derivation tree; run with ProvMode::kFull");
+  }
+  return entry->deriv;
+}
+
+void Engine::ExpireNow() {
+  double now = net_.now();
+  for (auto& ctx : contexts_) {
+    ctx->ExpireTablesBefore(now);
+    ctx->online_store().ExpireBefore(now);
+  }
+}
+
+}  // namespace provnet

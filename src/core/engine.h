@@ -1,0 +1,233 @@
+// The provenance-aware secure declarative networking engine — the system the
+// paper builds by extending P2 (Section 6: "We modified the P2 declarative
+// networking system to support the SeNDlog query language, ... signed with
+// RSA signatures. We further modify various relational operators
+// (particularly joins) to support provenance.")
+//
+// One Engine runs a whole simulated deployment: it analyzes/localizes the
+// program, instantiates a NodeContext per simulated node, and executes the
+// distributed dataflow over the byte-metered Network until the distributed
+// fixpoint. Three orthogonal switches reproduce the evaluation's variants:
+//
+//   authenticate=false, prov=kNone       -> "NDLog"
+//   authenticate=true,  prov=kNone       -> "SeNDLog"
+//   authenticate=true,  prov=kCondensed  -> "SeNDLogProv"
+//
+// plus the taxonomy modes of Section 4: kFull (local provenance piggybacks
+// entire derivation trees), kPointers (distributed provenance: per-hop
+// pointers, reconstructed on demand with QueryDistributedProvenance).
+#ifndef PROVNET_CORE_ENGINE_H_
+#define PROVNET_CORE_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/node_context.h"
+#include "core/plan.h"
+#include "crypto/authenticator.h"
+#include "datalog/parser.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "provenance/condense.h"
+#include "provenance/prov_expr.h"
+#include "util/status.h"
+
+namespace provnet {
+
+enum class ProvMode : uint8_t {
+  kNone = 0,       // no provenance (NDLog / SeNDLog baselines)
+  kCondensed = 1,  // BDD-condensed annotations piggybacked (SeNDLogProv)
+  kFull = 2,       // entire derivation tree piggybacked (local provenance)
+  kPointers = 3,   // per-hop pointers only (distributed provenance)
+};
+
+const char* ProvModeName(ProvMode mode);
+
+enum class ProvGrain : uint8_t {
+  kPrincipal = 0,  // one variable per asserting principal (paper's figures)
+  kTuple = 1,      // one variable per base tuple (classic semiring lineage)
+};
+
+struct EngineOptions {
+  // --- says / authentication (Section 2.2, 4.3) ---
+  bool authenticate = false;
+  SaysLevel says_level = SaysLevel::kRsa;
+  bool verify_incoming = true;  // receivers check tags (drop on failure)
+  size_t rsa_bits = 256;
+
+  // --- provenance (Section 4) ---
+  ProvMode prov_mode = ProvMode::kNone;
+  ProvGrain prov_grain = ProvGrain::kPrincipal;
+  bool record_online = false;   // populate OnlineProvStore
+  bool record_offline = false;  // populate OfflineProvStore
+  bool recording_enabled = true;  // false = reactive mode (Section 5)
+  uint32_t sample_k = 1;          // 1-in-k provenance sampling (Section 5)
+  // Local annotations are re-condensed when they outgrow this node count.
+  size_t condense_threshold = 64;
+
+  // --- execution ---
+  uint64_t seed = 1;
+  double default_ttl = -1.0;  // table TTL unless materialize says otherwise
+  double link_latency = 0.01;
+  uint64_t max_steps = 100000000;  // safety valve (events + deliveries)
+  // Principal names per node; defaults to "n0", "n1", ...
+  std::vector<std::string> node_names;
+};
+
+struct RunStats {
+  double wall_seconds = 0.0;  // Figure 3's metric
+  double sim_seconds = 0.0;
+  uint64_t deliveries = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;  // Figure 4's metric
+  uint64_t tuple_bytes = 0;
+  uint64_t auth_bytes = 0;
+  uint64_t prov_bytes = 0;
+  uint64_t events = 0;
+  uint64_t derivations = 0;
+  uint64_t signs = 0;
+  uint64_t verifies = 0;
+  uint64_t auth_failures = 0;
+
+  std::string ToString() const;
+};
+
+class Engine {
+ public:
+  // `source` is NDlog or SeNDlog program text.
+  static Result<std::unique_ptr<Engine>> Create(const Topology& topo,
+                                                const std::string& source,
+                                                EngineOptions options);
+  static Result<std::unique_ptr<Engine>> Create(const Topology& topo,
+                                                Program program,
+                                                EngineOptions options);
+
+  // Inserts the topology's link facts: link(@S, D, C). Called by Create;
+  // exposed for tests building custom initial states.
+  Status InsertLinkFacts();
+
+  // Inserts an external base fact at `node` (enqueues a local event).
+  Status InsertFact(NodeId node, const Tuple& tuple, double ttl = -1.0);
+
+  // Processes events and messages to the distributed fixpoint.
+  Result<RunStats> Run();
+
+  // --- Inspection -----------------------------------------------------------
+  size_t num_nodes() const { return contexts_.size(); }
+  NodeContext& node(NodeId id) { return *contexts_[id]; }
+  const NodeContext& node(NodeId id) const { return *contexts_[id]; }
+  Network& network() { return net_; }
+  Authenticator& authenticator() { return auth_; }
+  ProvVarRegistry& registry() { return registry_; }
+  const EngineOptions& options() const { return options_; }
+  const Plan& plan() const { return plan_; }
+
+  // Sorted tuples of `pred` stored at `node`.
+  std::vector<Tuple> TuplesAt(NodeId node, const std::string& pred) const;
+
+  Principal PrincipalOf(NodeId id) const;
+  Result<NodeId> NodeOf(const Principal& principal) const;
+  std::string VarName(ProvVar v) const { return registry_.NameOf(v); }
+
+  // --- Provenance queries ---------------------------------------------------
+  // Semiring annotation of a stored tuple.
+  Result<ProvExpr> AnnotationOf(NodeId node, const Tuple& tuple) const;
+  // Condensed annotation (<a + a*b> -> <a>).
+  Result<CondensedProv> CondensedOf(NodeId node, const Tuple& tuple) const;
+  // Full local derivation tree (ProvMode::kFull).
+  Result<DerivationPtr> LocalDerivationOf(NodeId node,
+                                          const Tuple& tuple) const;
+  // Distributed reconstruction over the network (ProvMode::kPointers; also
+  // works in other modes when record_online is on). Issues ProvReq/ProvResp
+  // messages whose bytes are charged to the bandwidth meters.
+  Result<DerivationPtr> QueryDistributedProvenance(NodeId node,
+                                                   const Tuple& tuple);
+
+  // Reactive provenance control (Section 5).
+  void SetRecordingEnabled(bool enabled) {
+    options_.recording_enabled = enabled;
+  }
+
+  // Observer invoked on every materialized tuple change (new/replaced/
+  // refreshed). Drives the continuous monitoring queries of apps/diagnostics.
+  using UpdateObserver =
+      std::function<void(NodeId, const Tuple&, InsertOutcome, double now)>;
+  void SetUpdateObserver(UpdateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Soft-state maintenance: expire tuples/provenance older than network time.
+  void ExpireNow();
+
+ private:
+  Engine(const Topology& topo, EngineOptions options);
+
+  Status Init(Program program);
+
+  struct PendingEvent {
+    NodeId node;
+    Tuple tuple;
+  };
+
+  ProvExpr BaseAnnotation(const Principal& principal, const Tuple& tuple);
+
+  Status ProcessEvent(const PendingEvent& event);
+  Status FireStrand(NodeId node_id, const CompiledRule& cr, int delta_index,
+                    const StoredTuple& delta_entry);
+  Status JoinFrom(NodeId node_id, const CompiledRule& cr, size_t literal_pos,
+                  int delta_index, Env& env,
+                  std::vector<const StoredTuple*>& used);
+  Status EmitHead(NodeId node_id, const CompiledRule& cr, const Env& env,
+                  const std::vector<const StoredTuple*>& used);
+  // Stores a tuple locally; enqueues a delta event when it changed state.
+  Status DeliverLocal(NodeId node_id, StoredTuple entry,
+                      const std::vector<const StoredTuple*>* used,
+                      const std::string& rule_label);
+  Status SendTuple(NodeId from, NodeId to, const Tuple& tuple,
+                   const ProvExpr& prov, const DerivationPtr& deriv);
+  bool SaysMatches(const Term& says, const StoredTuple& entry, Env& env) const;
+
+  void MaybeRecordProvenance(NodeId node_id, const Tuple& tuple,
+                             const std::string& rule, TupleOrigin origin,
+                             NodeId from_node, const Principal& asserted_by,
+                             const std::vector<const StoredTuple*>* used,
+                             double expires_at);
+
+  Status HandleMessage(NodeId to, NodeId from, const Bytes& payload);
+  Status HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader);
+  Status HandleProvRequest(NodeId to, NodeId from, ByteReader& reader);
+  Status HandleProvResponse(NodeId to, NodeId from, ByteReader& reader);
+
+  Topology topo_;
+  EngineOptions options_;
+  Network net_;
+  KeyStore keystore_;
+  Authenticator auth_;
+  ProvVarRegistry registry_;
+  Plan plan_;
+  std::vector<std::unique_ptr<NodeContext>> contexts_;
+  std::deque<PendingEvent> events_;
+  RunStats stats_;
+  Status async_error_;  // first error raised inside a network handler
+  UpdateObserver observer_;
+
+  // Distributed provenance query state.
+  struct ProvQueryState {
+    std::map<std::pair<NodeId, TupleDigest>, std::vector<ProvRecord>>
+        collected;
+    std::set<std::pair<NodeId, TupleDigest>> requested;
+    size_t outstanding = 0;
+  };
+  std::unique_ptr<ProvQueryState> prov_query_;
+  uint64_t next_query_id_ = 1;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_CORE_ENGINE_H_

@@ -1,0 +1,218 @@
+#include "core/eval.h"
+
+#include <cmath>
+
+namespace provnet {
+namespace {
+
+Status ArityError(const std::string& name, size_t want, size_t got) {
+  return InvalidArgumentError(name + " expects " + std::to_string(want) +
+                              " arguments, got " + std::to_string(got));
+}
+
+Result<Value> ListOf(const Value& v, const std::string& fn) {
+  if (v.kind() != ValueKind::kList) {
+    return InvalidArgumentError(fn + ": expected a list, got " + v.ToString());
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Value> CallBuiltin(const std::string& name,
+                          const std::vector<Value>& args) {
+  if (name == "f_init") {
+    if (args.size() != 2) return ArityError(name, 2, args.size());
+    return Value::List({args[0], args[1]});
+  }
+  if (name == "f_concatPath") {
+    if (args.size() != 2) return ArityError(name, 2, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[1], name));
+    std::vector<Value> out;
+    out.reserve(list.AsList().size() + 1);
+    out.push_back(args[0]);
+    out.insert(out.end(), list.AsList().begin(), list.AsList().end());
+    return Value::List(std::move(out));
+  }
+  if (name == "f_append") {
+    if (args.size() != 2) return ArityError(name, 2, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[0], name));
+    std::vector<Value> out = list.AsList();
+    out.push_back(args[1]);
+    return Value::List(std::move(out));
+  }
+  if (name == "f_member") {
+    if (args.size() != 2) return ArityError(name, 2, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[0], name));
+    for (const Value& v : list.AsList()) {
+      if (v == args[1]) return Value::Int(1);
+    }
+    return Value::Int(0);
+  }
+  if (name == "f_size") {
+    if (args.size() != 1) return ArityError(name, 1, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[0], name));
+    return Value::Int(static_cast<int64_t>(list.AsList().size()));
+  }
+  if (name == "f_first" || name == "f_last") {
+    if (args.size() != 1) return ArityError(name, 1, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[0], name));
+    if (list.AsList().empty()) {
+      return InvalidArgumentError(name + ": empty list");
+    }
+    return name == "f_first" ? list.AsList().front() : list.AsList().back();
+  }
+  if (name == "f_second") {
+    // Next hop of a path vector.
+    if (args.size() != 1) return ArityError(name, 1, args.size());
+    PROVNET_ASSIGN_OR_RETURN(Value list, ListOf(args[0], name));
+    if (list.AsList().size() < 2) {
+      return InvalidArgumentError("f_second: list has no second element");
+    }
+    return list.AsList()[1];
+  }
+  if (name == "f_min" || name == "f_max") {
+    if (args.size() != 2) return ArityError(name, 2, args.size());
+    int cmp = args[0].Compare(args[1]);
+    if (name == "f_min") return cmp <= 0 ? args[0] : args[1];
+    return cmp >= 0 ? args[0] : args[1];
+  }
+  return UnimplementedError("unknown builtin " + name);
+}
+
+Result<Value> EvalTerm(const Term& term, const Env& env) {
+  switch (term.kind) {
+    case TermKind::kConstant:
+      return term.constant;
+    case TermKind::kVariable:
+    case TermKind::kAggregate: {
+      auto it = env.find(term.name);
+      if (it == env.end()) {
+        return FailedPreconditionError("unbound variable " + term.name);
+      }
+      return it->second;
+    }
+    case TermKind::kFunction: {
+      std::vector<Value> args;
+      args.reserve(term.args.size());
+      for (const Term& a : term.args) {
+        PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(a, env));
+        args.push_back(std::move(v));
+      }
+      return CallBuiltin(term.name, args);
+    }
+  }
+  return InternalError("unreachable term kind");
+}
+
+Result<Value> EvalExpr(const Expr& expr, const Env& env) {
+  if (expr.op == ExprOp::kTerm) return EvalTerm(expr.term, env);
+
+  PROVNET_ASSIGN_OR_RETURN(Value lhs, EvalExpr(expr.children[0], env));
+  PROVNET_ASSIGN_OR_RETURN(Value rhs, EvalExpr(expr.children[1], env));
+
+  switch (expr.op) {
+    case ExprOp::kEq:
+      return Value::Int(lhs == rhs ? 1 : 0);
+    case ExprOp::kNe:
+      return Value::Int(lhs != rhs ? 1 : 0);
+    case ExprOp::kLt:
+      return Value::Int(lhs.Compare(rhs) < 0 ? 1 : 0);
+    case ExprOp::kLe:
+      return Value::Int(lhs.Compare(rhs) <= 0 ? 1 : 0);
+    case ExprOp::kGt:
+      return Value::Int(lhs.Compare(rhs) > 0 ? 1 : 0);
+    case ExprOp::kGe:
+      return Value::Int(lhs.Compare(rhs) >= 0 ? 1 : 0);
+    default:
+      break;
+  }
+
+  // Arithmetic.
+  if (lhs.kind() == ValueKind::kInt && rhs.kind() == ValueKind::kInt) {
+    int64_t a = lhs.AsInt();
+    int64_t b = rhs.AsInt();
+    switch (expr.op) {
+      case ExprOp::kAdd:
+        return Value::Int(a + b);
+      case ExprOp::kSub:
+        return Value::Int(a - b);
+      case ExprOp::kMul:
+        return Value::Int(a * b);
+      case ExprOp::kDiv:
+        if (b == 0) return InvalidArgumentError("division by zero");
+        return Value::Int(a / b);
+      case ExprOp::kMod:
+        if (b == 0) return InvalidArgumentError("modulo by zero");
+        return Value::Int(a % b);
+      default:
+        return InternalError("unreachable arithmetic op");
+    }
+  }
+  PROVNET_ASSIGN_OR_RETURN(double a, lhs.ToNumber());
+  PROVNET_ASSIGN_OR_RETURN(double b, rhs.ToNumber());
+  switch (expr.op) {
+    case ExprOp::kAdd:
+      return Value::Real(a + b);
+    case ExprOp::kSub:
+      return Value::Real(a - b);
+    case ExprOp::kMul:
+      return Value::Real(a * b);
+    case ExprOp::kDiv:
+      if (b == 0.0) return InvalidArgumentError("division by zero");
+      return Value::Real(a / b);
+    case ExprOp::kMod:
+      if (b == 0.0) return InvalidArgumentError("modulo by zero");
+      return Value::Real(std::fmod(a, b));
+    default:
+      return InternalError("unreachable arithmetic op");
+  }
+}
+
+Result<bool> EvalCondition(const Expr& expr, const Env& env) {
+  if (!expr.IsComparison()) {
+    return InvalidArgumentError("condition must be a comparison: " +
+                                expr.ToString());
+  }
+  PROVNET_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, env));
+  return v.AsInt() != 0;
+}
+
+bool UnifyTuple(const Atom& atom, const Tuple& tuple, Env& env) {
+  if (atom.predicate != tuple.predicate()) return false;
+  if (atom.args.size() != tuple.arity()) return false;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& pattern = atom.args[i];
+    const Value& value = tuple.arg(i);
+    switch (pattern.kind) {
+      case TermKind::kConstant:
+        if (!(pattern.constant == value)) return false;
+        break;
+      case TermKind::kVariable: {
+        auto it = env.find(pattern.name);
+        if (it == env.end()) {
+          env.emplace(pattern.name, value);
+        } else if (!(it->second == value)) {
+          return false;
+        }
+        break;
+      }
+      default:
+        // Function/aggregate args in body atoms are rejected at plan time.
+        return false;
+    }
+  }
+  return true;
+}
+
+Result<Tuple> BuildHeadTuple(const Atom& head, const Env& env) {
+  std::vector<Value> args;
+  args.reserve(head.args.size());
+  for (const Term& t : head.args) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(t, env));
+    args.push_back(std::move(v));
+  }
+  return Tuple(head.predicate, std::move(args));
+}
+
+}  // namespace provnet

@@ -1,0 +1,52 @@
+// Rule-body evaluation: variable environments, term/expression evaluation,
+// tuple unification, and the f_* builtin function library (path vectors for
+// the Best-Path query, list utilities, min/max).
+#ifndef PROVNET_CORE_EVAL_H_
+#define PROVNET_CORE_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "datalog/ast.h"
+#include "datalog/tuple.h"
+#include "util/status.h"
+
+namespace provnet {
+
+using Env = std::unordered_map<std::string, Value>;
+
+// Calls a builtin. Supported:
+//   f_init(a, b)         -> [a, b]            (initial path vector)
+//   f_concatPath(x, P)   -> [x | P]           (prepend)
+//   f_append(P, x)       -> P ++ [x]
+//   f_member(P, x)       -> 1 if x in list P else 0
+//   f_size(P)            -> length of P
+//   f_first(P), f_last(P), f_second(P)   (f_second = next hop)
+//   f_min(a, b), f_max(a, b)
+Result<Value> CallBuiltin(const std::string& name,
+                          const std::vector<Value>& args);
+
+// Evaluates a term under `env`. Unbound variables are errors. Aggregate
+// terms evaluate to their variable's value (aggregation happens at table
+// insert).
+Result<Value> EvalTerm(const Term& term, const Env& env);
+
+// Evaluates an expression. Comparisons yield Int 0/1; arithmetic requires
+// numeric operands (Int stays Int when both are Int, else Double).
+Result<Value> EvalExpr(const Expr& expr, const Env& env);
+
+// Evaluates a comparison expression as a boolean.
+Result<bool> EvalCondition(const Expr& expr, const Env& env);
+
+// Matches `tuple` against `atom`'s argument patterns, extending `env` with
+// new bindings. Returns false on mismatch (env may be partially extended;
+// callers pass a scratch copy). Atom args must be variables or constants.
+bool UnifyTuple(const Atom& atom, const Tuple& tuple, Env& env);
+
+// Builds the head tuple for a rule firing (evaluating constants, variables,
+// functions, and aggregate placeholders).
+Result<Tuple> BuildHeadTuple(const Atom& head, const Env& env);
+
+}  // namespace provnet
+
+#endif  // PROVNET_CORE_EVAL_H_

@@ -1,0 +1,40 @@
+#include "core/node_context.h"
+
+namespace provnet {
+
+Table& NodeContext::TableFor(const std::string& pred) {
+  auto it = tables_.find(pred);
+  if (it == tables_.end()) {
+    it = tables_
+             .emplace(pred,
+                      std::make_unique<Table>(pred, plan_->OptionsFor(pred)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Table* NodeContext::FindTable(const std::string& pred) const {
+  auto it = tables_.find(pred);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* NodeContext::FindTableMutable(const std::string& pred) {
+  auto it = tables_.find(pred);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+size_t NodeContext::TupleCount() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->size();
+  return total;
+}
+
+size_t NodeContext::ExpireTablesBefore(double now) {
+  size_t dropped = 0;
+  for (auto& [name, table] : tables_) {
+    dropped += table->ExpireBefore(now).size();
+  }
+  return dropped;
+}
+
+}  // namespace provnet

@@ -1,0 +1,54 @@
+// Per-node runtime state: the tuple tables plus the node's provenance
+// stores. One NodeContext corresponds to one P2 process in the paper's
+// deployment.
+#ifndef PROVNET_CORE_NODE_CONTEXT_H_
+#define PROVNET_CORE_NODE_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/plan.h"
+#include "core/table.h"
+#include "provenance/store.h"
+
+namespace provnet {
+
+class NodeContext {
+ public:
+  NodeContext(NodeId id, Principal principal, const Plan* plan)
+      : id_(id), principal_(std::move(principal)), plan_(plan) {}
+
+  NodeId id() const { return id_; }
+  const Principal& principal() const { return principal_; }
+
+  // Returns the table for `pred`, creating it from the plan's options on
+  // first use.
+  Table& TableFor(const std::string& pred);
+  // Nullptr when the node never stored tuples of `pred`.
+  const Table* FindTable(const std::string& pred) const;
+  Table* FindTableMutable(const std::string& pred);
+
+  OnlineProvStore& online_store() { return online_; }
+  const OnlineProvStore& online_store() const { return online_; }
+  OfflineProvStore& offline_store() { return offline_; }
+  const OfflineProvStore& offline_store() const { return offline_; }
+
+  // Total stored tuples across tables (diagnostics).
+  size_t TupleCount() const;
+
+  // Drops expired tuples from every table; returns how many were dropped.
+  size_t ExpireTablesBefore(double now);
+
+ private:
+  NodeId id_;
+  Principal principal_;
+  const Plan* plan_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  OnlineProvStore online_;
+  OfflineProvStore offline_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_CORE_NODE_CONTEXT_H_

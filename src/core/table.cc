@@ -1,0 +1,249 @@
+#include "core/table.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+Table::Table(std::string name, TableOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (options_.agg != AggKind::kNone) {
+    PROVNET_CHECK(options_.agg_column >= 0)
+        << "aggregate table needs an aggregate column";
+  }
+}
+
+uint64_t Table::KeyHash(const Tuple& tuple) const {
+  uint64_t h = Fnv1a64(name_);
+  if (options_.key_columns.empty()) {
+    return HashCombine(h, tuple.Hash());
+  }
+  for (int col : options_.key_columns) {
+    PROVNET_CHECK(col >= 0 && static_cast<size_t>(col) < tuple.arity())
+        << "key column out of range for " << tuple.ToString();
+    h = HashCombine(h, tuple.arg(static_cast<size_t>(col)).Hash());
+  }
+  return h;
+}
+
+void Table::IndexInsert(const Tuple& tuple) {
+  uint64_t key = KeyHash(tuple);
+  for (auto& [col, buckets] : column_index_) {
+    if (static_cast<size_t>(col) >= tuple.arity()) continue;
+    buckets[tuple.arg(static_cast<size_t>(col)).Hash()].push_back(key);
+  }
+}
+
+void Table::IndexErase(const Tuple& tuple) {
+  uint64_t key = KeyHash(tuple);
+  for (auto& [col, buckets] : column_index_) {
+    if (static_cast<size_t>(col) >= tuple.arity()) continue;
+    auto it = buckets.find(tuple.arg(static_cast<size_t>(col)).Hash());
+    if (it == buckets.end()) continue;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), key), vec.end());
+  }
+}
+
+InsertResult Table::Insert(StoredTuple entry, double now) {
+  entry.inserted_at = now;
+  if (entry.expires_at < 0 && options_.default_ttl >= 0) {
+    entry.expires_at = now + options_.default_ttl;
+  }
+
+  uint64_t key = KeyHash(entry.tuple);
+  auto it = rows_.find(key);
+
+  // --- Aggregate tables ------------------------------------------------
+  if (options_.agg != AggKind::kNone) {
+    size_t agg_col = static_cast<size_t>(options_.agg_column);
+    PROVNET_CHECK(agg_col < entry.tuple.arity());
+
+    if (options_.agg == AggKind::kCount) {
+      auto& wit = witnesses_[key];
+      bool fresh = wit.emplace(entry.tuple.Hash(), true).second;
+      int64_t count = static_cast<int64_t>(wit.size());
+      std::vector<Value> args = entry.tuple.args();
+      args[agg_col] = Value::Int(count);
+      Tuple stored(entry.tuple.predicate(), std::move(args));
+      if (!fresh && it != rows_.end()) {
+        // Duplicate witness: merge provenance only.
+        it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
+        it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+        return {InsertOutcome::kRefreshed, it->second.tuple};
+      }
+      StoredTuple agg_entry = entry;
+      agg_entry.tuple = stored;
+      if (it != rows_.end()) {
+        agg_entry.prov = ProvExpr::Plus(it->second.prov, entry.prov);
+        agg_entry.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+        IndexErase(it->second.tuple);
+        rows_.erase(it);
+        auto [pos, ok] = rows_.emplace(key, std::move(agg_entry));
+        PROVNET_CHECK(ok);
+        IndexInsert(pos->second.tuple);
+        return {InsertOutcome::kReplaced, pos->second.tuple};
+      }
+      auto [pos, ok] = rows_.emplace(key, std::move(agg_entry));
+      PROVNET_CHECK(ok);
+      IndexInsert(pos->second.tuple);
+      insertion_order_.push_back(key);
+      return {InsertOutcome::kNew, pos->second.tuple};
+    }
+
+    // MIN / MAX.
+    if (it != rows_.end()) {
+      const Value& current = it->second.tuple.arg(agg_col);
+      const Value& candidate = entry.tuple.arg(agg_col);
+      int cmp = candidate.Compare(current);
+      bool improves =
+          options_.agg == AggKind::kMin ? cmp < 0 : cmp > 0;
+      if (!improves) {
+        if (cmp == 0 && entry.tuple == it->second.tuple) {
+          // Same extremum re-derived: merge provenance, refresh TTL.
+          it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
+          it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+          it->second.expires_at =
+              std::max(it->second.expires_at, entry.expires_at);
+          return {InsertOutcome::kRefreshed, it->second.tuple};
+        }
+        return {InsertOutcome::kRejected, it->second.tuple};
+      }
+      IndexErase(it->second.tuple);
+      Tuple stored = entry.tuple;
+      it->second = std::move(entry);
+      IndexInsert(stored);
+      return {InsertOutcome::kReplaced, stored};
+    }
+    Tuple stored = entry.tuple;
+    auto [pos, ok] = rows_.emplace(key, std::move(entry));
+    PROVNET_CHECK(ok);
+    IndexInsert(stored);
+    insertion_order_.push_back(key);
+    return {InsertOutcome::kNew, stored};
+  }
+
+  // --- Plain tables -------------------------------------------------------
+  if (it != rows_.end()) {
+    if (it->second.tuple == entry.tuple) {
+      it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
+      it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+      it->second.expires_at = std::max(it->second.expires_at,
+                                       entry.expires_at);
+      return {InsertOutcome::kRefreshed, it->second.tuple};
+    }
+    // Key collision with different value: replace (P2 update semantics).
+    IndexErase(it->second.tuple);
+    Tuple stored = entry.tuple;
+    it->second = std::move(entry);
+    IndexInsert(stored);
+    return {InsertOutcome::kReplaced, stored};
+  }
+
+  Tuple stored = entry.tuple;
+  auto [pos, ok] = rows_.emplace(key, std::move(entry));
+  PROVNET_CHECK(ok);
+  IndexInsert(stored);
+  insertion_order_.push_back(key);
+
+  // FIFO eviction.
+  if (options_.max_size >= 0 &&
+      rows_.size() > static_cast<size_t>(options_.max_size)) {
+    for (size_t i = 0; i < insertion_order_.size(); ++i) {
+      auto victim = rows_.find(insertion_order_[i]);
+      if (victim == rows_.end()) continue;
+      if (victim->first == key) continue;  // never evict what we just added
+      IndexErase(victim->second.tuple);
+      rows_.erase(victim);
+      insertion_order_.erase(insertion_order_.begin() +
+                             static_cast<long>(i));
+      break;
+    }
+  }
+  return {InsertOutcome::kNew, stored};
+}
+
+const StoredTuple* Table::Find(const Tuple& tuple) const {
+  auto it = rows_.find(KeyHash(tuple));
+  if (it == rows_.end() || it->second.tuple != tuple) return nullptr;
+  return &it->second;
+}
+
+StoredTuple* Table::FindMutable(const Tuple& tuple) {
+  auto it = rows_.find(KeyHash(tuple));
+  if (it == rows_.end() || it->second.tuple != tuple) return nullptr;
+  return &it->second;
+}
+
+std::vector<const StoredTuple*> Table::Scan() const {
+  std::vector<const StoredTuple*> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, entry] : rows_) out.push_back(&entry);
+  return out;
+}
+
+std::vector<const StoredTuple*> Table::LookupByColumn(int col,
+                                                      const Value& v) {
+  auto idx_it = column_index_.find(col);
+  if (idx_it == column_index_.end()) {
+    // Build the index lazily.
+    auto& buckets = column_index_[col];
+    for (const auto& [key, entry] : rows_) {
+      if (static_cast<size_t>(col) < entry.tuple.arity()) {
+        buckets[entry.tuple.arg(static_cast<size_t>(col)).Hash()]
+            .push_back(key);
+      }
+    }
+    idx_it = column_index_.find(col);
+  }
+  std::vector<const StoredTuple*> out;
+  auto bucket = idx_it->second.find(v.Hash());
+  if (bucket == idx_it->second.end()) return out;
+  for (uint64_t key : bucket->second) {
+    auto row = rows_.find(key);
+    if (row == rows_.end()) continue;
+    if (static_cast<size_t>(col) >= row->second.tuple.arity()) continue;
+    if (row->second.tuple.arg(static_cast<size_t>(col)) == v) {
+      out.push_back(&row->second);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> Table::ExpireBefore(double now) {
+  std::vector<Tuple> dropped;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (it->second.expires_at >= 0 && it->second.expires_at < now) {
+      dropped.push_back(it->second.tuple);
+      IndexErase(it->second.tuple);
+      witnesses_.erase(it->first);
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+bool Table::Erase(const Tuple& tuple) {
+  uint64_t key = KeyHash(tuple);
+  auto it = rows_.find(key);
+  if (it == rows_.end() || it->second.tuple != tuple) return false;
+  IndexErase(it->second.tuple);
+  witnesses_.erase(key);
+  rows_.erase(it);
+  return true;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& [key, entry] : rows_) lines.push_back(entry.tuple.ToString());
+  std::sort(lines.begin(), lines.end());
+  return name_ + " (" + std::to_string(rows_.size()) + " rows)\n  " +
+         StrJoin(lines, "\n  ");
+}
+
+}  // namespace provnet

@@ -1,0 +1,121 @@
+// Soft-state tuple tables (the per-node storage of the P2-style runtime).
+//
+// Tables have primary keys (P2 materialize semantics): inserting a tuple
+// whose key collides with a stored tuple *replaces* it. TTLs implement
+// soft state (Section 2.1's sliding-window view of routes). Aggregate tables
+// (MIN/MAX/COUNT heads) maintain one tuple per group and only accept
+// improvements.
+//
+// Every stored tuple carries its provenance sidecar: the semiring
+// annotation, an optional full derivation tree, the asserting principal, and
+// where it came from.
+#ifndef PROVNET_CORE_TABLE_H_
+#define PROVNET_CORE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "datalog/ast.h"
+#include "datalog/tuple.h"
+#include "provenance/derivation.h"
+#include "provenance/prov_expr.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// Where a stored tuple came from (drives distributed-provenance pointers).
+enum class TupleOrigin : uint8_t { kBase = 0, kLocalRule = 1, kRemote = 2 };
+
+struct StoredTuple {
+  Tuple tuple;
+  double inserted_at = 0.0;
+  double expires_at = -1.0;  // -1 = never
+  ProvExpr prov;             // semiring annotation (Zero when provenance off)
+  DerivationPtr deriv;       // full tree when ProvMode::kFull, else nullptr
+  Principal asserted_by;     // who says this tuple (empty when auth off)
+  TupleOrigin origin = TupleOrigin::kBase;
+  NodeId from_node = 0;      // sender when origin == kRemote
+  std::string rule;          // deriving rule label ("" for base/remote)
+};
+
+enum class InsertOutcome : uint8_t {
+  kNew,        // previously unknown tuple; caller should propagate
+  kRefreshed,  // identical tuple existed; TTL refreshed, provenance merged
+  kReplaced,   // same key, different tuple; caller should propagate
+  kRejected,   // aggregate candidate did not improve the group
+};
+
+struct InsertResult {
+  InsertOutcome outcome = InsertOutcome::kNew;
+  // The tuple now stored for the affected key (for aggregates this differs
+  // from the candidate: the aggregate column holds the aggregated value).
+  Tuple stored;
+};
+
+struct TableOptions {
+  // 0-based key column positions; empty = all columns (set semantics).
+  std::vector<int> key_columns;
+  double default_ttl = -1.0;  // seconds; -1 = infinite
+  int64_t max_size = -1;      // -1 = unbounded; otherwise FIFO eviction
+  // Aggregate table: which column aggregates and how.
+  AggKind agg = AggKind::kNone;
+  int agg_column = -1;
+};
+
+class Table {
+ public:
+  Table(std::string name, TableOptions options);
+
+  const std::string& name() const { return name_; }
+  const TableOptions& options() const { return options_; }
+  size_t size() const { return rows_.size(); }
+
+  // Inserts `entry` at time `now`. For aggregate tables the entry's tuple is
+  // the *candidate* (aggregate column = contributing value).
+  InsertResult Insert(StoredTuple entry, double now);
+
+  // Returns the live entry equal to `tuple`, or nullptr.
+  const StoredTuple* Find(const Tuple& tuple) const;
+  StoredTuple* FindMutable(const Tuple& tuple);
+
+  // All live entries (in unspecified order).
+  std::vector<const StoredTuple*> Scan() const;
+
+  // Entries whose column `col` equals `v` (uses a lazily-built hash index).
+  std::vector<const StoredTuple*> LookupByColumn(int col, const Value& v);
+
+  // Drops entries with expires_at < now; returns dropped tuples.
+  std::vector<Tuple> ExpireBefore(double now);
+
+  // Removes a specific tuple; true if it was present.
+  bool Erase(const Tuple& tuple);
+
+  std::string ToString() const;
+
+ private:
+  // Key of a tuple under this table's key columns.
+  uint64_t KeyHash(const Tuple& tuple) const;
+  void IndexInsert(const Tuple& tuple);
+  void IndexErase(const Tuple& tuple);
+
+  std::string name_;
+  TableOptions options_;
+  // Primary store: key hash -> entry. (Full-key compare on collision is
+  // skipped: 64-bit hashes over simulation-scale tables.)
+  std::unordered_map<uint64_t, StoredTuple> rows_;
+  // Aggregate bookkeeping: group key -> distinct witness hashes (COUNT).
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, bool>> witnesses_;
+  // Lazy per-column index: col -> value hash -> key hashes.
+  std::unordered_map<int, std::unordered_map<uint64_t, std::vector<uint64_t>>>
+      column_index_;
+  // FIFO order for max_size eviction.
+  std::vector<uint64_t> insertion_order_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_CORE_TABLE_H_

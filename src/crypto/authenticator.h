@@ -1,0 +1,70 @@
+// The "says" operator (SeNDlog, Section 2.2).
+//
+// "says" abstracts authentication. The paper: "In a hostile world, says may
+// require digital signatures; in a more benign world, says may simply append
+// a cleartext principal header — and this will of course be cheaper. The
+// policy writer could additionally provide hints ... supporting multiple
+// says operators with different security levels."
+//
+// We implement exactly that ladder:
+//   kCleartext  - principal name only, no cryptography
+//   kHmac       - HMAC-SHA256 with the principal's shared key
+//   kRsa        - RSA signature over the payload (the evaluation's setting)
+#ifndef PROVNET_CRYPTO_AUTHENTICATOR_H_
+#define PROVNET_CRYPTO_AUTHENTICATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/keystore.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+enum class SaysLevel : uint8_t { kCleartext = 0, kHmac = 1, kRsa = 2 };
+
+const char* SaysLevelName(SaysLevel level);
+
+// An authentication tag attached to an exported tuple or provenance node.
+struct SaysTag {
+  SaysLevel level = SaysLevel::kCleartext;
+  Principal principal;
+  Bytes proof;  // empty for kCleartext; MAC or signature otherwise
+
+  // Wire encoding appended to message payloads (its size is charged to
+  // bandwidth).
+  void Serialize(ByteWriter& out) const;
+  static Result<SaysTag> Deserialize(ByteReader& in);
+
+  // Serialized size in bytes.
+  size_t WireSize() const;
+};
+
+// Signs and verifies SaysTags against a KeyStore. Counts operations so
+// benches can report per-primitive work.
+class Authenticator {
+ public:
+  explicit Authenticator(KeyStore* keystore) : keystore_(keystore) {}
+
+  // Produces a tag asserting `principal says payload` at `level`.
+  Result<SaysTag> Say(const Principal& principal, const Bytes& payload,
+                      SaysLevel level);
+
+  // Verifies the tag against the payload. kCleartext always verifies (it
+  // asserts identity without proof). Returns kUnauthenticated on mismatch.
+  Status Verify(const SaysTag& tag, const Bytes& payload);
+
+  uint64_t sign_count() const { return sign_count_; }
+  uint64_t verify_count() const { return verify_count_; }
+  void ResetCounters() { sign_count_ = verify_count_ = 0; }
+
+ private:
+  KeyStore* keystore_;
+  uint64_t sign_count_ = 0;
+  uint64_t verify_count_ = 0;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_CRYPTO_AUTHENTICATOR_H_

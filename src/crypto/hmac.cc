@@ -1,0 +1,37 @@
+#include "crypto/hmac.h"
+
+namespace provnet {
+
+Sha256Digest HmacSha256(const Bytes& key, const Bytes& data) {
+  constexpr size_t kBlockSize = 64;
+  Bytes k = key;
+  if (k.size() > kBlockSize) {
+    Sha256Digest kd = Sha256::Hash(k);
+    k.assign(kd.begin(), kd.end());
+  }
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace provnet

@@ -1,0 +1,44 @@
+#include "crypto/keystore.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace provnet {
+
+KeyStore::KeyStore(uint64_t seed, size_t rsa_bits)
+    : seed_(seed), rsa_bits_(rsa_bits) {}
+
+Result<const KeyStore::Entry*> KeyStore::EntryFor(const Principal& principal) {
+  auto it = keys_.find(principal);
+  if (it != keys_.end()) return &it->second;
+
+  // Deterministic per-principal stream.
+  Rng rng(HashCombine(seed_, Fnv1a64(principal)));
+  PROVNET_ASSIGN_OR_RETURN(RsaKeyPair kp, RsaGenerateKeyPair(rsa_bits_, rng));
+  Entry entry;
+  entry.rsa = std::move(kp);
+  entry.hmac_key.resize(32);
+  for (auto& b : entry.hmac_key) b = static_cast<uint8_t>(rng.Next());
+  auto [pos, inserted] = keys_.emplace(principal, std::move(entry));
+  PROVNET_CHECK(inserted);
+  return &pos->second;
+}
+
+Result<const RsaKeyPair*> KeyStore::KeyPairFor(const Principal& principal) {
+  PROVNET_ASSIGN_OR_RETURN(const Entry* entry, EntryFor(principal));
+  return &entry->rsa;
+}
+
+Result<const RsaPublicKey*> KeyStore::PublicKeyFor(const Principal& principal) {
+  PROVNET_ASSIGN_OR_RETURN(const Entry* entry, EntryFor(principal));
+  return &entry->rsa.pub;
+}
+
+const Bytes& KeyStore::HmacKeyFor(const Principal& principal) {
+  Result<const Entry*> entry = EntryFor(principal);
+  PROVNET_CHECK(entry.ok()) << entry.status();
+  return entry.value()->hmac_key;
+}
+
+}  // namespace provnet

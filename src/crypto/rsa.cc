@@ -1,0 +1,106 @@
+#include "crypto/rsa.h"
+
+#include "crypto/sha256.h"
+
+namespace provnet {
+namespace {
+
+// Builds the padded message representative for a key of `k` bytes:
+// 0x00 || 0x01 || 0xFF.. || 0x00 || digest(-prefix). For k < digest+11 the
+// digest is truncated (simulation-scale keys); at least 8 bytes of digest
+// are always embedded.
+Result<Bytes> BuildPaddedDigest(const Bytes& message, size_t k) {
+  Sha256Digest digest = Sha256::Hash(message);
+  size_t digest_len = kSha256DigestSize;
+  if (k < digest_len + 11) {
+    if (k < 8 + 11) {
+      return InvalidArgumentError("RSA modulus too small for signing");
+    }
+    digest_len = k - 11;
+  }
+  Bytes em(k, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[k - digest_len - 1] = 0x00;
+  for (size_t i = 0; i < digest_len; ++i) {
+    em[k - digest_len + i] = digest[i];
+  }
+  return em;
+}
+
+}  // namespace
+
+Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits, Rng& rng) {
+  if (bits < 128 || bits % 2 != 0) {
+    return InvalidArgumentError("RSA key size must be even and >= 128 bits");
+  }
+  BigInt e(65537);
+  while (true) {
+    BigInt p = BigInt::GeneratePrime(bits / 2, rng);
+    BigInt q = BigInt::GeneratePrime(bits / 2, rng);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // CRT below wants p > q for qinv mod p
+    BigInt n = p * q;
+    if (n.BitLength() != bits) continue;
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (!(BigInt::Gcd(e, phi) == BigInt(1))) continue;
+
+    Result<BigInt> d = e.ModInverse(phi);
+    if (!d.ok()) continue;
+
+    RsaKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.e = e;
+    kp.priv.n = n;
+    kp.priv.e = e;
+    kp.priv.d = d.value();
+    kp.priv.p = p;
+    kp.priv.q = q;
+    PROVNET_ASSIGN_OR_RETURN(kp.priv.dp, d.value().Mod(p - BigInt(1)));
+    PROVNET_ASSIGN_OR_RETURN(kp.priv.dq, d.value().Mod(q - BigInt(1)));
+    PROVNET_ASSIGN_OR_RETURN(kp.priv.qinv, q.ModInverse(p));
+    return kp;
+  }
+}
+
+Result<BigInt> RsaPrivateOp(const RsaPrivateKey& priv, const BigInt& m) {
+  if (m >= priv.n) return InvalidArgumentError("message >= modulus");
+  // CRT: s1 = m^dp mod p, s2 = m^dq mod q, s = s2 + q*(qinv*(s1-s2) mod p).
+  PROVNET_ASSIGN_OR_RETURN(BigInt s1, m.ModExp(priv.dp, priv.p));
+  PROVNET_ASSIGN_OR_RETURN(BigInt s2, m.ModExp(priv.dq, priv.q));
+  PROVNET_ASSIGN_OR_RETURN(BigInt h, (priv.qinv * (s1 - s2)).Mod(priv.p));
+  return s2 + priv.q * h;
+}
+
+Result<BigInt> RsaPublicOp(const RsaPublicKey& pub, const BigInt& m) {
+  if (m >= pub.n) return InvalidArgumentError("value >= modulus");
+  return m.ModExp(pub.e, pub.n);
+}
+
+Result<Bytes> RsaSign(const RsaPrivateKey& priv, const Bytes& message) {
+  size_t k = priv.ByteLength();
+  PROVNET_ASSIGN_OR_RETURN(Bytes em, BuildPaddedDigest(message, k));
+  BigInt m = BigInt::FromBytes(em);
+  PROVNET_ASSIGN_OR_RETURN(BigInt s, RsaPrivateOp(priv, m));
+  return s.ToBytesPadded(k);
+}
+
+Status RsaVerify(const RsaPublicKey& pub, const Bytes& message,
+                 const Bytes& signature) {
+  size_t k = pub.ByteLength();
+  if (signature.size() != k) {
+    return UnauthenticatedError("signature length mismatch");
+  }
+  BigInt s = BigInt::FromBytes(signature);
+  Result<BigInt> m = RsaPublicOp(pub, s);
+  if (!m.ok()) return UnauthenticatedError("signature out of range");
+  Result<Bytes> recovered = m.value().ToBytesPadded(k);
+  if (!recovered.ok()) return UnauthenticatedError("bad recovered block");
+  PROVNET_ASSIGN_OR_RETURN(Bytes expected, BuildPaddedDigest(message, k));
+  if (recovered.value() != expected) {
+    return UnauthenticatedError("signature mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet

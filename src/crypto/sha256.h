@@ -1,0 +1,55 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for message digests
+// under RSA signatures, HMAC, Bloom-filter digesting, and content hashes of
+// provenance tree nodes.
+#ifndef PROVNET_CRYPTO_SHA256_H_
+#define PROVNET_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace provnet {
+
+constexpr size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data);
+  void Update(const std::string& data);
+
+  // Finalizes and returns the digest. The hasher must not be reused after
+  // Finish (call Reset first).
+  Sha256Digest Finish();
+
+  void Reset();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(const Bytes& data);
+  static Sha256Digest Hash(const std::string& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+// Hex string of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+// Digest as a Bytes vector.
+Bytes DigestToBytes(const Sha256Digest& digest);
+
+}  // namespace provnet
+
+#endif  // PROVNET_CRYPTO_SHA256_H_

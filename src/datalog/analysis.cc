@@ -1,0 +1,292 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace provnet {
+
+void CollectTermVars(const Term& term, std::set<std::string>& out) {
+  switch (term.kind) {
+    case TermKind::kVariable:
+      out.insert(term.name);
+      break;
+    case TermKind::kAggregate:
+      out.insert(term.name);
+      break;
+    case TermKind::kFunction:
+      for (const Term& a : term.args) CollectTermVars(a, out);
+      break;
+    case TermKind::kConstant:
+      break;
+  }
+}
+
+void CollectExprVars(const Expr& expr, std::set<std::string>& out) {
+  if (expr.op == ExprOp::kTerm) {
+    CollectTermVars(expr.term, out);
+    return;
+  }
+  for (const Expr& child : expr.children) CollectExprVars(child, out);
+}
+
+void CollectAtomVars(const Atom& atom, std::set<std::string>& out) {
+  for (const Term& t : atom.args) CollectTermVars(t, out);
+  if (atom.says.has_value()) CollectTermVars(*atom.says, out);
+}
+
+namespace {
+
+Status RuleError(const Rule& rule, const std::string& message) {
+  std::string label = rule.label.empty() ? rule.head.predicate : rule.label;
+  return InvalidArgumentError("rule " + label + ": " + message);
+}
+
+// True if every variable read by the literal is already bound. Atom literals
+// are always schedulable (they bind); function terms inside atom args,
+// however, must read bound variables only (they are computed, not matched).
+bool IsSchedulable(const Literal& lit, const std::set<std::string>& bound) {
+  auto all_bound = [&bound](const std::set<std::string>& vars) {
+    return std::all_of(vars.begin(), vars.end(),
+                       [&bound](const std::string& v) {
+                         return bound.count(v) > 0;
+                       });
+  };
+  switch (lit.kind) {
+    case LiteralKind::kAtom:
+      return true;
+    case LiteralKind::kCondition: {
+      std::set<std::string> vars;
+      CollectExprVars(lit.expr, vars);
+      return all_bound(vars);
+    }
+    case LiteralKind::kAssign: {
+      std::set<std::string> vars;
+      CollectExprVars(lit.expr, vars);
+      return all_bound(vars);
+    }
+  }
+  return false;
+}
+
+void BindLiteral(const Literal& lit, std::set<std::string>& bound) {
+  switch (lit.kind) {
+    case LiteralKind::kAtom: {
+      // An atom binds its plain variable args and says variable; function
+      // terms inside atoms do not bind (they are evaluated and compared).
+      for (const Term& t : lit.atom.args) {
+        if (t.kind == TermKind::kVariable) bound.insert(t.name);
+      }
+      if (lit.atom.says.has_value() &&
+          lit.atom.says->kind == TermKind::kVariable) {
+        bound.insert(lit.atom.says->name);
+      }
+      break;
+    }
+    case LiteralKind::kAssign:
+      bound.insert(lit.assign_var);
+      break;
+    case LiteralKind::kCondition:
+      break;
+  }
+}
+
+// Checks that function terms used inside atom arguments only read variables
+// bound *before* this atom (we do not invert functions).
+Status CheckAtomFunctionArgs(const Rule& rule, const Atom& atom,
+                             const std::set<std::string>& bound_before) {
+  for (const Term& t : atom.args) {
+    if (t.kind != TermKind::kFunction) continue;
+    std::set<std::string> vars;
+    CollectTermVars(t, vars);
+    for (const std::string& v : vars) {
+      if (bound_before.count(v) == 0) {
+        return RuleError(rule, "function argument uses unbound variable " + v);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckNoAggregates(const Rule& rule, const Atom& atom) {
+  for (const Term& t : atom.args) {
+    if (t.kind == TermKind::kAggregate) {
+      return RuleError(rule, "aggregates are only allowed in rule heads");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status AnalyzeRule(Rule& rule, bool sendlog) {
+  // --- Dialect-specific shape checks -------------------------------------
+  if (sendlog) {
+    if (!rule.context.has_value()) {
+      return RuleError(rule, "SeNDlog rule outside an At block");
+    }
+    if (rule.head.loc_index >= 0) {
+      return RuleError(rule,
+                       "SeNDlog heads use '@Dest' after the atom, not a "
+                       "location attribute");
+    }
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == LiteralKind::kAtom && lit.atom.loc_index >= 0) {
+        return RuleError(rule, "SeNDlog body atoms carry no '@' attribute");
+      }
+    }
+    if (rule.head_dest.has_value() &&
+        rule.head_dest->kind == TermKind::kFunction) {
+      return RuleError(rule, "head destination must be a variable or constant");
+    }
+  } else {
+    if (rule.head_dest.has_value()) {
+      return RuleError(rule, "NDlog heads place '@' on an attribute instead "
+                             "of a destination suffix");
+    }
+    if (rule.head.loc_index < 0) {
+      return RuleError(rule, "NDlog head needs a location specifier");
+    }
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != LiteralKind::kAtom) continue;
+      if (lit.atom.loc_index < 0) {
+        return RuleError(rule, "NDlog body atom " + lit.atom.predicate +
+                                   " needs a location specifier");
+      }
+      if (lit.atom.says.has_value()) {
+        return RuleError(rule, "'says' requires the SeNDlog dialect");
+      }
+      const Term& loc = lit.atom.args[lit.atom.loc_index];
+      if (loc.kind != TermKind::kVariable &&
+          loc.kind != TermKind::kConstant) {
+        return RuleError(rule, "location specifier must be a variable or "
+                               "constant");
+      }
+    }
+  }
+
+  // Says principals must be variables or constants.
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == LiteralKind::kAtom && lit.atom.says.has_value()) {
+      const Term& p = *lit.atom.says;
+      if (p.kind != TermKind::kVariable && p.kind != TermKind::kConstant) {
+        return RuleError(rule, "says principal must be a variable or constant");
+      }
+    }
+  }
+
+  // Aggregates only in the head; at most one; head must not be says-tagged.
+  int agg_count = 0;
+  for (const Term& t : rule.head.args) {
+    if (t.kind == TermKind::kAggregate) ++agg_count;
+  }
+  if (agg_count > 1) {
+    return RuleError(rule, "at most one aggregate per head");
+  }
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == LiteralKind::kAtom) {
+      PROVNET_RETURN_IF_ERROR(CheckNoAggregates(rule, lit.atom));
+    }
+  }
+
+  // --- Greedy sideways-information-passing schedule -----------------------
+  // Repeatedly pick the first schedulable literal; atoms always qualify.
+  // This both validates boundedness and fixes the evaluation order used by
+  // the planner.
+  std::vector<Literal> pending = std::move(rule.body);
+  std::vector<Literal> ordered;
+  std::set<std::string> bound;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!IsSchedulable(pending[i], bound)) continue;
+      if (pending[i].kind == LiteralKind::kAtom) {
+        PROVNET_RETURN_IF_ERROR(
+            CheckAtomFunctionArgs(rule, pending[i].atom, bound));
+      }
+      BindLiteral(pending[i], bound);
+      ordered.push_back(std::move(pending[i]));
+      pending.erase(pending.begin() + static_cast<long>(i));
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      std::set<std::string> missing;
+      for (const Literal& lit : pending) {
+        std::set<std::string> vars;
+        if (lit.kind == LiteralKind::kAtom) {
+          CollectAtomVars(lit.atom, vars);
+        } else {
+          CollectExprVars(lit.expr, vars);
+        }
+        for (const std::string& v : vars) {
+          if (bound.count(v) == 0) missing.insert(v);
+        }
+      }
+      return RuleError(
+          rule, "cannot order body literals; unbound: " +
+                    StrJoin(std::vector<std::string>(missing.begin(),
+                                                     missing.end()),
+                            ", "));
+    }
+  }
+  rule.body = std::move(ordered);
+
+  // --- Head safety ---------------------------------------------------------
+  std::set<std::string> head_vars;
+  for (const Term& t : rule.head.args) CollectTermVars(t, head_vars);
+  if (rule.head_dest.has_value()) CollectTermVars(*rule.head_dest, head_vars);
+  for (const std::string& v : head_vars) {
+    if (bound.count(v) > 0) continue;
+    // The SeNDlog context variable is implicitly bound to the local node.
+    if (sendlog && rule.context.has_value() && v == *rule.context) continue;
+    return RuleError(rule, "head variable " + v + " is not bound by the body");
+  }
+
+  // NDlog: head location variable must be bound (checked above as a head
+  // var) and body must contain at least one atom for recursive rules.
+  if (!sendlog && rule.body.empty()) {
+    return RuleError(rule, "NDlog rules need a non-empty body (use facts "
+                           "for ground tuples)");
+  }
+  return OkStatus();
+}
+
+Status AnalyzeProgram(Program& program) {
+  for (const MaterializeDecl& decl : program.materialize) {
+    if (decl.predicate.empty()) {
+      return InvalidArgumentError("materialize: empty predicate");
+    }
+    for (int k : decl.key_positions) {
+      if (k < 1) {
+        return InvalidArgumentError("materialize " + decl.predicate +
+                                    ": key positions are 1-based");
+      }
+    }
+  }
+  for (Rule& rule : program.rules) {
+    PROVNET_RETURN_IF_ERROR(AnalyzeRule(rule, program.sendlog));
+  }
+  for (const Atom& fact : program.facts) {
+    for (const Term& t : fact.args) {
+      if (t.kind != TermKind::kConstant) {
+        return InvalidArgumentError("fact " + fact.predicate +
+                                    " has non-constant arguments");
+      }
+    }
+    if (!program.sendlog && fact.loc_index < 0) {
+      // Convention: a fact whose first argument is an address constant is
+      // stored at that address (P2 places tuples by their first attribute).
+      bool first_is_address =
+          !fact.args.empty() && fact.args[0].kind == TermKind::kConstant &&
+          fact.args[0].constant.kind() == ValueKind::kAddress;
+      if (!first_is_address) {
+        return InvalidArgumentError("NDlog fact " + fact.predicate +
+                                    " needs a location specifier");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet

@@ -1,0 +1,43 @@
+// Semantic analysis: safety (range restriction), location well-formedness,
+// and dialect checks. Programs must pass Analyze() before planning.
+#ifndef PROVNET_DATALOG_ANALYSIS_H_
+#define PROVNET_DATALOG_ANALYSIS_H_
+
+#include <set>
+#include <string>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// Collects the variables of a term (recursively for functions).
+void CollectTermVars(const Term& term, std::set<std::string>& out);
+
+// Collects the variables of an expression.
+void CollectExprVars(const Expr& expr, std::set<std::string>& out);
+
+// Variables bound by matching an atom (its variable arguments, and the says
+// principal variable if present).
+void CollectAtomVars(const Atom& atom, std::set<std::string>& out);
+
+// Checks one rule:
+//  * body literals can be ordered so each condition/assignment/function only
+//    reads bound variables (atoms always bind; assignments bind their target)
+//  * every head variable is bound by the body
+//  * aggregates appear only in the head; their variable is bound
+//  * NDlog dialect: every atom carries a location specifier, head location
+//    variable is bound in the body
+//  * SeNDlog dialect: atoms carry no location specifiers; the head
+//    destination variable, if any, is bound; says-principal terms are
+//    variables or constants
+// On success also *reorders* rule.body into an evaluable order.
+Status AnalyzeRule(Rule& rule, bool sendlog);
+
+// Checks every rule in the program (reordering bodies in place) plus
+// materialize declarations (known arity conflicts, valid key positions).
+Status AnalyzeProgram(Program& program);
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_ANALYSIS_H_

@@ -1,0 +1,184 @@
+#include "datalog/ast.h"
+
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kNone: return "none";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kCount: return "count";
+  }
+  return "?";
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = TermKind::kVariable;
+  t.name = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.kind = TermKind::kConstant;
+  t.constant = std::move(v);
+  return t;
+}
+
+Term Term::Func(std::string name, std::vector<Term> args) {
+  Term t;
+  t.kind = TermKind::kFunction;
+  t.name = std::move(name);
+  t.args = std::move(args);
+  return t;
+}
+
+Term Term::Aggregate(AggKind agg, std::string var) {
+  Term t;
+  t.kind = TermKind::kAggregate;
+  t.agg = agg;
+  t.name = std::move(var);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kVariable:
+      return name;
+    case TermKind::kConstant:
+      return constant.ToString();
+    case TermKind::kFunction: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const Term& a : args) parts.push_back(a.ToString());
+      return name + "(" + StrJoin(parts, ", ") + ")";
+    }
+    case TermKind::kAggregate:
+      return std::string(AggKindName(agg)) + "<" + name + ">";
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string s = args[i].ToString();
+    if (static_cast<int>(i) == loc_index) s = "@" + s;
+    parts.push_back(std::move(s));
+  }
+  std::string out = predicate + "(" + StrJoin(parts, ", ") + ")";
+  if (says.has_value()) out = says->ToString() + " says " + out;
+  return out;
+}
+
+const char* ExprOpName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kTerm: return "<term>";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Expr Expr::Leaf(Term t) {
+  Expr e;
+  e.op = ExprOp::kTerm;
+  e.term = std::move(t);
+  return e;
+}
+
+Expr Expr::Binary(ExprOp op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.op = op;
+  e.children.push_back(std::move(lhs));
+  e.children.push_back(std::move(rhs));
+  return e;
+}
+
+bool Expr::IsComparison() const {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Expr::ToString() const {
+  if (op == ExprOp::kTerm) return term.ToString();
+  return "(" + children[0].ToString() + " " + ExprOpName(op) + " " +
+         children[1].ToString() + ")";
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case LiteralKind::kAtom:
+      return atom.ToString();
+    case LiteralKind::kCondition:
+      return expr.ToString();
+    case LiteralKind::kAssign:
+      return assign_var + " := " + expr.ToString();
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  if (!label.empty()) out += label + " ";
+  out += head.ToString();
+  if (head_dest.has_value()) out += "@" + head_dest->ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    std::vector<std::string> parts;
+    parts.reserve(body.size());
+    for (const Literal& l : body) parts.push_back(l.ToString());
+    out += StrJoin(parts, ", ");
+  }
+  out += ".";
+  return out;
+}
+
+std::string MaterializeDecl::ToString() const {
+  std::vector<std::string> keys;
+  keys.reserve(key_positions.size());
+  for (int k : key_positions) keys.push_back(std::to_string(k));
+  std::string ttl = ttl_seconds < 0 ? "infinity" : StrFormat("%g", ttl_seconds);
+  std::string size = max_size < 0 ? "infinity" : std::to_string(max_size);
+  return "materialize(" + predicate + ", " + ttl + ", " + size + ", keys(" +
+         StrJoin(keys, ",") + ")).";
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const MaterializeDecl& m : materialize) out += m.ToString() + "\n";
+  std::optional<std::string> open_context;
+  for (const Rule& r : rules) {
+    if (r.context != open_context) {
+      open_context = r.context;
+      if (open_context.has_value()) out += "At " + *open_context + ":\n";
+    }
+    out += (open_context.has_value() ? "  " : "") + r.ToString() + "\n";
+  }
+  for (const Atom& f : facts) out += f.ToString() + ".\n";
+  return out;
+}
+
+}  // namespace provnet

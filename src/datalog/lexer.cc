@@ -1,0 +1,254 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+    case TokenKind::kVariable:
+      return "'" + text + "'";
+    case TokenKind::kInt:
+      return std::to_string(int_value);
+    case TokenKind::kDouble:
+      return StrFormat("%g", double_value);
+    case TokenKind::kString:
+      return "\"" + text + "\"";
+    default:
+      return TokenKindName(kind);
+  }
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  char PeekAhead() const {
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+Status LexError(const Cursor& c, const std::string& message) {
+  return InvalidArgumentError(StrFormat("lex error at %d:%d: %s", c.line(),
+                                        c.column(), message.c_str()));
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor c(source);
+
+  auto push = [&tokens, &c](TokenKind kind) -> Token& {
+    Token t;
+    t.kind = kind;
+    t.line = c.line();
+    t.column = c.column();
+    tokens.push_back(std::move(t));
+    return tokens.back();
+  };
+
+  while (!c.AtEnd()) {
+    char ch = c.Peek();
+    // Whitespace.
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      c.Advance();
+      continue;
+    }
+    // Comments.
+    if (ch == '#' || (ch == '/' && c.PeekAhead() == '/')) {
+      while (!c.AtEnd() && c.Peek() != '\n') c.Advance();
+      continue;
+    }
+    // Identifiers and variables.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      bool is_var = std::isupper(static_cast<unsigned char>(ch)) || ch == '_';
+      Token& t = push(is_var ? TokenKind::kVariable : TokenKind::kIdent);
+      std::string text;
+      while (!c.AtEnd() &&
+             (std::isalnum(static_cast<unsigned char>(c.Peek())) ||
+              c.Peek() == '_')) {
+        text.push_back(c.Advance());
+      }
+      t.text = std::move(text);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      Token& t = push(TokenKind::kInt);
+      std::string text;
+      bool is_double = false;
+      while (!c.AtEnd() &&
+             std::isdigit(static_cast<unsigned char>(c.Peek()))) {
+        text.push_back(c.Advance());
+      }
+      if (c.Peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(c.PeekAhead()))) {
+        is_double = true;
+        text.push_back(c.Advance());  // '.'
+        while (!c.AtEnd() &&
+               std::isdigit(static_cast<unsigned char>(c.Peek()))) {
+          text.push_back(c.Advance());
+        }
+      }
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::stod(text);
+      } else {
+        t.int_value = std::stoll(text);
+      }
+      continue;
+    }
+    // Strings.
+    if (ch == '"') {
+      Token& t = push(TokenKind::kString);
+      c.Advance();  // opening quote
+      std::string text;
+      while (true) {
+        if (c.AtEnd()) return LexError(c, "unterminated string literal");
+        char s = c.Advance();
+        if (s == '"') break;
+        if (s == '\\') {
+          if (c.AtEnd()) return LexError(c, "unterminated escape");
+          char e = c.Advance();
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '"': text.push_back('"'); break;
+            case '\\': text.push_back('\\'); break;
+            default:
+              return LexError(c, std::string("bad escape \\") + e);
+          }
+        } else {
+          text.push_back(s);
+        }
+      }
+      t.text = std::move(text);
+      continue;
+    }
+    // Punctuation / operators.
+    switch (ch) {
+      case '(': c.Advance(); push(TokenKind::kLParen); break;
+      case ')': c.Advance(); push(TokenKind::kRParen); break;
+      case ',': c.Advance(); push(TokenKind::kComma); break;
+      case '.': c.Advance(); push(TokenKind::kPeriod); break;
+      case '@': c.Advance(); push(TokenKind::kAt); break;
+      case '+': c.Advance(); push(TokenKind::kPlus); break;
+      case '-': c.Advance(); push(TokenKind::kMinus); break;
+      case '*': c.Advance(); push(TokenKind::kStar); break;
+      case '/': c.Advance(); push(TokenKind::kSlash); break;
+      case '%': c.Advance(); push(TokenKind::kPercent); break;
+      case ':':
+        c.Advance();
+        if (c.Peek() == '-') {
+          c.Advance();
+          push(TokenKind::kImplies);
+        } else if (c.Peek() == '=') {
+          c.Advance();
+          push(TokenKind::kAssign);
+        } else {
+          push(TokenKind::kColon);
+        }
+        break;
+      case '<':
+        c.Advance();
+        if (c.Peek() == '=') {
+          c.Advance();
+          push(TokenKind::kLe);
+        } else {
+          push(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        c.Advance();
+        if (c.Peek() == '=') {
+          c.Advance();
+          push(TokenKind::kGe);
+        } else {
+          push(TokenKind::kGt);
+        }
+        break;
+      case '=':
+        c.Advance();
+        if (c.Peek() == '=') {
+          c.Advance();
+          push(TokenKind::kEq);
+        } else {
+          return LexError(c, "'=' must be '==' (or ':=' for assignment)");
+        }
+        break;
+      case '!':
+        c.Advance();
+        if (c.Peek() == '=') {
+          c.Advance();
+          push(TokenKind::kNe);
+        } else {
+          return LexError(c, "'!' must be '!='");
+        }
+        break;
+      default:
+        return LexError(c, std::string("unexpected character '") + ch + "'");
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace provnet

@@ -1,0 +1,59 @@
+// Tokenizer for NDlog / SeNDlog source text.
+#ifndef PROVNET_DATALOG_LEXER_H_
+#define PROVNET_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace provnet {
+
+enum class TokenKind : uint8_t {
+  kEnd = 0,
+  kIdent,     // starts with a lowercase letter: predicates, functions, keywords
+  kVariable,  // starts with an uppercase letter or '_': variables, "At"
+  kInt,
+  kDouble,
+  kString,    // "..." (escapes: \" \\ \n \t)
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kPeriod,    // .
+  kAt,        // @
+  kColon,     // :
+  kImplies,   // :-
+  kAssign,    // :=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEq,        // ==
+  kNe,        // !=
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // *
+  kSlash,     // /
+  kPercent,   // %
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier/variable/string payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+// Tokenizes the whole input. Comments run from "//" or "#" to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_LEXER_H_

@@ -1,0 +1,194 @@
+#include "datalog/localize.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/analysis.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+std::string LocalizedRule::ToString() const {
+  std::string out = rule.ToString();
+  out += "   // at " + local_var;
+  if (send_to.has_value()) out += ", send to " + send_to->ToString();
+  if (synthesized) out += " (synthesized)";
+  return out;
+}
+
+namespace {
+
+// Returns the location variable name of an NDlog atom. Constant locations
+// are rejected earlier for body atoms in rules we rewrite.
+Result<std::string> LocVarOf(const Atom& atom) {
+  if (atom.loc_index < 0) {
+    return InvalidArgumentError("atom " + atom.predicate +
+                                " lacks a location specifier");
+  }
+  const Term& loc = atom.args[atom.loc_index];
+  if (loc.kind != TermKind::kVariable) {
+    return InvalidArgumentError("atom " + atom.predicate +
+                                " has a constant location; rewrite expects a "
+                                "variable");
+  }
+  return loc.name;
+}
+
+// Localizes one NDlog rule, appending results to `out` and aux predicate
+// names to `aux`.
+Status LocalizeNdlogRule(const Rule& input, std::vector<LocalizedRule>& out,
+                         std::vector<std::string>& aux) {
+  Rule rule = input;
+
+  // Location groups in first-occurrence order over atom literals.
+  auto group_order = [&rule]() -> Result<std::vector<std::string>> {
+    std::vector<std::string> order;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != LiteralKind::kAtom) continue;
+      PROVNET_ASSIGN_OR_RETURN(std::string loc, LocVarOf(lit.atom));
+      if (std::find(order.begin(), order.end(), loc) == order.end()) {
+        order.push_back(loc);
+      }
+    }
+    return order;
+  };
+
+  PROVNET_ASSIGN_OR_RETURN(std::vector<std::string> groups, group_order());
+  if (groups.empty()) {
+    return InvalidArgumentError("rule " + rule.head.predicate +
+                                " has no body atoms to localize");
+  }
+
+  int ship_counter = 0;
+  while (groups.size() > 1) {
+    const std::string& from_loc = groups[0];
+    const std::string& to_loc = groups[1];
+
+    // Partition body literals: atoms at from_loc move into the ship rule;
+    // everything else stays.
+    std::vector<Literal> shipped;
+    std::vector<Literal> rest;
+    for (Literal& lit : rule.body) {
+      if (lit.kind == LiteralKind::kAtom) {
+        PROVNET_ASSIGN_OR_RETURN(std::string loc, LocVarOf(lit.atom));
+        if (loc == from_loc) {
+          shipped.push_back(std::move(lit));
+          continue;
+        }
+      }
+      rest.push_back(std::move(lit));
+    }
+
+    // Variables bound by the shipped atoms.
+    std::set<std::string> shipped_vars;
+    for (const Literal& lit : shipped) CollectAtomVars(lit.atom, shipped_vars);
+    if (shipped_vars.count(to_loc) == 0) {
+      return InvalidArgumentError(
+          "rule " + (rule.label.empty() ? rule.head.predicate : rule.label) +
+          ": cannot localize; destination " + to_loc +
+          " is not bound by the atoms at " + from_loc);
+    }
+
+    // Variables the remainder of the rule still needs.
+    std::set<std::string> needed;
+    for (const Literal& lit : rest) {
+      if (lit.kind == LiteralKind::kAtom) {
+        CollectAtomVars(lit.atom, needed);
+      } else {
+        CollectExprVars(lit.expr, needed);
+        if (lit.kind == LiteralKind::kAssign) needed.insert(lit.assign_var);
+      }
+    }
+    for (const Term& t : rule.head.args) CollectTermVars(t, needed);
+
+    // Project: destination first (it becomes the aux location), then every
+    // shipped variable the rest of the rule uses.
+    std::vector<std::string> projected;
+    projected.push_back(to_loc);
+    for (const std::string& v : shipped_vars) {
+      if (v != to_loc && needed.count(v) > 0) projected.push_back(v);
+    }
+
+    std::string aux_name =
+        (rule.label.empty() ? rule.head.predicate : rule.label) + "_ship" +
+        std::to_string(++ship_counter);
+    aux.push_back(aux_name);
+
+    // Ship rule: aux(@ToLoc, V...) :- shipped-atoms.  Runs at from_loc.
+    Rule ship_rule;
+    ship_rule.label = aux_name;
+    ship_rule.head.predicate = aux_name;
+    for (const std::string& v : projected) {
+      ship_rule.head.args.push_back(Term::Var(v));
+    }
+    ship_rule.head.loc_index = 0;
+    ship_rule.body = std::move(shipped);
+    ship_rule.context = rule.context;
+
+    LocalizedRule localized_ship;
+    localized_ship.rule = std::move(ship_rule);
+    localized_ship.local_var = from_loc;
+    localized_ship.send_to = Term::Var(to_loc);
+    localized_ship.synthesized = true;
+    out.push_back(std::move(localized_ship));
+
+    // Replace the shipped atoms with the aux atom in the original rule.
+    Literal aux_lit;
+    aux_lit.kind = LiteralKind::kAtom;
+    aux_lit.atom.predicate = aux_name;
+    for (const std::string& v : projected) {
+      aux_lit.atom.args.push_back(Term::Var(v));
+    }
+    aux_lit.atom.loc_index = 0;
+    rule.body.clear();
+    rule.body.push_back(std::move(aux_lit));
+    for (Literal& lit : rest) rule.body.push_back(std::move(lit));
+
+    PROVNET_ASSIGN_OR_RETURN(groups, group_order());
+  }
+
+  // Single body location now; determine head shipping.
+  const std::string& body_loc = groups[0];
+  const Term& head_loc = rule.head.args[rule.head.loc_index];
+
+  LocalizedRule localized;
+  localized.local_var = body_loc;
+  if (head_loc.kind == TermKind::kVariable && head_loc.name == body_loc) {
+    localized.send_to = std::nullopt;  // stays local
+  } else {
+    localized.send_to = head_loc;
+  }
+  localized.rule = std::move(rule);
+  out.push_back(std::move(localized));
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<LocalizedProgram> LocalizeProgram(const Program& program) {
+  LocalizedProgram out;
+  out.sendlog = program.sendlog;
+  for (const Rule& rule : program.rules) {
+    if (program.sendlog) {
+      LocalizedRule localized;
+      localized.rule = rule;
+      localized.local_var = rule.context.value_or("");
+      if (localized.local_var.empty()) {
+        return InvalidArgumentError("SeNDlog rule outside an At block");
+      }
+      if (rule.head_dest.has_value()) {
+        const Term& dest = *rule.head_dest;
+        bool self_dest = dest.kind == TermKind::kVariable &&
+                         dest.name == localized.local_var;
+        if (!self_dest) localized.send_to = dest;
+      }
+      out.rules.push_back(std::move(localized));
+    } else {
+      PROVNET_RETURN_IF_ERROR(
+          LocalizeNdlogRule(rule, out.rules, out.aux_predicates));
+    }
+  }
+  return out;
+}
+
+}  // namespace provnet

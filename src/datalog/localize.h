@@ -1,0 +1,61 @@
+// Localization rewrite (Loo et al., SIGMOD'06; Section 2.2 of the paper:
+// "an additional localization rewrite ensures that all rule bodies are
+// localized within a context").
+//
+// Input: an analyzed Program. Output: LocalizedRules whose bodies reference
+// only tuples stored at one node, each annotated with
+//   * local_var  - variable bound to the executing node's own address
+//   * send_to    - where the head tuple ships (empty = stays local)
+//
+// NDlog rules whose bodies span multiple location variables are split by
+// introducing auxiliary "ship" predicates. The classic example:
+//
+//   r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+// becomes
+//   r2_ship1 r2_aux1(@Z,S) :- link(@S,Z).              (at S, send to Z)
+//   r2       reachable(@S,D) :- r2_aux1(@Z,S),
+//                                reachable(@Z,D).      (at Z, send to S)
+//
+// SeNDlog rules are localized by construction (bodies live in the local
+// context); they pass through with local_var = context variable.
+#ifndef PROVNET_DATALOG_LOCALIZE_H_
+#define PROVNET_DATALOG_LOCALIZE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace provnet {
+
+struct LocalizedRule {
+  Rule rule;
+  // Variable denoting the executing node (its address). For NDlog this is
+  // the shared body location variable; for SeNDlog the context variable.
+  std::string local_var;
+  // If set, the head tuple is sent to the address this term evaluates to;
+  // otherwise it is stored locally.
+  std::optional<Term> send_to;
+  // True for auxiliary ship rules synthesized by the rewrite.
+  bool synthesized = false;
+
+  std::string ToString() const;
+};
+
+// Auxiliary predicates introduced by the rewrite must be materialized at the
+// receiving node; the rewrite reports them so the engine can create tables.
+struct LocalizedProgram {
+  std::vector<LocalizedRule> rules;
+  std::vector<std::string> aux_predicates;
+  bool sendlog = false;
+};
+
+// Rewrites an analyzed program. Fails when a rule's body cannot be
+// localized (e.g. a location variable never bound at the shipping site).
+Result<LocalizedProgram> LocalizeProgram(const Program& program);
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_LOCALIZE_H_

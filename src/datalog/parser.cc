@@ -1,0 +1,387 @@
+#include "datalog/parser.h"
+
+#include "datalog/lexer.h"
+#include "util/strings.h"
+
+namespace provnet {
+namespace {
+
+bool IsFunctionName(const std::string& name) {
+  return StartsWith(name, "f_");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    std::optional<std::string> context;
+    while (!Check(TokenKind::kEnd)) {
+      // "At S:" opens a SeNDlog context block.
+      if (Check(TokenKind::kVariable) && Peek().text == "At" &&
+          PeekAhead().kind == TokenKind::kVariable) {
+        Advance();
+        Token var = Advance();
+        PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kColon, "after At <Var>"));
+        context = var.text;
+        program.sendlog = true;
+        continue;
+      }
+      if (Check(TokenKind::kIdent) && Peek().text == "materialize") {
+        PROVNET_ASSIGN_OR_RETURN(MaterializeDecl decl, ParseMaterialize());
+        program.materialize.push_back(std::move(decl));
+        continue;
+      }
+      PROVNET_ASSIGN_OR_RETURN(Rule rule, ParseRuleOrFact());
+      rule.context = context;
+      if (rule.body.empty() && !rule.head_dest.has_value() &&
+          IsGround(rule.head)) {
+        program.facts.push_back(std::move(rule.head));
+      } else {
+        program.rules.push_back(std::move(rule));
+      }
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    PROVNET_ASSIGN_OR_RETURN(Rule rule, ParseRuleOrFact());
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "after rule"));
+    return rule;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead() const {
+    return pos_ + 1 < tokens_.size() ? tokens_[pos_ + 1] : tokens_.back();
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return InvalidArgumentError(StrFormat("parse error at %d:%d: %s (got %s)",
+                                          t.line, t.column, message.c_str(),
+                                          t.Describe().c_str()));
+  }
+
+  Status Expect(TokenKind kind, const std::string& where) {
+    if (Match(kind)) return OkStatus();
+    return Error(std::string("expected ") + TokenKindName(kind) + " " + where);
+  }
+
+  static bool IsGround(const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.kind != TermKind::kConstant) return false;
+    }
+    return !atom.says.has_value();
+  }
+
+  Result<MaterializeDecl> ParseMaterialize() {
+    Advance();  // "materialize"
+    MaterializeDecl decl;
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after materialize"));
+    if (!Check(TokenKind::kIdent)) return Error("expected predicate name");
+    decl.predicate = Advance().text;
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kComma, "after predicate"));
+
+    // TTL: number or "infinity".
+    if (Check(TokenKind::kIdent) && Peek().text == "infinity") {
+      Advance();
+      decl.ttl_seconds = -1.0;
+    } else if (Check(TokenKind::kInt)) {
+      decl.ttl_seconds = static_cast<double>(Advance().int_value);
+    } else if (Check(TokenKind::kDouble)) {
+      decl.ttl_seconds = Advance().double_value;
+    } else {
+      return Error("expected TTL (seconds or infinity)");
+    }
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kComma, "after TTL"));
+
+    // Size: integer or "infinity".
+    if (Check(TokenKind::kIdent) && Peek().text == "infinity") {
+      Advance();
+      decl.max_size = -1;
+    } else if (Check(TokenKind::kInt)) {
+      decl.max_size = Advance().int_value;
+    } else {
+      return Error("expected max table size (count or infinity)");
+    }
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kComma, "after size"));
+
+    if (!(Check(TokenKind::kIdent) && Peek().text == "keys")) {
+      return Error("expected keys(...)");
+    }
+    Advance();
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after keys"));
+    while (true) {
+      if (!Check(TokenKind::kInt)) return Error("expected key position");
+      decl.key_positions.push_back(static_cast<int>(Advance().int_value));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after key list"));
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after keys(...)"));
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "after materialize"));
+    return decl;
+  }
+
+  Result<Rule> ParseRuleOrFact() {
+    Rule rule;
+    // Optional label: IDENT immediately followed by IDENT (the head
+    // predicate). "r2 reachable(...)".
+    if (Check(TokenKind::kIdent) && PeekAhead().kind == TokenKind::kIdent) {
+      rule.label = Advance().text;
+    }
+    PROVNET_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*allow_agg=*/true));
+    if (Match(TokenKind::kAt)) {
+      if (Check(TokenKind::kInt)) {
+        // "@3" destination: an address constant.
+        Token t = Advance();
+        if (t.int_value < 0 || t.int_value > UINT32_MAX) {
+          return Error("destination address out of range");
+        }
+        rule.head_dest =
+            Term::Const(Value::Address(static_cast<NodeId>(t.int_value)));
+      } else {
+        PROVNET_ASSIGN_OR_RETURN(Term dest, ParseTerm());
+        rule.head_dest = std::move(dest);
+      }
+    }
+    if (Match(TokenKind::kImplies)) {
+      while (true) {
+        PROVNET_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        rule.body.push_back(std::move(lit));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "at end of rule"));
+    return rule;
+  }
+
+  Result<Literal> ParseLiteral() {
+    // Assignment: VARIABLE ":=" expr.
+    if (Check(TokenKind::kVariable) &&
+        PeekAhead().kind == TokenKind::kAssign) {
+      Literal lit;
+      lit.kind = LiteralKind::kAssign;
+      lit.assign_var = Advance().text;
+      Advance();  // :=
+      PROVNET_ASSIGN_OR_RETURN(lit.expr, ParseExpr());
+      return lit;
+    }
+    // Plain atom: IDENT "(" with a non-function name.
+    if (Check(TokenKind::kIdent) && PeekAhead().kind == TokenKind::kLParen &&
+        !IsFunctionName(Peek().text)) {
+      Literal lit;
+      lit.kind = LiteralKind::kAtom;
+      PROVNET_ASSIGN_OR_RETURN(lit.atom, ParseAtom(/*allow_agg=*/false));
+      return lit;
+    }
+    // "P says atom": a term followed by the 'says' keyword.
+    if ((Check(TokenKind::kVariable) || Check(TokenKind::kIdent)) &&
+        PeekAhead().kind == TokenKind::kIdent && PeekAhead().text == "says") {
+      PROVNET_ASSIGN_OR_RETURN(Term principal, ParseTerm());
+      Advance();  // says
+      Literal lit;
+      lit.kind = LiteralKind::kAtom;
+      PROVNET_ASSIGN_OR_RETURN(lit.atom, ParseAtom(/*allow_agg=*/false));
+      lit.atom.says = std::move(principal);
+      return lit;
+    }
+    // Otherwise: a boolean condition.
+    Literal lit;
+    lit.kind = LiteralKind::kCondition;
+    PROVNET_ASSIGN_OR_RETURN(lit.expr, ParseExpr());
+    if (!lit.expr.IsComparison()) {
+      return Error("body expression must be a comparison");
+    }
+    return lit;
+  }
+
+  Result<Atom> ParseAtom(bool allow_agg) {
+    Atom atom;
+    if (!Check(TokenKind::kIdent)) return Error("expected predicate name");
+    atom.predicate = Advance().text;
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after predicate"));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        // Location marker.
+        bool is_loc = false;
+        if (Check(TokenKind::kAt)) {
+          // "@X" or address literal "@3": the former marks the location
+          // attribute, the latter is an address constant.
+          if (PeekAhead().kind != TokenKind::kInt) {
+            Advance();
+            is_loc = true;
+          }
+        }
+        // Aggregate argument (head only).
+        if (allow_agg && Check(TokenKind::kIdent) &&
+            (Peek().text == "min" || Peek().text == "max" ||
+             Peek().text == "count") &&
+            PeekAhead().kind == TokenKind::kLt) {
+          AggKind agg = Peek().text == "min"
+                            ? AggKind::kMin
+                            : (Peek().text == "max" ? AggKind::kMax
+                                                    : AggKind::kCount);
+          Advance();  // agg name
+          Advance();  // '<'
+          if (!Check(TokenKind::kVariable)) {
+            return Error("expected variable inside aggregate");
+          }
+          std::string var = Advance().text;
+          PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kGt, "after aggregate"));
+          atom.args.push_back(Term::Aggregate(agg, std::move(var)));
+        } else {
+          PROVNET_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          atom.args.push_back(std::move(t));
+        }
+        if (is_loc) {
+          if (atom.loc_index >= 0) {
+            return Error("multiple location specifiers in one atom");
+          }
+          atom.loc_index = static_cast<int>(atom.args.size()) - 1;
+        }
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after arguments"));
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    // Address literal @3.
+    if (Check(TokenKind::kAt) && PeekAhead().kind == TokenKind::kInt) {
+      Advance();
+      Token t = Advance();
+      if (t.int_value < 0 || t.int_value > UINT32_MAX) {
+        return Error("address literal out of range");
+      }
+      return Term::Const(Value::Address(static_cast<NodeId>(t.int_value)));
+    }
+    if (Check(TokenKind::kVariable)) {
+      return Term::Var(Advance().text);
+    }
+    if (Check(TokenKind::kInt)) {
+      return Term::Const(Value::Int(Advance().int_value));
+    }
+    if (Check(TokenKind::kDouble)) {
+      return Term::Const(Value::Real(Advance().double_value));
+    }
+    if (Check(TokenKind::kString)) {
+      return Term::Const(Value::Str(Advance().text));
+    }
+    if (Check(TokenKind::kMinus)) {
+      Advance();
+      if (Check(TokenKind::kInt)) {
+        return Term::Const(Value::Int(-Advance().int_value));
+      }
+      if (Check(TokenKind::kDouble)) {
+        return Term::Const(Value::Real(-Advance().double_value));
+      }
+      return Error("expected number after unary minus");
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Advance().text;
+      if (IsFunctionName(name)) {
+        std::vector<Term> args;
+        PROVNET_RETURN_IF_ERROR(
+            Expect(TokenKind::kLParen, "after function name"));
+        if (!Check(TokenKind::kRParen)) {
+          while (true) {
+            PROVNET_ASSIGN_OR_RETURN(Term t, ParseTerm());
+            args.push_back(std::move(t));
+            if (!Match(TokenKind::kComma)) break;
+          }
+        }
+        PROVNET_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "after function arguments"));
+        return Term::Func(std::move(name), std::move(args));
+      }
+      // Bare lowercase identifier: a string constant (e.g. principal "a").
+      return Term::Const(Value::Str(std::move(name)));
+    }
+    return Error("expected a term");
+  }
+
+  // expr := add_expr [cmp add_expr]
+  Result<Expr> ParseExpr() {
+    PROVNET_ASSIGN_OR_RETURN(Expr lhs, ParseAddExpr());
+    ExprOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = ExprOp::kEq; break;
+      case TokenKind::kNe: op = ExprOp::kNe; break;
+      case TokenKind::kLt: op = ExprOp::kLt; break;
+      case TokenKind::kLe: op = ExprOp::kLe; break;
+      case TokenKind::kGt: op = ExprOp::kGt; break;
+      case TokenKind::kGe: op = ExprOp::kGe; break;
+      default:
+        return lhs;
+    }
+    Advance();
+    PROVNET_ASSIGN_OR_RETURN(Expr rhs, ParseAddExpr());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Expr> ParseAddExpr() {
+    PROVNET_ASSIGN_OR_RETURN(Expr lhs, ParseMulExpr());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      ExprOp op = Check(TokenKind::kPlus) ? ExprOp::kAdd : ExprOp::kSub;
+      Advance();
+      PROVNET_ASSIGN_OR_RETURN(Expr rhs, ParseMulExpr());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseMulExpr() {
+    PROVNET_ASSIGN_OR_RETURN(Expr lhs, ParseUnaryExpr());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+           Check(TokenKind::kPercent)) {
+      ExprOp op = Check(TokenKind::kStar)
+                      ? ExprOp::kMul
+                      : (Check(TokenKind::kSlash) ? ExprOp::kDiv
+                                                  : ExprOp::kMod);
+      Advance();
+      PROVNET_ASSIGN_OR_RETURN(Expr rhs, ParseUnaryExpr());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseUnaryExpr() {
+    if (Match(TokenKind::kLParen)) {
+      PROVNET_ASSIGN_OR_RETURN(Expr inner, ParseExpr());
+      PROVNET_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after expression"));
+      return inner;
+    }
+    PROVNET_ASSIGN_OR_RETURN(Term t, ParseTerm());
+    return Expr::Leaf(std::move(t));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  PROVNET_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(const std::string& source) {
+  PROVNET_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleRule();
+}
+
+}  // namespace provnet

@@ -1,0 +1,42 @@
+// Recursive-descent parser for NDlog / SeNDlog.
+//
+// Grammar sketch (see DESIGN.md §5):
+//
+//   program    := { item }
+//   item       := "At" VARIABLE ":" | materialize | rule_or_fact
+//   materialize:= "materialize" "(" ident "," ttl "," size ","
+//                 "keys" "(" int {"," int} ")" ")" "."
+//   rule_or_fact := [label] head [ "@" term ] [ ":-" body ] "."
+//   head       := atom
+//   body       := literal { "," literal }
+//   literal    := [term "says"] atom | VARIABLE ":=" expr | expr
+//   atom       := ident "(" atom_arg { "," atom_arg } ")"
+//   atom_arg   := ["@"] term | agg
+//   agg        := ("min"|"max"|"count") "<" VARIABLE ">"
+//   term       := VARIABLE | constant | f_ident "(" [term {"," term}] ")"
+//   constant   := INT | DOUBLE | STRING | "-" number | ident | "@" INT
+//
+// Conventions: function names must begin with "f_" (distinguishes them from
+// predicates); a bare lowercase ident as a term is a string constant
+// (handy for principals a, b, c in the paper's figures); "@N" with integer N
+// is a node-address literal.
+#ifndef PROVNET_DATALOG_PARSER_H_
+#define PROVNET_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// Parses a whole program. Errors carry line:column positions.
+Result<Program> ParseProgram(const std::string& source);
+
+// Parses a single rule (no "At" blocks, no trailing facts); convenience for
+// tests and interactive use.
+Result<Rule> ParseRule(const std::string& source);
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_PARSER_H_

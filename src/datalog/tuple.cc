@@ -1,0 +1,56 @@
+#include "datalog/tuple.h"
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+bool Tuple::operator<(const Tuple& other) const {
+  if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+  size_t n = std::min(args_.size(), other.args_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = args_[i].Compare(other.args_[i]);
+    if (c != 0) return c < 0;
+  }
+  return args_.size() < other.args_.size();
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = Fnv1a64(predicate_);
+  for (const Value& v : args_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const Value& v : args_) parts.push_back(v.ToString());
+  return predicate_ + "(" + StrJoin(parts, ", ") + ")";
+}
+
+void Tuple::Serialize(ByteWriter& out) const {
+  out.PutString(predicate_);
+  out.PutVarint(args_.size());
+  for (const Value& v : args_) v.Serialize(out);
+}
+
+Result<Tuple> Tuple::Deserialize(ByteReader& in) {
+  PROVNET_ASSIGN_OR_RETURN(std::string pred, in.GetString());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t n, in.GetVarint());
+  if (n > in.remaining()) return InvalidArgumentError("tuple arity too large");
+  std::vector<Value> args;
+  args.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, Value::Deserialize(in));
+    args.push_back(std::move(v));
+  }
+  return Tuple(std::move(pred), std::move(args));
+}
+
+size_t Tuple::WireSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+}  // namespace provnet

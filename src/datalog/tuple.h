@@ -1,0 +1,57 @@
+// Tuples: a predicate name plus a vector of values. The unit of storage,
+// messaging, and provenance annotation.
+#ifndef PROVNET_DATALOG_TUPLE_H_
+#define PROVNET_DATALOG_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::string predicate, std::vector<Value> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Value>& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+  const Value& arg(size_t i) const { return args_[i]; }
+
+  bool operator==(const Tuple& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  uint64_t Hash() const;
+
+  // "link(@0, @1, 5)".
+  std::string ToString() const;
+
+  void Serialize(ByteWriter& out) const;
+  static Result<Tuple> Deserialize(ByteReader& in);
+
+  // Serialized size in bytes (what the tuple costs on the wire).
+  size_t WireSize() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Value> args_;
+};
+
+// Hash functor for hash maps keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(t.Hash());
+  }
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_TUPLE_H_

@@ -1,0 +1,273 @@
+#include "datalog/value.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kAddress:
+      return "address";
+    case ValueKind::kList:
+      return "list";
+  }
+  return "?";
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Real(double v) {
+  Value out;
+  out.kind_ = ValueKind::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::Address(NodeId v) {
+  Value out;
+  out.kind_ = ValueKind::kAddress;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::List(std::vector<Value> items) {
+  Value out;
+  out.kind_ = ValueKind::kList;
+  out.list_ = std::make_shared<const std::vector<Value>>(std::move(items));
+  return out;
+}
+
+int64_t Value::AsInt() const {
+  PROVNET_CHECK(kind_ == ValueKind::kInt) << "AsInt on " << ValueKindName(kind_);
+  return int_;
+}
+
+double Value::AsDouble() const {
+  PROVNET_CHECK(kind_ == ValueKind::kDouble)
+      << "AsDouble on " << ValueKindName(kind_);
+  return double_;
+}
+
+const std::string& Value::AsString() const {
+  PROVNET_CHECK(kind_ == ValueKind::kString)
+      << "AsString on " << ValueKindName(kind_);
+  return string_;
+}
+
+NodeId Value::AsAddress() const {
+  PROVNET_CHECK(kind_ == ValueKind::kAddress)
+      << "AsAddress on " << ValueKindName(kind_);
+  return static_cast<NodeId>(int_);
+}
+
+const std::vector<Value>& Value::AsList() const {
+  PROVNET_CHECK(kind_ == ValueKind::kList)
+      << "AsList on " << ValueKindName(kind_);
+  return *list_;
+}
+
+Result<double> Value::ToNumber() const {
+  switch (kind_) {
+    case ValueKind::kInt:
+      return static_cast<double>(int_);
+    case ValueKind::kDouble:
+      return double_;
+    default:
+      return InvalidArgumentError(std::string("not numeric: ") +
+                                  ValueKindName(kind_));
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  return Compare(other) == 0;
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric kinds compare by value across int/double so "C < 5" behaves
+  // naturally; all other cross-kind comparisons order by the kind tag.
+  bool self_num = kind_ == ValueKind::kInt || kind_ == ValueKind::kDouble;
+  bool other_num =
+      other.kind_ == ValueKind::kInt || other.kind_ == ValueKind::kDouble;
+  if (self_num && other_num) {
+    if (kind_ == ValueKind::kInt && other.kind_ == ValueKind::kInt) {
+      if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+      return 0;
+    }
+    double a = kind_ == ValueKind::kInt ? static_cast<double>(int_) : double_;
+    double b = other.kind_ == ValueKind::kInt
+                   ? static_cast<double>(other.int_)
+                   : other.double_;
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kString: {
+      int c = string_.compare(other.string_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kAddress: {
+      if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+      return 0;
+    }
+    case ValueKind::kList: {
+      const auto& a = *list_;
+      const auto& b = *other.list_;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+    default:
+      PROVNET_CHECK(false) << "unreachable";
+      return 0;
+  }
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kInt:
+    case ValueKind::kAddress:
+      h = HashCombine(h, static_cast<uint64_t>(int_));
+      break;
+    case ValueKind::kDouble: {
+      // Normalize -0.0 so equal doubles hash equally.
+      double d = double_ == 0.0 ? 0.0 : double_;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case ValueKind::kString:
+      h = HashCombine(h, Fnv1a64(string_));
+      break;
+    case ValueKind::kList:
+      for (const Value& v : *list_) h = HashCombine(h, v.Hash());
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kDouble:
+      return StrFormat("%g", double_);
+    case ValueKind::kString:
+      return "\"" + string_ + "\"";
+    case ValueKind::kAddress:
+      return "@" + std::to_string(int_);
+    case ValueKind::kList: {
+      std::vector<std::string> parts;
+      parts.reserve(list_->size());
+      for (const Value& v : *list_) parts.push_back(v.ToString());
+      return "[" + StrJoin(parts, ", ") + "]";
+    }
+  }
+  return "?";
+}
+
+void Value::Serialize(ByteWriter& out) const {
+  out.PutU8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kInt:
+      out.PutI64(int_);
+      break;
+    case ValueKind::kDouble:
+      out.PutDouble(double_);
+      break;
+    case ValueKind::kString:
+      out.PutString(string_);
+      break;
+    case ValueKind::kAddress:
+      out.PutVarint(static_cast<uint64_t>(int_));
+      break;
+    case ValueKind::kList:
+      out.PutVarint(list_->size());
+      for (const Value& v : *list_) v.Serialize(out);
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(ByteReader& in) {
+  PROVNET_ASSIGN_OR_RETURN(uint8_t tag, in.GetU8());
+  if (tag > static_cast<uint8_t>(ValueKind::kList)) {
+    return InvalidArgumentError("bad value kind tag");
+  }
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kNull:
+      return Value();
+    case ValueKind::kInt: {
+      PROVNET_ASSIGN_OR_RETURN(int64_t v, in.GetI64());
+      return Int(v);
+    }
+    case ValueKind::kDouble: {
+      PROVNET_ASSIGN_OR_RETURN(double v, in.GetDouble());
+      return Real(v);
+    }
+    case ValueKind::kString: {
+      PROVNET_ASSIGN_OR_RETURN(std::string v, in.GetString());
+      return Str(std::move(v));
+    }
+    case ValueKind::kAddress: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t v, in.GetVarint());
+      if (v > UINT32_MAX) return InvalidArgumentError("address overflow");
+      return Address(static_cast<NodeId>(v));
+    }
+    case ValueKind::kList: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t n, in.GetVarint());
+      if (n > in.remaining()) return InvalidArgumentError("list too long");
+      std::vector<Value> items;
+      items.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PROVNET_ASSIGN_OR_RETURN(Value v, Deserialize(in));
+        items.push_back(std::move(v));
+      }
+      return List(std::move(items));
+    }
+  }
+  return InternalError("unreachable");
+}
+
+}  // namespace provnet

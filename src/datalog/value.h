@@ -1,0 +1,86 @@
+// Runtime values flowing through NDlog/SeNDlog dataflows.
+//
+// NDlog attributes are dynamically typed. The kinds mirror what P2 supported
+// for the paper's workloads: integers, doubles, strings, node addresses
+// (location specifiers), and lists (path vectors for the Best-Path query).
+#ifndef PROVNET_DATALOG_VALUE_H_
+#define PROVNET_DATALOG_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// Identifies a simulated node; doubles as the value of location-specifier
+// attributes.
+using NodeId = uint32_t;
+
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kAddress = 4,
+  kList = 5,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+class Value {
+ public:
+  // Null value.
+  Value() = default;
+
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value Str(std::string v);
+  static Value Address(NodeId v);
+  static Value List(std::vector<Value> items);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+
+  // Accessors abort on kind mismatch (programming error); use kind() first
+  // for data-dependent paths.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  NodeId AsAddress() const;
+  const std::vector<Value>& AsList() const;
+
+  // Numeric coercion: ints widen to double; errors otherwise.
+  Result<double> ToNumber() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Total order across kinds (kind tag first, then value); gives tables a
+  // deterministic sort and makes MIN/MAX aggregates well defined.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const;
+
+  // "42", "3.5", "\"abc\"", "@7", "[@1, @2]".
+  std::string ToString() const;
+
+  void Serialize(ByteWriter& out) const;
+  static Result<Value> Deserialize(ByteReader& in);
+
+ private:
+  ValueKind kind_ = ValueKind::kNull;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // List payload is shared so copying tuples with long path vectors is cheap.
+  std::shared_ptr<const std::vector<Value>> list_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_DATALOG_VALUE_H_

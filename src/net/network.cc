@@ -1,0 +1,85 @@
+#include "net/network.h"
+
+#include "util/logging.h"
+
+namespace provnet {
+namespace {
+
+uint64_t PairKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+Network::Network(size_t num_nodes, double default_latency_s)
+    : num_nodes_(num_nodes),
+      default_latency_(default_latency_s),
+      tx_bytes_(num_nodes, 0),
+      rx_bytes_(num_nodes, 0) {}
+
+void Network::SetLatency(NodeId from, NodeId to, double latency_s) {
+  link_latency_[PairKey(from, to)] = latency_s;
+}
+
+double Network::LatencyOf(NodeId from, NodeId to) const {
+  auto it = link_latency_.find(PairKey(from, to));
+  return it == link_latency_.end() ? default_latency_ : it->second;
+}
+
+Status Network::Send(NodeId from, NodeId to, Bytes payload) {
+  if (from >= num_nodes_ || to >= num_nodes_) {
+    return InvalidArgumentError("Send: node id out of range");
+  }
+  NetMessage msg;
+  msg.from = from;
+  msg.to = to;
+  msg.send_time = now_;
+  msg.deliver_time = now_ + LatencyOf(from, to);
+  msg.seq = seq_++;
+  total_bytes_ += payload.size();
+  total_messages_ += 1;
+  tx_bytes_[from] += payload.size();
+  rx_bytes_[to] += payload.size();
+  msg.payload = std::move(payload);
+  queue_.push(std::move(msg));
+  return OkStatus();
+}
+
+bool Network::Step() {
+  if (queue_.empty()) return false;
+  NetMessage msg = queue_.top();
+  queue_.pop();
+  now_ = msg.deliver_time;
+  if (handler_) handler_(msg.to, msg.from, msg.payload);
+  return true;
+}
+
+size_t Network::Run(size_t max_messages) {
+  size_t delivered = 0;
+  while (delivered < max_messages && Step()) ++delivered;
+  return delivered;
+}
+
+void Network::AdvanceTime(double seconds) {
+  PROVNET_CHECK(seconds >= 0);
+  now_ += seconds;
+}
+
+uint64_t Network::bytes_sent_by(NodeId node) const {
+  PROVNET_CHECK(node < num_nodes_);
+  return tx_bytes_[node];
+}
+
+uint64_t Network::bytes_received_by(NodeId node) const {
+  PROVNET_CHECK(node < num_nodes_);
+  return rx_bytes_[node];
+}
+
+void Network::ResetMeters() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  tx_bytes_.assign(num_nodes_, 0);
+  rx_bytes_.assign(num_nodes_, 0);
+}
+
+}  // namespace provnet

@@ -1,0 +1,100 @@
+// Discrete-event network simulator.
+//
+// Replaces the paper's deployment of up to 100 P2 OS processes on one host.
+// All node contexts run in-process; messages are serialized byte buffers
+// delivered through a virtual-time priority queue. Two meters drive the
+// evaluation:
+//   * bandwidth  - every payload byte enqueued via Send() is charged to the
+//     sender, the receiver, and the global counter (Figure 4's metric);
+//   * time       - virtual time advances by per-link latency, and the
+//     caller separately measures real wall-clock work (Figure 3's metric,
+//     since the paper's numbers are CPU-bound on one host too).
+#ifndef PROVNET_NET_NETWORK_H_
+#define PROVNET_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+struct NetMessage {
+  NodeId from = 0;
+  NodeId to = 0;
+  Bytes payload;
+  double send_time = 0.0;
+  double deliver_time = 0.0;
+  uint64_t seq = 0;  // FIFO tie-break for equal delivery times
+};
+
+class Network {
+ public:
+  // `default_latency_s` applies to pairs without an explicit link latency.
+  explicit Network(size_t num_nodes, double default_latency_s = 0.01);
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  // Overrides the latency of the (from, to) pair.
+  void SetLatency(NodeId from, NodeId to, double latency_s);
+
+  // Enqueues a message for delivery at now + latency. Bytes are charged to
+  // the meters immediately.
+  Status Send(NodeId from, NodeId to, Bytes payload);
+
+  // Delivery callback: (to, from, payload).
+  using Handler = std::function<void(NodeId, NodeId, const Bytes&)>;
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  // Delivers the next message (advancing virtual time). False when idle.
+  bool Step();
+
+  // Runs until no messages remain or `max_messages` deliveries happened.
+  // Returns the number of deliveries.
+  size_t Run(size_t max_messages = SIZE_MAX);
+
+  bool Idle() const { return queue_.empty(); }
+  double now() const { return now_; }
+  // Advances virtual time when the network is idle (for TTL experiments).
+  void AdvanceTime(double seconds);
+
+  // --- Meters ---------------------------------------------------------------
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t bytes_sent_by(NodeId node) const;
+  uint64_t bytes_received_by(NodeId node) const;
+  void ResetMeters();
+
+ private:
+  struct Later {
+    bool operator()(const NetMessage& a, const NetMessage& b) const {
+      if (a.deliver_time != b.deliver_time) {
+        return a.deliver_time > b.deliver_time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  double LatencyOf(NodeId from, NodeId to) const;
+
+  size_t num_nodes_;
+  double default_latency_;
+  std::unordered_map<uint64_t, double> link_latency_;  // key = from<<32|to
+  Handler handler_;
+  std::priority_queue<NetMessage, std::vector<NetMessage>, Later> queue_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+  std::vector<uint64_t> tx_bytes_;
+  std::vector<uint64_t> rx_bytes_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_NET_NETWORK_H_

@@ -1,0 +1,96 @@
+#include "net/topology.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+Topology Topology::FigureAbc() {
+  Topology t;
+  t.num_nodes = 3;
+  t.edges = {{0, 1, 1}, {0, 2, 1}, {1, 2, 1}};
+  return t;
+}
+
+Topology Topology::RandomOutDegree(size_t n, size_t outdegree, Rng& rng,
+                                   int64_t min_cost, int64_t max_cost) {
+  PROVNET_CHECK(n >= 2);
+  PROVNET_CHECK(outdegree < n) << "outdegree must leave room for distinct "
+                                  "targets";
+  Topology t;
+  t.num_nodes = n;
+  for (NodeId from = 0; from < n; ++from) {
+    std::set<NodeId> targets;
+    while (targets.size() < outdegree) {
+      NodeId to = static_cast<NodeId>(rng.NextBelow(n));
+      if (to == from) continue;
+      targets.insert(to);
+    }
+    for (NodeId to : targets) {
+      t.edges.push_back({from, to, rng.NextInRange(min_cost, max_cost)});
+    }
+  }
+  return t;
+}
+
+Topology Topology::RingPlusRandom(size_t n, size_t outdegree, Rng& rng,
+                                  int64_t min_cost, int64_t max_cost) {
+  PROVNET_CHECK(n >= 2);
+  PROVNET_CHECK(outdegree >= 1 && outdegree < n);
+  Topology t;
+  t.num_nodes = n;
+  for (NodeId from = 0; from < n; ++from) {
+    NodeId ring_to = static_cast<NodeId>((from + 1) % n);
+    std::set<NodeId> targets{ring_to};
+    while (targets.size() < outdegree) {
+      NodeId to = static_cast<NodeId>(rng.NextBelow(n));
+      if (to == from) continue;
+      targets.insert(to);
+    }
+    for (NodeId to : targets) {
+      t.edges.push_back({from, to, rng.NextInRange(min_cost, max_cost)});
+    }
+  }
+  return t;
+}
+
+Topology Topology::Line(size_t n) {
+  PROVNET_CHECK(n >= 1);
+  Topology t;
+  t.num_nodes = n;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    t.edges.push_back({i, static_cast<NodeId>(i + 1), 1});
+  }
+  return t;
+}
+
+Topology Topology::FullMesh(size_t n) {
+  PROVNET_CHECK(n >= 1);
+  Topology t;
+  t.num_nodes = n;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j) t.edges.push_back({i, j, 1});
+    }
+  }
+  return t;
+}
+
+double Topology::AverageOutDegree() const {
+  if (num_nodes == 0) return 0.0;
+  return static_cast<double>(edges.size()) / static_cast<double>(num_nodes);
+}
+
+std::string Topology::ToString() const {
+  std::string out = StrFormat("topology(n=%zu, edges=%zu, avg_out=%.2f)\n",
+                              num_nodes, edges.size(), AverageOutDegree());
+  for (const TopoEdge& e : edges) {
+    out += StrFormat("  %u -> %u cost %lld\n", e.from, e.to,
+                     static_cast<long long>(e.cost));
+  }
+  return out;
+}
+
+}  // namespace provnet

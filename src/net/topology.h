@@ -1,0 +1,56 @@
+// Topology generators for the evaluation workloads.
+//
+// The paper's Section 6 workload: "we insert link tables for N nodes with
+// average outdegree of three", N from 10 to 100. RandomOutDegree reproduces
+// that; RingPlusRandom is the connected variant used by the figure benches
+// (a Hamiltonian ring guarantees the recursive query reaches a global
+// fixpoint involving all nodes, keeping run-to-run variance low).
+#ifndef PROVNET_NET_TOPOLOGY_H_
+#define PROVNET_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/random.h"
+
+namespace provnet {
+
+struct TopoEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  int64_t cost = 1;
+};
+
+struct Topology {
+  size_t num_nodes = 0;
+  std::vector<TopoEdge> edges;
+
+  // The 3-node example of Figures 1-2: links a->b, a->c, b->c
+  // (a=0, b=1, c=2), unit costs.
+  static Topology FigureAbc();
+
+  // Every node gets exactly `outdegree` random distinct targets; costs
+  // uniform in [min_cost, max_cost]. May be disconnected (as in the paper).
+  static Topology RandomOutDegree(size_t n, size_t outdegree, Rng& rng,
+                                  int64_t min_cost = 1, int64_t max_cost = 10);
+
+  // Ring i -> i+1 plus (outdegree - 1) random extra links per node; exactly
+  // `outdegree` out-links per node and strongly connected.
+  static Topology RingPlusRandom(size_t n, size_t outdegree, Rng& rng,
+                                 int64_t min_cost = 1, int64_t max_cost = 10);
+
+  // Simple chain 0 -> 1 -> ... -> n-1 (unit costs).
+  static Topology Line(size_t n);
+
+  // Full mesh without self loops (unit costs).
+  static Topology FullMesh(size_t n);
+
+  double AverageOutDegree() const;
+  std::string ToString() const;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_NET_TOPOLOGY_H_

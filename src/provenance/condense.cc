@@ -1,0 +1,124 @@
+#include "provenance/condense.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace provnet {
+
+ProvExpr CondensedProv::ToExpr() const {
+  ProvExpr sum = ProvExpr::Zero();
+  for (const auto& cube : cubes) {
+    ProvExpr product = ProvExpr::One();
+    for (ProvVar v : cube) product = ProvExpr::Times(product, ProvExpr::Var(v));
+    sum = ProvExpr::Plus(sum, product);
+  }
+  return sum;
+}
+
+std::string CondensedProv::ToString(
+    const std::function<std::string(ProvVar)>& var_name) const {
+  if (IsZero()) return "<0>";
+  std::vector<std::string> terms;
+  terms.reserve(cubes.size());
+  for (const auto& cube : cubes) {
+    if (cube.empty()) {
+      terms.push_back("1");
+      continue;
+    }
+    std::vector<std::string> factors;
+    factors.reserve(cube.size());
+    for (ProvVar v : cube) factors.push_back(var_name(v));
+    terms.push_back(StrJoin(factors, "*"));
+  }
+  return "<" + StrJoin(terms, " + ") + ">";
+}
+
+std::string CondensedProv::ToString() const {
+  return ToString([](ProvVar v) { return "v" + std::to_string(v); });
+}
+
+void CondensedProv::Serialize(ByteWriter& out) const {
+  out.PutVarint(cubes.size());
+  for (const auto& cube : cubes) {
+    out.PutVarint(cube.size());
+    for (ProvVar v : cube) out.PutVarint(v);
+  }
+}
+
+Result<CondensedProv> CondensedProv::Deserialize(ByteReader& in) {
+  CondensedProv out;
+  PROVNET_ASSIGN_OR_RETURN(uint64_t n, in.GetVarint());
+  if (n > in.remaining()) return InvalidArgumentError("too many cubes");
+  out.cubes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PROVNET_ASSIGN_OR_RETURN(uint64_t k, in.GetVarint());
+    if (k > in.remaining()) return InvalidArgumentError("cube too large");
+    std::vector<ProvVar> cube;
+    cube.reserve(k);
+    for (uint64_t j = 0; j < k; ++j) {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t v, in.GetVarint());
+      if (v > UINT32_MAX) return InvalidArgumentError("prov var overflow");
+      cube.push_back(static_cast<ProvVar>(v));
+    }
+    out.cubes.push_back(std::move(cube));
+  }
+  return out;
+}
+
+size_t CondensedProv::WireSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+bool CondensedProv::SatisfiedBy(const std::vector<ProvVar>& trusted) const {
+  for (const auto& cube : cubes) {
+    bool all = true;
+    for (ProvVar v : cube) {
+      if (std::find(trusted.begin(), trusted.end(), v) == trusted.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+size_t CondensedProv::MinWitnessSize() const {
+  size_t best = SIZE_MAX;
+  for (const auto& cube : cubes) best = std::min(best, cube.size());
+  return best;
+}
+
+BddRef ProvToBdd(const ProvExpr& expr, BddManager& mgr) {
+  switch (expr.kind()) {
+    case ProvExprKind::kZero:
+      return mgr.False();
+    case ProvExprKind::kOne:
+      return mgr.True();
+    case ProvExprKind::kVar:
+      return mgr.Var(expr.var());
+    case ProvExprKind::kPlus:
+      return mgr.Or(ProvToBdd(expr.left(), mgr), ProvToBdd(expr.right(), mgr));
+    case ProvExprKind::kTimes:
+      return mgr.And(ProvToBdd(expr.left(), mgr),
+                     ProvToBdd(expr.right(), mgr));
+  }
+  return mgr.False();
+}
+
+CondensedProv Condense(const ProvExpr& expr, BddManager& mgr) {
+  BddRef f = ProvToBdd(expr, mgr);
+  CondensedProv out;
+  out.cubes = mgr.MonotoneCubes(f);
+  return out;
+}
+
+CondensedProv Condense(const ProvExpr& expr) {
+  BddManager mgr;
+  return Condense(expr, mgr);
+}
+
+}  // namespace provnet

@@ -1,0 +1,66 @@
+// Condensed provenance (Section 4.4): encode a provenance polynomial as a
+// boolean function in a BDD, exploit canonicity for absorption
+// (<a + a*b> -> <a>), and read back the minimal sum-of-products form.
+//
+// The condensed form is both the compact *wire* representation (what
+// SeNDLogProv piggybacks on tuples) and the input to source-origin trust
+// decisions (a receiving node only needs the minimal support sets).
+#ifndef PROVNET_PROVENANCE_CONDENSE_H_
+#define PROVNET_PROVENANCE_CONDENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "provenance/prov_expr.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// A condensed annotation: minimal support sets (antichain of variable sets).
+// Empty cube list = unsatisfiable (zero); a single empty cube = One.
+struct CondensedProv {
+  std::vector<std::vector<ProvVar>> cubes;
+
+  bool IsZero() const { return cubes.empty(); }
+  bool IsOne() const { return cubes.size() == 1 && cubes[0].empty(); }
+
+  // Rebuilds a (minimal DNF) polynomial.
+  ProvExpr ToExpr() const;
+
+  // "<a + b*c>" rendering with a naming function.
+  std::string ToString(
+      const std::function<std::string(ProvVar)>& var_name) const;
+  std::string ToString() const;
+
+  // Wire encoding: varint cube count, then per cube varint size + var ids.
+  void Serialize(ByteWriter& out) const;
+  static Result<CondensedProv> Deserialize(ByteReader& in);
+  size_t WireSize() const;
+
+  // Trust helpers used by apps/trust:
+  //  * satisfied by a trusted set?
+  bool SatisfiedBy(const std::vector<ProvVar>& trusted) const;
+  //  * number of independent minimal witness sets (the paper's "vote").
+  size_t VoteCount() const { return cubes.size(); }
+  //  * size of the smallest witness set.
+  size_t MinWitnessSize() const;
+
+  bool operator==(const CondensedProv& other) const {
+    return cubes == other.cubes;
+  }
+};
+
+// Encodes `expr` into `mgr` (one BDD variable per ProvVar).
+BddRef ProvToBdd(const ProvExpr& expr, BddManager& mgr);
+
+// Full condensation pipeline: expr -> BDD -> minimal monotone cubes.
+CondensedProv Condense(const ProvExpr& expr, BddManager& mgr);
+
+// Convenience: condense with a throwaway manager.
+CondensedProv Condense(const ProvExpr& expr);
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_CONDENSE_H_

@@ -1,0 +1,294 @@
+#include "provenance/derivation.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace provnet {
+
+DerivationNode::DerivationNode(const DerivationNode& other)
+    : tuple(other.tuple),
+      rule(other.rule),
+      location(other.location),
+      asserted_by(other.asserted_by),
+      created_at(other.created_at),
+      ttl(other.ttl),
+      signature(other.signature),
+      children(other.children) {}
+
+DerivationNode& DerivationNode::operator=(const DerivationNode& other) {
+  tuple = other.tuple;
+  rule = other.rule;
+  location = other.location;
+  asserted_by = other.asserted_by;
+  created_at = other.created_at;
+  ttl = other.ttl;
+  signature = other.signature;
+  children = other.children;
+  digest_valid_ = false;
+  return *this;
+}
+
+Sha256Digest DerivationNode::ContentDigest() const {
+  if (digest_valid_) return digest_cache_;
+  ByteWriter w;
+  tuple.Serialize(w);
+  w.PutString(rule);
+  w.PutU32(location);
+  w.PutString(asserted_by);
+  w.PutDouble(created_at);
+  w.PutDouble(ttl);
+  for (const DerivationPtr& child : children) {
+    Sha256Digest d = child->ContentDigest();
+    w.PutRaw(d.data(), d.size());
+  }
+  digest_cache_ = Sha256::Hash(w.bytes());
+  digest_valid_ = true;
+  return digest_cache_;
+}
+
+size_t DerivationNode::TreeSize() const {
+  std::unordered_set<const DerivationNode*> seen;
+  std::vector<const DerivationNode*> stack{this};
+  while (!stack.empty()) {
+    const DerivationNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    for (const DerivationPtr& c : n->children) stack.push_back(c.get());
+  }
+  return seen.size();
+}
+
+size_t DerivationNode::TreeDepth() const {
+  std::unordered_map<const DerivationNode*, size_t> memo;
+  std::function<size_t(const DerivationNode*)> depth =
+      [&](const DerivationNode* n) -> size_t {
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    size_t best = 0;
+    for (const DerivationPtr& c : n->children) {
+      best = std::max(best, depth(c.get()));
+    }
+    memo.emplace(n, best + 1);
+    return best + 1;
+  };
+  return depth(this);
+}
+
+std::vector<Tuple> DerivationNode::Leaves() const {
+  std::vector<Tuple> out;
+  std::unordered_set<const DerivationNode*> seen;
+  std::function<void(const DerivationNode&)> walk =
+      [&](const DerivationNode& n) {
+        if (!seen.insert(&n).second) return;
+        if (n.children.empty()) {
+          out.push_back(n.tuple);
+          return;
+        }
+        for (const DerivationPtr& c : n.children) walk(*c);
+      };
+  walk(*this);
+  return out;
+}
+
+std::string DerivationNode::ToString(
+    const std::function<std::string(NodeId)>& node_name) const {
+  std::string out;
+  std::function<void(const DerivationNode&, int)> walk =
+      [&](const DerivationNode& n, int depth) {
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        out += n.tuple.ToString();
+        out += "  [" + n.rule + " @" + node_name(n.location);
+        if (!n.asserted_by.empty()) out += ", " + n.asserted_by + " says";
+        if (n.ttl >= 0) out += StrFormat(", t=%.2f ttl=%.0f", n.created_at, n.ttl);
+        if (!n.signature.empty()) out += ", signed";
+        out += "]\n";
+        for (const DerivationPtr& c : n.children) walk(*c, depth + 1);
+      };
+  walk(*this, 0);
+  return out;
+}
+
+std::string DerivationNode::ToString() const {
+  return ToString([](NodeId id) { return std::to_string(id); });
+}
+
+void DerivationNode::Serialize(ByteWriter& out) const {
+  // Children-first topological order over distinct nodes; children encoded
+  // as indices into that order. Sharing on the wire mirrors sharing in
+  // memory, keeping recursive-query provenance polynomial-sized.
+  std::vector<const DerivationNode*> order;
+  std::unordered_map<const DerivationNode*, uint64_t> index;
+  std::function<void(const DerivationNode*)> visit =
+      [&](const DerivationNode* n) {
+        if (index.count(n)) return;
+        for (const DerivationPtr& c : n->children) visit(c.get());
+        index.emplace(n, order.size());
+        order.push_back(n);
+      };
+  visit(this);
+
+  out.PutVarint(order.size());
+  for (const DerivationNode* n : order) {
+    n->tuple.Serialize(out);
+    out.PutString(n->rule);
+    out.PutU32(n->location);
+    out.PutString(n->asserted_by);
+    out.PutDouble(n->created_at);
+    out.PutDouble(n->ttl);
+    out.PutBlob(n->signature);
+    out.PutVarint(n->children.size());
+    for (const DerivationPtr& c : n->children) {
+      out.PutVarint(index.at(c.get()));
+    }
+  }
+}
+
+Result<DerivationPtr> DerivationNode::Deserialize(ByteReader& in) {
+  PROVNET_ASSIGN_OR_RETURN(uint64_t count, in.GetVarint());
+  if (count == 0 || count > in.remaining()) {
+    return InvalidArgumentError("bad derivation node count");
+  }
+  std::vector<std::shared_ptr<DerivationNode>> nodes;
+  nodes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto node = std::make_shared<DerivationNode>();
+    PROVNET_ASSIGN_OR_RETURN(node->tuple, Tuple::Deserialize(in));
+    PROVNET_ASSIGN_OR_RETURN(node->rule, in.GetString());
+    PROVNET_ASSIGN_OR_RETURN(node->location, in.GetU32());
+    PROVNET_ASSIGN_OR_RETURN(node->asserted_by, in.GetString());
+    PROVNET_ASSIGN_OR_RETURN(node->created_at, in.GetDouble());
+    PROVNET_ASSIGN_OR_RETURN(node->ttl, in.GetDouble());
+    PROVNET_ASSIGN_OR_RETURN(node->signature, in.GetBlob());
+    PROVNET_ASSIGN_OR_RETURN(uint64_t kids, in.GetVarint());
+    if (kids > in.remaining() + 1) {
+      return InvalidArgumentError("derivation child count too large");
+    }
+    for (uint64_t k = 0; k < kids; ++k) {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t child, in.GetVarint());
+      if (child >= i) {
+        return InvalidArgumentError("derivation child not topological");
+      }
+      node->children.push_back(nodes[child]);
+    }
+    nodes.push_back(std::move(node));
+  }
+  return DerivationPtr(nodes.back());
+}
+
+size_t DerivationNode::WireSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+DerivationPtr MakeBaseDerivation(Tuple tuple, NodeId location,
+                                 Principal asserted_by, double created_at,
+                                 double ttl) {
+  auto node = std::make_shared<DerivationNode>();
+  node->tuple = std::move(tuple);
+  node->rule = kBaseRule;
+  node->location = location;
+  node->asserted_by = std::move(asserted_by);
+  node->created_at = created_at;
+  node->ttl = ttl;
+  return node;
+}
+
+DerivationPtr MakeRuleDerivation(Tuple tuple, std::string rule,
+                                 NodeId location, Principal asserted_by,
+                                 double created_at, double ttl,
+                                 std::vector<DerivationPtr> children) {
+  auto node = std::make_shared<DerivationNode>();
+  node->tuple = std::move(tuple);
+  node->rule = std::move(rule);
+  node->location = location;
+  node->asserted_by = std::move(asserted_by);
+  node->created_at = created_at;
+  node->ttl = ttl;
+  node->children = std::move(children);
+  return node;
+}
+
+DerivationPtr MergeAlternatives(const DerivationPtr& a,
+                                const DerivationPtr& b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  auto node = std::make_shared<DerivationNode>();
+  node->tuple = a->tuple;
+  node->rule = kUnionRule;
+  node->location = a->location;
+  node->asserted_by = a->asserted_by;
+  node->created_at = std::min(a->created_at, b->created_at);
+  node->ttl = std::max(a->ttl, b->ttl);
+  auto append = [&node](const DerivationPtr& d) {
+    if (d->rule == kUnionRule) {
+      node->children.insert(node->children.end(), d->children.begin(),
+                            d->children.end());
+    } else {
+      node->children.push_back(d);
+    }
+  };
+  append(a);
+  append(b);
+  // Deduplicate identical alternatives by content digest.
+  std::unordered_set<std::string> seen;
+  std::vector<DerivationPtr> unique;
+  for (const DerivationPtr& c : node->children) {
+    Sha256Digest d = c->ContentDigest();
+    if (seen.insert(std::string(d.begin(), d.end())).second) {
+      unique.push_back(c);
+    }
+  }
+  if (unique.size() == 1) return unique[0];
+  node->children = std::move(unique);
+  return node;
+}
+
+Result<DerivationPtr> SignDerivation(const DerivationPtr& node,
+                                     Authenticator& auth, SaysLevel level) {
+  if (node->asserted_by.empty()) {
+    return FailedPreconditionError(
+        "cannot sign a derivation with no asserting principal");
+  }
+  auto copy = std::make_shared<DerivationNode>(*node);
+  copy->signature.clear();
+  Sha256Digest digest = copy->ContentDigest();
+  PROVNET_ASSIGN_OR_RETURN(
+      SaysTag tag, auth.Say(copy->asserted_by, DigestToBytes(digest), level));
+  // For cleartext says the proof is empty by design; store the level byte so
+  // verification knows what was promised.
+  ByteWriter w;
+  tag.Serialize(w);
+  copy->signature = std::move(w).Take();
+  return DerivationPtr(copy);
+}
+
+Status VerifyDerivationTree(const DerivationPtr& root, Authenticator& auth,
+                            bool require_signatures) {
+  if (root->signature.empty()) {
+    if (require_signatures && root->rule != kUnionRule) {
+      return UnauthenticatedError("unsigned derivation node for " +
+                                  root->tuple.ToString());
+    }
+  } else {
+    DerivationNode unsigned_copy = *root;
+    unsigned_copy.signature.clear();
+    Sha256Digest digest = unsigned_copy.ContentDigest();
+    ByteReader r(root->signature);
+    PROVNET_ASSIGN_OR_RETURN(SaysTag tag, SaysTag::Deserialize(r));
+    if (tag.principal != root->asserted_by) {
+      return UnauthenticatedError("signature principal mismatch for " +
+                                  root->tuple.ToString());
+    }
+    PROVNET_RETURN_IF_ERROR(auth.Verify(tag, DigestToBytes(digest)));
+  }
+  for (const DerivationPtr& c : root->children) {
+    PROVNET_RETURN_IF_ERROR(VerifyDerivationTree(c, auth, require_signatures));
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet

@@ -1,0 +1,108 @@
+// Derivation trees (Figures 1 and 2 of the paper) with the stream-provenance
+// annotations of Section 4: every node carries its location, creation
+// timestamp, and time-to-live; SeNDlog trees additionally carry the
+// asserting principal ("P says") and, for authenticated provenance
+// (Section 4.3), a digital signature over the node's content.
+#ifndef PROVNET_PROVENANCE_DERIVATION_H_
+#define PROVNET_PROVENANCE_DERIVATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/authenticator.h"
+#include "crypto/sha256.h"
+#include "datalog/tuple.h"
+#include "util/status.h"
+
+namespace provnet {
+
+struct DerivationNode;
+using DerivationPtr = std::shared_ptr<const DerivationNode>;
+
+// Rule-name conventions for non-rule nodes.
+inline constexpr char kBaseRule[] = "base";    // leaf (inserted fact)
+inline constexpr char kUnionRule[] = "union";  // alternative derivations
+
+// Derivations are DAGs in memory (sub-derivations are shared via
+// shared_ptr), and every operation here — digesting, sizing, serializing —
+// respects the sharing. A recursive query re-derives the same sub-tuple
+// exponentially often, so expanding the DAG to a tree anywhere would blow
+// up; the wire format therefore ships each distinct node once.
+struct DerivationNode {
+  DerivationNode() = default;
+  // Copies reset the digest memo (the copy is usually about to be edited).
+  DerivationNode(const DerivationNode& other);
+  DerivationNode& operator=(const DerivationNode& other);
+
+  Tuple tuple;
+  std::string rule;       // rule label, kBaseRule, or kUnionRule
+  NodeId location = 0;    // node where this step executed ("@" annotation)
+  Principal asserted_by;  // SeNDlog principal; empty in plain NDlog
+  double created_at = 0.0;
+  double ttl = -1.0;      // soft-state lifetime in seconds; -1 = infinite
+  Bytes signature;        // empty when unauthenticated
+  std::vector<DerivationPtr> children;
+
+  // Digest over content and child digests (a Merkle hash); what signatures
+  // cover and what distributed child references point at. Memoized per
+  // node; mutating a node after the first call is a programming error.
+  Sha256Digest ContentDigest() const;
+
+  size_t TreeSize() const;   // distinct DAG nodes reachable from here
+  size_t TreeDepth() const;  // 1 for a leaf
+
+  // Base tuples at the leaves (the inputs the paper says provenance must be
+  // able to recover from the tree); each distinct leaf reported once.
+  std::vector<Tuple> Leaves() const;
+
+  // Figure-1-style ASCII rendering (expands sharing; intended for the small
+  // illustrative trees of the examples).
+  std::string ToString(
+      const std::function<std::string(NodeId)>& node_name) const;
+  std::string ToString() const;
+
+  // DAG wire format: distinct nodes once, children by index.
+  void Serialize(ByteWriter& out) const;
+  static Result<DerivationPtr> Deserialize(ByteReader& in);
+  size_t WireSize() const;
+
+ private:
+  mutable bool digest_valid_ = false;
+  mutable Sha256Digest digest_cache_;
+};
+
+// Constructors -----------------------------------------------------------
+
+DerivationPtr MakeBaseDerivation(Tuple tuple, NodeId location,
+                                 Principal asserted_by, double created_at,
+                                 double ttl);
+
+DerivationPtr MakeRuleDerivation(Tuple tuple, std::string rule,
+                                 NodeId location, Principal asserted_by,
+                                 double created_at, double ttl,
+                                 std::vector<DerivationPtr> children);
+
+// Merges two derivations of the same tuple under a union node (collapses
+// nested unions so the union node's children are the individual
+// alternatives).
+DerivationPtr MergeAlternatives(const DerivationPtr& a,
+                                const DerivationPtr& b);
+
+// Authenticated provenance -------------------------------------------------
+
+// Returns a copy of `node` signed by `principal` (signature over the content
+// digest). Children are left untouched — each principal signs the step it
+// asserts, as in Figure 2.
+Result<DerivationPtr> SignDerivation(const DerivationPtr& node,
+                                     Authenticator& auth, SaysLevel level);
+
+// Verifies every signed node in the tree against its asserting principal.
+// Nodes with empty signatures fail when `require_signatures` is set.
+Status VerifyDerivationTree(const DerivationPtr& root, Authenticator& auth,
+                            bool require_signatures);
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_DERIVATION_H_

@@ -1,0 +1,113 @@
+#include "provenance/granularity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace provnet {
+
+AsMapping AsMapping::Blocks(size_t num_nodes, size_t nodes_per_as) {
+  PROVNET_CHECK(nodes_per_as >= 1);
+  std::vector<AsId> table(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    table[i] = static_cast<AsId>(i / nodes_per_as);
+  }
+  return AsMapping(std::move(table));
+}
+
+AsMapping::AsMapping(std::vector<AsId> node_to_as)
+    : node_to_as_(std::move(node_to_as)) {}
+
+AsId AsMapping::AsOf(NodeId node) const {
+  PROVNET_CHECK(node < node_to_as_.size()) << "node out of mapping range";
+  return node_to_as_[node];
+}
+
+size_t AsMapping::num_ases() const {
+  AsId max_as = 0;
+  for (AsId as : node_to_as_) max_as = std::max(max_as, as);
+  return node_to_as_.empty() ? 0 : static_cast<size_t>(max_as) + 1;
+}
+
+DerivationPtr ProjectDerivationToAs(const DerivationPtr& root,
+                                    const AsMapping& mapping) {
+  AsId as = mapping.AsOf(root->location);
+  // Merge: children in the same AS contribute their own children directly
+  // (the intra-AS step disappears); children in other ASes are projected
+  // recursively.
+  std::vector<DerivationPtr> projected_children;
+  std::function<void(const DerivationPtr&)> absorb =
+      [&](const DerivationPtr& child) {
+        AsId child_as = mapping.AsOf(child->location);
+        if (child_as == as && !child->children.empty()) {
+          for (const DerivationPtr& grand : child->children) absorb(grand);
+        } else {
+          projected_children.push_back(ProjectDerivationToAs(child, mapping));
+        }
+      };
+  for (const DerivationPtr& child : root->children) absorb(child);
+
+  auto node = std::make_shared<DerivationNode>(*root);
+  node->location = as;  // locations now denote ASes
+  node->children = std::move(projected_children);
+  return node;
+}
+
+CondensedProv ProjectCondensedToAs(
+    const CondensedProv& prov,
+    const std::function<ProvVar(ProvVar)>& var_to_as_var) {
+  CondensedProv out;
+  for (const auto& cube : prov.cubes) {
+    std::set<ProvVar> mapped;
+    for (ProvVar v : cube) mapped.insert(var_to_as_var(v));
+    out.cubes.emplace_back(mapped.begin(), mapped.end());
+  }
+  // Re-minimize: sort by size then apply absorption.
+  std::sort(out.cubes.begin(), out.cubes.end(),
+            [](const std::vector<ProvVar>& a, const std::vector<ProvVar>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<std::vector<ProvVar>> minimal;
+  for (const auto& cube : out.cubes) {
+    bool dominated = false;
+    for (const auto& kept : minimal) {
+      if (std::includes(cube.begin(), cube.end(), kept.begin(), kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated && (minimal.empty() || minimal.back() != cube)) {
+      minimal.push_back(cube);
+    }
+  }
+  std::sort(minimal.begin(), minimal.end());
+  minimal.erase(std::unique(minimal.begin(), minimal.end()), minimal.end());
+  out.cubes = std::move(minimal);
+  return out;
+}
+
+std::vector<AsId> AsPathOf(const DerivationPtr& root,
+                           const AsMapping& mapping) {
+  std::vector<AsId> path;
+  const DerivationNode* cur = root.get();
+  while (cur != nullptr) {
+    AsId as = mapping.AsOf(cur->location);
+    if (path.empty() || path.back() != as) path.push_back(as);
+    // Follow the deepest child.
+    const DerivationNode* next = nullptr;
+    size_t best_depth = 0;
+    for (const DerivationPtr& c : cur->children) {
+      size_t d = c->TreeDepth();
+      if (d > best_depth) {
+        best_depth = d;
+        next = c.get();
+      }
+    }
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace provnet

@@ -1,0 +1,53 @@
+// Provenance granularity (Section 5): aggregate provenance at the
+// autonomous-system level instead of per node/principal. Coarser provenance
+// cannot attribute blame to a single node, but it is sufficient for
+// aggregated events (e.g. spoofed-packet floods from a malicious AS) at a
+// fraction of the storage.
+#ifndef PROVNET_PROVENANCE_GRANULARITY_H_
+#define PROVNET_PROVENANCE_GRANULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "provenance/condense.h"
+#include "provenance/derivation.h"
+
+namespace provnet {
+
+using AsId = uint32_t;
+
+// Node -> AS assignment.
+class AsMapping {
+ public:
+  // Round-robin blocks: node i belongs to AS i / nodes_per_as.
+  static AsMapping Blocks(size_t num_nodes, size_t nodes_per_as);
+  // Explicit table.
+  explicit AsMapping(std::vector<AsId> node_to_as);
+
+  AsId AsOf(NodeId node) const;
+  size_t num_ases() const;
+  size_t num_nodes() const { return node_to_as_.size(); }
+
+ private:
+  std::vector<AsId> node_to_as_;
+};
+
+// Collapses a derivation tree to AS granularity: each node's location becomes
+// its AS, and chains of derivation steps within the same AS merge into one
+// step. The result is smaller but preserves inter-AS structure.
+DerivationPtr ProjectDerivationToAs(const DerivationPtr& root,
+                                    const AsMapping& mapping);
+
+// Projects a condensed annotation through var -> AS-var renaming (vars that
+// map to the same AS merge inside cubes) and re-minimizes by absorption.
+CondensedProv ProjectCondensedToAs(
+    const CondensedProv& prov,
+    const std::function<ProvVar(ProvVar)>& var_to_as_var);
+
+// AS-level path of a derivation: the sequence of distinct ASes encountered
+// on a root-to-deepest-leaf walk (consecutive duplicates removed).
+std::vector<AsId> AsPathOf(const DerivationPtr& root, const AsMapping& mapping);
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_GRANULARITY_H_

@@ -1,0 +1,235 @@
+#include "provenance/prov_expr.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace provnet {
+
+struct ProvExpr::Node {
+  ProvExprKind kind;
+  ProvVar var = 0;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+ProvExpr ProvExpr::Zero() { return ProvExpr(); }
+
+ProvExpr ProvExpr::One() {
+  // Shared singleton for One (Zero is the null pointer). Function-local
+  // static pointer avoids a non-trivially-destructible global.
+  static const auto* node = new std::shared_ptr<const Node>(
+      std::make_shared<const Node>(
+          Node{ProvExprKind::kOne, 0, nullptr, nullptr}));
+  return ProvExpr(*node);
+}
+
+ProvExpr ProvExpr::Var(ProvVar v) {
+  return ProvExpr(std::make_shared<const Node>(
+      Node{ProvExprKind::kVar, v, nullptr, nullptr}));
+}
+
+ProvExpr ProvExpr::Plus(const ProvExpr& a, const ProvExpr& b) {
+  // 0 + x = x; x + 0 = x.
+  if (a.IsZero()) return b;
+  if (b.IsZero()) return a;
+  // Re-observing the *same* derivation (shared node) is not a new
+  // alternative; keep unions idempotent on physical identity.
+  if (a.node_ == b.node_) return a;
+  ProvExpr out(std::make_shared<const Node>(
+      Node{ProvExprKind::kPlus, 0, a.node_, b.node_}));
+  return out;
+}
+
+ProvExpr ProvExpr::Times(const ProvExpr& a, const ProvExpr& b) {
+  // 0 * x = 0; 1 * x = x.
+  if (a.IsZero() || b.IsZero()) return Zero();
+  if (a.IsOne()) return b;
+  if (b.IsOne()) return a;
+  ProvExpr out(std::make_shared<const Node>(
+      Node{ProvExprKind::kTimes, 0, a.node_, b.node_}));
+  return out;
+}
+
+ProvExprKind ProvExpr::kind() const {
+  return node_ == nullptr ? ProvExprKind::kZero : node_->kind;
+}
+
+ProvVar ProvExpr::var() const {
+  PROVNET_CHECK(kind() == ProvExprKind::kVar);
+  return node_->var;
+}
+
+ProvExpr ProvExpr::left() const {
+  PROVNET_CHECK(kind() == ProvExprKind::kPlus ||
+                kind() == ProvExprKind::kTimes);
+  return ProvExpr(node_->left);
+}
+
+ProvExpr ProvExpr::right() const {
+  PROVNET_CHECK(kind() == ProvExprKind::kPlus ||
+                kind() == ProvExprKind::kTimes);
+  return ProvExpr(node_->right);
+}
+
+size_t ProvExpr::NodeCount() const {
+  if (node_ == nullptr) return 1;  // Zero counts as one conceptual node
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> stack{node_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n == nullptr || !seen.insert(n).second) continue;
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+  }
+  return seen.size();
+}
+
+std::vector<ProvVar> ProvExpr::Variables() const {
+  std::set<ProvVar> vars;
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> stack;
+  if (node_) stack.push_back(node_.get());
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->kind == ProvExprKind::kVar) vars.insert(n->var);
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+  }
+  return {vars.begin(), vars.end()};
+}
+
+bool ProvExpr::Equals(const ProvExpr& other) const {
+  std::function<bool(const Node*, const Node*)> eq =
+      [&eq](const Node* a, const Node* b) -> bool {
+    if (a == b) return true;
+    if (a == nullptr || b == nullptr) return false;
+    if (a->kind != b->kind || a->var != b->var) return false;
+    return eq(a->left.get(), b->left.get()) &&
+           eq(a->right.get(), b->right.get());
+  };
+  return eq(node_.get(), other.node_.get());
+}
+
+std::string ProvExpr::ToString(
+    const std::function<std::string(ProvVar)>& var_name) const {
+  // Renders + at top precedence and * below; parens only when needed.
+  std::function<std::string(const Node*, bool)> render =
+      [&](const Node* n, bool in_times) -> std::string {
+    if (n == nullptr) return "0";
+    switch (n->kind) {
+      case ProvExprKind::kZero:
+        return "0";
+      case ProvExprKind::kOne:
+        return "1";
+      case ProvExprKind::kVar:
+        return var_name(n->var);
+      case ProvExprKind::kPlus: {
+        std::string s = render(n->left.get(), false) + " + " +
+                        render(n->right.get(), false);
+        return in_times ? "(" + s + ")" : s;
+      }
+      case ProvExprKind::kTimes:
+        return render(n->left.get(), true) + "*" + render(n->right.get(), true);
+    }
+    return "?";
+  };
+  return render(node_.get(), false);
+}
+
+std::string ProvExpr::ToString() const {
+  return ToString([](ProvVar v) { return "v" + std::to_string(v); });
+}
+
+void ProvExpr::Serialize(ByteWriter& out) const {
+  // Preorder bytecode (self-delimiting): KIND [payload] [children].
+  std::function<void(const Node*)> emit = [&](const Node* n) {
+    if (n == nullptr) {
+      out.PutU8(static_cast<uint8_t>(ProvExprKind::kZero));
+      return;
+    }
+    out.PutU8(static_cast<uint8_t>(n->kind));
+    switch (n->kind) {
+      case ProvExprKind::kZero:
+      case ProvExprKind::kOne:
+        break;
+      case ProvExprKind::kVar:
+        out.PutVarint(n->var);
+        break;
+      case ProvExprKind::kPlus:
+      case ProvExprKind::kTimes:
+        emit(n->left.get());
+        emit(n->right.get());
+        break;
+    }
+  };
+  emit(node_.get());
+}
+
+Result<ProvExpr> ProvExpr::Deserialize(ByteReader& in) {
+  // Depth-limited recursive preorder parse (inputs may be hostile).
+  constexpr int kMaxDepth = 10000;
+  std::function<Result<ProvExpr>(int)> parse =
+      [&](int depth) -> Result<ProvExpr> {
+    if (depth > kMaxDepth) {
+      return InvalidArgumentError("provenance expression too deep");
+    }
+    PROVNET_ASSIGN_OR_RETURN(uint8_t op, in.GetU8());
+    switch (static_cast<ProvExprKind>(op)) {
+      case ProvExprKind::kZero:
+        return Zero();
+      case ProvExprKind::kOne:
+        return One();
+      case ProvExprKind::kVar: {
+        PROVNET_ASSIGN_OR_RETURN(uint64_t v, in.GetVarint());
+        if (v > UINT32_MAX) return InvalidArgumentError("prov var overflow");
+        return Var(static_cast<ProvVar>(v));
+      }
+      case ProvExprKind::kPlus:
+      case ProvExprKind::kTimes: {
+        PROVNET_ASSIGN_OR_RETURN(ProvExpr a, parse(depth + 1));
+        PROVNET_ASSIGN_OR_RETURN(ProvExpr b, parse(depth + 1));
+        return static_cast<ProvExprKind>(op) == ProvExprKind::kPlus
+                   ? Plus(a, b)
+                   : Times(a, b);
+      }
+      default:
+        return InvalidArgumentError("bad provenance opcode");
+    }
+  };
+  return parse(0);
+}
+
+size_t ProvExpr::WireSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+ProvVar ProvVarRegistry::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  ProvVar v = static_cast<ProvVar>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, v);
+  return v;
+}
+
+std::string ProvVarRegistry::NameOf(ProvVar v) const {
+  if (v < names_.size()) return names_[v];
+  return "v" + std::to_string(v);
+}
+
+std::optional<ProvVar> ProvVarRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace provnet

@@ -1,0 +1,111 @@
+// Provenance-semiring expressions (Green et al., PODS'07), the annotation
+// language behind condensed provenance (Section 4.4) and quantifiable
+// provenance (Section 4.5).
+//
+// A ProvExpr is a polynomial over provenance variables: '+' is alternative
+// derivation (union), '*' is joint derivation (join). Variables usually
+// denote the *principal* that asserted a base tuple (the paper annotates
+// with principals: <a+a*b>), but the registry also supports per-tuple
+// variables for finer-grained lineage.
+//
+// Expressions are immutable DAGs with structural sharing, so annotating a
+// large recursive computation does not blow up memory.
+#ifndef PROVNET_PROVENANCE_PROV_EXPR_H_
+#define PROVNET_PROVENANCE_PROV_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace provnet {
+
+using ProvVar = uint32_t;
+
+enum class ProvExprKind : uint8_t {
+  kZero = 0,  // no derivation
+  kOne = 1,   // axiomatic derivation (annotation-free base)
+  kVar = 2,
+  kPlus = 3,
+  kTimes = 4,
+};
+
+class ProvExpr {
+ public:
+  // Defaults to Zero (no derivation).
+  ProvExpr() = default;
+
+  static ProvExpr Zero();
+  static ProvExpr One();
+  static ProvExpr Var(ProvVar v);
+  static ProvExpr Plus(const ProvExpr& a, const ProvExpr& b);
+  static ProvExpr Times(const ProvExpr& a, const ProvExpr& b);
+
+  ProvExprKind kind() const;
+  bool IsZero() const { return kind() == ProvExprKind::kZero; }
+  bool IsOne() const { return kind() == ProvExprKind::kOne; }
+
+  // For kVar.
+  ProvVar var() const;
+  // For kPlus/kTimes: exactly two children (cheap shared-pointer copies).
+  ProvExpr left() const;
+  ProvExpr right() const;
+
+  // Number of nodes in the DAG (shared nodes counted once) — the "size" that
+  // condensation reduces.
+  size_t NodeCount() const;
+
+  // Distinct variables, ascending.
+  std::vector<ProvVar> Variables() const;
+
+  // Structural equality (cheap pointer check first).
+  bool Equals(const ProvExpr& other) const;
+
+  // "a + a*b" given a naming function.
+  std::string ToString(
+      const std::function<std::string(ProvVar)>& var_name) const;
+  std::string ToString() const;  // variables rendered as v<id>
+
+  // Compact self-delimiting preorder bytecode; the wire format used when
+  // provenance is piggybacked on tuples (its length is what Figure 4
+  // charges).
+  void Serialize(ByteWriter& out) const;
+  static Result<ProvExpr> Deserialize(ByteReader& in);
+  size_t WireSize() const;
+
+ private:
+  struct Node;
+  explicit ProvExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  // Null node_ means Zero (so the default constructor is free).
+  std::shared_ptr<const Node> node_;
+};
+
+// Maps provenance variables to human-readable names (principals or base
+// tuples). Interning is deterministic in insertion order.
+class ProvVarRegistry {
+ public:
+  // Returns the variable for `name`, interning it on first use.
+  ProvVar Intern(const std::string& name);
+  // Name of a variable; "v<id>" if unknown.
+  std::string NameOf(ProvVar v) const;
+  // Number of interned variables.
+  size_t size() const { return names_.size(); }
+  // Lookup without interning; nullopt if absent.
+  std::optional<ProvVar> Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, ProvVar> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_PROV_EXPR_H_

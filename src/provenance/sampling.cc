@@ -1,0 +1,117 @@
+#include "provenance/sampling.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace provnet {
+
+TupleSampler::TupleSampler(uint32_t k, uint64_t seed) : k_(k), seed_(seed) {
+  PROVNET_CHECK(k >= 1) << "sampling rate k must be >= 1";
+}
+
+bool TupleSampler::ShouldRecord(const Tuple& tuple) const {
+  return ShouldRecord(DigestOf(tuple));
+}
+
+bool TupleSampler::ShouldRecord(TupleDigest digest) const {
+  if (k_ == 1) return true;
+  return Mix64(digest ^ seed_) % k_ == 0;
+}
+
+BloomFilter::BloomFilter(size_t bits, int num_hashes)
+    : num_hashes_(num_hashes) {
+  PROVNET_CHECK(num_hashes >= 1);
+  size_t words = (bits + 63) / 64;
+  if (words == 0) words = 1;
+  words_.assign(words, 0);
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(key ^ 0x5851f42d4c957f2dULL) | 1;  // odd stride
+  size_t bits = bit_count();
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(key ^ 0x5851f42d4c957f2dULL) | 1;
+  size_t bits = bit_count();
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::Saturation() const {
+  size_t set = 0;
+  for (uint64_t w : words_) set += static_cast<size_t>(__builtin_popcountll(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+void BloomFilter::Serialize(ByteWriter& out) const {
+  out.PutU8(static_cast<uint8_t>(num_hashes_));
+  out.PutVarint(words_.size());
+  for (uint64_t w : words_) out.PutU64(w);
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(ByteReader& in) {
+  PROVNET_ASSIGN_OR_RETURN(uint8_t hashes, in.GetU8());
+  if (hashes < 1) return InvalidArgumentError("bloom filter needs >=1 hash");
+  PROVNET_ASSIGN_OR_RETURN(uint64_t words, in.GetVarint());
+  if (words == 0 || words * 8 > in.remaining()) {
+    return InvalidArgumentError("bad bloom filter size");
+  }
+  BloomFilter filter(words * 64, hashes);
+  for (uint64_t i = 0; i < words; ++i) {
+    PROVNET_ASSIGN_OR_RETURN(filter.words_[i], in.GetU64());
+  }
+  return filter;
+}
+
+ProvDigestStore::ProvDigestStore(double window_seconds, size_t bits,
+                                 int hashes, size_t max_windows)
+    : window_seconds_(window_seconds),
+      bits_(bits),
+      hashes_(hashes),
+      max_windows_(max_windows) {
+  PROVNET_CHECK(window_seconds > 0);
+}
+
+void ProvDigestStore::Record(TupleDigest digest, double now) {
+  int64_t index = static_cast<int64_t>(std::floor(now / window_seconds_));
+  if (windows_.empty() || windows_.back().index < index) {
+    windows_.push_back(Window{index, BloomFilter(bits_, hashes_)});
+    if (max_windows_ > 0 && windows_.size() > max_windows_) {
+      windows_.erase(windows_.begin());
+    }
+  }
+  // Out-of-order inserts land in the newest window (approximation noted in
+  // DESIGN.md; ForNet does the same with its append-only synopses).
+  windows_.back().filter.Insert(digest);
+}
+
+bool ProvDigestStore::MayContain(TupleDigest digest, double from,
+                                 double to) const {
+  int64_t first = static_cast<int64_t>(std::floor(from / window_seconds_));
+  int64_t last = static_cast<int64_t>(std::ceil(to / window_seconds_));
+  for (const Window& w : windows_) {
+    if (w.index < first || w.index >= last) continue;
+    if (w.filter.MayContain(digest)) return true;
+  }
+  return false;
+}
+
+size_t ProvDigestStore::TotalBytes() const {
+  size_t total = 0;
+  for (const Window& w : windows_) total += w.filter.ByteSize();
+  return total;
+}
+
+}  // namespace provnet

@@ -1,0 +1,93 @@
+// Sampling and summarization optimizations (Section 5):
+//
+//  * TupleSampler    - IP-traceback-style 1-in-k recording: each tuple's
+//    provenance is kept with probability 1/k, decided deterministically from
+//    the tuple digest (so every node agrees on the sample set).
+//  * BloomFilter     - bit-array filter with double hashing.
+//  * ProvDigestStore - ForNet-style synopses: per time window, a Bloom
+//    filter of the tuple digests a node forwarded. Trades false positives
+//    for O(bits) storage; used for forensic "did X pass through here?".
+#ifndef PROVNET_PROVENANCE_SAMPLING_H_
+#define PROVNET_PROVENANCE_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "provenance/store.h"
+#include "util/status.h"
+
+namespace provnet {
+
+class TupleSampler {
+ public:
+  // Records one out of `k` tuples in expectation (k >= 1; k == 1 records
+  // everything). `seed` de-correlates independent samplers.
+  TupleSampler(uint32_t k, uint64_t seed);
+
+  // Deterministic per-tuple decision.
+  bool ShouldRecord(const Tuple& tuple) const;
+  bool ShouldRecord(TupleDigest digest) const;
+
+  uint32_t k() const { return k_; }
+
+ private:
+  uint32_t k_;
+  uint64_t seed_;
+};
+
+class BloomFilter {
+ public:
+  // `bits` is rounded up to a multiple of 64. `num_hashes` >= 1.
+  BloomFilter(size_t bits, int num_hashes);
+
+  void Insert(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  size_t bit_count() const { return words_.size() * 64; }
+  int num_hashes() const { return num_hashes_; }
+  // Fraction of set bits (load factor; drives the false-positive rate).
+  double Saturation() const;
+  // Storage in bytes.
+  size_t ByteSize() const { return words_.size() * 8; }
+
+  void Serialize(ByteWriter& out) const;
+  static Result<BloomFilter> Deserialize(ByteReader& in);
+
+ private:
+  std::vector<uint64_t> words_;
+  int num_hashes_;
+};
+
+// Rolling per-window Bloom digests of forwarded tuples (ForNet).
+class ProvDigestStore {
+ public:
+  // `window_seconds` per filter; `bits`/`hashes` size each filter;
+  // `max_windows` bounds retained history (0 = unbounded).
+  ProvDigestStore(double window_seconds, size_t bits, int hashes,
+                  size_t max_windows);
+
+  // Records that `digest` was seen at time `now`.
+  void Record(TupleDigest digest, double now);
+
+  // Might `digest` have been seen in [from, to)?
+  bool MayContain(TupleDigest digest, double from, double to) const;
+
+  size_t window_count() const { return windows_.size(); }
+  size_t TotalBytes() const;
+
+ private:
+  struct Window {
+    int64_t index;  // floor(time / window_seconds)
+    BloomFilter filter;
+  };
+
+  double window_seconds_;
+  size_t bits_;
+  int hashes_;
+  size_t max_windows_;
+  std::vector<Window> windows_;  // ascending by index
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_SAMPLING_H_

@@ -1,0 +1,23 @@
+#include "provenance/semiring.h"
+
+namespace provnet {
+
+bool DerivableFrom(const ProvExpr& expr,
+                   const std::unordered_map<ProvVar, bool>& trusted) {
+  BooleanSemiring s;
+  return EvalIn(s, expr, trusted, /*missing=*/false);
+}
+
+int64_t TrustLevelOf(const ProvExpr& expr,
+                     const std::unordered_map<ProvVar, int64_t>& levels,
+                     int64_t default_level) {
+  TrustLevelSemiring s;
+  return EvalIn(s, expr, levels, default_level);
+}
+
+uint64_t DerivationCount(const ProvExpr& expr) {
+  CountingSemiring s;
+  return EvalIn(s, expr, {}, /*missing=*/1);
+}
+
+}  // namespace provnet

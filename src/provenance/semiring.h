@@ -1,0 +1,101 @@
+// Quantifiable provenance (Section 4.5): evaluate one provenance polynomial
+// in different semirings to answer different trust questions.
+//
+//   boolean      - is the tuple derivable from trusted bases?
+//   trust level  - (+ = max, * = min) over per-principal security levels;
+//                  the paper's example: <a + a*b> with level(a)=2, level(b)=1
+//                  evaluates to max(2, min(2,1)) = 2
+//   counting     - number of distinct derivations (Gupta et al. view
+//                  maintenance counts)
+//
+// Each semiring provides Zero/One/Plus/Times over its value type; EvalIn
+// folds the expression. Vote-style "K principals assert this" trust operates
+// on *condensed* cubes instead (see condense.h).
+#ifndef PROVNET_PROVENANCE_SEMIRING_H_
+#define PROVNET_PROVENANCE_SEMIRING_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "provenance/prov_expr.h"
+
+namespace provnet {
+
+// Generic fold. `assignment` maps each variable to a semiring value;
+// variables missing from the map evaluate to `missing`.
+template <typename S>
+typename S::Value EvalIn(const S& semiring, const ProvExpr& expr,
+                         const std::unordered_map<ProvVar, typename S::Value>&
+                             assignment,
+                         typename S::Value missing) {
+  switch (expr.kind()) {
+    case ProvExprKind::kZero:
+      return semiring.Zero();
+    case ProvExprKind::kOne:
+      return semiring.One();
+    case ProvExprKind::kVar: {
+      auto it = assignment.find(expr.var());
+      return it == assignment.end() ? missing : it->second;
+    }
+    case ProvExprKind::kPlus:
+      return semiring.Plus(EvalIn(semiring, expr.left(), assignment, missing),
+                           EvalIn(semiring, expr.right(), assignment, missing));
+    case ProvExprKind::kTimes:
+      return semiring.Times(
+          EvalIn(semiring, expr.left(), assignment, missing),
+          EvalIn(semiring, expr.right(), assignment, missing));
+  }
+  return semiring.Zero();
+}
+
+// Why-provenance / trust membership.
+struct BooleanSemiring {
+  using Value = bool;
+  Value Zero() const { return false; }
+  Value One() const { return true; }
+  Value Plus(Value a, Value b) const { return a || b; }
+  Value Times(Value a, Value b) const { return a && b; }
+};
+
+// Security levels: a derivation is as trustworthy as its weakest input; a
+// tuple is as trustworthy as its strongest derivation.
+struct TrustLevelSemiring {
+  using Value = int64_t;
+  // Identity elements: Zero = "no derivation" (lowest possible trust),
+  // One = "axiomatic" (highest).
+  static constexpr int64_t kBottom = INT64_MIN;
+  static constexpr int64_t kTop = INT64_MAX;
+  Value Zero() const { return kBottom; }
+  Value One() const { return kTop; }
+  Value Plus(Value a, Value b) const { return a > b ? a : b; }
+  Value Times(Value a, Value b) const { return a < b ? a : b; }
+};
+
+// How many distinct derivations exist.
+struct CountingSemiring {
+  using Value = uint64_t;
+  Value Zero() const { return 0; }
+  Value One() const { return 1; }
+  Value Plus(Value a, Value b) const { return a + b; }
+  Value Times(Value a, Value b) const { return a * b; }
+};
+
+// Convenience wrappers ---------------------------------------------------
+
+// Is the expression true when exactly the given variables are trusted?
+bool DerivableFrom(const ProvExpr& expr,
+                   const std::unordered_map<ProvVar, bool>& trusted);
+
+// Trust level of a tuple given per-principal security levels; principals
+// absent from the map get `default_level`.
+int64_t TrustLevelOf(const ProvExpr& expr,
+                     const std::unordered_map<ProvVar, int64_t>& levels,
+                     int64_t default_level);
+
+// Number of derivations, counting each base tuple as one way.
+uint64_t DerivationCount(const ProvExpr& expr);
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_SEMIRING_H_

@@ -1,0 +1,121 @@
+// Provenance stores realizing the Section 4.1 / 4.2 taxonomy axes:
+//
+//  * OnlineProvStore  - provenance of *live* soft-state tuples, expiring with
+//    them; supports the "react at runtime" use case (delete all routes that
+//    depend on a malicious node).
+//  * OfflineProvStore - an archive that outlives tuple expiry, with an aging
+//    policy plus per-record persist marks (Section 5's reactive retention:
+//    age everything out unless flagged during an anomaly).
+//  * Distributed provenance - records store *references* to their immediate
+//    children; a child is either local (same node) or remote (node id +
+//    content digest). Reconstruction walks these pointers with network
+//    queries (core/distquery.*), the paper's IP-traceback analogy.
+#ifndef PROVNET_PROVENANCE_STORE_H_
+#define PROVNET_PROVENANCE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "datalog/tuple.h"
+#include "util/status.h"
+
+namespace provnet {
+
+// Stable identifier of a tuple instance for cross-node pointers: the hash of
+// its content. (Distinct tuples colliding is harmless for the simulation;
+// digests are 64-bit.)
+using TupleDigest = uint64_t;
+
+TupleDigest DigestOf(const Tuple& tuple);
+
+struct ProvChildRef {
+  NodeId node = 0;          // where the child's record lives
+  TupleDigest digest = 0;   // which tuple it refers to
+  bool is_base = false;     // leaf marker (no further resolution needed)
+  Tuple base_tuple;         // the leaf itself when is_base
+  Principal asserted_by;    // who asserted the child (for trust decisions)
+
+  void Serialize(ByteWriter& out) const;
+  static Result<ProvChildRef> Deserialize(ByteReader& in);
+};
+
+struct ProvRecord {
+  Tuple tuple;
+  std::string rule;        // deriving rule label (kBaseRule for leaves)
+  NodeId location = 0;
+  Principal asserted_by;
+  double created_at = 0.0;
+  double expires_at = -1.0;  // -1 = never
+  bool persist = false;      // survives OfflineProvStore aging
+  std::vector<ProvChildRef> children;
+
+  void Serialize(ByteWriter& out) const;
+  static Result<ProvRecord> Deserialize(ByteReader& in);
+  std::string ToString() const;
+};
+
+// Online store: one entry set per live tuple digest. Multiple records per
+// digest capture alternative derivations.
+class OnlineProvStore {
+ public:
+  void Add(ProvRecord record);
+
+  // All current derivations of a tuple; nullptr when unknown.
+  const std::vector<ProvRecord>* Lookup(TupleDigest digest) const;
+
+  // Drops records whose tuples expired before `now` (online provenance only
+  // covers currently-valid state). Returns the number dropped.
+  size_t ExpireBefore(double now);
+
+  // Removes every record of `digest` (e.g. the tuple was deleted after a
+  // trust revocation). Returns the number removed.
+  size_t Remove(TupleDigest digest);
+
+  // Digests of all records that (transitively at this node) depend on a
+  // child asserted by `principal` — the "delete all routing entries
+  // associated with the malicious node" query of Section 4.2.
+  std::vector<TupleDigest> DependentsOf(const Principal& principal) const;
+
+  size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<TupleDigest, std::vector<ProvRecord>> records_;
+  size_t count_ = 0;
+};
+
+// Offline archive with aging.
+class OfflineProvStore {
+ public:
+  void Add(const ProvRecord& record);
+
+  // Ages out records created before `cutoff` unless persist-marked.
+  // Returns the number evicted.
+  size_t EvictOlderThan(double cutoff);
+
+  // Marks all records of `digest` persistent (called when an anomaly makes
+  // them forensically interesting). Returns how many were marked.
+  size_t MarkPersistent(TupleDigest digest);
+
+  // Query interface for forensics.
+  std::vector<const ProvRecord*> FindByDigest(TupleDigest digest) const;
+  std::vector<const ProvRecord*> FindByPredicate(
+      const std::string& predicate) const;
+  std::vector<const ProvRecord*> FindInWindow(double from, double to) const;
+
+  size_t size() const { return records_.size(); }
+  // Approximate storage footprint in bytes (for the storage-overhead bench).
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<ProvRecord> records_;
+  std::unordered_map<TupleDigest, std::vector<size_t>> by_digest_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_PROVENANCE_STORE_H_

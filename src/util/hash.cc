@@ -1,0 +1,32 @@
+#include "util/hash.h"
+
+namespace provnet {
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+uint64_t Fnv1a64(const Bytes& b) { return Fnv1a64(b.data(), b.size()); }
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace provnet

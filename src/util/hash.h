@@ -1,0 +1,27 @@
+// Non-cryptographic hashing (FNV-1a) and hash combining. Cryptographic
+// digests live in crypto/sha256.h.
+#ifndef PROVNET_UTIL_HASH_H_
+#define PROVNET_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace provnet {
+
+// 64-bit FNV-1a over an arbitrary byte range.
+uint64_t Fnv1a64(const uint8_t* data, size_t len);
+uint64_t Fnv1a64(const std::string& s);
+uint64_t Fnv1a64(const Bytes& b);
+
+// Boost-style combiner for building composite hashes.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+// Mixes a 64-bit value (splitmix64 finalizer); good avalanche for table
+// bucketing of sequential ids.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace provnet
+
+#endif  // PROVNET_UTIL_HASH_H_

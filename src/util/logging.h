@@ -1,0 +1,80 @@
+// Minimal leveled logging for provnet.
+//
+//   PROVNET_LOG(kInfo) << "fixpoint reached after " << rounds << " rounds";
+//   PROVNET_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// The default minimum level is kWarning so tests and benches stay quiet;
+// call SetMinLogLevel(LogLevel::kDebug) to see everything.
+#ifndef PROVNET_UTIL_LOGGING_H_
+#define PROVNET_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace provnet {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+const char* LogLevelName(LogLevel level);
+
+// Sets / gets the process-wide minimum level that is actually emitted.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and flushes it (to stderr) on destruction.
+// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below the minimum.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace provnet
+
+#define PROVNET_LOG(severity)                                        \
+  (::provnet::LogLevel::severity < ::provnet::MinLogLevel())         \
+      ? void(0)                                                      \
+      : ::provnet::internal::LogVoidify() &                          \
+            ::provnet::internal::LogMessage(                         \
+                ::provnet::LogLevel::severity, __FILE__, __LINE__)   \
+                .stream()
+
+#define PROVNET_CHECK(condition)                                     \
+  (condition)                                                        \
+      ? void(0)                                                      \
+      : ::provnet::internal::LogVoidify() &                          \
+            ::provnet::internal::LogMessage(::provnet::LogLevel::kFatal, \
+                                            __FILE__, __LINE__)      \
+                    .stream()                                        \
+                << "Check failed: " #condition " "
+
+namespace provnet::internal {
+// Lets the macros above have type void regardless of streamed operands.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace provnet::internal
+
+#endif  // PROVNET_UTIL_LOGGING_H_

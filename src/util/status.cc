@@ -1,0 +1,104 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace provnet {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnauthenticated:
+      return "Unauthenticated";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status OkStatus() { return Status(); }
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status UnauthenticatedError(std::string message) {
+  return Status(StatusCode::kUnauthenticated, std::move(message));
+}
+Status PermissionDeniedError(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+namespace internal {
+
+void DieBecauseResultError(const Status& status) {
+  std::fprintf(stderr, "provnet: Result<T>::value() on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieBecauseOkResultFromStatus() {
+  std::fprintf(stderr,
+               "provnet: Result<T> constructed from an OK status; use the "
+               "value constructor instead\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace provnet

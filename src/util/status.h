@@ -1,0 +1,169 @@
+// Error handling primitives for provnet.
+//
+// The library does not use exceptions (Google style). Fallible operations
+// return Status, or Result<T> when they produce a value. Usage:
+//
+//   Result<BigInt> r = BigInt::FromDecimal(text);
+//   if (!r.ok()) return r.status();
+//   BigInt value = std::move(r).value();
+//
+// The PROVNET_RETURN_IF_ERROR / PROVNET_ASSIGN_OR_RETURN macros remove the
+// boilerplate inside the library.
+#ifndef PROVNET_UTIL_STATUS_H_
+#define PROVNET_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace provnet {
+
+// Canonical error space, deliberately small.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnauthenticated,   // says-verification failures
+  kPermissionDenied,  // trust-policy rejections
+  kResourceExhausted,
+  kDeadlineExceeded,
+};
+
+// Human-readable name ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status: a code plus an optional message. The OK status
+// carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnauthenticatedError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+// Result<T> is a Status or a T. Accessing value() on an error aborts, so
+// callers must check ok() first (or use PROVNET_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(const T& value) : value_(value) {}
+  Result(T&& value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    CheckNotOkOnConstruction();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckNotOkOnConstruction();
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Centralized abort so Result<T> stays header-light.
+[[noreturn]] void DieBecauseResultError(const Status& status);
+[[noreturn]] void DieBecauseOkResultFromStatus();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckNotOkOnConstruction() {
+  if (status_.ok()) internal::DieBecauseOkResultFromStatus();
+}
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieBecauseResultError(status_);
+}
+
+}  // namespace provnet
+
+// Evaluates `expr` (a Status); returns it from the enclosing function if not
+// OK.
+#define PROVNET_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::provnet::Status provnet_status_tmp_ = (expr);    \
+    if (!provnet_status_tmp_.ok()) {                   \
+      return provnet_status_tmp_;                      \
+    }                                                  \
+  } while (false)
+
+#define PROVNET_STATUS_CONCAT_INNER_(x, y) x##y
+#define PROVNET_STATUS_CONCAT_(x, y) PROVNET_STATUS_CONCAT_INNER_(x, y)
+
+// Evaluates `expr` (a Result<T>); on error returns the status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define PROVNET_ASSIGN_OR_RETURN(lhs, expr)                          \
+  PROVNET_ASSIGN_OR_RETURN_IMPL_(                                    \
+      PROVNET_STATUS_CONCAT_(provnet_result_, __LINE__), lhs, expr)
+
+#define PROVNET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+#endif  // PROVNET_UTIL_STATUS_H_

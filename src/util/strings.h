@@ -1,0 +1,29 @@
+// Small string helpers (split/join/trim/printf-style formatting).
+#ifndef PROVNET_UTIL_STRINGS_H_
+#define PROVNET_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace provnet {
+
+// Splits on a single character; keeps empty pieces.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(const std::string& text);
+
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace provnet
+
+#endif  // PROVNET_UTIL_STRINGS_H_

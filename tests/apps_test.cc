@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "apps/accountability.h"
+#include "apps/bestpath.h"
+#include "apps/diagnostics.h"
+#include "apps/forensics.h"
+#include "apps/programs.h"
+#include "apps/trust.h"
+
+namespace provnet {
+namespace {
+
+// Shared fixture: diamond network a->b->d, a->c->d with reachability and
+// condensed provenance (reachable(a,d) has two independent witness sets).
+class DiamondFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Topology topo;
+    topo.num_nodes = 4;
+    topo.edges = {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+    EngineOptions opts;
+    opts.authenticate = true;
+    opts.says_level = SaysLevel::kHmac;
+    opts.prov_mode = ProvMode::kCondensed;
+    opts.record_online = true;
+    opts.record_offline = true;
+    opts.node_names = {"a", "b", "c", "d"};
+    engine_ = Engine::Create(topo, ReachableSendlogProgram(), opts).value();
+    for (const TopoEdge& e : topo.edges) {
+      ASSERT_TRUE(engine_
+                      ->InsertFact(e.from, Tuple("link",
+                                                 {Value::Address(e.from),
+                                                  Value::Address(e.to)}))
+                      .ok());
+    }
+    ASSERT_TRUE(engine_->Run().ok());
+  }
+
+  Tuple ReachAd() {
+    return Tuple("reachable", {Value::Address(0), Value::Address(3)});
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- Trust -----------------------------------------------------------------------
+
+TEST_F(DiamondFixture, DiamondHasTwoWitnessSets) {
+  CondensedProv cond = engine_->CondensedOf(0, ReachAd()).value();
+  EXPECT_EQ(cond.VoteCount(), 2u);
+  auto name = [&](ProvVar v) { return engine_->VarName(v); };
+  EXPECT_EQ(cond.ToString(name), "<a*b + a*c>");
+}
+
+TEST_F(DiamondFixture, SourceOriginFiltering) {
+  TrustPolicy policy(engine_.get());
+  policy.TrustPrincipal("a");
+  policy.TrustPrincipal("b");
+  // Trusting {a, b} satisfies the a*b witness set.
+  EXPECT_TRUE(policy.AcceptsTuple(0, ReachAd()).value());
+  policy.DistrustPrincipal("b");
+  // Only a left: neither a*b nor a*c holds.
+  EXPECT_FALSE(policy.AcceptsTuple(0, ReachAd()).value());
+  policy.TrustPrincipal("c");
+  EXPECT_TRUE(policy.AcceptsTuple(0, ReachAd()).value());
+}
+
+TEST_F(DiamondFixture, SecurityLevels) {
+  TrustPolicy policy(engine_.get());
+  policy.SetSecurityLevel("a", 3);
+  policy.SetSecurityLevel("b", 1);
+  policy.SetSecurityLevel("c", 2);
+  // max(min(3,1), min(3,2)) = 2.
+  EXPECT_EQ(policy.TrustLevelOfTuple(0, ReachAd(), 0).value(), 2);
+  // Upgrading b to 5: max(min(3,5), min(3,2)) = 3.
+  policy.SetSecurityLevel("b", 5);
+  EXPECT_EQ(policy.TrustLevelOfTuple(0, ReachAd(), 0).value(), 3);
+}
+
+TEST_F(DiamondFixture, VoteThresholds) {
+  TrustPolicy policy(engine_.get());
+  EXPECT_TRUE(policy.AcceptsByVote(0, ReachAd(), 1).value());
+  EXPECT_TRUE(policy.AcceptsByVote(0, ReachAd(), 2).value());
+  EXPECT_FALSE(policy.AcceptsByVote(0, ReachAd(), 3).value());
+  // The one-hop tuple has a single witness set.
+  Tuple reach_ab("reachable", {Value::Address(0), Value::Address(1)});
+  EXPECT_FALSE(policy.AcceptsByVote(0, reach_ab, 2).value());
+}
+
+TEST_F(DiamondFixture, FilterTablePartitions) {
+  TrustPolicy policy(engine_.get());
+  policy.TrustPrincipal("a");
+  auto result = policy.FilterTable(0, "reachable").value();
+  // reachable(a,b), reachable(a,c) have provenance <a>; reachable(a,d)
+  // needs a transit principal.
+  EXPECT_EQ(result.accepted.size(), 2u);
+  EXPECT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], ReachAd());
+}
+
+// --- Forensics -------------------------------------------------------------------
+
+TEST_F(DiamondFixture, TracebackFindsBothBranches) {
+  TracebackReport report = Traceback(*engine_, 0, ReachAd()).value();
+  // Origins: links asserted at a, b, and c.
+  EXPECT_TRUE(report.origin_nodes.count(0));
+  EXPECT_TRUE(report.origin_nodes.count(1));
+  EXPECT_TRUE(report.origin_nodes.count(2));
+  EXPECT_GT(report.query_messages, 0u);
+  EXPECT_GT(report.query_bytes, 0u);
+  EXPECT_GE(report.origin_tuples.size(), 3u);  // link(a,b), link(b,d)... etc
+}
+
+TEST_F(DiamondFixture, TracebackRecallMetric) {
+  TracebackReport report = Traceback(*engine_, 0, ReachAd()).value();
+  EXPECT_DOUBLE_EQ(TracebackRecall(report, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(TracebackRecall(report, {0, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(TracebackRecall(report, {}), 1.0);
+}
+
+TEST_F(DiamondFixture, TracebackUnknownTupleFails) {
+  Tuple bogus("reachable", {Value::Address(3), Value::Address(0)});
+  EXPECT_FALSE(Traceback(*engine_, 0, bogus).ok());
+}
+
+TEST_F(DiamondFixture, MoonwalkTerminatesAtOrigins) {
+  Rng rng(5);
+  auto histogram = RandomMoonwalk(*engine_, 0, ReachAd(), 100, rng).value();
+  size_t total = 0;
+  for (const auto& [node, count] : histogram) total += count;
+  EXPECT_EQ(total, 100u);
+  // Every walk ends at a node that holds base records (0, 1, or 2).
+  for (const auto& [node, count] : histogram) {
+    EXPECT_LT(node, 3u) << "walk ended at non-origin " << node;
+  }
+}
+
+TEST_F(DiamondFixture, DigestTracebackFlagsHolders) {
+  DigestTraceback digests(*engine_, 1.0, 4096, 4);
+  std::vector<NodeId> flagged =
+      digests.NodesThatMaySawTuple(ReachAd(), 0.0, 1e9);
+  // reachable(a,d) is recorded at node a (storage) and the deriving senders.
+  EXPECT_FALSE(flagged.empty());
+  bool node0 = false;
+  for (NodeId n : flagged) node0 |= n == 0;
+  EXPECT_TRUE(node0);
+  EXPECT_GT(digests.TotalBytes(), 0u);
+}
+
+// --- Accountability ----------------------------------------------------------------
+
+TEST_F(DiamondFixture, AuditorLedgersAllPrincipals) {
+  FlowAuditor auditor(*engine_, 0.0, 1e9);
+  const auto& ledger = auditor.ledger();
+  // Every link-owning node asserted derivations.
+  EXPECT_TRUE(ledger.count("a"));
+  EXPECT_TRUE(ledger.count("b"));
+  EXPECT_TRUE(ledger.count("c"));
+  EXPECT_GT(auditor.TotalAssertions(), 0u);
+  // a asserts the most (two links + local derivations).
+  EXPECT_GE(ledger.at("a").assertions, ledger.at("c").assertions);
+  EXPECT_FALSE(auditor.ToString().empty());
+}
+
+TEST_F(DiamondFixture, OverQuotaFlagsHeavyUsers) {
+  FlowAuditor auditor(*engine_, 0.0, 1e9);
+  std::vector<Principal> all = auditor.OverQuota(0);
+  EXPECT_GE(all.size(), 3u);
+  std::vector<Principal> none = auditor.OverQuota(1000000);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(DiamondFixture, WindowRestrictsLedger) {
+  FlowAuditor auditor(*engine_, 1e8, 1e9);  // far future: nothing
+  EXPECT_EQ(auditor.TotalAssertions(), 0u);
+}
+
+// --- Diagnostics ---------------------------------------------------------------------
+
+TEST(DiagnosticsTest, FlapMonitorRaisesAlarm) {
+  Rng rng(11);
+  Topology topo = Topology::RingPlusRandom(8, 3, rng);
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kPointers;
+  auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  RouteFlapMonitor monitor(engine.get(), "bestPath", {0, 1}, 60.0, 3);
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+  size_t baseline_alarms = monitor.alarms().size();
+
+  // Flap one link cost back and forth.
+  for (int round = 0; round < 8; ++round) {
+    Tuple link("link", {Value::Address(0), Value::Address(1),
+                        Value::Int(round % 2 == 0 ? 40 : 1)});
+    ASSERT_TRUE(engine->InsertFact(0, link).ok());
+    ASSERT_TRUE(engine->Run().ok());
+  }
+  EXPECT_GT(monitor.alarms().size(), baseline_alarms);
+  EXPECT_GT(monitor.total_changes(), 0u);
+}
+
+TEST(DiagnosticsTest, SuspectPrincipalsIncludeFlapper) {
+  Rng rng(13);
+  Topology topo = Topology::RingPlusRandom(8, 3, rng);
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kPointers;
+  auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  RouteFlapMonitor monitor(engine.get(), "bestPath", {0, 1}, 60.0, 2);
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+  for (int round = 0; round < 8; ++round) {
+    Tuple link("link", {Value::Address(1), Value::Address(2),
+                        Value::Int(round % 2 == 0 ? 40 : 1)});
+    ASSERT_TRUE(engine->InsertFact(1, link).ok());
+    ASSERT_TRUE(engine->Run().ok());
+  }
+  ASSERT_FALSE(monitor.alarms().empty());
+  bool found_flapper = false;
+  for (const FlapAlarm& alarm : monitor.alarms()) {
+    auto suspects = monitor.SuspectPrincipals(alarm);
+    if (!suspects.ok()) continue;
+    for (const Principal& p : suspects.value()) {
+      if (p == "n1") found_flapper = true;
+    }
+  }
+  EXPECT_TRUE(found_flapper);
+}
+
+// --- Best-path oracle ------------------------------------------------------------------
+
+TEST(BestPathOracleTest, FloydWarshallOnKnownGraph) {
+  Topology topo;
+  topo.num_nodes = 4;
+  topo.edges = {{0, 1, 2}, {1, 2, 3}, {0, 2, 10}, {2, 3, 1}};
+  auto dist = ReferenceShortestPaths(topo);
+  EXPECT_EQ(dist.at({0, 1}), 2);
+  EXPECT_EQ(dist.at({0, 2}), 5);   // via 1
+  EXPECT_EQ(dist.at({0, 3}), 6);
+  EXPECT_EQ(dist.count({1, 0}), 0u);  // unreachable
+  EXPECT_EQ(dist.count({0, 0}), 0u);  // self excluded
+}
+
+TEST(BestPathOracleTest, VariantNamesAndOptions) {
+  EXPECT_STREQ(VariantName(Variant::kNdlog), "NDLog");
+  EXPECT_STREQ(VariantName(Variant::kSendlog), "SeNDLog");
+  EXPECT_STREQ(VariantName(Variant::kSendlogProv), "SeNDLogProv");
+  EngineOptions opts = OptionsForVariant(Variant::kSendlogProv, {});
+  EXPECT_TRUE(opts.authenticate);
+  EXPECT_EQ(opts.prov_mode, ProvMode::kCondensed);
+  opts = OptionsForVariant(Variant::kNdlog, {});
+  EXPECT_FALSE(opts.authenticate);
+  EXPECT_EQ(opts.prov_mode, ProvMode::kNone);
+}
+
+}  // namespace
+}  // namespace provnet

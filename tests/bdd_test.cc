@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+
+namespace provnet {
+namespace {
+
+using Cubes = std::vector<std::vector<uint32_t>>;
+
+TEST(BddTest, Terminals) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.False(), kBddFalse);
+  EXPECT_EQ(mgr.True(), kBddTrue);
+  EXPECT_TRUE(mgr.IsTerminal(kBddFalse));
+  EXPECT_TRUE(mgr.IsTerminal(kBddTrue));
+}
+
+TEST(BddTest, VarStructure) {
+  BddManager mgr;
+  BddRef x = mgr.Var(0);
+  EXPECT_FALSE(mgr.IsTerminal(x));
+  EXPECT_EQ(mgr.TopVar(x), 0u);
+  EXPECT_EQ(mgr.Low(x), kBddFalse);
+  EXPECT_EQ(mgr.High(x), kBddTrue);
+}
+
+TEST(BddTest, HashConsing) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.Var(3), mgr.Var(3));
+  EXPECT_NE(mgr.Var(3), mgr.Var(4));
+  BddRef a = mgr.And(mgr.Var(0), mgr.Var(1));
+  BddRef b = mgr.And(mgr.Var(0), mgr.Var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(BddTest, BooleanIdentities) {
+  BddManager mgr;
+  BddRef x = mgr.Var(0), y = mgr.Var(1);
+  EXPECT_EQ(mgr.And(x, kBddTrue), x);
+  EXPECT_EQ(mgr.And(x, kBddFalse), kBddFalse);
+  EXPECT_EQ(mgr.Or(x, kBddFalse), x);
+  EXPECT_EQ(mgr.Or(x, kBddTrue), kBddTrue);
+  EXPECT_EQ(mgr.And(x, x), x);
+  EXPECT_EQ(mgr.Or(x, x), x);
+  EXPECT_EQ(mgr.Not(mgr.Not(x)), x);
+  EXPECT_EQ(mgr.And(x, y), mgr.And(y, x));
+  EXPECT_EQ(mgr.Or(x, y), mgr.Or(y, x));
+  EXPECT_EQ(mgr.Xor(x, x), kBddFalse);
+  EXPECT_EQ(mgr.Xor(x, kBddFalse), x);
+}
+
+TEST(BddTest, ComplementationLaws) {
+  BddManager mgr;
+  BddRef x = mgr.Var(0);
+  EXPECT_EQ(mgr.And(x, mgr.Not(x)), kBddFalse);
+  EXPECT_EQ(mgr.Or(x, mgr.Not(x)), kBddTrue);
+}
+
+TEST(BddTest, DeMorgan) {
+  BddManager mgr;
+  BddRef x = mgr.Var(0), y = mgr.Var(1);
+  EXPECT_EQ(mgr.Not(mgr.And(x, y)), mgr.Or(mgr.Not(x), mgr.Not(y)));
+  EXPECT_EQ(mgr.Not(mgr.Or(x, y)), mgr.And(mgr.Not(x), mgr.Not(y)));
+}
+
+TEST(BddTest, AbsorptionIsCanonical) {
+  // The motivating identity for condensed provenance: a + a*b == a.
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1);
+  EXPECT_EQ(mgr.Or(a, mgr.And(a, b)), a);
+  // Dually a * (a + b) == a.
+  EXPECT_EQ(mgr.And(a, mgr.Or(a, b)), a);
+}
+
+TEST(BddTest, Distribution) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1), c = mgr.Var(2);
+  EXPECT_EQ(mgr.And(a, mgr.Or(b, c)),
+            mgr.Or(mgr.And(a, b), mgr.And(a, c)));
+}
+
+TEST(BddTest, IteBasis) {
+  BddManager mgr;
+  BddRef f = mgr.Var(0), g = mgr.Var(1), h = mgr.Var(2);
+  // ite(f,g,h) == (f & g) | (!f & h).
+  EXPECT_EQ(mgr.Ite(f, g, h),
+            mgr.Or(mgr.And(f, g), mgr.And(mgr.Not(f), h)));
+}
+
+TEST(BddTest, EvalTruthTable) {
+  BddManager mgr;
+  BddRef f = mgr.Or(mgr.And(mgr.Var(0), mgr.Var(1)), mgr.Var(2));
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        std::unordered_map<uint32_t, bool> env = {
+            {0, a != 0}, {1, b != 0}, {2, c != 0}};
+        EXPECT_EQ(mgr.Eval(f, env), (a && b) || c);
+      }
+    }
+  }
+}
+
+TEST(BddTest, EvalDefaultsMissingVarsToFalse) {
+  BddManager mgr;
+  BddRef f = mgr.Var(5);
+  EXPECT_FALSE(mgr.Eval(f, {}));
+}
+
+TEST(BddTest, RestrictCofactors) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1);
+  BddRef f = mgr.Or(a, mgr.And(mgr.Not(a), b));  // a | (!a & b) == a | b
+  EXPECT_EQ(mgr.Restrict(f, 0, true), kBddTrue);
+  EXPECT_EQ(mgr.Restrict(f, 0, false), b);
+  EXPECT_EQ(mgr.Restrict(f, 7, true), f);  // absent variable: unchanged
+}
+
+TEST(BddTest, ExistsQuantification) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1);
+  BddRef f = mgr.And(a, b);
+  EXPECT_EQ(mgr.Exists(f, 0), b);
+  EXPECT_EQ(mgr.Exists(mgr.Exists(f, 0), 1), kBddTrue);
+  EXPECT_EQ(mgr.Exists(kBddFalse, 0), kBddFalse);
+}
+
+TEST(BddTest, SatCount) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1), c = mgr.Var(2);
+  EXPECT_EQ(mgr.SatCount(kBddFalse, 3), 0.0);
+  EXPECT_EQ(mgr.SatCount(kBddTrue, 3), 8.0);
+  EXPECT_EQ(mgr.SatCount(a, 3), 4.0);
+  EXPECT_EQ(mgr.SatCount(mgr.And(a, b), 3), 2.0);
+  EXPECT_EQ(mgr.SatCount(mgr.Or(mgr.And(a, b), c), 3), 5.0);
+  // Var order should not matter for counting.
+  EXPECT_EQ(mgr.SatCount(mgr.And(b, c), 3), 2.0);
+}
+
+TEST(BddTest, NodeCountShared) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1);
+  EXPECT_EQ(mgr.NodeCount(kBddTrue), 0u);
+  EXPECT_EQ(mgr.NodeCount(a), 1u);
+  BddRef f = mgr.And(a, b);
+  EXPECT_EQ(mgr.NodeCount(f), 2u);
+}
+
+TEST(BddTest, Support) {
+  BddManager mgr;
+  BddRef f = mgr.Or(mgr.And(mgr.Var(2), mgr.Var(5)), mgr.Var(9));
+  EXPECT_EQ(mgr.Support(f), (std::vector<uint32_t>{2, 5, 9}));
+  EXPECT_TRUE(mgr.Support(kBddTrue).empty());
+}
+
+TEST(BddTest, MonotoneCubesAbsorption) {
+  // <a + a*b> condenses to <a>.
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1);
+  BddRef f = mgr.Or(a, mgr.And(a, b));
+  EXPECT_EQ(mgr.MonotoneCubes(f), (Cubes{{0}}));
+}
+
+TEST(BddTest, MonotoneCubesUnionOfJoins) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1), c = mgr.Var(2);
+  // a*b + c: two minimal witness sets.
+  BddRef f = mgr.Or(mgr.And(a, b), c);
+  EXPECT_EQ(mgr.MonotoneCubes(f), (Cubes{{0, 1}, {2}}));
+}
+
+TEST(BddTest, MonotoneCubesDropsDominatedAcrossBranches) {
+  BddManager mgr;
+  BddRef a = mgr.Var(0), b = mgr.Var(1), c = mgr.Var(2);
+  // a*b + a*b*c + b*c -> {a,b}, {b,c}.
+  BddRef f = mgr.Or(mgr.Or(mgr.And(a, b), mgr.And(mgr.And(a, b), c)),
+                    mgr.And(b, c));
+  EXPECT_EQ(mgr.MonotoneCubes(f), (Cubes{{0, 1}, {1, 2}}));
+}
+
+TEST(BddTest, MonotoneCubesTerminals) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.MonotoneCubes(kBddFalse), Cubes{});
+  EXPECT_EQ(mgr.MonotoneCubes(kBddTrue), (Cubes{{}}));
+}
+
+TEST(BddTest, ChainConjunctionScalesLinearly) {
+  BddManager mgr;
+  BddRef f = kBddTrue;
+  for (uint32_t v = 0; v < 64; ++v) f = mgr.And(f, mgr.Var(v));
+  EXPECT_EQ(mgr.NodeCount(f), 64u);
+  EXPECT_EQ(mgr.SatCount(f, 64), 1.0);
+}
+
+// Property sweep: for random monotone functions built from k cubes over n
+// vars, every reported minimal cube satisfies f and no proper subset does.
+class BddMonotonePropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddMonotonePropertySweep, CubesAreMinimalWitnesses) {
+  const int seed = GetParam();
+  BddManager mgr;
+  // Deterministic pseudo-random cube construction (no Rng dependency).
+  uint64_t state = 0x9e3779b97f4a7c15ULL * (seed + 1);
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  constexpr uint32_t kVars = 10;
+  BddRef f = kBddFalse;
+  for (int cube = 0; cube < 6; ++cube) {
+    BddRef term = kBddTrue;
+    for (uint32_t v = 0; v < kVars; ++v) {
+      if (next() % 3 == 0) term = mgr.And(term, mgr.Var(v));
+    }
+    f = mgr.Or(f, term);
+  }
+  for (const auto& cube : mgr.MonotoneCubes(f)) {
+    std::unordered_map<uint32_t, bool> env;
+    for (uint32_t v : cube) env[v] = true;
+    EXPECT_TRUE(mgr.Eval(f, env));
+    // Dropping any single variable must falsify f (minimality).
+    for (uint32_t v : cube) {
+      env[v] = false;
+      EXPECT_FALSE(mgr.Eval(f, env)) << "cube not minimal at var " << v;
+      env[v] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddMonotonePropertySweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace provnet

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "crypto/authenticator.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "util/random.h"
+
+namespace provnet {
+namespace {
+
+Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// --- SHA-256 (FIPS 180-4 test vectors) --------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "network provenance as distributed streams";
+  Sha256 h;
+  for (char c : msg) h.Update(std::string(1, c));
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash(msg)));
+}
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 h;
+  h.Update(std::string("garbage"));
+  h.Reset();
+  h.Update(std::string("abc"));
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Padding boundary cases: lengths 55, 56, 63, 64 exercise all branch shapes.
+class Sha256PaddingSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256PaddingSweep, MatchesIncremental) {
+  std::string msg(GetParam(), 'x');
+  Sha256 h;
+  size_t half = msg.size() / 2;
+  h.Update(msg.substr(0, half));
+  h.Update(msg.substr(half));
+  EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash(msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256PaddingSweep,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 127,
+                                           128, 129));
+
+// --- HMAC (RFC 4231 test vectors) -------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes data = ToBytes("Hi There");
+  Sha256Digest mac = HmacSha256(key, data);
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  Bytes data = ToBytes("what do ya want for nothing?");
+  EXPECT_EQ(DigestToHex(HmacSha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);  // RFC 4231 case 6
+  Bytes data = ToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(DigestToHex(HmacSha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqualConstantTime) {
+  Sha256Digest a = Sha256::Hash(std::string("x"));
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+// --- RSA ---------------------------------------------------------------------
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static RsaKeyPair MakeKeys(size_t bits, uint64_t seed) {
+    Rng rng(seed);
+    Result<RsaKeyPair> kp = RsaGenerateKeyPair(bits, rng);
+    EXPECT_TRUE(kp.ok()) << kp.status();
+    return std::move(kp).value();
+  }
+};
+
+TEST_F(RsaTest, KeyGenProducesValidKey) {
+  RsaKeyPair kp = MakeKeys(256, 1);
+  EXPECT_EQ(kp.pub.n.BitLength(), 256u);
+  EXPECT_EQ(kp.pub.e.ToDecimal(), "65537");
+  // d*e ≡ 1 mod phi(n).
+  BigInt phi = (kp.priv.p - BigInt(1)) * (kp.priv.q - BigInt(1));
+  EXPECT_EQ((kp.priv.d * kp.priv.e).Mod(phi).value().ToDecimal(), "1");
+  EXPECT_EQ((kp.priv.p * kp.priv.q).ToDecimal(), kp.pub.n.ToDecimal());
+}
+
+TEST_F(RsaTest, RawRoundTrip) {
+  RsaKeyPair kp = MakeKeys(256, 2);
+  BigInt m(123456789);
+  BigInt s = RsaPrivateOp(kp.priv, m).value();
+  BigInt back = RsaPublicOp(kp.pub, s).value();
+  EXPECT_EQ(back.ToDecimal(), m.ToDecimal());
+}
+
+TEST_F(RsaTest, SignVerify) {
+  RsaKeyPair kp = MakeKeys(256, 3);
+  Bytes msg = ToBytes("reachable(a,c) from a");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  EXPECT_EQ(sig.size(), kp.pub.ByteLength());
+  EXPECT_TRUE(RsaVerify(kp.pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+  RsaKeyPair kp = MakeKeys(256, 4);
+  Bytes msg = ToBytes("link(a,b)");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  Bytes tampered = ToBytes("link(a,c)");
+  Status s = RsaVerify(kp.pub, tampered, sig);
+  EXPECT_EQ(s.code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  RsaKeyPair kp = MakeKeys(256, 5);
+  Bytes msg = ToBytes("link(a,b)");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  sig[sig.size() / 2] ^= 0x40;
+  EXPECT_FALSE(RsaVerify(kp.pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  RsaKeyPair kp1 = MakeKeys(256, 6);
+  RsaKeyPair kp2 = MakeKeys(256, 7);
+  Bytes msg = ToBytes("bestPath(a,d)");
+  Bytes sig = RsaSign(kp1.priv, msg).value();
+  EXPECT_FALSE(RsaVerify(kp2.pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongLength) {
+  RsaKeyPair kp = MakeKeys(256, 8);
+  Bytes msg = ToBytes("x");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  sig.pop_back();
+  EXPECT_FALSE(RsaVerify(kp.pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, LargerKeyEmbedsFullDigest) {
+  RsaKeyPair kp = MakeKeys(512, 9);
+  Bytes msg = ToBytes("full digest fits at 512 bits");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  EXPECT_TRUE(RsaVerify(kp.pub, msg, sig).ok());
+  EXPECT_EQ(sig.size(), 64u);
+}
+
+TEST_F(RsaTest, RejectsBadKeySizes) {
+  Rng rng(10);
+  EXPECT_FALSE(RsaGenerateKeyPair(100, rng).ok());  // not >=128
+  EXPECT_FALSE(RsaGenerateKeyPair(129, rng).ok());  // odd
+}
+
+class RsaKeySizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RsaKeySizeSweep, SignVerifyAtSize) {
+  Rng rng(40 + GetParam());
+  RsaKeyPair kp = RsaGenerateKeyPair(GetParam(), rng).value();
+  Bytes msg = ToBytes("sweep message");
+  Bytes sig = RsaSign(kp.priv, msg).value();
+  EXPECT_TRUE(RsaVerify(kp.pub, msg, sig).ok());
+  Bytes other = ToBytes("sweep message!");
+  EXPECT_FALSE(RsaVerify(kp.pub, other, sig).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaKeySizeSweep,
+                         ::testing::Values(192, 256, 384, 512));
+
+// --- KeyStore ----------------------------------------------------------------
+
+TEST(KeyStoreTest, DeterministicAcrossInstances) {
+  KeyStore ks1(1234, 256);
+  KeyStore ks2(1234, 256);
+  const RsaPublicKey* p1 = ks1.PublicKeyFor("alice").value();
+  const RsaPublicKey* p2 = ks2.PublicKeyFor("alice").value();
+  EXPECT_EQ(p1->n.ToDecimal(), p2->n.ToDecimal());
+  EXPECT_EQ(ks1.HmacKeyFor("alice"), ks2.HmacKeyFor("alice"));
+}
+
+TEST(KeyStoreTest, DistinctPrincipalsDistinctKeys) {
+  KeyStore ks(1, 256);
+  EXPECT_NE(ks.PublicKeyFor("a").value()->n.ToDecimal(),
+            ks.PublicKeyFor("b").value()->n.ToDecimal());
+  EXPECT_NE(ks.HmacKeyFor("a"), ks.HmacKeyFor("b"));
+  EXPECT_EQ(ks.size(), 2u);
+}
+
+TEST(KeyStoreTest, SeedChangesKeys) {
+  KeyStore ks1(1, 256), ks2(2, 256);
+  EXPECT_NE(ks1.PublicKeyFor("a").value()->n.ToDecimal(),
+            ks2.PublicKeyFor("a").value()->n.ToDecimal());
+}
+
+TEST(KeyStoreTest, CachesEntries) {
+  KeyStore ks(1, 256);
+  const RsaPublicKey* first = ks.PublicKeyFor("a").value();
+  const RsaPublicKey* second = ks.PublicKeyFor("a").value();
+  EXPECT_EQ(first, second);  // same cached object
+}
+
+// --- Authenticator (says) ------------------------------------------------------
+
+class AuthenticatorTest : public ::testing::Test {
+ protected:
+  AuthenticatorTest() : keystore_(99, 256), auth_(&keystore_) {}
+  KeyStore keystore_;
+  Authenticator auth_;
+};
+
+TEST_F(AuthenticatorTest, CleartextAlwaysVerifies) {
+  Bytes payload = ToBytes("tuple bytes");
+  SaysTag tag = auth_.Say("a", payload, SaysLevel::kCleartext).value();
+  EXPECT_TRUE(tag.proof.empty());
+  EXPECT_TRUE(auth_.Verify(tag, payload).ok());
+  EXPECT_EQ(auth_.sign_count(), 0u);  // cleartext is free
+}
+
+TEST_F(AuthenticatorTest, HmacRoundTrip) {
+  Bytes payload = ToBytes("tuple bytes");
+  SaysTag tag = auth_.Say("a", payload, SaysLevel::kHmac).value();
+  EXPECT_EQ(tag.proof.size(), kSha256DigestSize);
+  EXPECT_TRUE(auth_.Verify(tag, payload).ok());
+}
+
+TEST_F(AuthenticatorTest, HmacDetectsTamper) {
+  Bytes payload = ToBytes("tuple bytes");
+  SaysTag tag = auth_.Say("a", payload, SaysLevel::kHmac).value();
+  Bytes other = ToBytes("tuple byteZ");
+  EXPECT_EQ(auth_.Verify(tag, other).code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(AuthenticatorTest, RsaRoundTripAndTamper) {
+  Bytes payload = ToBytes("reachable(a,c)");
+  SaysTag tag = auth_.Say("a", payload, SaysLevel::kRsa).value();
+  EXPECT_TRUE(auth_.Verify(tag, payload).ok());
+  Bytes other = ToBytes("reachable(a,d)");
+  EXPECT_FALSE(auth_.Verify(tag, other).ok());
+}
+
+TEST_F(AuthenticatorTest, ImpersonationFails) {
+  // b cannot forge "a says": tag claims principal a but was MACed/signed by b.
+  Bytes payload = ToBytes("route update");
+  SaysTag forged = auth_.Say("b", payload, SaysLevel::kRsa).value();
+  forged.principal = "a";
+  EXPECT_FALSE(auth_.Verify(forged, payload).ok());
+}
+
+TEST_F(AuthenticatorTest, TagSerializationRoundTrip) {
+  Bytes payload = ToBytes("x");
+  for (SaysLevel level :
+       {SaysLevel::kCleartext, SaysLevel::kHmac, SaysLevel::kRsa}) {
+    SaysTag tag = auth_.Say("node7", payload, level).value();
+    ByteWriter w;
+    tag.Serialize(w);
+    EXPECT_EQ(w.size(), tag.WireSize());
+    ByteReader r(w.bytes());
+    SaysTag back = SaysTag::Deserialize(r).value();
+    EXPECT_EQ(back.level, tag.level);
+    EXPECT_EQ(back.principal, tag.principal);
+    EXPECT_EQ(back.proof, tag.proof);
+    EXPECT_TRUE(auth_.Verify(back, payload).ok());
+  }
+}
+
+TEST_F(AuthenticatorTest, DeserializeRejectsBadLevel) {
+  ByteWriter w;
+  w.PutU8(9);
+  w.PutString("a");
+  w.PutBlob({});
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(SaysTag::Deserialize(r).ok());
+}
+
+TEST_F(AuthenticatorTest, WireSizeOrderingMatchesSecurityLadder) {
+  // The says ladder trades security for bytes: cleartext < hmac <= rsa
+  // (an RSA proof is modulus-sized, so it ties HMAC at 256-bit keys and
+  // dominates at realistic sizes).
+  Bytes payload = ToBytes("payload");
+  size_t clear =
+      auth_.Say("a", payload, SaysLevel::kCleartext).value().WireSize();
+  size_t hmac = auth_.Say("a", payload, SaysLevel::kHmac).value().WireSize();
+  size_t rsa = auth_.Say("a", payload, SaysLevel::kRsa).value().WireSize();
+  EXPECT_LT(clear, hmac);
+  EXPECT_LE(hmac, rsa);
+
+  KeyStore big_store(7, 512);
+  Authenticator big_auth(&big_store);
+  size_t rsa512 =
+      big_auth.Say("a", payload, SaysLevel::kRsa).value().WireSize();
+  EXPECT_LT(hmac, rsa512);
+}
+
+TEST_F(AuthenticatorTest, CountersTrackOperations) {
+  Bytes payload = ToBytes("p");
+  auth_.ResetCounters();
+  SaysTag t1 = auth_.Say("a", payload, SaysLevel::kRsa).value();
+  SaysTag t2 = auth_.Say("a", payload, SaysLevel::kHmac).value();
+  EXPECT_TRUE(auth_.Verify(t1, payload).ok());
+  EXPECT_TRUE(auth_.Verify(t2, payload).ok());
+  EXPECT_EQ(auth_.sign_count(), 2u);
+  EXPECT_EQ(auth_.verify_count(), 2u);
+}
+
+}  // namespace
+}  // namespace provnet

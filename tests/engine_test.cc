@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "apps/bestpath.h"
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "net/topology.h"
+
+namespace provnet {
+namespace {
+
+Tuple Link2(NodeId a, NodeId b) {
+  return Tuple("link", {Value::Address(a), Value::Address(b)});
+}
+
+Tuple Reach(NodeId a, NodeId b) {
+  return Tuple("reachable", {Value::Address(a), Value::Address(b)});
+}
+
+std::unique_ptr<Engine> MakeReachEngine(const std::string& source,
+                                        EngineOptions opts,
+                                        const Topology& topo) {
+  Result<std::unique_ptr<Engine>> engine = Engine::Create(topo, source, opts);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  std::unique_ptr<Engine> e = std::move(engine).value();
+  for (const TopoEdge& edge : topo.edges) {
+    EXPECT_TRUE(e->InsertFact(edge.from, Link2(edge.from, edge.to)).ok());
+  }
+  return e;
+}
+
+// --- Section 2.1: NDlog reachable on the Figure 1 network ------------------
+
+TEST(EngineTest, NdlogReachableFigureAbc) {
+  Topology topo = Topology::FigureAbc();  // a->b, a->c, b->c
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableNdlogProgram(), EngineOptions{}, topo);
+  Result<RunStats> stats = e->Run();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  EXPECT_EQ(e->TuplesAt(0, "reachable"),
+            (std::vector<Tuple>{Reach(0, 1), Reach(0, 2)}));
+  EXPECT_EQ(e->TuplesAt(1, "reachable"), (std::vector<Tuple>{Reach(1, 2)}));
+  EXPECT_TRUE(e->TuplesAt(2, "reachable").empty());
+}
+
+TEST(EngineTest, NdlogReachableLineIsTransitive) {
+  Topology topo = Topology::Line(5);  // 0->1->2->3->4
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableNdlogProgram(), EngineOptions{}, topo);
+  ASSERT_TRUE(e->Run().ok());
+  // Node 0 reaches everyone downstream.
+  EXPECT_EQ(e->TuplesAt(0, "reachable").size(), 4u);
+  EXPECT_EQ(e->TuplesAt(3, "reachable").size(), 1u);
+  EXPECT_TRUE(e->TuplesAt(4, "reachable").empty());
+}
+
+TEST(EngineTest, NdlogReachableHandlesCycles) {
+  // 0 -> 1 -> 2 -> 0: everyone reaches everyone (including themselves).
+  Topology topo;
+  topo.num_nodes = 3;
+  topo.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableNdlogProgram(), EngineOptions{}, topo);
+  ASSERT_TRUE(e->Run().ok());
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(e->TuplesAt(n, "reachable").size(), 3u) << "node " << n;
+  }
+}
+
+// --- Section 2.2: SeNDlog reachable with says ------------------------------
+
+TEST(EngineTest, SendlogReachableMatchesNdlog) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;  // cheap auth for tests
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableSendlogProgram(), opts, topo);
+  Result<RunStats> stats = e->Run();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  EXPECT_EQ(e->TuplesAt(0, "reachable"),
+            (std::vector<Tuple>{Reach(0, 1), Reach(0, 2)}));
+  EXPECT_EQ(e->TuplesAt(1, "reachable"), (std::vector<Tuple>{Reach(1, 2)}));
+  EXPECT_GT(stats.value().signs, 0u);
+  EXPECT_GT(stats.value().verifies, 0u);
+  EXPECT_EQ(stats.value().auth_failures, 0u);
+}
+
+TEST(EngineTest, SendlogAuthAddsBandwidth) {
+  // Unauthenticated SeNDlog ships a cleartext principal header (the paper's
+  // benign world); RSA says upgrades it to a signature.
+  Topology topo = Topology::FigureAbc();
+  EngineOptions plain;
+  std::unique_ptr<Engine> e1 =
+      MakeReachEngine(ReachableSendlogProgram(), plain, topo);
+  RunStats s1 = e1->Run().value();
+
+  EngineOptions auth;
+  auth.authenticate = true;
+  auth.says_level = SaysLevel::kRsa;
+  std::unique_ptr<Engine> e2 =
+      MakeReachEngine(ReachableSendlogProgram(), auth, topo);
+  RunStats s2 = e2->Run().value();
+
+  EXPECT_EQ(s1.messages, s2.messages);  // same dataflow
+  EXPECT_GT(s2.bytes, s1.bytes);        // signatures cost bytes
+  EXPECT_GT(s1.auth_bytes, 0u);         // cleartext header is cheap...
+  EXPECT_GT(s2.auth_bytes, 4 * s1.auth_bytes);  // ...signatures are not
+  EXPECT_EQ(s1.signs, 0u);  // cleartext says does no crypto
+  EXPECT_GT(s2.signs, 0u);
+}
+
+// --- Figure 2: condensed provenance <a + a*b> -> <a> ------------------------
+
+TEST(EngineTest, CondensedProvenanceMatchesFigure2) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = ProvMode::kCondensed;
+  opts.node_names = {"a", "b", "c"};
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableSendlogProgram(), opts, topo);
+  ASSERT_TRUE(e->Run().ok());
+
+  // reachable(a, c) at node a has two derivations: locally from link(a,c)
+  // (annotation a) and via b (annotation a*b). Condensed: <a>.
+  Result<CondensedProv> cond = e->CondensedOf(0, Reach(0, 2));
+  ASSERT_TRUE(cond.ok()) << cond.status();
+  std::string rendered =
+      cond.value().ToString([&](ProvVar v) { return e->VarName(v); });
+  EXPECT_EQ(rendered, "<a>");
+
+  // Before condensation the annotation really has both derivations.
+  Result<ProvExpr> full = e->AnnotationOf(0, Reach(0, 2));
+  ASSERT_TRUE(full.ok());
+  ASSERT_GE(full.value().Variables().size(), 2u);  // mentions a and b
+
+  // reachable(b, c) at b is asserted solely by b.
+  Result<CondensedProv> bc = e->CondensedOf(1, Reach(1, 2));
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(bc.value().ToString([&](ProvVar v) { return e->VarName(v); }),
+            "<b>");
+}
+
+// --- Best-Path (Section 6 workload) -----------------------------------------
+
+TEST(EngineTest, BestPathFigureAbc) {
+  Topology topo = Topology::FigureAbc();
+  Result<BestPathRun> run = RunBestPath(topo, Variant::kNdlog);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(VerifyBestPaths(*run.value().engine, topo).ok());
+
+  // a's best path to c is the direct unit-cost link.
+  std::vector<Tuple> best = run.value().engine->TuplesAt(0, "bestPath");
+  ASSERT_EQ(best.size(), 2u);
+}
+
+TEST(EngineTest, BestPathPrefersCheaperTwoHop) {
+  // Direct edge cost 10; detour 0->1->2 costs 2.
+  Topology topo;
+  topo.num_nodes = 3;
+  topo.edges = {{0, 2, 10}, {0, 1, 1}, {1, 2, 1}};
+  Result<BestPathRun> run = RunBestPath(topo, Variant::kNdlog);
+  ASSERT_TRUE(run.ok()) << run.status();
+  Engine& e = *run.value().engine;
+  EXPECT_TRUE(VerifyBestPaths(e, topo).ok());
+
+  std::vector<Tuple> best = e.TuplesAt(0, "bestPath");
+  bool found = false;
+  for (const Tuple& t : best) {
+    if (t.arg(1).AsAddress() == 2) {
+      found = true;
+      EXPECT_EQ(t.arg(3).AsInt(), 2);
+      EXPECT_EQ(t.arg(2).AsList().size(), 3u);  // 0 -> 1 -> 2
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class BestPathVariantSweep : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(BestPathVariantSweep, AllVariantsComputeTheSamePaths) {
+  Rng rng(424242);
+  Topology topo = Topology::RingPlusRandom(8, 3, rng);
+  Result<BestPathRun> run = RunBestPath(topo, GetParam());
+  ASSERT_TRUE(run.ok()) << run.status();
+  Status verified = VerifyBestPaths(*run.value().engine, topo);
+  EXPECT_TRUE(verified.ok()) << verified;
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BestPathVariantSweep,
+                         ::testing::Values(Variant::kNdlog, Variant::kSendlog,
+                                           Variant::kSendlogProv));
+
+TEST(EngineTest, VariantOverheadOrdering) {
+  Rng rng(7);
+  Topology topo = Topology::RingPlusRandom(10, 3, rng);
+  RunStats ndlog = RunBestPath(topo, Variant::kNdlog).value().stats;
+  RunStats sendlog = RunBestPath(topo, Variant::kSendlog).value().stats;
+  RunStats prov = RunBestPath(topo, Variant::kSendlogProv).value().stats;
+
+  // Bandwidth strictly grows along the ladder (Figure 4's ordering).
+  EXPECT_GT(sendlog.bytes, ndlog.bytes);
+  EXPECT_GT(prov.bytes, sendlog.bytes);
+  EXPECT_EQ(ndlog.auth_bytes, 0u);
+  EXPECT_GT(sendlog.auth_bytes, 0u);
+  EXPECT_EQ(sendlog.prov_bytes, 0u);
+  EXPECT_GT(prov.prov_bytes, 0u);
+  // Authenticated variants do real signature work.
+  EXPECT_EQ(ndlog.signs, 0u);
+  EXPECT_GT(sendlog.signs, 0u);
+}
+
+// --- Soft state --------------------------------------------------------------
+
+TEST(EngineTest, SoftStateTuplesExpire) {
+  Topology topo = Topology::Line(2);
+  EngineOptions opts;
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableNdlogProgram(), opts, topo);
+  ASSERT_TRUE(e->Run().ok());
+  ASSERT_EQ(e->TuplesAt(0, "reachable").size(), 1u);
+
+  // Re-insert a link with a short TTL at a fresh engine and age it out.
+  Result<std::unique_ptr<Engine>> e2r =
+      Engine::Create(topo, ReachableNdlogProgram(), opts);
+  ASSERT_TRUE(e2r.ok());
+  std::unique_ptr<Engine> e2 = std::move(e2r).value();
+  ASSERT_TRUE(e2->InsertFact(0, Link2(0, 1), /*ttl=*/5.0).ok());
+  ASSERT_TRUE(e2->Run().ok());
+  EXPECT_EQ(e2->TuplesAt(0, "link").size(), 1u);
+  e2->network().AdvanceTime(10.0);
+  e2->ExpireNow();
+  EXPECT_TRUE(e2->TuplesAt(0, "link").empty());
+}
+
+// --- Authentication failures -------------------------------------------------
+
+TEST(EngineTest, TamperedMessagesAreDropped) {
+  // A malicious forwarder is simulated by corrupting a says tag: verify that
+  // a bad proof never enters a table. We force it via a custom handler-level
+  // check: run with auth on and confirm zero failures on an honest network,
+  // then craft a forged message by hand.
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  std::unique_ptr<Engine> e =
+      MakeReachEngine(ReachableSendlogProgram(), opts, topo);
+  RunStats honest = e->Run().value();
+  EXPECT_EQ(honest.auth_failures, 0u);
+
+  // Forge: node 2 claims "n0 says linkD(...)" with a garbage MAC.
+  ByteWriter content;
+  Tuple forged("linkD", {Value::Address(1), Value::Address(0)});
+  forged.Serialize(content);
+  content.PutU8(0);  // no provenance payload
+  SaysTag tag;
+  tag.level = SaysLevel::kHmac;
+  tag.principal = "n0";
+  tag.proof.assign(32, 0xAB);
+  ByteWriter msg;
+  msg.PutU8(1);  // tuple message
+  msg.PutBlob(content.bytes());
+  msg.PutU8(1);
+  tag.Serialize(msg);
+  ASSERT_TRUE(e->network().Send(2, 1, std::move(msg).Take()).ok());
+  RunStats after = e->Run().value();
+  EXPECT_EQ(after.auth_failures, 1u);
+}
+
+}  // namespace
+}  // namespace provnet

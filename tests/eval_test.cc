@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "datalog/parser.h"
+
+namespace provnet {
+namespace {
+
+// --- Builtins ------------------------------------------------------------------
+
+TEST(BuiltinTest, PathVectorFunctions) {
+  Value init = CallBuiltin("f_init", {Value::Address(0), Value::Address(1)})
+                   .value();
+  EXPECT_EQ(init.ToString(), "[@0, @1]");
+
+  Value extended =
+      CallBuiltin("f_concatPath", {Value::Address(5), init}).value();
+  EXPECT_EQ(extended.ToString(), "[@5, @0, @1]");
+
+  Value appended = CallBuiltin("f_append", {init, Value::Address(9)}).value();
+  EXPECT_EQ(appended.ToString(), "[@0, @1, @9]");
+
+  EXPECT_EQ(CallBuiltin("f_member", {extended, Value::Address(0)})
+                .value()
+                .AsInt(),
+            1);
+  EXPECT_EQ(CallBuiltin("f_member", {extended, Value::Address(7)})
+                .value()
+                .AsInt(),
+            0);
+  EXPECT_EQ(CallBuiltin("f_size", {extended}).value().AsInt(), 3);
+  EXPECT_EQ(CallBuiltin("f_first", {extended}).value().AsAddress(), 5u);
+  EXPECT_EQ(CallBuiltin("f_last", {extended}).value().AsAddress(), 1u);
+}
+
+TEST(BuiltinTest, MinMax) {
+  EXPECT_EQ(CallBuiltin("f_min", {Value::Int(3), Value::Int(7)})
+                .value()
+                .AsInt(),
+            3);
+  EXPECT_EQ(CallBuiltin("f_max", {Value::Int(3), Value::Int(7)})
+                .value()
+                .AsInt(),
+            7);
+}
+
+TEST(BuiltinTest, Errors) {
+  EXPECT_FALSE(CallBuiltin("f_unknown", {}).ok());
+  EXPECT_FALSE(CallBuiltin("f_size", {}).ok());                 // arity
+  EXPECT_FALSE(CallBuiltin("f_size", {Value::Int(3)}).ok());    // not a list
+  EXPECT_FALSE(CallBuiltin("f_first", {Value::List({})}).ok()); // empty
+  EXPECT_FALSE(
+      CallBuiltin("f_member", {Value::Int(1), Value::Int(1)}).ok());
+}
+
+// --- Terms and expressions -------------------------------------------------------
+
+Expr ParseCondition(const std::string& text) {
+  // Wrap in a rule to reuse the parser.
+  Rule r = ParseRule("p(@S) :- q(@S), " + text + ".").value();
+  return r.body[1].expr;
+}
+
+TEST(EvalTest, TermEvaluation) {
+  Env env = {{"X", Value::Int(4)}, {"P", Value::List({Value::Int(1)})}};
+  EXPECT_EQ(EvalTerm(Term::Var("X"), env).value().AsInt(), 4);
+  EXPECT_EQ(EvalTerm(Term::Const(Value::Str("k")), env).value().AsString(),
+            "k");
+  EXPECT_FALSE(EvalTerm(Term::Var("Missing"), env).ok());
+  Term call = Term::Func("f_size", {Term::Var("P")});
+  EXPECT_EQ(EvalTerm(call, env).value().AsInt(), 1);
+}
+
+TEST(EvalTest, ArithmeticKeepsInts) {
+  Env env = {{"A", Value::Int(7)}, {"B", Value::Int(2)}};
+  Rule r = ParseRule("p(@S,X) :- q(@S), X := A * B + 1.").value();
+  const Expr& expr = r.body[1].expr;
+  Value v = EvalExpr(expr, env).value();
+  EXPECT_EQ(v.kind(), ValueKind::kInt);
+  EXPECT_EQ(v.AsInt(), 15);
+}
+
+TEST(EvalTest, ArithmeticWidensToDouble) {
+  Env env = {{"A", Value::Int(7)}, {"B", Value::Real(0.5)}};
+  Rule r = ParseRule("p(@S,X) :- q(@S), X := A * B.").value();
+  Value v = EvalExpr(r.body[1].expr, env).value();
+  EXPECT_EQ(v.kind(), ValueKind::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST(EvalTest, DivisionByZeroFails) {
+  Env env = {{"A", Value::Int(7)}, {"B", Value::Int(0)}};
+  Rule r = ParseRule("p(@S,X) :- q(@S), X := A / B.").value();
+  EXPECT_FALSE(EvalExpr(r.body[1].expr, env).ok());
+  Rule m = ParseRule("p(@S,X) :- q(@S), X := A % B.").value();
+  EXPECT_FALSE(EvalExpr(m.body[1].expr, env).ok());
+}
+
+TEST(EvalTest, Comparisons) {
+  Env env = {{"C", Value::Int(5)}};
+  EXPECT_TRUE(EvalCondition(ParseCondition("C < 10"), env).value());
+  EXPECT_FALSE(EvalCondition(ParseCondition("C > 10"), env).value());
+  EXPECT_TRUE(EvalCondition(ParseCondition("C == 5"), env).value());
+  EXPECT_TRUE(EvalCondition(ParseCondition("C != 4"), env).value());
+  EXPECT_TRUE(EvalCondition(ParseCondition("C >= 5"), env).value());
+  EXPECT_TRUE(EvalCondition(ParseCondition("C <= 5"), env).value());
+}
+
+TEST(EvalTest, OperatorPrecedence) {
+  Env env;
+  EXPECT_TRUE(
+      EvalCondition(ParseCondition("2 + 3 * 4 == 14"), env).value());
+  EXPECT_TRUE(
+      EvalCondition(ParseCondition("(2 + 3) * 4 == 20"), env).value());
+  EXPECT_TRUE(EvalCondition(ParseCondition("10 % 3 == 1"), env).value());
+}
+
+// --- Unification -------------------------------------------------------------------
+
+TEST(UnifyTest, BindsFreshVariables) {
+  Rule r = ParseRule("p(@S) :- link(@S,D,C).").value();
+  const Atom& atom = r.body[0].atom;
+  Tuple t("link", {Value::Address(0), Value::Address(1), Value::Int(5)});
+  Env env;
+  ASSERT_TRUE(UnifyTuple(atom, t, env));
+  EXPECT_EQ(env.at("S").AsAddress(), 0u);
+  EXPECT_EQ(env.at("D").AsAddress(), 1u);
+  EXPECT_EQ(env.at("C").AsInt(), 5);
+}
+
+TEST(UnifyTest, RespectsExistingBindings) {
+  Rule r = ParseRule("p(@S) :- link(@S,D).").value();
+  const Atom& atom = r.body[0].atom;
+  Tuple t("link", {Value::Address(0), Value::Address(1)});
+  Env env = {{"S", Value::Address(0)}};
+  EXPECT_TRUE(UnifyTuple(atom, t, env));
+  env = {{"S", Value::Address(9)}};
+  EXPECT_FALSE(UnifyTuple(atom, t, env));
+}
+
+TEST(UnifyTest, ConstantsMustMatch) {
+  Rule r = ParseRule("p(@S) :- link(@S, 7).").value();
+  const Atom& atom = r.body[0].atom;
+  Env env;
+  EXPECT_TRUE(UnifyTuple(atom, Tuple("link", {Value::Address(0),
+                                              Value::Int(7)}),
+                         env));
+  Env env2;
+  EXPECT_FALSE(UnifyTuple(atom, Tuple("link", {Value::Address(0),
+                                               Value::Int(8)}),
+                          env2));
+}
+
+TEST(UnifyTest, RepeatedVariableActsAsSelfJoinFilter) {
+  Rule r = ParseRule("p(@S) :- edge(@S, X, X).").value();
+  const Atom& atom = r.body[0].atom;
+  Env env;
+  EXPECT_TRUE(UnifyTuple(
+      atom, Tuple("edge", {Value::Address(0), Value::Int(3), Value::Int(3)}),
+      env));
+  Env env2;
+  EXPECT_FALSE(UnifyTuple(
+      atom, Tuple("edge", {Value::Address(0), Value::Int(3), Value::Int(4)}),
+      env2));
+}
+
+TEST(UnifyTest, MismatchedPredicateOrArity) {
+  Rule r = ParseRule("p(@S) :- link(@S,D).").value();
+  const Atom& atom = r.body[0].atom;
+  Env env;
+  EXPECT_FALSE(UnifyTuple(atom, Tuple("hop", {Value::Address(0),
+                                              Value::Address(1)}),
+                          env));
+  EXPECT_FALSE(UnifyTuple(atom, Tuple("link", {Value::Address(0)}), env));
+}
+
+// --- Head construction ---------------------------------------------------------------
+
+TEST(HeadTest, BuildsWithFunctionsAndConstants) {
+  Rule r = ParseRule("out(@S, f_size(P), 42, D) :- q(@S, P, D).").value();
+  Env env = {{"S", Value::Address(1)},
+             {"P", Value::List({Value::Int(1), Value::Int(2)})},
+             {"D", Value::Address(3)}};
+  Tuple head = BuildHeadTuple(r.head, env).value();
+  EXPECT_EQ(head.ToString(), "out(@1, 2, 42, @3)");
+}
+
+TEST(HeadTest, AggregatePlaceholderTakesVariableValue) {
+  Rule r = ParseRule("cost(@S, D, min<C>) :- path(@S, D, C).").value();
+  Env env = {{"S", Value::Address(0)}, {"D", Value::Address(1)},
+             {"C", Value::Int(17)}};
+  Tuple head = BuildHeadTuple(r.head, env).value();
+  EXPECT_EQ(head.arg(2).AsInt(), 17);  // aggregation happens at the table
+}
+
+}  // namespace
+}  // namespace provnet

@@ -1,0 +1,255 @@
+// Cross-module integration tests: the provenance taxonomy modes agree with
+// each other, distributed reconstruction matches local trees, sampling
+// composes with the engine, and trust policies act on live engine state.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/bestpath.h"
+#include "apps/forensics.h"
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "provenance/semiring.h"
+
+namespace provnet {
+namespace {
+
+Tuple Link2(NodeId a, NodeId b) {
+  return Tuple("link", {Value::Address(a), Value::Address(b)});
+}
+
+std::unique_ptr<Engine> RunReach(const Topology& topo, EngineOptions opts) {
+  auto engine =
+      Engine::Create(topo, ReachableSendlogProgram(), std::move(opts)).value();
+  for (const TopoEdge& e : topo.edges) {
+    EXPECT_TRUE(engine->InsertFact(e.from, Link2(e.from, e.to)).ok());
+  }
+  EXPECT_TRUE(engine->Run().ok());
+  return engine;
+}
+
+// --- Taxonomy-mode agreement -------------------------------------------------
+
+TEST(IntegrationTest, AllProvModesComputeIdenticalTables) {
+  Rng rng(101);
+  Topology topo = Topology::RingPlusRandom(9, 3, rng);
+  std::vector<std::vector<Tuple>> results;
+  for (ProvMode mode : {ProvMode::kNone, ProvMode::kCondensed,
+                        ProvMode::kFull, ProvMode::kPointers}) {
+    EngineOptions opts;
+    opts.authenticate = true;
+    opts.says_level = SaysLevel::kHmac;
+    opts.prov_mode = mode;
+    auto engine = RunReach(topo, opts);
+    std::vector<Tuple> all;
+    for (NodeId n = 0; n < 9; ++n) {
+      for (const Tuple& t : engine->TuplesAt(n, "reachable")) {
+        all.push_back(t);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    results.push_back(std::move(all));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "mode " << i << " diverged";
+  }
+}
+
+TEST(IntegrationTest, FullTreeLeavesMatchCondensedVariables) {
+  // The base tuples at the leaves of the full derivation tree must assert
+  // exactly the principals that appear in the condensed annotation.
+  Topology topo = Topology::FigureAbc();
+  EngineOptions full_opts;
+  full_opts.authenticate = true;
+  full_opts.says_level = SaysLevel::kHmac;
+  full_opts.prov_mode = ProvMode::kFull;
+  full_opts.node_names = {"a", "b", "c"};
+  auto full_engine = RunReach(topo, full_opts);
+
+  EngineOptions cond_opts = full_opts;
+  cond_opts.prov_mode = ProvMode::kCondensed;
+  auto cond_engine = RunReach(topo, cond_opts);
+
+  Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
+  DerivationPtr tree = full_engine->LocalDerivationOf(0, reach_ac).value();
+  std::set<std::string> leaf_principals;
+  std::function<void(const DerivationNode&)> walk =
+      [&](const DerivationNode& n) {
+        if (n.children.empty()) leaf_principals.insert(n.asserted_by);
+        for (const DerivationPtr& c : n.children) walk(*c);
+      };
+  walk(*tree);
+
+  ProvExpr annotation = cond_engine->AnnotationOf(0, reach_ac).value();
+  std::set<std::string> annotation_principals;
+  for (ProvVar v : annotation.Variables()) {
+    annotation_principals.insert(cond_engine->VarName(v));
+  }
+  EXPECT_EQ(leaf_principals, annotation_principals);
+}
+
+TEST(IntegrationTest, DistributedReconstructionMatchesLocalTree) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = ProvMode::kFull;
+  opts.record_online = true;  // also keep pointer records
+  opts.node_names = {"a", "b", "c"};
+  auto engine = RunReach(topo, opts);
+
+  Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
+  DerivationPtr local = engine->LocalDerivationOf(0, reach_ac).value();
+  DerivationPtr remote =
+      engine->QueryDistributedProvenance(0, reach_ac).value();
+
+  // Same base tuples recovered either way.
+  auto leaves_of = [](const DerivationPtr& root) {
+    std::set<std::string> out;
+    std::function<void(const DerivationNode&)> walk =
+        [&](const DerivationNode& n) {
+          if (n.children.empty() && n.rule != "missing") {
+            out.insert(n.tuple.ToString());
+          }
+          for (const DerivationPtr& c : n.children) walk(*c);
+        };
+    walk(*root);
+    return out;
+  };
+  EXPECT_EQ(leaves_of(local), leaves_of(remote));
+}
+
+TEST(IntegrationTest, DistributedQueryChargesBandwidth) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kPointers;
+  opts.node_names = {"a", "b", "c"};
+  auto engine = RunReach(topo, opts);
+
+  uint64_t bytes_before = engine->network().total_bytes();
+  Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
+  ASSERT_TRUE(engine->QueryDistributedProvenance(0, reach_ac).ok());
+  EXPECT_GT(engine->network().total_bytes(), bytes_before);
+}
+
+// --- Quantifiable provenance on live state ------------------------------------
+
+TEST(IntegrationTest, CountingSemiringSeesBothDiamondPaths) {
+  Topology diamond;
+  diamond.num_nodes = 4;
+  diamond.edges = {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = ProvMode::kCondensed;
+  auto engine = RunReach(diamond, opts);
+  Tuple reach("reachable", {Value::Address(0), Value::Address(3)});
+  ProvExpr annotation = engine->AnnotationOf(0, reach).value();
+  EXPECT_EQ(DerivationCount(annotation), 2u);
+}
+
+// --- Sampling composed with the engine -----------------------------------------
+
+TEST(IntegrationTest, SamplingReducesRecordsMonotonically) {
+  Rng rng(55);
+  Topology topo = Topology::RingPlusRandom(10, 3, rng);
+  size_t previous = SIZE_MAX;
+  for (uint32_t k : {1u, 4u, 16u}) {
+    EngineOptions opts;
+    opts.prov_mode = ProvMode::kPointers;
+    opts.sample_k = k;
+    auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+    ASSERT_TRUE(engine->InsertLinkFacts().ok());
+    ASSERT_TRUE(engine->Run().ok());
+    size_t records = 0;
+    for (NodeId n = 0; n < engine->num_nodes(); ++n) {
+      records += engine->node(n).online_store().size();
+    }
+    EXPECT_LT(records, previous) << "k=" << k;
+    previous = records;
+  }
+}
+
+// --- Reactive recording ----------------------------------------------------------
+
+TEST(IntegrationTest, ReactiveModeRecordsNothingUntilEnabled) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kPointers;
+  opts.recording_enabled = false;
+  auto engine = RunReach(topo, opts);
+  size_t quiet = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    quiet += engine->node(n).online_store().size();
+  }
+  EXPECT_EQ(quiet, 0u);
+
+  // Enable and feed a new fact: only new derivations get records.
+  engine->SetRecordingEnabled(true);
+  ASSERT_TRUE(engine->InsertFact(2, Link2(2, 0)).ok());
+  ASSERT_TRUE(engine->Run().ok());
+  size_t after = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    after += engine->node(n).online_store().size();
+  }
+  EXPECT_GT(after, 0u);
+}
+
+// --- Online provenance reaction (Section 4.2) -------------------------------------
+
+TEST(IntegrationTest, DependentsOfMaliciousNode) {
+  Topology topo = Topology::FigureAbc();
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = ProvMode::kPointers;
+  opts.node_names = {"a", "b", "c"};
+  auto engine = RunReach(topo, opts);
+
+  // Declare b malicious: which of a's online records depend on it?
+  std::vector<TupleDigest> tainted =
+      engine->node(0).online_store().DependentsOf("b");
+  // reachable(a,c) arrived via b, so it must be tainted.
+  Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
+  bool found = false;
+  for (TupleDigest d : tainted) {
+    if (d == DigestOf(reach_ac)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Variant sweep across topology families ----------------------------------------
+
+struct TopoCase {
+  const char* name;
+  Topology topo;
+};
+
+class TopologyFamilySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyFamilySweep, BestPathMatchesOracle) {
+  Rng rng(300 + GetParam());
+  Topology topo;
+  switch (GetParam() % 3) {
+    case 0:
+      topo = Topology::Line(6);
+      break;
+    case 1:
+      topo = Topology::RingPlusRandom(7 + GetParam(), 2, rng);
+      break;
+    default:
+      topo = Topology::RingPlusRandom(6 + GetParam(), 3, rng);
+      break;
+  }
+  Result<BestPathRun> run = RunBestPath(topo, Variant::kNdlog);
+  ASSERT_TRUE(run.ok()) << run.status();
+  Status verified = VerifyBestPaths(*run.value().engine, topo);
+  EXPECT_TRUE(verified.ok()) << verified;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TopologyFamilySweep,
+                         ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace provnet

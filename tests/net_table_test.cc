@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "core/table.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace provnet {
+namespace {
+
+// --- Network -------------------------------------------------------------------
+
+TEST(NetworkTest, DeliversInLatencyOrder) {
+  Network net(3, /*default_latency_s=*/1.0);
+  net.SetLatency(0, 2, 0.1);  // fast path
+
+  std::vector<std::pair<NodeId, NodeId>> deliveries;
+  net.SetHandler([&](NodeId to, NodeId from, const Bytes&) {
+    deliveries.push_back({from, to});
+  });
+
+  ASSERT_TRUE(net.Send(0, 1, {1}).ok());  // arrives t=1.0
+  ASSERT_TRUE(net.Send(0, 2, {2}).ok());  // arrives t=0.1
+  net.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(deliveries[1], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_DOUBLE_EQ(net.now(), 1.0);
+}
+
+TEST(NetworkTest, FifoForEqualTimes) {
+  Network net(2, 0.5);
+  std::vector<uint8_t> order;
+  net.SetHandler([&](NodeId, NodeId, const Bytes& payload) {
+    order.push_back(payload[0]);
+  });
+  for (uint8_t i = 0; i < 5; ++i) ASSERT_TRUE(net.Send(0, 1, {i}).ok());
+  net.Run();
+  EXPECT_EQ(order, (std::vector<uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(NetworkTest, MetersCountEveryByte) {
+  Network net(2, 0.01);
+  net.SetHandler([](NodeId, NodeId, const Bytes&) {});
+  ASSERT_TRUE(net.Send(0, 1, Bytes(100, 0)).ok());
+  ASSERT_TRUE(net.Send(1, 0, Bytes(50, 0)).ok());
+  EXPECT_EQ(net.total_bytes(), 150u);
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.bytes_sent_by(0), 100u);
+  EXPECT_EQ(net.bytes_received_by(0), 50u);
+  net.ResetMeters();
+  EXPECT_EQ(net.total_bytes(), 0u);
+}
+
+TEST(NetworkTest, RejectsOutOfRangeNodes) {
+  Network net(2, 0.01);
+  EXPECT_FALSE(net.Send(0, 7, {1}).ok());
+  EXPECT_FALSE(net.Send(7, 0, {1}).ok());
+}
+
+TEST(NetworkTest, CascadedSendsFromHandler) {
+  // A handler that forwards models multi-hop protocols.
+  Network net(3, 0.1);
+  int hops = 0;
+  net.SetHandler([&](NodeId to, NodeId, const Bytes& payload) {
+    ++hops;
+    if (to < 2) {
+      ASSERT_TRUE(net.Send(to, to + 1, payload).ok());
+    }
+  });
+  ASSERT_TRUE(net.Send(0, 1, {42}).ok());
+  net.Run();
+  EXPECT_EQ(hops, 2);
+  EXPECT_NEAR(net.now(), 0.2, 1e-9);
+}
+
+TEST(NetworkTest, AdvanceTimeWhenIdle) {
+  Network net(1, 0.01);
+  net.AdvanceTime(5.0);
+  EXPECT_DOUBLE_EQ(net.now(), 5.0);
+}
+
+// --- Topology -------------------------------------------------------------------
+
+TEST(TopologyTest, FigureAbcShape) {
+  Topology t = Topology::FigureAbc();
+  EXPECT_EQ(t.num_nodes, 3u);
+  EXPECT_EQ(t.edges.size(), 3u);
+}
+
+TEST(TopologyTest, RandomOutDegreeExact) {
+  Rng rng(5);
+  Topology t = Topology::RandomOutDegree(20, 3, rng);
+  EXPECT_EQ(t.edges.size(), 60u);
+  EXPECT_DOUBLE_EQ(t.AverageOutDegree(), 3.0);
+  // No self loops, no duplicate (from, to) pairs per node.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const TopoEdge& e : t.edges) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second);
+    EXPECT_GE(e.cost, 1);
+    EXPECT_LE(e.cost, 10);
+  }
+}
+
+TEST(TopologyTest, RingPlusRandomIsConnected) {
+  Rng rng(6);
+  Topology t = Topology::RingPlusRandom(15, 3, rng);
+  EXPECT_EQ(t.edges.size(), 45u);
+  // The ring edges guarantee strong connectivity: check i -> i+1 exists.
+  for (NodeId i = 0; i < 15; ++i) {
+    bool found = false;
+    for (const TopoEdge& e : t.edges) {
+      if (e.from == i && e.to == (i + 1) % 15) found = true;
+    }
+    EXPECT_TRUE(found) << "missing ring edge from " << i;
+  }
+}
+
+TEST(TopologyTest, DeterministicUnderSeed) {
+  Rng rng1(7), rng2(7);
+  Topology a = Topology::RingPlusRandom(10, 3, rng1);
+  Topology b = Topology::RingPlusRandom(10, 3, rng2);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from);
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to);
+    EXPECT_EQ(a.edges[i].cost, b.edges[i].cost);
+  }
+}
+
+TEST(TopologyTest, LineAndMesh) {
+  EXPECT_EQ(Topology::Line(5).edges.size(), 4u);
+  EXPECT_EQ(Topology::FullMesh(4).edges.size(), 12u);
+}
+
+// --- Table ---------------------------------------------------------------------
+
+StoredTuple Entry(Tuple t) {
+  StoredTuple e;
+  e.tuple = std::move(t);
+  return e;
+}
+
+TEST(TableTest, SetSemanticsByDefault) {
+  Table table("t", TableOptions{});
+  Tuple t("x", {Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(table.Insert(Entry(t), 0.0).outcome, InsertOutcome::kNew);
+  EXPECT_EQ(table.Insert(Entry(t), 1.0).outcome, InsertOutcome::kRefreshed);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_NE(table.Find(t), nullptr);
+}
+
+TEST(TableTest, KeyReplaceSemantics) {
+  TableOptions opts;
+  opts.key_columns = {0};
+  Table table("t", opts);
+  Tuple t1("route", {Value::Int(7), Value::Str("old")});
+  Tuple t2("route", {Value::Int(7), Value::Str("new")});
+  EXPECT_EQ(table.Insert(Entry(t1), 0.0).outcome, InsertOutcome::kNew);
+  InsertResult r = table.Insert(Entry(t2), 1.0);
+  EXPECT_EQ(r.outcome, InsertOutcome::kReplaced);
+  EXPECT_EQ(r.stored, t2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(t1), nullptr);
+  EXPECT_NE(table.Find(t2), nullptr);
+}
+
+TEST(TableTest, MinAggregateKeepsImprovements) {
+  TableOptions opts;
+  opts.agg = AggKind::kMin;
+  opts.agg_column = 1;
+  opts.key_columns = {0};
+  Table table("cost", opts);
+  Tuple group0_c5("cost", {Value::Int(0), Value::Int(5)});
+  Tuple group0_c3("cost", {Value::Int(0), Value::Int(3)});
+  Tuple group0_c9("cost", {Value::Int(0), Value::Int(9)});
+
+  EXPECT_EQ(table.Insert(Entry(group0_c5), 0.0).outcome, InsertOutcome::kNew);
+  EXPECT_EQ(table.Insert(Entry(group0_c9), 0.0).outcome,
+            InsertOutcome::kRejected);
+  InsertResult improved = table.Insert(Entry(group0_c3), 0.0);
+  EXPECT_EQ(improved.outcome, InsertOutcome::kReplaced);
+  EXPECT_EQ(improved.stored.arg(1).AsInt(), 3);
+  // Re-deriving the current minimum refreshes.
+  EXPECT_EQ(table.Insert(Entry(group0_c3), 0.0).outcome,
+            InsertOutcome::kRefreshed);
+}
+
+TEST(TableTest, MaxAggregate) {
+  TableOptions opts;
+  opts.agg = AggKind::kMax;
+  opts.agg_column = 1;
+  opts.key_columns = {0};
+  Table table("m", opts);
+  table.Insert(Entry(Tuple("m", {Value::Int(0), Value::Int(5)})), 0.0);
+  EXPECT_EQ(
+      table.Insert(Entry(Tuple("m", {Value::Int(0), Value::Int(9)})), 0.0)
+          .outcome,
+      InsertOutcome::kReplaced);
+  EXPECT_EQ(
+      table.Insert(Entry(Tuple("m", {Value::Int(0), Value::Int(2)})), 0.0)
+          .outcome,
+      InsertOutcome::kRejected);
+}
+
+TEST(TableTest, CountAggregateCountsDistinctWitnesses) {
+  TableOptions opts;
+  opts.agg = AggKind::kCount;
+  opts.agg_column = 1;
+  opts.key_columns = {0};
+  Table table("c", opts);
+  InsertResult r1 =
+      table.Insert(Entry(Tuple("c", {Value::Int(0), Value::Int(10)})), 0.0);
+  EXPECT_EQ(r1.stored.arg(1).AsInt(), 1);
+  InsertResult r2 =
+      table.Insert(Entry(Tuple("c", {Value::Int(0), Value::Int(20)})), 0.0);
+  EXPECT_EQ(r2.outcome, InsertOutcome::kReplaced);
+  EXPECT_EQ(r2.stored.arg(1).AsInt(), 2);
+  // The same witness again does not bump the count.
+  InsertResult r3 =
+      table.Insert(Entry(Tuple("c", {Value::Int(0), Value::Int(20)})), 0.0);
+  EXPECT_EQ(r3.outcome, InsertOutcome::kRefreshed);
+  EXPECT_EQ(r3.stored.arg(1).AsInt(), 2);
+}
+
+TEST(TableTest, TtlExpiry) {
+  TableOptions opts;
+  opts.default_ttl = 10.0;
+  Table table("soft", opts);
+  table.Insert(Entry(Tuple("soft", {Value::Int(1)})), 0.0);
+  table.Insert(Entry(Tuple("soft", {Value::Int(2)})), 8.0);
+  std::vector<Tuple> dropped = table.ExpireBefore(15.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].arg(0).AsInt(), 1);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TableTest, RefreshExtendsTtl) {
+  TableOptions opts;
+  opts.default_ttl = 10.0;
+  Table table("soft", opts);
+  Tuple t("soft", {Value::Int(1)});
+  table.Insert(Entry(t), 0.0);
+  table.Insert(Entry(t), 9.0);  // refresh at t=9 -> expires at 19
+  EXPECT_TRUE(table.ExpireBefore(15.0).empty());
+  EXPECT_EQ(table.ExpireBefore(25.0).size(), 1u);
+}
+
+TEST(TableTest, MaxSizeEvictsFifo) {
+  TableOptions opts;
+  opts.max_size = 3;
+  Table table("bounded", opts);
+  for (int i = 0; i < 5; ++i) {
+    table.Insert(Entry(Tuple("bounded", {Value::Int(i)})), 0.0);
+  }
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.Find(Tuple("bounded", {Value::Int(0)})), nullptr);
+  EXPECT_NE(table.Find(Tuple("bounded", {Value::Int(4)})), nullptr);
+}
+
+TEST(TableTest, ColumnIndexFindsMatches) {
+  Table table("t", TableOptions{});
+  for (int i = 0; i < 100; ++i) {
+    table.Insert(Entry(Tuple("t", {Value::Int(i % 10), Value::Int(i)})), 0.0);
+  }
+  auto matches = table.LookupByColumn(0, Value::Int(3));
+  EXPECT_EQ(matches.size(), 10u);
+  for (const StoredTuple* e : matches) {
+    EXPECT_EQ(e->tuple.arg(0).AsInt(), 3);
+  }
+  // Index stays consistent after erase.
+  EXPECT_TRUE(table.Erase(Tuple("t", {Value::Int(3), Value::Int(3)})));
+  EXPECT_EQ(table.LookupByColumn(0, Value::Int(3)).size(), 9u);
+}
+
+TEST(TableTest, ProvenanceMergesOnRefresh) {
+  Table table("t", TableOptions{});
+  Tuple t("t", {Value::Int(1)});
+  StoredTuple e1 = Entry(t);
+  e1.prov = ProvExpr::Var(0);
+  table.Insert(std::move(e1), 0.0);
+  StoredTuple e2 = Entry(t);
+  e2.prov = ProvExpr::Var(1);
+  table.Insert(std::move(e2), 0.0);
+  const StoredTuple* merged = table.Find(t);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->prov.Variables(), (std::vector<ProvVar>{0, 1}));
+  EXPECT_EQ(merged->prov.kind(), ProvExprKind::kPlus);
+}
+
+}  // namespace
+}  // namespace provnet

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "provenance/granularity.h"
+#include "provenance/sampling.h"
+
+namespace provnet {
+namespace {
+
+// --- TupleSampler ---------------------------------------------------------------
+
+TEST(SamplerTest, KOneRecordsEverything) {
+  TupleSampler sampler(1, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.ShouldRecord(static_cast<TupleDigest>(i)));
+  }
+}
+
+TEST(SamplerTest, RateApproximatesOneOverK) {
+  for (uint32_t k : {2u, 4u, 16u}) {
+    TupleSampler sampler(k, 7);
+    int recorded = 0;
+    const int kTrials = 20000;
+    for (int i = 0; i < kTrials; ++i) {
+      if (sampler.ShouldRecord(static_cast<TupleDigest>(i) * 2654435761u)) {
+        ++recorded;
+      }
+    }
+    double rate = static_cast<double>(recorded) / kTrials;
+    EXPECT_NEAR(rate, 1.0 / k, 0.25 / k) << "k=" << k;
+  }
+}
+
+TEST(SamplerTest, DeterministicPerTuple) {
+  TupleSampler a(4, 9), b(4, 9);
+  Tuple t("x", {Value::Int(5)});
+  EXPECT_EQ(a.ShouldRecord(t), b.ShouldRecord(t));
+}
+
+TEST(SamplerTest, SeedDecorrelates) {
+  TupleSampler a(2, 1), b(2, 2);
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i) {
+    TupleDigest d = static_cast<TupleDigest>(i) * 0x9E3779B97F4A7C15ULL;
+    if (a.ShouldRecord(d) != b.ShouldRecord(d)) ++differ;
+  }
+  EXPECT_GT(differ, 200);
+}
+
+// --- BloomFilter -----------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter filter(4096, 4);
+  for (uint64_t i = 0; i < 200; ++i) filter.Insert(i * 7919);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(filter.MayContain(i * 7919));
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateReasonable) {
+  BloomFilter filter(8192, 4);
+  for (uint64_t i = 0; i < 500; ++i) filter.Insert(i);
+  int fp = 0;
+  const int kProbes = 5000;
+  for (uint64_t i = 1000000; i < 1000000 + kProbes; ++i) {
+    if (filter.MayContain(i)) ++fp;
+  }
+  // ~500 keys in 8192 bits with 4 hashes: theoretical fp ~ 2%.
+  EXPECT_LT(fp, kProbes / 10);
+}
+
+TEST(BloomTest, SaturationGrowsWithInserts) {
+  BloomFilter filter(1024, 4);
+  double s0 = filter.Saturation();
+  for (uint64_t i = 0; i < 100; ++i) filter.Insert(i);
+  double s1 = filter.Saturation();
+  EXPECT_EQ(s0, 0.0);
+  EXPECT_GT(s1, 0.2);
+  EXPECT_LE(s1, 1.0);
+}
+
+TEST(BloomTest, SerializationRoundTrip) {
+  BloomFilter filter(512, 3);
+  for (uint64_t i = 0; i < 50; ++i) filter.Insert(i * 31);
+  ByteWriter w;
+  filter.Serialize(w);
+  ByteReader r(w.bytes());
+  Result<BloomFilter> back = BloomFilter::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(back.value().MayContain(i * 31));
+  }
+  EXPECT_EQ(back.value().num_hashes(), 3);
+  EXPECT_EQ(back.value().bit_count(), 512u);
+}
+
+TEST(BloomTest, RoundsBitsUp) {
+  BloomFilter filter(1, 1);
+  EXPECT_EQ(filter.bit_count(), 64u);
+}
+
+// --- ProvDigestStore ---------------------------------------------------------------
+
+TEST(DigestStoreTest, WindowedMembership) {
+  ProvDigestStore store(10.0, 1024, 4, 0);
+  store.Record(111, 5.0);    // window 0
+  store.Record(222, 15.0);   // window 1
+  EXPECT_TRUE(store.MayContain(111, 0.0, 10.0));
+  EXPECT_TRUE(store.MayContain(222, 10.0, 20.0));
+  EXPECT_FALSE(store.MayContain(111, 10.0, 20.0));
+  EXPECT_EQ(store.window_count(), 2u);
+}
+
+TEST(DigestStoreTest, BoundsRetainedWindows) {
+  ProvDigestStore store(1.0, 256, 2, 3);
+  for (int i = 0; i < 10; ++i) {
+    store.Record(static_cast<TupleDigest>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(store.window_count(), 3u);
+  EXPECT_EQ(store.TotalBytes(), 3u * (256 / 8));
+  // Old windows are gone.
+  EXPECT_FALSE(store.MayContain(0, 0.0, 1.0));
+  EXPECT_TRUE(store.MayContain(9, 9.0, 10.0));
+}
+
+// --- AS granularity ------------------------------------------------------------------
+
+TEST(AsMappingTest, BlocksPartition) {
+  AsMapping mapping = AsMapping::Blocks(10, 3);
+  EXPECT_EQ(mapping.AsOf(0), 0u);
+  EXPECT_EQ(mapping.AsOf(2), 0u);
+  EXPECT_EQ(mapping.AsOf(3), 1u);
+  EXPECT_EQ(mapping.AsOf(9), 3u);
+  EXPECT_EQ(mapping.num_ases(), 4u);
+  EXPECT_EQ(mapping.num_nodes(), 10u);
+}
+
+TEST(AsProjectionTest, CollapsesIntraAsSteps) {
+  // Chain of derivations through nodes 0,1 (AS 0) then 2,3 (AS 1).
+  Tuple base("link", {Value::Int(0)});
+  DerivationPtr leaf = MakeBaseDerivation(base, 3, "n3", 0.0, -1.0);
+  DerivationPtr step2 = MakeRuleDerivation(Tuple("p", {Value::Int(1)}), "r",
+                                           2, "n2", 0.0, -1.0, {leaf});
+  DerivationPtr step1 = MakeRuleDerivation(Tuple("p", {Value::Int(2)}), "r",
+                                           1, "n1", 0.0, -1.0, {step2});
+  DerivationPtr root = MakeRuleDerivation(Tuple("p", {Value::Int(3)}), "r",
+                                          0, "n0", 0.0, -1.0, {step1});
+  EXPECT_EQ(root->TreeSize(), 4u);
+
+  AsMapping mapping = AsMapping::Blocks(4, 2);  // {0,1} -> AS0, {2,3} -> AS1
+  DerivationPtr projected = ProjectDerivationToAs(root, mapping);
+  // Intra-AS steps merged: root(AS0) -> step2(AS1) -> leaf(AS1 merged).
+  EXPECT_LT(projected->TreeSize(), root->TreeSize());
+  EXPECT_EQ(projected->location, 0u);
+
+  std::vector<AsId> path = AsPathOf(root, mapping);
+  EXPECT_EQ(path, (std::vector<AsId>{0, 1}));
+}
+
+TEST(AsProjectionTest, CondensedProjectionMergesAndMinimizes) {
+  CondensedProv cond;
+  cond.cubes = {{0, 1, 2}, {0, 3}};
+  // Vars 0,1 -> AS 100; vars 2,3 -> AS 101.
+  auto to_as = [](ProvVar v) -> ProvVar { return v < 2 ? 100 : 101; };
+  CondensedProv projected = ProjectCondensedToAs(cond, to_as);
+  // {0,1,2} -> {100,101}; {0,3} -> {100,101}: identical, deduplicated.
+  ASSERT_EQ(projected.cubes.size(), 1u);
+  EXPECT_EQ(projected.cubes[0], (std::vector<ProvVar>{100, 101}));
+}
+
+TEST(AsProjectionTest, AbsorptionAfterProjection) {
+  CondensedProv cond;
+  cond.cubes = {{0}, {1, 2}};
+  // All map to the same AS: {A} and {A} -> single cube {A}.
+  CondensedProv projected =
+      ProjectCondensedToAs(cond, [](ProvVar) -> ProvVar { return 7; });
+  ASSERT_EQ(projected.cubes.size(), 1u);
+  EXPECT_EQ(projected.cubes[0], (std::vector<ProvVar>{7}));
+}
+
+}  // namespace
+}  // namespace provnet

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace provnet {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad tuple");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tuple");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(InvalidArgumentError("").code());
+  codes.insert(NotFoundError("").code());
+  codes.insert(AlreadyExistsError("").code());
+  codes.insert(FailedPreconditionError("").code());
+  codes.insert(OutOfRangeError("").code());
+  codes.insert(UnimplementedError("").code());
+  codes.insert(InternalError("").code());
+  codes.insert(UnauthenticatedError("").code());
+  codes.insert(PermissionDeniedError("").code());
+  codes.insert(ResourceExhaustedError("").code());
+  codes.insert(DeadlineExceededError("").code());
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgumentError("not positive");
+  return v;
+}
+
+Result<int> DoubleIfPositive(int v) {
+  PROVNET_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = DoubleIfPositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = DoubleIfPositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Bytes ------------------------------------------------------------------
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutDouble(3.25);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetDouble().value(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1ULL << 21, 1ULL << 35,
+                             UINT64_MAX};
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.bytes());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarint().value(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, SignedZigzagRoundTrip) {
+  ByteWriter w;
+  const int64_t values[] = {0, -1, 1, -2, 63, -64, INT64_MAX, INT64_MIN};
+  for (int64_t v : values) w.PutI64(v);
+  ByteReader r(w.bytes());
+  for (int64_t v : values) EXPECT_EQ(r.GetI64().value(), v);
+}
+
+TEST(BytesTest, SmallNegativesAreShort) {
+  ByteWriter w;
+  w.PutI64(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello provenance");
+  w.PutBlob({0x00, 0xFF, 0x7F});
+  w.PutString("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString().value(), "hello provenance");
+  EXPECT_EQ(r.GetBlob().value(), Bytes({0x00, 0xFF, 0x7F}));
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(42);
+  ByteReader r(w.bytes());
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_FALSE(r.GetU8().ok());
+  EXPECT_EQ(r.GetU8().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(BytesTest, MalformedVarintFails) {
+  Bytes bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bad);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0xDE, 0xAD, 0x00, 0x01};
+  EXPECT_EQ(BytesToHex(data), "dead0001");
+  EXPECT_EQ(HexToBytes("dead0001").value(), data);
+  EXPECT_EQ(HexToBytes("DEAD0001").value(), data);
+  EXPECT_FALSE(HexToBytes("abc").ok());
+  EXPECT_FALSE(HexToBytes("zz").ok());
+}
+
+// --- Hash -------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(std::string("")), 0xcbf29ce484222325ULL);
+  // Differing strings hash differently.
+  EXPECT_NE(Fnv1a64(std::string("link(a,b)")), Fnv1a64(std::string("link(a,c)")));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(0), 0u);
+}
+
+// --- Random -----------------------------------------------------------------
+
+TEST(RandomTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RandomTest, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",a", ','), (std::vector<std::string>{"", "a"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, "->"), "x->y->z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hi\t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("reachable(a,c)", "reach"));
+  EXPECT_FALSE(StartsWith("re", "reach"));
+  EXPECT_TRUE(EndsWith("bestPath", "Path"));
+  EXPECT_FALSE(EndsWith("Path", "bestPath"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("n=%d t=%.2f s=%s", 5, 1.5, "x"), "n=5 t=1.50 s=x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace provnet
