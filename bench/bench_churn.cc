@@ -1,0 +1,223 @@
+// Steady-state fixpoint vs. incremental maintenance under link churn.
+//
+// A K-flap script (each flap: one link down, then back up) runs against a
+// Best-Path deployment on a ring+random topology three ways:
+//
+//   full        rebuild the engine and recompute the fixpoint from scratch
+//               after every event (what the one-shot reproduction had to do)
+//   dred        incremental maintenance, no provenance: DRed over-delete +
+//               re-derive
+//   prov        incremental maintenance with condensed per-tuple
+//               annotations: restriction-based pruning skips re-derivation
+//               for tuples with surviving alternative derivations
+//
+// Reported per event: fixpoint-maintenance latency and network bytes (the
+// same meters as the paper's Figures 3/4). The acceptance bar: incremental
+// maintenance must beat full recomputation on a >= 50-node topology.
+//
+// Environment knobs:
+//   PROVNET_CHURN_N       nodes (default 50)
+//   PROVNET_CHURN_FLAPS   link flaps (default 10 -> 20 events)
+//   PROVNET_CHURN_SEED    topology/script seed (default 20080407)
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "dynamics/churn.h"
+#include "net/topology.h"
+
+using namespace provnet;
+
+namespace {
+
+struct Config {
+  size_t n = 50;
+  size_t flaps = 10;
+  uint64_t seed = 20080407;
+};
+
+Config FromEnv() {
+  Config cfg;
+  if (const char* v = std::getenv("PROVNET_CHURN_N")) {
+    cfg.n = static_cast<size_t>(std::atoll(v));
+  }
+  if (const char* v = std::getenv("PROVNET_CHURN_FLAPS")) {
+    cfg.flaps = static_cast<size_t>(std::atoll(v));
+  }
+  if (const char* v = std::getenv("PROVNET_CHURN_SEED")) {
+    cfg.seed = static_cast<uint64_t>(std::atoll(v));
+  }
+  if (cfg.n < 4) cfg.n = 4;  // RingPlusRandom needs outdegree 3 < n
+  if (cfg.flaps < 1) cfg.flaps = 1;
+  return cfg;
+}
+
+EngineOptions Plain() { return EngineOptions{}; }
+
+EngineOptions TupleProv() {
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kCondensed;
+  opts.prov_grain = ProvGrain::kTuple;
+  return opts;
+}
+
+struct VariantResult {
+  std::string name;
+  size_t events = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double total_s = 0.0;
+  double mbytes = 0.0;
+  uint64_t retractions = 0;
+  uint64_t rederivations = 0;
+};
+
+Result<std::unique_ptr<Engine>> FreshFixpoint(const Topology& topo,
+                                              EngineOptions opts) {
+  PROVNET_ASSIGN_OR_RETURN(
+      std::unique_ptr<Engine> engine,
+      Engine::Create(topo, BestPathNdlogProgram(), opts));
+  PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+  PROVNET_RETURN_IF_ERROR(engine->Run().status());
+  return engine;
+}
+
+// Incremental: one engine, the churn driver maintains it per event.
+Result<VariantResult> RunIncremental(const std::string& name,
+                                     const Topology& topo,
+                                     const ChurnScript& script,
+                                     EngineOptions opts) {
+  PROVNET_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                           FreshFixpoint(topo, opts));
+  ChurnDriver driver(*engine, /*link_arity=*/3);
+  PROVNET_ASSIGN_OR_RETURN(ChurnReport report, driver.Replay(script));
+
+  VariantResult out;
+  out.name = name;
+  out.events = report.events.size();
+  out.mean_ms = report.MeanEventSeconds() * 1e3;
+  out.max_ms = report.MaxEventSeconds() * 1e3;
+  out.total_s = report.total_wall_seconds;
+  out.mbytes = static_cast<double>(report.total_bytes) / 1e6;
+  out.retractions = report.total_retractions;
+  out.rederivations = report.total_rederivations;
+  return out;
+}
+
+// Baseline: after every event, rebuild the whole deployment from the
+// current link facts and recompute the fixpoint from scratch.
+Result<VariantResult> RunFullRecompute(const Topology& topo,
+                                       const ChurnScript& script,
+                                       EngineOptions opts) {
+  std::vector<TopoEdge> edges = topo.edges;
+  VariantResult out;
+  out.name = "full";
+  for (const ChurnEvent& event : script.events) {
+    switch (event.kind) {
+      case ChurnKind::kLinkDown:
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (edges[i].from == event.from && edges[i].to == event.to &&
+              edges[i].cost == event.cost) {
+            edges.erase(edges.begin() + static_cast<long>(i));
+            break;
+          }
+        }
+        break;
+      case ChurnKind::kLinkUp:
+        edges.push_back(TopoEdge{event.from, event.to, event.cost});
+        break;
+      case ChurnKind::kCompromise:
+      case ChurnKind::kExpireOnly:
+        break;
+    }
+    Topology current;
+    current.num_nodes = topo.num_nodes;
+    current.edges = edges;
+
+    auto t0 = std::chrono::steady_clock::now();
+    PROVNET_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                             FreshFixpoint(current, opts));
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    out.total_s += secs;
+    out.max_ms = std::max(out.max_ms, secs * 1e3);
+    out.mbytes +=
+        static_cast<double>(engine->network().total_bytes()) / 1e6;
+    ++out.events;
+  }
+  if (out.events > 0) {
+    out.mean_ms = out.total_s * 1e3 / static_cast<double>(out.events);
+  }
+  return out;
+}
+
+void PrintRow(const VariantResult& r) {
+  std::printf("%-6s %7zu %12.3f %12.3f %10.3f %12.3f %12llu %13llu\n",
+              r.name.c_str(), r.events, r.mean_ms, r.max_ms, r.total_s,
+              r.mbytes, static_cast<unsigned long long>(r.retractions),
+              static_cast<unsigned long long>(r.rederivations));
+}
+
+}  // namespace
+
+int main() {
+  Config cfg = FromEnv();
+  Rng rng(cfg.seed);
+  Topology topo = Topology::RingPlusRandom(cfg.n, 3, rng);
+  Rng script_rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  ChurnScript script = ChurnScript::RandomLinkFlaps(
+      topo, cfg.flaps, /*start=*/1.0, /*spacing=*/1.0, script_rng);
+
+  std::printf("bench_churn: Best-Path on %zu nodes (outdegree 3), "
+              "%zu link flaps (%zu events)\n\n",
+              cfg.n, cfg.flaps, script.events.size());
+  std::printf("%-6s %7s %12s %12s %10s %12s %12s %13s\n", "mode", "events",
+              "mean ms/ev", "max ms/ev", "total s", "MB", "retractions",
+              "rederivations");
+
+  auto full = RunFullRecompute(topo, script, Plain());
+  if (!full.ok()) {
+    std::printf("full recompute failed: %s\n",
+                full.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow(full.value());
+
+  auto dred = RunIncremental("dred", topo, script, Plain());
+  if (!dred.ok()) {
+    std::printf("dred failed: %s\n", dred.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow(dred.value());
+
+  auto prov = RunIncremental("prov", topo, script, TupleProv());
+  if (!prov.ok()) {
+    std::printf("prov failed: %s\n", prov.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow(prov.value());
+
+  double dred_speedup = full.value().mean_ms / dred.value().mean_ms;
+  double prov_speedup = full.value().mean_ms / prov.value().mean_ms;
+  std::printf("\nper-event speedup vs full recomputation: dred %.1fx, "
+              "prov %.1fx\n",
+              dred_speedup, prov_speedup);
+  std::printf("per-event bandwidth: full %.3f MB, dred %.3f MB, prov %.3f "
+              "MB\n",
+              full.value().mbytes / full.value().events,
+              dred.value().mbytes / dred.value().events,
+              prov.value().mbytes / prov.value().events);
+
+  bool pass = dred.value().mean_ms < full.value().mean_ms &&
+              prov.value().mean_ms < full.value().mean_ms;
+  std::printf("%s: incremental maintenance (both modes) %s full "
+              "recomputation on %zu nodes\n",
+              pass ? "PASS" : "FAIL", pass ? "beats" : "does NOT beat",
+              cfg.n);
+  return pass ? 0 : 1;
+}

@@ -16,11 +16,6 @@
 
 namespace provnet {
 
-namespace {
-constexpr uint8_t kMsgProvRequest = 2;
-constexpr uint8_t kMsgProvResponse = 3;
-}  // namespace
-
 Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
   PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, reader.GetU64());
   PROVNET_ASSIGN_OR_RETURN(uint64_t digest, reader.GetU64());

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "datalog/analysis.h"
+#include "dynamics/delta.h"
 #include "provenance/sampling.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -12,11 +13,6 @@
 namespace provnet {
 
 namespace {
-
-// Wire message types.
-constexpr uint8_t kMsgTuple = 1;
-constexpr uint8_t kMsgProvRequest = 2;
-constexpr uint8_t kMsgProvResponse = 3;
 
 // Provenance payload kinds inside tuple messages.
 constexpr uint8_t kProvNone = 0;
@@ -43,7 +39,7 @@ std::string RunStats::ToString() const {
   return StrFormat(
       "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
       "prov=%llu) events=%llu derivations=%llu signs=%llu verifies=%llu "
-      "auth_failures=%llu",
+      "auth_failures=%llu retractions=%llu rederivations=%llu",
       wall_seconds, sim_seconds, static_cast<unsigned long long>(messages),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(tuple_bytes),
@@ -53,8 +49,12 @@ std::string RunStats::ToString() const {
       static_cast<unsigned long long>(derivations),
       static_cast<unsigned long long>(signs),
       static_cast<unsigned long long>(verifies),
-      static_cast<unsigned long long>(auth_failures));
+      static_cast<unsigned long long>(auth_failures),
+      static_cast<unsigned long long>(retractions),
+      static_cast<unsigned long long>(rederivations));
 }
+
+Engine::~Engine() = default;
 
 Engine::Engine(const Topology& topo, EngineOptions options)
     : topo_(topo),
@@ -79,6 +79,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
 }
 
 Status Engine::Init(Program program) {
+  dynamics_ = std::make_unique<DeltaState>();
   PROVNET_RETURN_IF_ERROR(AnalyzeProgram(program));
   PROVNET_ASSIGN_OR_RETURN(LocalizedProgram localized,
                            LocalizeProgram(program));
@@ -367,95 +368,15 @@ Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
   std::vector<const StoredTuple*> used;
   used.push_back(&delta_entry);
   // Keep `used` in body order for readable derivation trees: we simply
-  // record the delta first, then joins in literal order.
-  return JoinFrom(node_id, cr, 0, delta_index, env, used);
-}
-
-Status Engine::JoinFrom(NodeId node_id, const CompiledRule& cr,
-                        size_t literal_pos, int delta_index, Env& env,
-                        std::vector<const StoredTuple*>& used) {
-  const Rule& rule = cr.lr.rule;
-  if (literal_pos == rule.body.size()) {
-    return EmitHead(node_id, cr, env, used);
-  }
-  if (static_cast<int>(literal_pos) == delta_index) {
-    return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
-  }
-  const Literal& lit = rule.body[literal_pos];
-  switch (lit.kind) {
-    case LiteralKind::kCondition: {
-      PROVNET_ASSIGN_OR_RETURN(bool pass, EvalCondition(lit.expr, env));
-      if (!pass) return OkStatus();
-      return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
-    }
-    case LiteralKind::kAssign: {
-      PROVNET_ASSIGN_OR_RETURN(Value v, EvalExpr(lit.expr, env));
-      auto it = env.find(lit.assign_var);
-      if (it != env.end()) {
-        // Rebinding acts as an equality filter.
-        if (!(it->second == v)) return OkStatus();
-        return JoinFrom(node_id, cr, literal_pos + 1, delta_index, env, used);
-      }
-      env.emplace(lit.assign_var, std::move(v));
-      Status s = JoinFrom(node_id, cr, literal_pos + 1, delta_index, env,
-                          used);
-      env.erase(lit.assign_var);
-      return s;
-    }
-    case LiteralKind::kAtom: {
-      NodeContext& ctx = *contexts_[node_id];
-      Table* table = ctx.FindTableMutable(lit.atom.predicate);
-      if (table == nullptr) return OkStatus();
-
-      // Pick an indexable column: first arg that is a constant or a bound
-      // variable.
-      int index_col = -1;
-      Value index_val;
-      for (size_t i = 0; i < lit.atom.args.size(); ++i) {
-        const Term& t = lit.atom.args[i];
-        if (t.kind == TermKind::kConstant) {
-          index_col = static_cast<int>(i);
-          index_val = t.constant;
-          break;
-        }
-        if (t.kind == TermKind::kVariable) {
-          auto it = env.find(t.name);
-          if (it != env.end()) {
-            index_col = static_cast<int>(i);
-            index_val = it->second;
-            break;
-          }
-        }
-      }
-
-      // Copy candidates: firing may insert into this very table (recursive
-      // rules), which would invalidate pointers mid-iteration.
-      std::vector<StoredTuple> candidates;
-      {
-        std::vector<const StoredTuple*> found =
-            index_col >= 0 ? table->LookupByColumn(index_col, index_val)
-                           : table->Scan();
-        candidates.reserve(found.size());
-        for (const StoredTuple* entry : found) candidates.push_back(*entry);
-      }
-
-      for (const StoredTuple& candidate : candidates) {
-        Env env2 = env;
-        if (!UnifyTuple(lit.atom, candidate.tuple, env2)) continue;
-        if (lit.atom.says.has_value() &&
-            !SaysMatches(*lit.atom.says, candidate, env2)) {
-          continue;
-        }
-        used.push_back(&candidate);
-        Status s =
-            JoinFrom(node_id, cr, literal_pos + 1, delta_index, env2, used);
-        used.pop_back();
-        PROVNET_RETURN_IF_ERROR(s);
-      }
-      return OkStatus();
-    }
-  }
-  return InternalError("unreachable literal kind");
+  // record the delta first, then joins in literal order. The shared join
+  // recursion (dynamics/delta.cc) runs without the deletion overlay here.
+  return DynJoin(node_id, cr, 0, delta_index, /*use_overlay=*/false, env,
+                 used,
+                 [this, node_id, &cr](const Env& e,
+                                      const std::vector<const StoredTuple*>&
+                                          u) {
+                   return EmitHead(node_id, cr, e, u);
+                 });
 }
 
 Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
@@ -600,6 +521,8 @@ Status Engine::HandleMessage(NodeId to, NodeId from, const Bytes& payload) {
       return HandleProvRequest(to, from, reader);
     case kMsgProvResponse:
       return HandleProvResponse(to, from, reader);
+    case kMsgRetract:
+      return HandleRetractMessage(to, from, reader);
     default:
       return InvalidArgumentError("unknown message type");
   }
@@ -694,7 +617,15 @@ Result<RunStats> Engine::Run() {
       async_error_ = OkStatus();
       return s;
     }
-    if (!events_.empty()) {
+    if (!dynamics_->queue.empty()) {
+      // Deletion deltas run ahead of insertions: an epoch's over-deletion
+      // reaches fixpoint before any restoration fires.
+      DeltaState::Retraction retraction = std::move(dynamics_->queue.front());
+      dynamics_->queue.pop_front();
+      ++stats_.retractions;
+      PROVNET_RETURN_IF_ERROR(
+          ProcessRetraction(retraction.node, retraction.entry));
+    } else if (!events_.empty()) {
       PendingEvent event = std::move(events_.front());
       events_.pop_front();
       ++stats_.events;
@@ -702,6 +633,10 @@ Result<RunStats> Engine::Run() {
     } else if (!net_.Idle()) {
       net_.Step();
       ++stats_.deliveries;
+    } else if (!dynamics_->rederive.empty()) {
+      // Quiescent (no deltas, nothing in flight): the over-deletion cascade
+      // is complete, so DRed's re-derivation phase may restore survivors.
+      PROVNET_RETURN_IF_ERROR(RunRederivePass());
     } else {
       break;  // distributed fixpoint: no events, no in-flight messages
     }
@@ -710,6 +645,7 @@ Result<RunStats> Engine::Run() {
           "engine exceeded max_steps; divergent program?");
     }
   }
+  dynamics_->EndEpoch();
   auto t1 = std::chrono::steady_clock::now();
 
   RunStats out;
@@ -726,6 +662,8 @@ Result<RunStats> Engine::Run() {
   out.signs = auth_.sign_count() - signs0;
   out.verifies = auth_.verify_count() - verifies0;
   out.auth_failures = stats_.auth_failures - before.auth_failures;
+  out.retractions = stats_.retractions - before.retractions;
+  out.rederivations = stats_.rederivations - before.rederivations;
   return out;
 }
 
@@ -771,8 +709,22 @@ Result<DerivationPtr> Engine::LocalDerivationOf(NodeId node_id,
 void Engine::ExpireNow() {
   double now = net_.now();
   for (auto& ctx : contexts_) {
-    ctx->ExpireTablesBefore(now);
+    std::vector<StoredTuple> expired;
+    ctx->ExpireTablesBefore(now, &expired);
     ctx->online_store().ExpireBefore(now);
+    // Soft-state expiry is a deletion like any other: the next Run()
+    // propagates deletion deltas so derived state shrinks with its support.
+    // Expired *derived* tuples are scheduled for re-derivation — if their
+    // support still stands they return with a fresh TTL (the P2 refresh);
+    // expired base facts stay gone (nothing derives them).
+    for (StoredTuple& entry : expired) {
+      bool is_base = entry.origin == TupleOrigin::kBase;
+      if (is_base) NoteKilledBase(entry.tuple);
+      bool is_agg =
+          plan_.OptionsFor(entry.tuple.predicate()).agg != AggKind::kNone;
+      EnqueueRetraction(ctx->id(), std::move(entry), /*rederive=*/!is_base,
+                        /*rederive_group=*/is_agg);
+    }
   }
 }
 

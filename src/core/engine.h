@@ -20,6 +20,7 @@
 #define PROVNET_CORE_ENGINE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -48,6 +49,14 @@ enum class ProvMode : uint8_t {
 };
 
 const char* ProvModeName(ProvMode mode);
+
+// Wire message tags, shared by every protocol handler (core/engine.cc,
+// core/distquery.cc, dynamics/delta.cc) so senders and the dispatcher can
+// never disagree.
+inline constexpr uint8_t kMsgTuple = 1;
+inline constexpr uint8_t kMsgProvRequest = 2;
+inline constexpr uint8_t kMsgProvResponse = 3;
+inline constexpr uint8_t kMsgRetract = 4;
 
 enum class ProvGrain : uint8_t {
   kPrincipal = 0,  // one variable per asserting principal (paper's figures)
@@ -94,9 +103,15 @@ struct RunStats {
   uint64_t signs = 0;
   uint64_t verifies = 0;
   uint64_t auth_failures = 0;
+  // Incremental maintenance (src/dynamics/): deletion deltas processed and
+  // tuples restored by the re-derivation phase.
+  uint64_t retractions = 0;
+  uint64_t rederivations = 0;
 
   std::string ToString() const;
 };
+
+struct DeltaState;  // epoch state of the incremental evaluator (dynamics/delta.h)
 
 class Engine {
  public:
@@ -112,8 +127,33 @@ class Engine {
   // exposed for tests building custom initial states.
   Status InsertLinkFacts();
 
+  ~Engine();
+
   // Inserts an external base fact at `node` (enqueues a local event).
+  // After an initial fixpoint this is an incremental *insertion delta*: only
+  // the strands reachable from the new tuple re-fire (pipelined semi-naive
+  // evaluation), so the next Run() costs proportional to the change.
   Status InsertFact(NodeId node, const Tuple& tuple, double ttl = -1.0);
+
+  // --- Incremental update & churn (src/dynamics/) ---------------------------
+  // Retracts a stored tuple at `node` and enqueues a deletion delta. The
+  // next Run() propagates it DRed-style: every tuple derived (transitively,
+  // across nodes) from the deleted one is over-deleted, then tuples with
+  // surviving alternative derivations are restored. With condensed/full
+  // provenance at ProvGrain::kTuple the restore is pruned through the
+  // semiring annotations: a dependent whose annotation stays non-Zero after
+  // zeroing the deleted base keeps its tuple (and gets the restricted
+  // annotation) without any re-derivation. Externally deleted facts are
+  // never resurrected by the re-derivation phase.
+  Status DeleteFact(NodeId node, const Tuple& tuple);
+
+  // Compromise response (Section 4.2's "delete all routing entries that
+  // depend on the malicious node"): revokes every assertion of `principal`
+  // and enqueues deletion deltas for all tuples whose provenance depends on
+  // it, across every node. Tuples independently derivable through other
+  // principals survive (or are re-derived with untainted provenance).
+  // Follow with Run() to reach the post-revocation fixpoint.
+  Status RetractPrincipal(const Principal& principal);
 
   // Processes events and messages to the distributed fixpoint.
   Result<RunStats> Run();
@@ -180,9 +220,6 @@ class Engine {
   Status ProcessEvent(const PendingEvent& event);
   Status FireStrand(NodeId node_id, const CompiledRule& cr, int delta_index,
                     const StoredTuple& delta_entry);
-  Status JoinFrom(NodeId node_id, const CompiledRule& cr, size_t literal_pos,
-                  int delta_index, Env& env,
-                  std::vector<const StoredTuple*>& used);
   Status EmitHead(NodeId node_id, const CompiledRule& cr, const Env& env,
                   const std::vector<const StoredTuple*>& used);
   // Stores a tuple locally; enqueues a delta event when it changed state.
@@ -203,6 +240,44 @@ class Engine {
   Status HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader);
   Status HandleProvRequest(NodeId to, NodeId from, ByteReader& reader);
   Status HandleProvResponse(NodeId to, NodeId from, ByteReader& reader);
+
+  // --- Incremental deletion (implemented in src/dynamics/delta.cc) ---------
+  // True when stored annotations enumerate every derivation (condensed/full
+  // piggybacked provenance), i.e. restriction-based pruning is sound.
+  bool AnnotationsComplete() const;
+  // Records the provenance variable of a deleted base tuple in the epoch's
+  // killed set (ProvGrain::kTuple only; no-op otherwise).
+  void NoteKilledBase(const Tuple& tuple);
+  // Adds `entry` to the deletion-delta queue and the epoch overlay;
+  // optionally schedules the tuple (or its aggregate group) for the
+  // re-derivation phase.
+  void EnqueueRetraction(NodeId node, StoredTuple entry, bool rederive,
+                         bool rederive_group);
+  // Fires delete-mode strands for a retracted tuple (DRed over-deletion).
+  Status ProcessRetraction(NodeId node, const StoredTuple& entry);
+  Status FireDeleteStrand(NodeId node, const CompiledRule& cr,
+                          int delta_index, const StoredTuple& delta_entry);
+  // Shared join recursion for delete-mode strands and re-derivation: like
+  // JoinFrom, but `use_overlay` also matches tuples deleted this epoch (the
+  // pre-deletion database DRed joins against), `delta_index` may be -1 (no
+  // delta literal), and the head action is the caller's `emit`.
+  using EmitFn =
+      std::function<Status(const Env&, const std::vector<const StoredTuple*>&)>;
+  Status DynJoin(NodeId node, const CompiledRule& cr, size_t literal_pos,
+                 int delta_index, bool use_overlay, Env& env,
+                 std::vector<const StoredTuple*>& used, const EmitFn& emit);
+  // Resolves a delete-mode head: removes the local tuple (or ships a
+  // retraction message when the head lives remotely).
+  Status OverDeleteHead(NodeId node, const CompiledRule& cr, const Env& env);
+  // Applies an over-deletion to whatever `node` stores for `tuple`,
+  // consulting annotation restriction before cascading.
+  Status OverDeleteAt(NodeId node, const Tuple& tuple);
+  Status SendRetract(NodeId from, NodeId to, const Tuple& tuple);
+  Status HandleRetractMessage(NodeId to, NodeId from, ByteReader& reader);
+  // DRed phase 2: attempts to restore over-deleted tuples from surviving
+  // support (runs once the over-deletion cascade has quiesced).
+  Status RunRederivePass();
+  Status RederiveTuple(NodeId node, const Tuple& tuple, bool group_only);
 
   Topology topo_;
   EngineOptions options_;
@@ -226,6 +301,10 @@ class Engine {
   };
   std::unique_ptr<ProvQueryState> prov_query_;
   uint64_t next_query_id_ = 1;
+
+  // Incremental-evaluator epoch state (deletion queue, overlay of deleted
+  // tuples, killed provenance variables, re-derivation worklist).
+  std::unique_ptr<DeltaState> dynamics_;
 };
 
 }  // namespace provnet

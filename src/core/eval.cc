@@ -1,5 +1,6 @@
 #include "core/eval.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace provnet {
@@ -200,6 +201,39 @@ bool UnifyTuple(const Atom& atom, const Tuple& tuple, Env& env) {
       default:
         // Function/aggregate args in body atoms are rejected at plan time.
         return false;
+    }
+  }
+  return true;
+}
+
+bool UnifyHeadPattern(const Atom& head, const Tuple& tuple, Env& env,
+                      const std::vector<int>& positions) {
+  if (head.predicate != tuple.predicate()) return false;
+  if (head.args.size() != tuple.arity()) return false;
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (!positions.empty() &&
+        std::find(positions.begin(), positions.end(), static_cast<int>(i)) ==
+            positions.end()) {
+      continue;
+    }
+    const Term& pattern = head.args[i];
+    const Value& value = tuple.arg(i);
+    switch (pattern.kind) {
+      case TermKind::kConstant:
+        if (!(pattern.constant == value)) return false;
+        break;
+      case TermKind::kVariable: {
+        auto it = env.find(pattern.name);
+        if (it == env.end()) {
+          env.emplace(pattern.name, value);
+        } else if (!(it->second == value)) {
+          return false;
+        }
+        break;
+      }
+      case TermKind::kFunction:
+      case TermKind::kAggregate:
+        break;  // computed by the body; checked after BuildHeadTuple
     }
   }
   return true;

@@ -47,6 +47,16 @@ bool UnifyTuple(const Atom& atom, const Tuple& tuple, Env& env);
 // functions, and aggregate placeholders).
 Result<Tuple> BuildHeadTuple(const Atom& head, const Env& env);
 
+// Partially unifies `tuple` against a rule *head* pattern, extending `env`:
+// constants must match, variable positions bind (consistently), and
+// function/aggregate positions are skipped — their values are produced by
+// body evaluation, not pattern matching. Used by re-derivation, which runs
+// rules "backwards" from a deleted head tuple. When `positions` is
+// non-empty, only those argument indices are constrained (aggregate group
+// re-derivation matches group columns while leaving the aggregate free).
+bool UnifyHeadPattern(const Atom& head, const Tuple& tuple, Env& env,
+                      const std::vector<int>& positions = {});
+
 }  // namespace provnet
 
 #endif  // PROVNET_CORE_EVAL_H_

@@ -29,10 +29,22 @@ size_t NodeContext::TupleCount() const {
   return total;
 }
 
-size_t NodeContext::ExpireTablesBefore(double now) {
+std::vector<Table*> NodeContext::AllTables() {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (auto& [name, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
+size_t NodeContext::ExpireTablesBefore(double now,
+                                       std::vector<StoredTuple>* expired) {
   size_t dropped = 0;
   for (auto& [name, table] : tables_) {
-    dropped += table->ExpireBefore(now).size();
+    std::vector<StoredTuple> entries = table->ExpireBefore(now);
+    dropped += entries.size();
+    if (expired != nullptr) {
+      for (StoredTuple& e : entries) expired->push_back(std::move(e));
+    }
   }
   return dropped;
 }

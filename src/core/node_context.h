@@ -37,8 +37,15 @@ class NodeContext {
   // Total stored tuples across tables (diagnostics).
   size_t TupleCount() const;
 
+  // All tables this node ever stored into (unspecified order). Used by
+  // whole-state sweeps (principal revocation, diagnostics).
+  std::vector<Table*> AllTables();
+
   // Drops expired tuples from every table; returns how many were dropped.
-  size_t ExpireTablesBefore(double now);
+  // When `expired` is non-null, the dropped entries are appended to it so
+  // the caller can fire deletion deltas for them.
+  size_t ExpireTablesBefore(double now,
+                            std::vector<StoredTuple>* expired = nullptr);
 
  private:
   NodeId id_;

@@ -178,6 +178,11 @@ StoredTuple* Table::FindMutable(const Tuple& tuple) {
   return &it->second;
 }
 
+const StoredTuple* Table::FindGroup(const Tuple& tuple) const {
+  auto it = rows_.find(KeyHash(tuple));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
 std::vector<const StoredTuple*> Table::Scan() const {
   std::vector<const StoredTuple*> out;
   out.reserve(rows_.size());
@@ -213,13 +218,13 @@ std::vector<const StoredTuple*> Table::LookupByColumn(int col,
   return out;
 }
 
-std::vector<Tuple> Table::ExpireBefore(double now) {
-  std::vector<Tuple> dropped;
+std::vector<StoredTuple> Table::ExpireBefore(double now) {
+  std::vector<StoredTuple> dropped;
   for (auto it = rows_.begin(); it != rows_.end();) {
     if (it->second.expires_at >= 0 && it->second.expires_at < now) {
-      dropped.push_back(it->second.tuple);
       IndexErase(it->second.tuple);
       witnesses_.erase(it->first);
+      dropped.push_back(std::move(it->second));
       it = rows_.erase(it);
     } else {
       ++it;
@@ -228,14 +233,15 @@ std::vector<Tuple> Table::ExpireBefore(double now) {
   return dropped;
 }
 
-bool Table::Erase(const Tuple& tuple) {
+std::optional<StoredTuple> Table::Remove(const Tuple& tuple) {
   uint64_t key = KeyHash(tuple);
   auto it = rows_.find(key);
-  if (it == rows_.end() || it->second.tuple != tuple) return false;
+  if (it == rows_.end() || it->second.tuple != tuple) return std::nullopt;
   IndexErase(it->second.tuple);
   witnesses_.erase(key);
+  StoredTuple removed = std::move(it->second);
   rows_.erase(it);
-  return true;
+  return removed;
 }
 
 std::string Table::ToString() const {

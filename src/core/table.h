@@ -82,17 +82,28 @@ class Table {
   const StoredTuple* Find(const Tuple& tuple) const;
   StoredTuple* FindMutable(const Tuple& tuple);
 
+  // Returns the entry sharing `tuple`'s primary key (ignoring non-key
+  // columns), or nullptr. For aggregate tables this finds the group's
+  // current extremum given any candidate of the group.
+  const StoredTuple* FindGroup(const Tuple& tuple) const;
+
   // All live entries (in unspecified order).
   std::vector<const StoredTuple*> Scan() const;
 
   // Entries whose column `col` equals `v` (uses a lazily-built hash index).
   std::vector<const StoredTuple*> LookupByColumn(int col, const Value& v);
 
-  // Drops entries with expires_at < now; returns dropped tuples.
-  std::vector<Tuple> ExpireBefore(double now);
+  // Drops entries with expires_at < now; returns the dropped entries (with
+  // their provenance sidecars, so expiry can fire deletion deltas).
+  std::vector<StoredTuple> ExpireBefore(double now);
+
+  // Removes a specific tuple and returns the stored entry — annotation,
+  // derivation tree, and origin ride along so deletion deltas carry
+  // provenance. nullopt if the tuple was not present.
+  std::optional<StoredTuple> Remove(const Tuple& tuple);
 
   // Removes a specific tuple; true if it was present.
-  bool Erase(const Tuple& tuple);
+  bool Erase(const Tuple& tuple) { return Remove(tuple).has_value(); }
 
   std::string ToString() const;
 

@@ -1,0 +1,166 @@
+#include "dynamics/churn.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* ChurnKindName(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kLinkDown:
+      return "link_down";
+    case ChurnKind::kLinkUp:
+      return "link_up";
+    case ChurnKind::kCompromise:
+      return "compromise";
+    case ChurnKind::kExpireOnly:
+      return "expire";
+  }
+  return "?";
+}
+
+std::string ChurnEvent::ToString() const {
+  switch (kind) {
+    case ChurnKind::kLinkDown:
+    case ChurnKind::kLinkUp:
+      return StrFormat("t=%.2f %s %u->%u (cost %lld)", at,
+                       ChurnKindName(kind), from, to,
+                       static_cast<long long>(cost));
+    case ChurnKind::kCompromise:
+      return StrFormat("t=%.2f compromise %s", at, principal.c_str());
+    case ChurnKind::kExpireOnly:
+      return StrFormat("t=%.2f expire", at);
+  }
+  return "?";
+}
+
+ChurnScript ChurnScript::RandomLinkFlaps(const Topology& topo, size_t flaps,
+                                         double start, double spacing,
+                                         Rng& rng) {
+  ChurnScript script;
+  if (topo.edges.empty() || flaps == 0) return script;
+  // Distinct edges per flap (cycling if flaps exceed the edge count).
+  std::vector<size_t> order(topo.edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  for (size_t i = 0; i < flaps; ++i) {
+    const TopoEdge& edge = topo.edges[order[i % order.size()]];
+    double down_at = start + static_cast<double>(i) * spacing;
+    ChurnEvent down;
+    down.at = down_at;
+    down.kind = ChurnKind::kLinkDown;
+    down.from = edge.from;
+    down.to = edge.to;
+    down.cost = edge.cost;
+    script.events.push_back(down);
+    ChurnEvent up = down;
+    up.at = down_at + spacing / 2;
+    up.kind = ChurnKind::kLinkUp;
+    script.events.push_back(up);
+  }
+  std::sort(script.events.begin(), script.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.at < b.at;
+            });
+  return script;
+}
+
+ChurnScript ChurnScript::CompromiseAt(double at, Principal principal) {
+  ChurnScript script;
+  ChurnEvent event;
+  event.at = at;
+  event.kind = ChurnKind::kCompromise;
+  event.principal = std::move(principal);
+  script.events.push_back(event);
+  return script;
+}
+
+double ChurnReport::MeanEventSeconds() const {
+  if (events.empty()) return 0.0;
+  return total_wall_seconds / static_cast<double>(events.size());
+}
+
+double ChurnReport::MaxEventSeconds() const {
+  double worst = 0.0;
+  for (const ChurnEventReport& e : events) {
+    worst = std::max(worst, e.wall_seconds);
+  }
+  return worst;
+}
+
+std::string ChurnReport::Summary() const {
+  return StrFormat(
+      "%zu events: mean=%.3fms max=%.3fms total=%.3fs bytes=%llu msgs=%llu "
+      "retractions=%llu rederivations=%llu",
+      events.size(), MeanEventSeconds() * 1e3, MaxEventSeconds() * 1e3,
+      total_wall_seconds, static_cast<unsigned long long>(total_bytes),
+      static_cast<unsigned long long>(total_messages),
+      static_cast<unsigned long long>(total_retractions),
+      static_cast<unsigned long long>(total_rederivations));
+}
+
+Tuple ChurnDriver::LinkTuple(const ChurnEvent& event) const {
+  std::vector<Value> args{Value::Address(event.from),
+                          Value::Address(event.to)};
+  if (link_arity_ >= 3) args.push_back(Value::Int(event.cost));
+  return Tuple("link", std::move(args));
+}
+
+Result<ChurnEventReport> ChurnDriver::Step(const ChurnEvent& event) {
+  Network& net = engine_.network();
+  if (event.at > net.now()) net.AdvanceTime(event.at - net.now());
+  Network::Meters meters0 = net.MeterSnapshot();
+  engine_.ExpireNow();  // soft state decays on the same clock as the churn
+
+  switch (event.kind) {
+    case ChurnKind::kLinkDown: {
+      Status s = engine_.DeleteFact(event.from, LinkTuple(event));
+      // Tolerate a link that is already gone: TTL expiry (just above) or an
+      // earlier event may have beaten this one to it.
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+      break;
+    }
+    case ChurnKind::kLinkUp:
+      PROVNET_RETURN_IF_ERROR(engine_.InsertFact(event.from,
+                                                 LinkTuple(event)));
+      break;
+    case ChurnKind::kCompromise:
+      PROVNET_RETURN_IF_ERROR(engine_.RetractPrincipal(event.principal));
+      break;
+    case ChurnKind::kExpireOnly:
+      break;
+  }
+
+  PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine_.Run());
+  Network::Meters meters1 = net.MeterSnapshot();
+  ChurnEventReport report;
+  report.event = event;
+  report.wall_seconds = stats.wall_seconds;
+  // Meter the whole step (expiry + mutation + fixpoint), not just Run()'s
+  // window, so nothing a future mutation path sends goes uncharged.
+  report.bytes = meters1.bytes - meters0.bytes;
+  report.messages = meters1.messages - meters0.messages;
+  report.retractions = stats.retractions;
+  report.rederivations = stats.rederivations;
+  report.derivations = stats.derivations;
+  return report;
+}
+
+Result<ChurnReport> ChurnDriver::Replay(const ChurnScript& script) {
+  ChurnReport report;
+  for (const ChurnEvent& event : script.events) {
+    PROVNET_ASSIGN_OR_RETURN(ChurnEventReport step, Step(event));
+    report.total_wall_seconds += step.wall_seconds;
+    report.total_bytes += step.bytes;
+    report.total_messages += step.messages;
+    report.total_retractions += step.retractions;
+    report.total_rederivations += step.rederivations;
+    report.events.push_back(std::move(step));
+  }
+  return report;
+}
+
+}  // namespace provnet

@@ -1,0 +1,105 @@
+// Dynamic-network scenario driver: replays timed churn (link up/down,
+// node compromise, fact churn) through the virtual-time Network and
+// measures how the engine maintains its state incrementally.
+//
+// Each event advances virtual time to its timestamp, fires TTL expiry (so
+// soft state decays on schedule), applies the mutation through the
+// incremental-update API (dynamics/delta.h), and runs the engine to the new
+// distributed fixpoint — recording per-event latency, bandwidth, and
+// retraction/re-derivation work. This is the long-running-system harness
+// the one-shot reproduction lacked: routing flaps, key revocation, and
+// reactive compromise response all reduce to churn scripts.
+#ifndef PROVNET_DYNAMICS_CHURN_H_
+#define PROVNET_DYNAMICS_CHURN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/topology.h"
+#include "util/random.h"
+
+namespace provnet {
+
+enum class ChurnKind : uint8_t {
+  kLinkDown = 0,    // retract a link fact (DeleteFact at its source)
+  kLinkUp = 1,      // (re-)insert a link fact
+  kCompromise = 2,  // RetractPrincipal: revoke a node's assertions
+  kExpireOnly = 3,  // advance time and let TTL expiry do the churn
+};
+
+const char* ChurnKindName(ChurnKind kind);
+
+struct ChurnEvent {
+  double at = 0.0;  // virtual time (seconds) the event fires
+  ChurnKind kind = ChurnKind::kLinkDown;
+  NodeId from = 0;  // link endpoints (kLinkDown / kLinkUp)
+  NodeId to = 0;
+  int64_t cost = 1;
+  Principal principal;  // kCompromise target
+
+  std::string ToString() const;
+};
+
+struct ChurnScript {
+  std::vector<ChurnEvent> events;  // replayed in order; times non-decreasing
+
+  // K down/up flaps of random existing edges: each flap takes a distinct
+  // random edge down at start + i*spacing and back up half a spacing later.
+  // The script ends at steady state (every link restored), so a replay can
+  // be checked against the original fixpoint.
+  static ChurnScript RandomLinkFlaps(const Topology& topo, size_t flaps,
+                                     double start, double spacing, Rng& rng);
+
+  // A single compromise event at `at`.
+  static ChurnScript CompromiseAt(double at, Principal principal);
+};
+
+struct ChurnEventReport {
+  ChurnEvent event;
+  double wall_seconds = 0.0;  // fixpoint-maintenance latency for this event
+  uint64_t bytes = 0;         // network bytes the maintenance cost
+  uint64_t messages = 0;
+  uint64_t retractions = 0;   // deletion deltas processed
+  uint64_t rederivations = 0; // tuples restored by DRed phase 2
+  uint64_t derivations = 0;
+};
+
+struct ChurnReport {
+  std::vector<ChurnEventReport> events;
+  double total_wall_seconds = 0.0;
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  uint64_t total_retractions = 0;
+  uint64_t total_rederivations = 0;
+
+  double MeanEventSeconds() const;
+  double MaxEventSeconds() const;
+  std::string Summary() const;
+};
+
+// Replays churn scripts against one engine. The engine must have reached
+// its initial fixpoint (Run()) before Replay.
+class ChurnDriver {
+ public:
+  // `link_arity` is the arity of the program's link predicate: 3 for
+  // cost-carrying links link(@S,D,C), 2 for link(@S,D).
+  explicit ChurnDriver(Engine& engine, size_t link_arity = 3)
+      : engine_(engine), link_arity_(link_arity) {}
+
+  Result<ChurnReport> Replay(const ChurnScript& script);
+
+  // Applies a single event (advancing virtual time + expiry) and runs to
+  // fixpoint. Exposed for step-at-a-time tests and benches.
+  Result<ChurnEventReport> Step(const ChurnEvent& event);
+
+ private:
+  Tuple LinkTuple(const ChurnEvent& event) const;
+
+  Engine& engine_;
+  size_t link_arity_;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_DYNAMICS_CHURN_H_

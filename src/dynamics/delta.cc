@@ -1,0 +1,473 @@
+// Provenance-aware incremental deletion (see delta.h for the algorithm).
+// Engine member functions live here, next to the state they drive, the same
+// way core/distquery.cc hosts the distributed-provenance query path.
+
+#include "dynamics/delta.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "provenance/store.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace provnet {
+
+namespace {
+uint64_t RederiveKey(NodeId node, const Tuple& tuple, bool group_only) {
+  uint64_t h = DigestOf(tuple);
+  h = HashCombine(h, static_cast<uint64_t>(node));
+  return HashCombine(h, group_only ? 1u : 2u);
+}
+}  // namespace
+
+bool Engine::AnnotationsComplete() const {
+  return options_.prov_mode == ProvMode::kCondensed ||
+         options_.prov_mode == ProvMode::kFull;
+}
+
+void Engine::NoteKilledBase(const Tuple& tuple) {
+  if (!AnnotationsComplete() || options_.prov_grain != ProvGrain::kTuple) {
+    return;
+  }
+  std::optional<ProvVar> v = registry_.Find(tuple.ToString());
+  if (v.has_value()) dynamics_->killed.insert(*v);
+}
+
+void Engine::EnqueueRetraction(NodeId node, StoredTuple entry, bool rederive,
+                               bool rederive_group) {
+  dynamics_->overlay[node][entry.tuple.predicate()].push_back(entry);
+  if (rederive) {
+    uint64_t key = RederiveKey(node, entry.tuple, rederive_group);
+    if (dynamics_->rederive_seen.insert(key).second) {
+      dynamics_->rederive.push_back(
+          DeltaState::RederiveItem{node, entry.tuple, rederive_group});
+    }
+  }
+  dynamics_->queue.push_back(DeltaState::Retraction{node, std::move(entry)});
+}
+
+Status Engine::DeleteFact(NodeId node, const Tuple& tuple) {
+  if (node >= contexts_.size()) {
+    return InvalidArgumentError("DeleteFact: unknown node");
+  }
+  Table* table = contexts_[node]->FindTableMutable(tuple.predicate());
+  std::optional<StoredTuple> removed =
+      table == nullptr ? std::nullopt : table->Remove(tuple);
+  if (!removed.has_value()) {
+    return NotFoundError("DeleteFact: tuple not stored: " + tuple.ToString());
+  }
+  if (removed->origin == TupleOrigin::kBase) NoteKilledBase(tuple);
+  // An external retraction is authoritative: the fact itself must not be
+  // resurrected by the re-derivation phase (its consequences may be).
+  EnqueueRetraction(node, std::move(*removed), /*rederive=*/false,
+                    /*rederive_group=*/false);
+  return OkStatus();
+}
+
+Status Engine::RetractPrincipal(const Principal& principal) {
+  // At principal grain one substitution covers every assertion; at tuple
+  // grain each of the principal's base tuples contributes its own variable
+  // (collected below as they are removed).
+  if (AnnotationsComplete() &&
+      options_.prov_grain == ProvGrain::kPrincipal) {
+    std::optional<ProvVar> v = registry_.Find(principal);
+    if (v.has_value()) dynamics_->killed.insert(*v);
+  }
+
+  for (auto& ctx : contexts_) {
+    for (Table* table : ctx->AllTables()) {
+      const bool count_agg = table->options().agg == AggKind::kCount;
+      const bool is_agg = table->options().agg != AggKind::kNone;
+      // Classify before mutating: Scan pointers die on removal.
+      std::vector<Tuple> revoked;    // the principal's own assertions
+      std::vector<Tuple> dependent;  // annotation mentions a killed var
+      for (const StoredTuple* e : table->Scan()) {
+        if (e->asserted_by == principal) {
+          revoked.push_back(e->tuple);
+        } else if (!dynamics_->killed.empty() &&
+                   e->prov.DependsOnAny(dynamics_->killed)) {
+          dependent.push_back(e->tuple);
+        }
+      }
+      for (const Tuple& t : revoked) {
+        std::optional<StoredTuple> removed = table->Remove(t);
+        if (!removed.has_value()) continue;
+        if (removed->origin == TupleOrigin::kBase) NoteKilledBase(t);
+        // rederive: a revoked copy of a tuple someone else can also derive
+        // comes back through an untainted principal.
+        EnqueueRetraction(ctx->id(), std::move(*removed), /*rederive=*/true,
+                          /*rederive_group=*/is_agg);
+      }
+      for (const Tuple& t : dependent) {
+        StoredTuple* e = table->FindMutable(t);
+        if (e == nullptr) continue;
+        // COUNT aggregates cannot be pruned by restriction (the count must
+        // drop when witnesses die even if some survive): always recompute.
+        ProvExpr restricted =
+            count_agg ? ProvExpr::Zero() : e->prov.Restrict(dynamics_->killed);
+        if (restricted.IsZero()) {
+          std::optional<StoredTuple> removed = table->Remove(t);
+          if (removed.has_value()) {
+            EnqueueRetraction(ctx->id(), std::move(*removed),
+                              /*rederive=*/true, /*rederive_group=*/is_agg);
+          }
+        } else {
+          e->prov = std::move(restricted);
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::ProcessRetraction(NodeId node, const StoredTuple& entry) {
+  // The tuple's live provenance dies with it.
+  contexts_[node]->online_store().Remove(DigestOf(entry.tuple));
+
+  const std::vector<Strand>* strands =
+      plan_.StrandsFor(entry.tuple.predicate());
+  if (strands == nullptr) return OkStatus();
+  for (const Strand& strand : *strands) {
+    const CompiledRule& cr = plan_.rules()[strand.rule_index];
+    PROVNET_RETURN_IF_ERROR(
+        FireDeleteStrand(node, cr, strand.body_index, entry));
+  }
+  return OkStatus();
+}
+
+Status Engine::FireDeleteStrand(NodeId node_id, const CompiledRule& cr,
+                                int delta_index,
+                                const StoredTuple& delta_entry) {
+  const Rule& rule = cr.lr.rule;
+  Env env;
+  env.emplace(cr.lr.local_var, Value::Address(node_id));
+
+  const Literal& delta_lit = rule.body[static_cast<size_t>(delta_index)];
+  if (!UnifyTuple(delta_lit.atom, delta_entry.tuple, env)) return OkStatus();
+  if (delta_lit.atom.says.has_value() &&
+      !SaysMatches(*delta_lit.atom.says, delta_entry, env)) {
+    return OkStatus();
+  }
+
+  std::vector<const StoredTuple*> used;
+  used.push_back(&delta_entry);
+  return DynJoin(node_id, cr, 0, delta_index, /*use_overlay=*/true, env, used,
+                 [this, node_id, &cr](const Env& e,
+                                      const std::vector<const StoredTuple*>&) {
+                   return OverDeleteHead(node_id, cr, e);
+                 });
+}
+
+Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
+                       size_t literal_pos, int delta_index, bool use_overlay,
+                       Env& env, std::vector<const StoredTuple*>& used,
+                       const EmitFn& emit) {
+  const Rule& rule = cr.lr.rule;
+  if (literal_pos == rule.body.size()) return emit(env, used);
+  if (static_cast<int>(literal_pos) == delta_index) {
+    return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
+                   env, used, emit);
+  }
+  const Literal& lit = rule.body[literal_pos];
+  switch (lit.kind) {
+    case LiteralKind::kCondition: {
+      PROVNET_ASSIGN_OR_RETURN(bool pass, EvalCondition(lit.expr, env));
+      if (!pass) return OkStatus();
+      return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
+                     env, used, emit);
+    }
+    case LiteralKind::kAssign: {
+      PROVNET_ASSIGN_OR_RETURN(Value v, EvalExpr(lit.expr, env));
+      auto it = env.find(lit.assign_var);
+      if (it != env.end()) {
+        if (!(it->second == v)) return OkStatus();
+        return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
+                       env, used, emit);
+      }
+      env.emplace(lit.assign_var, std::move(v));
+      Status s = DynJoin(node_id, cr, literal_pos + 1, delta_index,
+                         use_overlay, env, used, emit);
+      env.erase(lit.assign_var);
+      return s;
+    }
+    case LiteralKind::kAtom: {
+      NodeContext& ctx = *contexts_[node_id];
+      Table* table = ctx.FindTableMutable(lit.atom.predicate);
+
+      // Copy candidates: emits may mutate the very tables being scanned.
+      std::vector<StoredTuple> candidates;
+      if (table != nullptr) {
+        // Indexable column: first constant or bound-variable argument.
+        int index_col = -1;
+        Value index_val;
+        for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+          const Term& t = lit.atom.args[i];
+          if (t.kind == TermKind::kConstant) {
+            index_col = static_cast<int>(i);
+            index_val = t.constant;
+            break;
+          }
+          if (t.kind == TermKind::kVariable) {
+            auto it = env.find(t.name);
+            if (it != env.end()) {
+              index_col = static_cast<int>(i);
+              index_val = it->second;
+              break;
+            }
+          }
+        }
+        std::vector<const StoredTuple*> found =
+            index_col >= 0 ? table->LookupByColumn(index_col, index_val)
+                           : table->Scan();
+        candidates.reserve(found.size());
+        for (const StoredTuple* entry : found) candidates.push_back(*entry);
+      }
+      if (use_overlay) {
+        // The pre-deletion database: tuples already deleted this epoch are
+        // still join partners for over-deletion.
+        const std::vector<StoredTuple>* deleted =
+            dynamics_->OverlayFor(node_id, lit.atom.predicate);
+        if (deleted != nullptr) {
+          candidates.insert(candidates.end(), deleted->begin(),
+                            deleted->end());
+        }
+      }
+
+      for (const StoredTuple& candidate : candidates) {
+        Env env2 = env;
+        if (!UnifyTuple(lit.atom, candidate.tuple, env2)) continue;
+        if (lit.atom.says.has_value() &&
+            !SaysMatches(*lit.atom.says, candidate, env2)) {
+          continue;
+        }
+        used.push_back(&candidate);
+        Status s = DynJoin(node_id, cr, literal_pos + 1, delta_index,
+                           use_overlay, env2, used, emit);
+        used.pop_back();
+        PROVNET_RETURN_IF_ERROR(s);
+      }
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable literal kind");
+}
+
+Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
+                              const Env& env) {
+  const Rule& rule = cr.lr.rule;
+  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(rule.head, env));
+
+  NodeId dest = node_id;
+  if (cr.lr.send_to.has_value()) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, env));
+    if (v.kind() != ValueKind::kAddress) {
+      return InvalidArgumentError("retract: destination is not an address: " +
+                                  v.ToString());
+    }
+    dest = v.AsAddress();
+    if (dest >= contexts_.size()) {
+      return InvalidArgumentError("retract: destination node out of range");
+    }
+  }
+  if (dest == node_id) return OverDeleteAt(node_id, head);
+  return SendRetract(node_id, dest, head);
+}
+
+Status Engine::OverDeleteAt(NodeId node_id, const Tuple& tuple) {
+  NodeContext& ctx = *contexts_[node_id];
+  Table* table = ctx.FindTableMutable(tuple.predicate());
+  if (table == nullptr) return OkStatus();
+  const TableOptions& topt = table->options();
+
+  if (topt.agg != AggKind::kNone) {
+    const StoredTuple* group = table->FindGroup(tuple);
+    if (group == nullptr) return OkStatus();
+    size_t agg_col = static_cast<size_t>(topt.agg_column);
+    // MIN/MAX: only a derivation of the current extremum can invalidate the
+    // group. COUNT: any dead witness changes the count.
+    bool contributes =
+        topt.agg == AggKind::kCount ||
+        (agg_col < tuple.arity() &&
+         group->tuple.arg(agg_col) == tuple.arg(agg_col));
+    if (!contributes) return OkStatus();
+    if (topt.agg != AggKind::kCount && !dynamics_->killed.empty() &&
+        !group->prov.IsZero()) {
+      // An equal-extremum derivation that avoids every killed base keeps
+      // the group's value valid.
+      ProvExpr restricted = group->prov.Restrict(dynamics_->killed);
+      if (!restricted.IsZero()) {
+        table->FindMutable(group->tuple)->prov = std::move(restricted);
+        return OkStatus();
+      }
+    }
+    std::optional<StoredTuple> removed = table->Remove(group->tuple);
+    if (removed.has_value()) {
+      EnqueueRetraction(node_id, std::move(*removed), /*rederive=*/true,
+                        /*rederive_group=*/true);
+    }
+    return OkStatus();
+  }
+
+  const StoredTuple* current = table->Find(tuple);
+  if (current == nullptr) return OkStatus();
+  if (!dynamics_->killed.empty() && !current->prov.IsZero()) {
+    ProvExpr restricted = current->prov.Restrict(dynamics_->killed);
+    if (!restricted.IsZero()) {
+      // Independent derivation survives: keep the tuple, adopt the pruned
+      // annotation, stop the cascade — no re-derivation needed.
+      table->FindMutable(tuple)->prov = std::move(restricted);
+      return OkStatus();
+    }
+  }
+  std::optional<StoredTuple> removed = table->Remove(tuple);
+  if (removed.has_value()) {
+    EnqueueRetraction(node_id, std::move(*removed), /*rederive=*/true,
+                      /*rederive_group=*/false);
+  }
+  return OkStatus();
+}
+
+Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
+  // Content: tuple + the epoch's killed variables, so the receiver can
+  // restrict its own (merged) annotation. The says tag covers these bytes —
+  // forged retractions from untrusted senders are dropped on verify.
+  ByteWriter content;
+  tuple.Serialize(content);
+  std::vector<ProvVar> killed(dynamics_->killed.begin(),
+                              dynamics_->killed.end());
+  std::sort(killed.begin(), killed.end());
+  content.PutVarint(killed.size());
+  for (ProvVar v : killed) content.PutU32(v);
+
+  bool attach_says = options_.authenticate || plan_.sendlog();
+  SaysLevel level =
+      options_.authenticate ? options_.says_level : SaysLevel::kCleartext;
+
+  ByteWriter msg;
+  msg.PutU8(kMsgRetract);
+  msg.PutBlob(content.bytes());
+  msg.PutU8(attach_says ? 1 : 0);
+  size_t pre_auth = msg.size();
+  if (attach_says) {
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        auth_.Say(contexts_[from]->principal(), content.bytes(), level));
+    tag.Serialize(msg);
+  }
+  stats_.auth_bytes += msg.size() - pre_auth;
+  stats_.tuple_bytes += pre_auth;
+  return net_.Send(from, to, std::move(msg).Take());
+}
+
+Status Engine::HandleRetractMessage(NodeId to, NodeId /*from*/,
+                                    ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
+  PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
+  if (has_says != 0) {
+    PROVNET_ASSIGN_OR_RETURN(SaysTag tag, SaysTag::Deserialize(reader));
+    if (options_.authenticate && options_.verify_incoming) {
+      Status verdict = auth_.Verify(tag, content);
+      if (!verdict.ok()) {
+        ++stats_.auth_failures;
+        return OkStatus();  // unauthenticated retraction: ignored
+      }
+    }
+  }
+
+  ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
+  PROVNET_ASSIGN_OR_RETURN(uint64_t killed_count, body.GetVarint());
+  if (killed_count > body.remaining()) {
+    return InvalidArgumentError("retract: bad killed-variable count");
+  }
+  for (uint64_t i = 0; i < killed_count; ++i) {
+    PROVNET_ASSIGN_OR_RETURN(ProvVar v, body.GetU32());
+    dynamics_->killed.insert(v);
+  }
+  return OverDeleteAt(to, tuple);
+}
+
+Status Engine::RunRederivePass() {
+  std::vector<DeltaState::RederiveItem> items;
+  items.swap(dynamics_->rederive);
+  for (const DeltaState::RederiveItem& item : items) {
+    PROVNET_RETURN_IF_ERROR(
+        RederiveTuple(item.node, item.tuple, item.group_only));
+  }
+  return OkStatus();
+}
+
+Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
+                             bool group_only) {
+  // Aggregate-group re-derivation constrains only the group columns and
+  // lets body evaluation propose fresh contributions; the aggregate table
+  // re-selects the extremum.
+  std::vector<int> positions;
+  if (group_only) {
+    positions = plan_.OptionsFor(tuple.predicate()).key_columns;
+  }
+  const bool exact = !group_only || positions.empty();
+
+  for (const CompiledRule& cr : plan_.rules()) {
+    const Rule& rule = cr.lr.rule;
+    if (rule.head.predicate != tuple.predicate()) continue;
+    Env env0;
+    if (!UnifyHeadPattern(rule.head, tuple, env0, positions)) continue;
+
+    // Executing nodes: the head may pin the rule's local variable (e.g. a
+    // rule that stores where it runs); otherwise any node could hold the
+    // supporting body tuples.
+    std::vector<NodeId> sites;
+    auto lv = env0.find(cr.lr.local_var);
+    if (lv != env0.end()) {
+      if (lv->second.kind() != ValueKind::kAddress) continue;
+      NodeId m = lv->second.AsAddress();
+      if (m >= contexts_.size()) continue;
+      sites.push_back(m);
+    } else {
+      sites.reserve(contexts_.size());
+      for (NodeId m = 0; m < contexts_.size(); ++m) sites.push_back(m);
+    }
+
+    for (NodeId site : sites) {
+      Env env = env0;
+      env.emplace(cr.lr.local_var, Value::Address(site));
+      std::vector<const StoredTuple*> used;
+      auto emit = [this, &cr, &tuple, &positions, exact, node, site](
+                      const Env& e,
+                      const std::vector<const StoredTuple*>& u) -> Status {
+        PROVNET_ASSIGN_OR_RETURN(Tuple head,
+                                 BuildHeadTuple(cr.lr.rule.head, e));
+        NodeId dest = site;
+        if (cr.lr.send_to.has_value()) {
+          PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, e));
+          if (v.kind() != ValueKind::kAddress) return OkStatus();
+          dest = v.AsAddress();
+        }
+        if (dest != node) return OkStatus();
+        if (exact) {
+          if (!(head == tuple)) return OkStatus();
+        } else {
+          for (int p : positions) {
+            if (static_cast<size_t>(p) >= head.arity() ||
+                !(head.arg(static_cast<size_t>(p)) ==
+                  tuple.arg(static_cast<size_t>(p)))) {
+              return OkStatus();
+            }
+          }
+        }
+        ++stats_.rederivations;
+        // The normal head path: annotation product, signing, shipping —
+        // restored tuples are indistinguishable from first derivations.
+        return EmitHead(site, cr, e, u);
+      };
+      PROVNET_RETURN_IF_ERROR(DynJoin(site, cr, 0, /*delta_index=*/-1,
+                                      /*use_overlay=*/false, env, used,
+                                      emit));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet

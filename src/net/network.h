@@ -64,6 +64,13 @@ class Network {
   void AdvanceTime(double seconds);
 
   // --- Meters ---------------------------------------------------------------
+  // Point-in-time meter snapshot; subtract two to charge a window (the
+  // churn driver's per-event bandwidth accounting).
+  struct Meters {
+    uint64_t bytes = 0;
+    uint64_t messages = 0;
+  };
+  Meters MeterSnapshot() const { return {total_bytes_, total_messages_}; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   uint64_t bytes_sent_by(NodeId node) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -103,6 +104,54 @@ std::vector<ProvVar> ProvExpr::Variables() const {
     if (n->right) stack.push_back(n->right.get());
   }
   return {vars.begin(), vars.end()};
+}
+
+bool ProvExpr::DependsOnAny(const std::unordered_set<ProvVar>& vars) const {
+  if (vars.empty() || node_ == nullptr) return false;
+  std::unordered_set<const Node*> seen;
+  std::vector<const Node*> stack{node_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->kind == ProvExprKind::kVar && vars.count(n->var)) return true;
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+  }
+  return false;
+}
+
+ProvExpr ProvExpr::Restrict(const std::unordered_set<ProvVar>& vars) const {
+  if (vars.empty() || node_ == nullptr) return *this;
+  // Memoized over shared nodes so DAGs restrict in O(nodes), and untouched
+  // subtrees are returned as-is (preserving structural sharing).
+  std::unordered_map<const Node*, ProvExpr> memo;
+  std::function<ProvExpr(const std::shared_ptr<const Node>&)> walk =
+      [&](const std::shared_ptr<const Node>& n) -> ProvExpr {
+    auto it = memo.find(n.get());
+    if (it != memo.end()) return it->second;
+    ProvExpr out;
+    switch (n->kind) {
+      case ProvExprKind::kZero:
+        out = Zero();
+        break;
+      case ProvExprKind::kOne:
+        out = One();
+        break;
+      case ProvExprKind::kVar:
+        out = vars.count(n->var) ? Zero() : ProvExpr(n);
+        break;
+      case ProvExprKind::kPlus:
+        out = Plus(walk(n->left), walk(n->right));
+        break;
+      case ProvExprKind::kTimes:
+        out = Times(walk(n->left), walk(n->right));
+        break;
+    }
+    memo.emplace(n.get(), out);
+    return out;
+  };
+  return walk(node_);
 }
 
 bool ProvExpr::Equals(const ProvExpr& other) const {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/bytes.h"
@@ -63,6 +64,16 @@ class ProvExpr {
 
   // Distinct variables, ascending.
   std::vector<ProvVar> Variables() const;
+
+  // True when any of `vars` occurs in the expression.
+  bool DependsOnAny(const std::unordered_set<ProvVar>& vars) const;
+
+  // Substitutes Zero for every variable in `vars` and simplifies with the
+  // semiring identities (0+x=x, 0*x=0). The result enumerates exactly the
+  // derivations that avoid the killed variables — the pruning step of
+  // provenance-aware deletion: a tuple whose restricted annotation is
+  // non-Zero survives a retraction without re-derivation.
+  ProvExpr Restrict(const std::unordered_set<ProvVar>& vars) const;
 
   // Structural equality (cheap pointer check first).
   bool Equals(const ProvExpr& other) const;

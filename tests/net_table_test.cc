@@ -228,11 +228,16 @@ TEST(TableTest, TtlExpiry) {
   TableOptions opts;
   opts.default_ttl = 10.0;
   Table table("soft", opts);
-  table.Insert(Entry(Tuple("soft", {Value::Int(1)})), 0.0);
+  StoredTuple first = Entry(Tuple("soft", {Value::Int(1)}));
+  first.prov = ProvExpr::Var(5);
+  table.Insert(std::move(first), 0.0);
   table.Insert(Entry(Tuple("soft", {Value::Int(2)})), 8.0);
-  std::vector<Tuple> dropped = table.ExpireBefore(15.0);
+  std::vector<StoredTuple> dropped = table.ExpireBefore(15.0);
   ASSERT_EQ(dropped.size(), 1u);
-  EXPECT_EQ(dropped[0].arg(0).AsInt(), 1);
+  EXPECT_EQ(dropped[0].tuple.arg(0).AsInt(), 1);
+  // Expired entries keep their provenance sidecar so expiry can fire
+  // deletion deltas.
+  EXPECT_EQ(dropped[0].prov.Variables(), (std::vector<ProvVar>{5}));
   EXPECT_EQ(table.size(), 1u);
 }
 
@@ -272,6 +277,64 @@ TEST(TableTest, ColumnIndexFindsMatches) {
   // Index stays consistent after erase.
   EXPECT_TRUE(table.Erase(Tuple("t", {Value::Int(3), Value::Int(3)})));
   EXPECT_EQ(table.LookupByColumn(0, Value::Int(3)).size(), 9u);
+}
+
+TEST(TableTest, RemoveReturnsStoredEntryWithAnnotation) {
+  Table table("t", TableOptions{});
+  Tuple t("t", {Value::Int(1), Value::Int(2)});
+  StoredTuple entry = Entry(t);
+  entry.prov = ProvExpr::Times(ProvExpr::Var(3), ProvExpr::Var(4));
+  entry.asserted_by = "alice";
+  entry.origin = TupleOrigin::kLocalRule;
+  entry.rule = "r7";
+  table.Insert(std::move(entry), 2.5);
+
+  std::optional<StoredTuple> removed = table.Remove(t);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->tuple, t);
+  // The annotation rides along: deletion deltas carry provenance.
+  EXPECT_EQ(removed->prov.Variables(), (std::vector<ProvVar>{3, 4}));
+  EXPECT_EQ(removed->asserted_by, "alice");
+  EXPECT_EQ(removed->origin, TupleOrigin::kLocalRule);
+  EXPECT_EQ(removed->rule, "r7");
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(t), nullptr);
+
+  // Removing again (or removing something never stored) yields nothing.
+  EXPECT_FALSE(table.Remove(t).has_value());
+  EXPECT_FALSE(table.Remove(Tuple("t", {Value::Int(9)})).has_value());
+}
+
+TEST(TableTest, RemoveRequiresExactTupleOnKeyedTables) {
+  TableOptions opts;
+  opts.key_columns = {0};
+  Table table("keyed", opts);
+  Tuple stored("keyed", {Value::Int(1), Value::Int(10)});
+  table.Insert(Entry(stored), 0.0);
+  // Same key, different value: Remove must not fire (that is FindGroup's
+  // job), so a stale retraction cannot delete a newer replacement.
+  EXPECT_FALSE(
+      table.Remove(Tuple("keyed", {Value::Int(1), Value::Int(99)})).has_value());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Remove(stored).has_value());
+}
+
+TEST(TableTest, FindGroupMatchesByPrimaryKey) {
+  TableOptions opts;
+  opts.agg = AggKind::kMin;
+  opts.agg_column = 1;
+  opts.key_columns = {0};
+  Table table("best", opts);
+  table.Insert(Entry(Tuple("best", {Value::Int(0), Value::Int(7)})), 0.0);
+  table.Insert(Entry(Tuple("best", {Value::Int(0), Value::Int(3)})), 0.0);
+
+  // Any candidate of the group finds the current extremum.
+  const StoredTuple* group =
+      table.FindGroup(Tuple("best", {Value::Int(0), Value::Int(42)}));
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->tuple.arg(1).AsInt(), 3);
+  EXPECT_EQ(table.FindGroup(Tuple("best", {Value::Int(5), Value::Int(1)})),
+            nullptr);
 }
 
 TEST(TableTest, ProvenanceMergesOnRefresh) {
