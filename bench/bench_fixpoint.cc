@@ -1,0 +1,196 @@
+// Reproducible fixpoint benchmark: Best-Path fixpoint time, derivation
+// throughput, and peak RSS across node counts x ProvMode {none, condensed,
+// full}. Seeds the perf trajectory for the rule-firing inner loop (the
+// paper's Figures 4-6 are about making provenance cheap enough to leave on;
+// this bench tracks whether our evaluator keeps up as networks grow).
+//
+// Writes a JSON report (default ./BENCH_fixpoint.json, i.e. the repo root
+// when run from there) so CI can archive per-PR numbers.
+//
+// Usage:
+//   bench_fixpoint [--quick] [--out PATH]
+//
+//   --quick      node counts {10, 25, 50} and 1 run per point (CI smoke)
+//   --out PATH   JSON output path (default BENCH_fixpoint.json)
+//
+// Environment knobs:
+//   PROVNET_FIXPOINT_RUNS   repetitions per point (default 3; --quick: 1)
+//   PROVNET_FIXPOINT_SEED   topology seed (default 20080407)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "net/topology.h"
+#include "util/logging.h"
+
+using namespace provnet;
+
+namespace {
+
+struct Config {
+  std::vector<size_t> node_counts = {10, 25, 50, 75, 100};
+  size_t runs = 3;
+  uint64_t seed = 20080407;
+  std::string out_path = "BENCH_fixpoint.json";
+};
+
+struct Point {
+  size_t n = 0;
+  ProvMode mode = ProvMode::kNone;
+  double wall_seconds = 0.0;       // mean over runs
+  double derivations = 0.0;        // mean over runs
+  double derivations_per_sec = 0.0;
+  double join_candidates = 0.0;
+  double events = 0.0;
+  double messages = 0.0;
+  double mbytes = 0.0;
+  long rss_peak_kb = 0;  // process high-water mark after this point
+};
+
+long PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+EngineOptions OptionsFor(ProvMode mode, uint64_t seed) {
+  EngineOptions opts;
+  opts.seed = seed;
+  opts.prov_mode = mode;
+  // Condensed/full annotations at tuple grain: the configuration the
+  // incremental evaluator's restriction pruning needs (bench_churn's "prov"
+  // variant), i.e. the cost of leaving provenance on.
+  if (mode != ProvMode::kNone) opts.prov_grain = ProvGrain::kTuple;
+  return opts;
+}
+
+Result<Point> RunPoint(size_t n, ProvMode mode, const Config& cfg) {
+  Point point;
+  point.n = n;
+  point.mode = mode;
+  for (size_t run = 0; run < cfg.runs; ++run) {
+    Rng rng(cfg.seed + run * 1000003 + n);
+    Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
+    PROVNET_ASSIGN_OR_RETURN(
+        std::unique_ptr<Engine> engine,
+        Engine::Create(topo, BestPathNdlogProgram(),
+                       OptionsFor(mode, cfg.seed + run)));
+    PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+    auto t0 = std::chrono::steady_clock::now();
+    PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine->Run());
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    point.wall_seconds += secs;
+    point.derivations += static_cast<double>(stats.derivations);
+    point.join_candidates += static_cast<double>(stats.join_candidates);
+    point.events += static_cast<double>(stats.events);
+    point.messages += static_cast<double>(stats.messages);
+    point.mbytes += static_cast<double>(stats.bytes) / 1e6;
+  }
+  double runs = static_cast<double>(cfg.runs);
+  point.wall_seconds /= runs;
+  point.derivations /= runs;
+  point.join_candidates /= runs;
+  point.events /= runs;
+  point.messages /= runs;
+  point.mbytes /= runs;
+  point.derivations_per_sec =
+      point.wall_seconds > 0 ? point.derivations / point.wall_seconds : 0.0;
+  point.rss_peak_kb = PeakRssKb();
+  return point;
+}
+
+void WriteJson(const Config& cfg, const std::vector<Point>& points) {
+  FILE* f = std::fopen(cfg.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 cfg.out_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fixpoint\",\n");
+  std::fprintf(f, "  \"workload\": \"bestpath-ndlog\",\n");
+  std::fprintf(f, "  \"outdegree\": 3,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(cfg.seed));
+  std::fprintf(f, "  \"runs\": %zu,\n", cfg.runs);
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"n\": %zu, \"prov_mode\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"derivations\": %.0f, \"derivations_per_sec\": %.0f, "
+        "\"join_candidates\": %.0f, \"events\": %.0f, \"messages\": %.0f, "
+        "\"mbytes\": %.3f, \"rss_peak_kb\": %ld}%s\n",
+        p.n, ProvModeName(p.mode), p.wall_seconds, p.derivations,
+        p.derivations_per_sec, p.join_candidates, p.events, p.messages,
+        p.mbytes, p.rss_peak_kb, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", cfg.out_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.node_counts = {10, 25, 50};
+      cfg.runs = 1;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (const char* v = std::getenv("PROVNET_FIXPOINT_RUNS")) {
+    cfg.runs = static_cast<size_t>(std::atoll(v));
+    if (cfg.runs < 1) cfg.runs = 1;
+  }
+  if (const char* v = std::getenv("PROVNET_FIXPOINT_SEED")) {
+    cfg.seed = static_cast<uint64_t>(std::atoll(v));
+  }
+
+  const ProvMode modes[] = {ProvMode::kNone, ProvMode::kCondensed,
+                            ProvMode::kFull};
+  std::printf("bench_fixpoint: Best-Path fixpoint, outdegree 3, %zu run(s) "
+              "per point\n\n",
+              cfg.runs);
+  std::printf("%5s %-10s %12s %14s %14s %12s %10s %12s\n", "n", "prov",
+              "wall s", "derivations", "deriv/sec", "candidates", "MB",
+              "rss KiB");
+
+  std::vector<Point> points;
+  for (size_t n : cfg.node_counts) {
+    for (ProvMode mode : modes) {
+      Result<Point> point = RunPoint(n, mode, cfg);
+      if (!point.ok()) {
+        std::fprintf(stderr, "point n=%zu mode=%s failed: %s\n", n,
+                     ProvModeName(mode),
+                     point.status().ToString().c_str());
+        return 1;
+      }
+      const Point& p = point.value();
+      std::printf("%5zu %-10s %12.4f %14.0f %14.0f %12.0f %10.3f %12ld\n",
+                  p.n, ProvModeName(p.mode), p.wall_seconds, p.derivations,
+                  p.derivations_per_sec, p.join_candidates, p.mbytes,
+                  p.rss_peak_kb);
+      points.push_back(p);
+    }
+  }
+
+  WriteJson(cfg, points);
+  return 0;
+}

@@ -38,8 +38,8 @@ const char* ProvModeName(ProvMode mode) {
 std::string RunStats::ToString() const {
   return StrFormat(
       "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
-      "prov=%llu) events=%llu derivations=%llu signs=%llu verifies=%llu "
-      "auth_failures=%llu retractions=%llu rederivations=%llu",
+      "prov=%llu) events=%llu derivations=%llu candidates=%llu signs=%llu "
+      "verifies=%llu auth_failures=%llu retractions=%llu rederivations=%llu",
       wall_seconds, sim_seconds, static_cast<unsigned long long>(messages),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(tuple_bytes),
@@ -47,6 +47,7 @@ std::string RunStats::ToString() const {
       static_cast<unsigned long long>(prov_bytes),
       static_cast<unsigned long long>(events),
       static_cast<unsigned long long>(derivations),
+      static_cast<unsigned long long>(join_candidates),
       static_cast<unsigned long long>(signs),
       static_cast<unsigned long long>(verifies),
       static_cast<unsigned long long>(auth_failures),
@@ -100,6 +101,7 @@ Status Engine::Init(Program program) {
     // Deterministic provenance variable ids: one per principal, in node
     // order, interned up front so all nodes agree.
     registry_.Intern(principal);
+    node_of_.emplace(principal, id);
     contexts_.push_back(
         std::make_unique<NodeContext>(id, std::move(principal), &plan_));
   }
@@ -148,9 +150,8 @@ Principal Engine::PrincipalOf(NodeId id) const {
 }
 
 Result<NodeId> Engine::NodeOf(const Principal& principal) const {
-  for (const auto& ctx : contexts_) {
-    if (ctx->principal() == principal) return ctx->id();
-  }
+  auto it = node_of_.find(principal);
+  if (it != node_of_.end()) return it->second;
   return NotFoundError("no node for principal " + principal);
 }
 
@@ -195,17 +196,23 @@ Status Engine::InsertFact(NodeId node_id, const Tuple& tuple, double ttl) {
     }
     entry.deriv = std::move(base);
   }
-  return DeliverLocal(node_id, std::move(entry), nullptr, kBaseRule);
+  return DeliverLocal(node_id, std::move(entry), {}, kBaseRule);
 }
 
 Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
-                            const std::vector<const StoredTuple*>* used,
+                            std::vector<ProvChildRef> children,
                             const std::string& rule_label) {
   NodeContext& ctx = *contexts_[node_id];
   Table& table = ctx.TableFor(entry.tuple.predicate());
   TupleOrigin origin = entry.origin;
   NodeId from_node = entry.from_node;
   double expires_at = entry.expires_at;
+  // Predicate->site index (grow-only): this node now potentially stores the
+  // predicate, making it a candidate executing site for re-derivation. Only
+  // the first fill needs recording, keeping the hot path free of it.
+  if (table.size() == 0) {
+    pred_sites_[entry.tuple.predicate()].insert(node_id);
+  }
   // Received tuples are recorded under the *asserting* principal (who says
   // them); unauthenticated traffic falls back to the transport-level sender.
   Principal asserted_by = entry.asserted_by;
@@ -220,16 +227,16 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
   switch (result.outcome) {
     case InsertOutcome::kNew:
     case InsertOutcome::kReplaced:
-      MaybeRecordProvenance(node_id, result.stored, rule_label, origin,
-                            from_node, asserted_by, used, expires_at);
+      RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
+                       asserted_by, std::move(children), expires_at);
       events_.push_back(PendingEvent{node_id, result.stored});
       break;
     case InsertOutcome::kRefreshed: {
       // Alternative derivation of an existing tuple: record it, and keep the
       // merged local annotation compact (re-condense when it outgrows the
       // threshold).
-      MaybeRecordProvenance(node_id, result.stored, rule_label, origin,
-                            from_node, asserted_by, used, expires_at);
+      RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
+                       asserted_by, std::move(children), expires_at);
       if (options_.prov_mode == ProvMode::kCondensed) {
         StoredTuple* merged = table.FindMutable(result.stored);
         if (merged != nullptr &&
@@ -245,15 +252,36 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
   return OkStatus();
 }
 
-void Engine::MaybeRecordProvenance(NodeId node_id, const Tuple& tuple,
-                                   const std::string& rule,
-                                   TupleOrigin origin, NodeId from_node,
-                                   const Principal& asserted_by,
-                                   const std::vector<const StoredTuple*>* used,
-                                   double expires_at) {
+bool Engine::RecordingPossible() const {
   bool recording = options_.prov_mode == ProvMode::kPointers ||
                    options_.record_online || options_.record_offline;
-  if (!recording || !options_.recording_enabled) return;
+  return recording && options_.recording_enabled;
+}
+
+std::vector<ProvChildRef> Engine::BuildChildRefs(
+    NodeId node_id, const std::vector<const StoredTuple*>& used) const {
+  std::vector<ProvChildRef> children;
+  children.reserve(used.size());
+  for (const StoredTuple* child : used) {
+    ProvChildRef ref;
+    ref.node = node_id;
+    ref.digest = DigestOf(child->tuple);
+    ref.asserted_by = child->asserted_by;
+    if (child->origin == TupleOrigin::kBase) {
+      ref.is_base = true;
+      ref.base_tuple = child->tuple;
+    }
+    children.push_back(std::move(ref));
+  }
+  return children;
+}
+
+void Engine::RecordProvenance(NodeId node_id, const Tuple& tuple,
+                              const std::string& rule, TupleOrigin origin,
+                              NodeId from_node, const Principal& asserted_by,
+                              std::vector<ProvChildRef> children,
+                              double expires_at) {
+  if (!RecordingPossible()) return;
   if (options_.sample_k > 1) {
     TupleSampler sampler(options_.sample_k, options_.seed);
     if (!sampler.ShouldRecord(tuple)) return;
@@ -278,23 +306,10 @@ void Engine::MaybeRecordProvenance(NodeId node_id, const Tuple& tuple,
       rec.children.push_back(std::move(ref));
       break;
     }
-    case TupleOrigin::kLocalRule: {
+    case TupleOrigin::kLocalRule:
       rec.rule = rule;
-      if (used != nullptr) {
-        for (const StoredTuple* child : *used) {
-          ProvChildRef ref;
-          ref.node = node_id;
-          ref.digest = DigestOf(child->tuple);
-          ref.asserted_by = child->asserted_by;
-          if (child->origin == TupleOrigin::kBase) {
-            ref.is_base = true;
-            ref.base_tuple = child->tuple;
-          }
-          rec.children.push_back(std::move(ref));
-        }
-      }
+      rec.children = std::move(children);
       break;
-    }
   }
 
   bool online = options_.record_online ||
@@ -324,10 +339,10 @@ Status Engine::ProcessEvent(const PendingEvent& event) {
   return OkStatus();
 }
 
-bool Engine::SaysMatches(const Term& says, const StoredTuple& entry,
-                         Env& env) const {
+bool Engine::SaysMatches(const SlotSays& says, const StoredTuple& entry,
+                         Frame& frame) const {
   const Principal& principal = entry.asserted_by;
-  if (principal.empty()) return false;
+  if (principal.empty() || says.never) return false;
   auto matches_value = [this, &principal](const Value& v) {
     if (v.kind() == ValueKind::kAddress) {
       NodeId id = v.AsAddress();
@@ -336,57 +351,53 @@ bool Engine::SaysMatches(const Term& says, const StoredTuple& entry,
     if (v.kind() == ValueKind::kString) return v.AsString() == principal;
     return false;
   };
-  if (says.kind == TermKind::kConstant) return matches_value(says.constant);
-  if (says.kind == TermKind::kVariable) {
-    auto it = env.find(says.name);
-    if (it != env.end()) return matches_value(it->second);
-    // Bind: prefer the node address when the principal names a node.
-    Result<NodeId> node = NodeOf(principal);
-    if (node.ok()) {
-      env.emplace(says.name, Value::Address(node.value()));
-    } else {
-      env.emplace(says.name, Value::Str(principal));
-    }
-    return true;
+  if (says.is_const) return matches_value(says.constant);
+  if (frame.IsBound(says.slot)) return matches_value(frame.Get(says.slot));
+  // Bind: prefer the node address when the principal names a node.
+  auto node = node_of_.find(principal);
+  if (node != node_of_.end()) {
+    frame.BindOrCheck(says.slot, Value::Address(node->second));
+  } else {
+    frame.BindOrCheck(says.slot, Value::Str(principal));
   }
-  return false;
+  return true;
 }
 
 Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
                           int delta_index, const StoredTuple& delta_entry) {
-  const Rule& rule = cr.lr.rule;
-  Env env;
-  env.emplace(cr.lr.local_var, Value::Address(node_id));
+  const RuleProgram& prog = cr.prog;
+  frame_.Reset(prog.num_slots);
+  frame_.BindOrCheck(prog.local_slot, Value::Address(node_id));
 
-  const Literal& delta_lit = rule.body[static_cast<size_t>(delta_index)];
-  if (!UnifyTuple(delta_lit.atom, delta_entry.tuple, env)) return OkStatus();
-  if (delta_lit.atom.says.has_value() &&
-      !SaysMatches(*delta_lit.atom.says, delta_entry, env)) {
+  const SlotLiteral& delta_lit = prog.body[static_cast<size_t>(delta_index)];
+  if (!MatchTuple(delta_lit, delta_entry.tuple, frame_)) return OkStatus();
+  if (delta_lit.says.has_value() &&
+      !SaysMatches(*delta_lit.says, delta_entry, frame_)) {
     return OkStatus();
   }
 
   std::vector<const StoredTuple*> used;
+  used.reserve(prog.body.size());
   used.push_back(&delta_entry);
   // Keep `used` in body order for readable derivation trees: we simply
   // record the delta first, then joins in literal order. The shared join
   // recursion (dynamics/delta.cc) runs without the deletion overlay here.
-  return DynJoin(node_id, cr, 0, delta_index, /*use_overlay=*/false, env,
-                 used,
-                 [this, node_id, &cr](const Env& e,
-                                      const std::vector<const StoredTuple*>&
-                                          u) {
-                   return EmitHead(node_id, cr, e, u);
-                 });
+  PROVNET_RETURN_IF_ERROR(DynJoin(
+      node_id, cr, 0, delta_index, /*use_overlay=*/false, frame_, used,
+      [this, node_id, &cr](Frame& f,
+                           const std::vector<const StoredTuple*>& u) {
+        return EmitHead(node_id, cr, f, u);
+      }));
+  return DrainPending();
 }
 
 Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
-                        const Env& env,
+                        const Frame& frame,
                         const std::vector<const StoredTuple*>& used) {
-  const Rule& rule = cr.lr.rule;
-  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(rule.head, env));
+  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, frame));
   ++stats_.derivations;
 
-  std::string label = rule.label.empty() ? rule.head.predicate : rule.label;
+  const std::string& label = cr.prog.label;
 
   // Provenance annotation: product over the body tuples used.
   ProvExpr prov;
@@ -416,8 +427,8 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
 
   // Destination.
   NodeId dest = node_id;
-  if (cr.lr.send_to.has_value()) {
-    PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, env));
+  if (cr.prog.send_to.has_value()) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, EvalSlotTerm(*cr.prog.send_to, frame));
     if (v.kind() != ValueKind::kAddress) {
       return InvalidArgumentError("rule " + label +
                                   ": destination is not an address: " +
@@ -431,6 +442,10 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
   }
 
   if (dest == node_id) {
+    // Local head: defer the table mutation until the join scan completes —
+    // the scan iterates stored tuples by pointer, so tables must not change
+    // under it. Provenance child refs are captured now, while `used` points
+    // at live entries.
     StoredTuple entry;
     entry.tuple = std::move(head);
     entry.origin = TupleOrigin::kLocalRule;
@@ -438,14 +453,51 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
     entry.rule = label;
     entry.prov = std::move(prov);
     entry.deriv = std::move(deriv);
-    return DeliverLocal(node_id, std::move(entry), &used, label);
+    PendingAction action;
+    action.kind = PendingAction::Kind::kDeliver;
+    action.node = node_id;
+    action.entry = std::move(entry);
+    if (RecordingPossible()) action.children = BuildChildRefs(node_id, used);
+    action.rule_label = label;
+    pending_.push_back(std::move(action));
+    return OkStatus();
   }
 
   // Remote head: the sender records the derivation step (distributed
-  // provenance keeps state at each hop), then ships the tuple.
-  MaybeRecordProvenance(node_id, head, label, TupleOrigin::kLocalRule, 0,
-                        contexts_[node_id]->principal(), &used, -1.0);
+  // provenance keeps state at each hop), then ships the tuple. Neither
+  // touches local tables, so this needs no deferral.
+  RecordProvenance(node_id, head, label, TupleOrigin::kLocalRule, 0,
+                   contexts_[node_id]->principal(),
+                   RecordingPossible() ? BuildChildRefs(node_id, used)
+                                       : std::vector<ProvChildRef>{},
+                   -1.0);
   return SendTuple(node_id, dest, head, prov, deriv);
+}
+
+Status Engine::DrainPending() {
+  // Apply in emit order; DeliverLocal pushes delta events in the same
+  // order the seed evaluator did. Actions may append further pending work
+  // only via the retraction queue, never pending_ itself.
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingAction action = std::move(pending_[i]);
+    switch (action.kind) {
+      case PendingAction::Kind::kDeliver:
+        PROVNET_RETURN_IF_ERROR(DeliverLocal(action.node,
+                                             std::move(action.entry),
+                                             std::move(action.children),
+                                             action.rule_label));
+        break;
+      case PendingAction::Kind::kOverDelete:
+        PROVNET_RETURN_IF_ERROR(OverDeleteAt(action.node, action.head));
+        break;
+      case PendingAction::Kind::kSendRetract:
+        PROVNET_RETURN_IF_ERROR(
+            SendRetract(action.node, action.dest, action.head));
+        break;
+    }
+  }
+  pending_.clear();
+  return OkStatus();
 }
 
 Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
@@ -598,7 +650,7 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     default:
       return InvalidArgumentError("bad provenance payload kind");
   }
-  return DeliverLocal(to, std::move(entry), nullptr, "recv");
+  return DeliverLocal(to, std::move(entry), {}, "recv");
 }
 
 Result<RunStats> Engine::Run() {
@@ -654,6 +706,7 @@ Result<RunStats> Engine::Run() {
   out.deliveries = stats_.deliveries - before.deliveries;
   out.events = stats_.events - before.events;
   out.derivations = stats_.derivations - before.derivations;
+  out.join_candidates = stats_.join_candidates - before.join_candidates;
   out.messages = net_.total_messages() - msgs0;
   out.bytes = net_.total_bytes() - bytes0;
   out.tuple_bytes = stats_.tuple_bytes - before.tuple_bytes;

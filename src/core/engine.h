@@ -100,6 +100,10 @@ struct RunStats {
   uint64_t prov_bytes = 0;
   uint64_t events = 0;
   uint64_t derivations = 0;
+  // Join-candidate tuples examined by the rule-firing inner loop; the
+  // denominator of the evaluator's selectivity and the work the slot
+  // compiler is judged on (bench_fixpoint).
+  uint64_t join_candidates = 0;
   uint64_t signs = 0;
   uint64_t verifies = 0;
   uint64_t auth_failures = 0;
@@ -220,21 +224,31 @@ class Engine {
   Status ProcessEvent(const PendingEvent& event);
   Status FireStrand(NodeId node_id, const CompiledRule& cr, int delta_index,
                     const StoredTuple& delta_entry);
-  Status EmitHead(NodeId node_id, const CompiledRule& cr, const Env& env,
+  Status EmitHead(NodeId node_id, const CompiledRule& cr, const Frame& frame,
                   const std::vector<const StoredTuple*>& used);
   // Stores a tuple locally; enqueues a delta event when it changed state.
+  // `children` are the provenance child refs captured at emit time (empty
+  // for base facts and received tuples, which build their own).
   Status DeliverLocal(NodeId node_id, StoredTuple entry,
-                      const std::vector<const StoredTuple*>* used,
+                      std::vector<ProvChildRef> children,
                       const std::string& rule_label);
   Status SendTuple(NodeId from, NodeId to, const Tuple& tuple,
                    const ProvExpr& prov, const DerivationPtr& deriv);
-  bool SaysMatches(const Term& says, const StoredTuple& entry, Env& env) const;
+  bool SaysMatches(const SlotSays& says, const StoredTuple& entry,
+                   Frame& frame) const;
 
-  void MaybeRecordProvenance(NodeId node_id, const Tuple& tuple,
-                             const std::string& rule, TupleOrigin origin,
-                             NodeId from_node, const Principal& asserted_by,
-                             const std::vector<const StoredTuple*>* used,
-                             double expires_at);
+  // True when any provenance-record sink is active (pointer mode or
+  // explicit stores) and recording is enabled. Child refs are only captured
+  // at emit time when this holds.
+  bool RecordingPossible() const;
+  // Captures the provenance child refs of a local rule firing while the
+  // `used` pointers are still valid (i.e. before deferred mutations apply).
+  std::vector<ProvChildRef> BuildChildRefs(
+      NodeId node_id, const std::vector<const StoredTuple*>& used) const;
+  void RecordProvenance(NodeId node_id, const Tuple& tuple,
+                        const std::string& rule, TupleOrigin origin,
+                        NodeId from_node, const Principal& asserted_by,
+                        std::vector<ProvChildRef> children, double expires_at);
 
   Status HandleMessage(NodeId to, NodeId from, const Bytes& payload);
   Status HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader);
@@ -257,18 +271,22 @@ class Engine {
   Status ProcessRetraction(NodeId node, const StoredTuple& entry);
   Status FireDeleteStrand(NodeId node, const CompiledRule& cr,
                           int delta_index, const StoredTuple& delta_entry);
-  // Shared join recursion for delete-mode strands and re-derivation: like
-  // JoinFrom, but `use_overlay` also matches tuples deleted this epoch (the
-  // pre-deletion database DRed joins against), `delta_index` may be -1 (no
-  // delta literal), and the head action is the caller's `emit`.
+  // Shared join recursion for insert-mode strands, delete-mode strands, and
+  // re-derivation: runs the rule's slot program over `frame` with trail
+  // undo, iterating stored tuples by pointer (zero copies). `use_overlay`
+  // also matches tuples deleted this epoch (the pre-deletion database DRed
+  // joins against), `delta_index` may be -1 (no delta literal), and the
+  // head action is the caller's `emit`. Emits must not mutate tables
+  // directly — they defer through `pending_` (see DrainPending).
   using EmitFn =
-      std::function<Status(const Env&, const std::vector<const StoredTuple*>&)>;
+      std::function<Status(Frame&, const std::vector<const StoredTuple*>&)>;
   Status DynJoin(NodeId node, const CompiledRule& cr, size_t literal_pos,
-                 int delta_index, bool use_overlay, Env& env,
+                 int delta_index, bool use_overlay, Frame& frame,
                  std::vector<const StoredTuple*>& used, const EmitFn& emit);
-  // Resolves a delete-mode head: removes the local tuple (or ships a
+  // Resolves a delete-mode head: schedules removal of the local tuple (or a
   // retraction message when the head lives remotely).
-  Status OverDeleteHead(NodeId node, const CompiledRule& cr, const Env& env);
+  Status OverDeleteHead(NodeId node, const CompiledRule& cr,
+                        const Frame& frame);
   // Applies an over-deletion to whatever `node` stores for `tuple`,
   // consulting annotation restriction before cascading.
   Status OverDeleteAt(NodeId node, const Tuple& tuple);
@@ -278,6 +296,26 @@ class Engine {
   // support (runs once the over-deletion cascade has quiesced).
   Status RunRederivePass();
   Status RederiveTuple(NodeId node, const Tuple& tuple, bool group_only);
+  // Candidate executing sites for a rule whose local variable the head does
+  // not pin: the intersection, over the rule's body-atom predicates, of the
+  // nodes that ever stored that predicate (the predicate->site index).
+  std::vector<NodeId> CandidateSites(const CompiledRule& cr) const;
+
+  // Mutations scheduled by emits while a join scan is in flight. Tables
+  // stay untouched until the scan completes, so candidate pointers remain
+  // valid without per-literal snapshots; DrainPending applies them in emit
+  // order (preserving event-queue order).
+  struct PendingAction {
+    enum class Kind : uint8_t { kDeliver, kOverDelete, kSendRetract };
+    Kind kind = Kind::kDeliver;
+    NodeId node = 0;  // executing node (kDeliver/kOverDelete), sender else
+    NodeId dest = 0;  // retract destination (kSendRetract)
+    StoredTuple entry;                    // kDeliver
+    std::vector<ProvChildRef> children;   // kDeliver provenance capture
+    std::string rule_label;               // kDeliver
+    Tuple head;                           // kOverDelete / kSendRetract
+  };
+  Status DrainPending();
 
   Topology topo_;
   EngineOptions options_;
@@ -288,6 +326,15 @@ class Engine {
   Plan plan_;
   std::vector<std::unique_ptr<NodeContext>> contexts_;
   std::deque<PendingEvent> events_;
+  // Principal -> node lookup (SaysMatches runs on the join hot path).
+  std::unordered_map<Principal, NodeId> node_of_;
+  // Predicate -> nodes that ever stored it (grow-only, so always a
+  // superset of current support); prunes re-derivation site scans.
+  std::unordered_map<std::string, std::set<NodeId>> pred_sites_;
+  // Scratch reused across rule firings (never nested: emits defer their
+  // mutations, and event processing is single-threaded).
+  Frame frame_;
+  std::vector<PendingAction> pending_;
   RunStats stats_;
   Status async_error_;  // first error raised inside a network handler
   UpdateObserver observer_;

@@ -15,7 +15,8 @@ namespace provnet {
 
 using Env = std::unordered_map<std::string, Value>;
 
-// Calls a builtin. Supported:
+// Calls a builtin by name (resolves through LookupBuiltin; the engine's hot
+// path calls the interned-enum overload in core/slots.h). Supported:
 //   f_init(a, b)         -> [a, b]            (initial path vector)
 //   f_concatPath(x, P)   -> [x | P]           (prepend)
 //   f_append(P, x)       -> P ++ [x]
@@ -25,6 +26,12 @@ using Env = std::unordered_map<std::string, Value>;
 //   f_min(a, b), f_max(a, b)
 Result<Value> CallBuiltin(const std::string& name,
                           const std::vector<Value>& args);
+
+// Applies a binary arithmetic/comparison operator. Comparisons yield Int
+// 0/1; arithmetic requires numeric operands (Int stays Int when both are
+// Int, else Double). Shared by the Env evaluator below and the
+// slot-compiled evaluator (core/slots.h).
+Result<Value> ApplyBinaryOp(ExprOp op, const Value& lhs, const Value& rhs);
 
 // Evaluates a term under `env`. Unbound variables are errors. Aggregate
 // terms evaluate to their variable's value (aggregation happens at table

@@ -44,6 +44,7 @@ Result<Plan> Plan::Compile(const LocalizedProgram& localized,
       return InvalidArgumentError("rule " + rule.head.predicate +
                                   " has no body atoms; not event-driven");
     }
+    PROVNET_ASSIGN_OR_RETURN(cr.prog, CompileRuleProgram(cr.lr));
 
     // Head aggregate -> aggregate table with group-column key.
     int agg_pos = -1;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/slots.h"
 #include "core/table.h"
 #include "datalog/localize.h"
 #include "util/status.h"
@@ -18,6 +19,10 @@ struct CompiledRule {
   LocalizedRule lr;
   // Indices of kAtom literals within lr.rule.body.
   std::vector<int> atom_indices;
+  // Slot program: variables numbered into a dense frame, literal
+  // unification pre-resolved per column, builtins interned (core/slots.h).
+  // The engine's join core runs this, never the AST.
+  RuleProgram prog;
 };
 
 // A delta strand: when predicate P gets a new tuple, rule `rule_index` fires

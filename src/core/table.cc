@@ -8,6 +8,56 @@
 
 namespace provnet {
 
+namespace {
+uint64_t g_stored_tuple_copies = 0;
+
+// Hash of the tuple's values on the mask's columns (ascending column
+// order). False when the tuple lacks one of the columns (not indexable
+// under that mask — such tuples can never match an equality on it).
+bool MaskHash(const Tuple& tuple, uint64_t mask, uint64_t* out) {
+  uint64_t h = Mix64(mask);
+  for (int col = 0; col < 64 && (mask >> col) != 0; ++col) {
+    if ((mask & (1ull << col)) == 0) continue;
+    if (static_cast<size_t>(col) >= tuple.arity()) return false;
+    h = HashCombine(h, tuple.arg(static_cast<size_t>(col)).Hash());
+  }
+  *out = h;
+  return true;
+}
+}  // namespace
+
+StoredTuple::StoredTuple(const StoredTuple& other)
+    : tuple(other.tuple),
+      inserted_at(other.inserted_at),
+      expires_at(other.expires_at),
+      prov(other.prov),
+      deriv(other.deriv),
+      asserted_by(other.asserted_by),
+      origin(other.origin),
+      from_node(other.from_node),
+      rule(other.rule) {
+  ++g_stored_tuple_copies;
+}
+
+StoredTuple& StoredTuple::operator=(const StoredTuple& other) {
+  if (this != &other) {
+    tuple = other.tuple;
+    inserted_at = other.inserted_at;
+    expires_at = other.expires_at;
+    prov = other.prov;
+    deriv = other.deriv;
+    asserted_by = other.asserted_by;
+    origin = other.origin;
+    from_node = other.from_node;
+    rule = other.rule;
+    ++g_stored_tuple_copies;
+  }
+  return *this;
+}
+
+uint64_t StoredTuple::CopyCount() { return g_stored_tuple_copies; }
+void StoredTuple::ResetCopyCount() { g_stored_tuple_copies = 0; }
+
 Table::Table(std::string name, TableOptions options)
     : name_(std::move(name)), options_(std::move(options)) {
   if (options_.agg != AggKind::kNone) {
@@ -29,22 +79,103 @@ uint64_t Table::KeyHash(const Tuple& tuple) const {
   return h;
 }
 
-void Table::IndexInsert(const Tuple& tuple) {
-  uint64_t key = KeyHash(tuple);
-  for (auto& [col, buckets] : column_index_) {
-    if (static_cast<size_t>(col) >= tuple.arity()) continue;
-    buckets[tuple.arg(static_cast<size_t>(col)).Hash()].push_back(key);
+bool Table::SameKey(const Tuple& a, const Tuple& b) const {
+  if (options_.key_columns.empty()) return a == b;
+  for (int col : options_.key_columns) {
+    size_t c = static_cast<size_t>(col);
+    if (c >= a.arity() || c >= b.arity()) return false;
+    if (!(a.arg(c) == b.arg(c))) return false;
+  }
+  return true;
+}
+
+std::unordered_map<uint64_t, bool>& Table::WitnessesFor(uint64_t key,
+                                                        const Tuple& tuple) {
+  std::vector<WitnessChain>& chain = witnesses_[key];
+  for (WitnessChain& w : chain) {
+    if (SameKey(w.group, tuple)) return w.seen;
+  }
+  chain.push_back(WitnessChain{tuple, {}});
+  return chain.back().seen;
+}
+
+void Table::WitnessErase(uint64_t key, const Tuple& tuple) {
+  auto it = witnesses_.find(key);
+  if (it == witnesses_.end()) return;
+  auto& chain = it->second;
+  chain.erase(std::remove_if(chain.begin(), chain.end(),
+                             [&](const WitnessChain& w) {
+                               return SameKey(w.group, tuple);
+                             }),
+              chain.end());
+  if (chain.empty()) witnesses_.erase(it);
+}
+
+Table::RowMap::iterator Table::FindRow(uint64_t key, const Tuple& tuple) {
+  auto [begin, end] = rows_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (SameKey(it->second.tuple, tuple)) return it;
+  }
+  return rows_.end();
+}
+
+Table::RowMap::const_iterator Table::FindRow(uint64_t key,
+                                             const Tuple& tuple) const {
+  auto [begin, end] = rows_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (SameKey(it->second.tuple, tuple)) return it;
+  }
+  return rows_.end();
+}
+
+void Table::IndexInsert(const StoredTuple* entry) {
+  for (auto& [mask, buckets] : column_index_) {
+    uint64_t h;
+    if (MaskHash(entry->tuple, mask, &h)) buckets[h].push_back(entry);
   }
 }
 
-void Table::IndexErase(const Tuple& tuple) {
-  uint64_t key = KeyHash(tuple);
-  for (auto& [col, buckets] : column_index_) {
-    if (static_cast<size_t>(col) >= tuple.arity()) continue;
-    auto it = buckets.find(tuple.arg(static_cast<size_t>(col)).Hash());
+void Table::IndexErase(const StoredTuple* entry) {
+  for (auto& [mask, buckets] : column_index_) {
+    uint64_t h;
+    if (!MaskHash(entry->tuple, mask, &h)) continue;
+    auto it = buckets.find(h);
     if (it == buckets.end()) continue;
     auto& vec = it->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), key), vec.end());
+    vec.erase(std::remove(vec.begin(), vec.end(), entry), vec.end());
+  }
+}
+
+void Table::OrderPush(const StoredTuple* entry) {
+  if (options_.max_size < 0) return;
+  insertion_order_.push_back(entry);
+}
+
+void Table::OrderErase(const StoredTuple* entry) {
+  if (options_.max_size < 0) return;
+  insertion_order_.erase(
+      std::remove(insertion_order_.begin(), insertion_order_.end(), entry),
+      insertion_order_.end());
+}
+
+void Table::EvictOver(const StoredTuple* just_inserted) {
+  if (options_.max_size < 0 ||
+      rows_.size() <= static_cast<size_t>(options_.max_size)) {
+    return;
+  }
+  for (size_t i = 0; i < insertion_order_.size(); ++i) {
+    const StoredTuple* victim = insertion_order_[i];
+    if (victim == just_inserted) continue;  // never evict what we just added
+    uint64_t key = KeyHash(victim->tuple);
+    auto [begin, end] = rows_.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (&it->second != victim) continue;
+      IndexErase(victim);
+      insertion_order_.erase(insertion_order_.begin() +
+                             static_cast<long>(i));
+      rows_.erase(it);
+      return;
+    }
   }
 }
 
@@ -55,7 +186,7 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
   }
 
   uint64_t key = KeyHash(entry.tuple);
-  auto it = rows_.find(key);
+  auto it = FindRow(key, entry.tuple);
 
   // --- Aggregate tables ------------------------------------------------
   if (options_.agg != AggKind::kNone) {
@@ -63,7 +194,7 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
     PROVNET_CHECK(agg_col < entry.tuple.arity());
 
     if (options_.agg == AggKind::kCount) {
-      auto& wit = witnesses_[key];
+      auto& wit = WitnessesFor(key, entry.tuple);
       bool fresh = wit.emplace(entry.tuple.Hash(), true).second;
       int64_t count = static_cast<int64_t>(wit.size());
       std::vector<Value> args = entry.tuple.args();
@@ -75,22 +206,21 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
         it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
         return {InsertOutcome::kRefreshed, it->second.tuple};
       }
-      StoredTuple agg_entry = entry;
+      StoredTuple agg_entry = std::move(entry);
       agg_entry.tuple = stored;
       if (it != rows_.end()) {
-        agg_entry.prov = ProvExpr::Plus(it->second.prov, entry.prov);
-        agg_entry.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
-        IndexErase(it->second.tuple);
-        rows_.erase(it);
-        auto [pos, ok] = rows_.emplace(key, std::move(agg_entry));
-        PROVNET_CHECK(ok);
-        IndexInsert(pos->second.tuple);
-        return {InsertOutcome::kReplaced, pos->second.tuple};
+        agg_entry.prov = ProvExpr::Plus(it->second.prov, agg_entry.prov);
+        agg_entry.deriv = MergeAlternatives(it->second.deriv, agg_entry.deriv);
+        // The count changed but the group (and FIFO position) did not:
+        // swap the new tuple in place, keeping the entry's address stable.
+        IndexErase(&it->second);
+        it->second = std::move(agg_entry);
+        IndexInsert(&it->second);
+        return {InsertOutcome::kReplaced, it->second.tuple};
       }
-      auto [pos, ok] = rows_.emplace(key, std::move(agg_entry));
-      PROVNET_CHECK(ok);
-      IndexInsert(pos->second.tuple);
-      insertion_order_.push_back(key);
+      auto pos = rows_.emplace(key, std::move(agg_entry));
+      IndexInsert(&pos->second);
+      OrderPush(&pos->second);
       return {InsertOutcome::kNew, pos->second.tuple};
     }
 
@@ -112,17 +242,16 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
         }
         return {InsertOutcome::kRejected, it->second.tuple};
       }
-      IndexErase(it->second.tuple);
+      IndexErase(&it->second);
       Tuple stored = entry.tuple;
       it->second = std::move(entry);
-      IndexInsert(stored);
+      IndexInsert(&it->second);
       return {InsertOutcome::kReplaced, stored};
     }
     Tuple stored = entry.tuple;
-    auto [pos, ok] = rows_.emplace(key, std::move(entry));
-    PROVNET_CHECK(ok);
-    IndexInsert(stored);
-    insertion_order_.push_back(key);
+    auto pos = rows_.emplace(key, std::move(entry));
+    IndexInsert(&pos->second);
+    OrderPush(&pos->second);
     return {InsertOutcome::kNew, stored};
   }
 
@@ -135,51 +264,36 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
                                        entry.expires_at);
       return {InsertOutcome::kRefreshed, it->second.tuple};
     }
-    // Key collision with different value: replace (P2 update semantics).
-    IndexErase(it->second.tuple);
+    // Same primary key, different value: replace (P2 update semantics).
+    IndexErase(&it->second);
     Tuple stored = entry.tuple;
     it->second = std::move(entry);
-    IndexInsert(stored);
+    IndexInsert(&it->second);
     return {InsertOutcome::kReplaced, stored};
   }
 
   Tuple stored = entry.tuple;
-  auto [pos, ok] = rows_.emplace(key, std::move(entry));
-  PROVNET_CHECK(ok);
-  IndexInsert(stored);
-  insertion_order_.push_back(key);
-
-  // FIFO eviction.
-  if (options_.max_size >= 0 &&
-      rows_.size() > static_cast<size_t>(options_.max_size)) {
-    for (size_t i = 0; i < insertion_order_.size(); ++i) {
-      auto victim = rows_.find(insertion_order_[i]);
-      if (victim == rows_.end()) continue;
-      if (victim->first == key) continue;  // never evict what we just added
-      IndexErase(victim->second.tuple);
-      rows_.erase(victim);
-      insertion_order_.erase(insertion_order_.begin() +
-                             static_cast<long>(i));
-      break;
-    }
-  }
+  auto pos = rows_.emplace(key, std::move(entry));
+  IndexInsert(&pos->second);
+  OrderPush(&pos->second);
+  EvictOver(&pos->second);
   return {InsertOutcome::kNew, stored};
 }
 
 const StoredTuple* Table::Find(const Tuple& tuple) const {
-  auto it = rows_.find(KeyHash(tuple));
+  auto it = FindRow(KeyHash(tuple), tuple);
   if (it == rows_.end() || it->second.tuple != tuple) return nullptr;
   return &it->second;
 }
 
 StoredTuple* Table::FindMutable(const Tuple& tuple) {
-  auto it = rows_.find(KeyHash(tuple));
+  auto it = FindRow(KeyHash(tuple), tuple);
   if (it == rows_.end() || it->second.tuple != tuple) return nullptr;
   return &it->second;
 }
 
 const StoredTuple* Table::FindGroup(const Tuple& tuple) const {
-  auto it = rows_.find(KeyHash(tuple));
+  auto it = FindRow(KeyHash(tuple), tuple);
   return it == rows_.end() ? nullptr : &it->second;
 }
 
@@ -190,29 +304,42 @@ std::vector<const StoredTuple*> Table::Scan() const {
   return out;
 }
 
+const std::vector<const StoredTuple*>* Table::EqBucket(const ColumnEq* eqs,
+                                                       size_t n) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PROVNET_CHECK(eqs[i].col >= 0 && eqs[i].col < 64)
+        << "index column out of range";
+    mask |= 1ull << eqs[i].col;
+  }
+  auto idx_it = column_index_.find(mask);
+  if (idx_it == column_index_.end()) {
+    // Build the column set's index lazily.
+    auto& buckets = column_index_[mask];
+    for (const auto& [key, entry] : rows_) {
+      uint64_t h;
+      if (MaskHash(entry.tuple, mask, &h)) buckets[h].push_back(&entry);
+    }
+    idx_it = column_index_.find(mask);
+  }
+  // `eqs` arrives in ascending column order, matching MaskHash's mixing
+  // order.
+  uint64_t h = Mix64(mask);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, eqs[i].value->Hash());
+  auto bucket = idx_it->second.find(h);
+  return bucket == idx_it->second.end() ? nullptr : &bucket->second;
+}
+
 std::vector<const StoredTuple*> Table::LookupByColumn(int col,
                                                       const Value& v) {
-  auto idx_it = column_index_.find(col);
-  if (idx_it == column_index_.end()) {
-    // Build the index lazily.
-    auto& buckets = column_index_[col];
-    for (const auto& [key, entry] : rows_) {
-      if (static_cast<size_t>(col) < entry.tuple.arity()) {
-        buckets[entry.tuple.arg(static_cast<size_t>(col)).Hash()]
-            .push_back(key);
-      }
-    }
-    idx_it = column_index_.find(col);
-  }
   std::vector<const StoredTuple*> out;
-  auto bucket = idx_it->second.find(v.Hash());
-  if (bucket == idx_it->second.end()) return out;
-  for (uint64_t key : bucket->second) {
-    auto row = rows_.find(key);
-    if (row == rows_.end()) continue;
-    if (static_cast<size_t>(col) >= row->second.tuple.arity()) continue;
-    if (row->second.tuple.arg(static_cast<size_t>(col)) == v) {
-      out.push_back(&row->second);
+  ColumnEq eq{col, &v};
+  const std::vector<const StoredTuple*>* bucket = EqBucket(&eq, 1);
+  if (bucket == nullptr) return out;
+  for (const StoredTuple* entry : *bucket) {
+    if (static_cast<size_t>(col) >= entry->tuple.arity()) continue;
+    if (entry->tuple.arg(static_cast<size_t>(col)) == v) {
+      out.push_back(entry);
     }
   }
   return out;
@@ -222,8 +349,9 @@ std::vector<StoredTuple> Table::ExpireBefore(double now) {
   std::vector<StoredTuple> dropped;
   for (auto it = rows_.begin(); it != rows_.end();) {
     if (it->second.expires_at >= 0 && it->second.expires_at < now) {
-      IndexErase(it->second.tuple);
-      witnesses_.erase(it->first);
+      IndexErase(&it->second);
+      OrderErase(&it->second);
+      WitnessErase(it->first, it->second.tuple);
       dropped.push_back(std::move(it->second));
       it = rows_.erase(it);
     } else {
@@ -235,10 +363,11 @@ std::vector<StoredTuple> Table::ExpireBefore(double now) {
 
 std::optional<StoredTuple> Table::Remove(const Tuple& tuple) {
   uint64_t key = KeyHash(tuple);
-  auto it = rows_.find(key);
+  auto it = FindRow(key, tuple);
   if (it == rows_.end() || it->second.tuple != tuple) return std::nullopt;
-  IndexErase(it->second.tuple);
-  witnesses_.erase(key);
+  IndexErase(&it->second);
+  OrderErase(&it->second);
+  WitnessErase(key, it->second.tuple);
   StoredTuple removed = std::move(it->second);
   rows_.erase(it);
   return removed;

@@ -9,6 +9,15 @@
 // Every stored tuple carries its provenance sidecar: the semiring
 // annotation, an optional full derivation tree, the asserting principal, and
 // where it came from.
+//
+// Storage is an open hash keyed by the 64-bit key-column hash with chained
+// collision buckets: a hash match alone never identifies a row — key-column
+// equality is verified before any replace/refresh, so two distinct keys
+// whose hashes collide coexist instead of corrupting each other. Rows live
+// in node-based containers, so `const StoredTuple*` handles stay valid
+// across unrelated inserts/removals — the join core iterates rows and
+// per-column index buckets by pointer, allocation-free (ForEach /
+// ForEachByColumn), with mutations deferred until a scan completes.
 #ifndef PROVNET_CORE_TABLE_H_
 #define PROVNET_CORE_TABLE_H_
 
@@ -40,6 +49,18 @@ struct StoredTuple {
   TupleOrigin origin = TupleOrigin::kBase;
   NodeId from_node = 0;      // sender when origin == kRemote
   std::string rule;          // deriving rule label ("" for base/remote)
+
+  StoredTuple() = default;
+  StoredTuple(const StoredTuple& other);
+  StoredTuple& operator=(const StoredTuple& other);
+  StoredTuple(StoredTuple&&) = default;
+  StoredTuple& operator=(StoredTuple&&) = default;
+
+  // Process-wide count of deep copies (copy construction/assignment). The
+  // zero-copy join core must not copy candidates; tests assert this stays
+  // flat relative to RunStats.join_candidates.
+  static uint64_t CopyCount();
+  static void ResetCopyCount();
 };
 
 enum class InsertOutcome : uint8_t {
@@ -87,11 +108,64 @@ class Table {
   // current extremum given any candidate of the group.
   const StoredTuple* FindGroup(const Tuple& tuple) const;
 
-  // All live entries (in unspecified order).
+  // All live entries (in unspecified order). Allocates; the join core uses
+  // ForEach/ForEachByColumn instead.
   std::vector<const StoredTuple*> Scan() const;
 
   // Entries whose column `col` equals `v` (uses a lazily-built hash index).
   std::vector<const StoredTuple*> LookupByColumn(int col, const Value& v);
+
+  // An equality constraint the composite index can serve.
+  struct ColumnEq {
+    int col = -1;
+    const Value* value = nullptr;
+  };
+
+  // Allocation-free iteration over all live entries. `fn` is
+  // Status(const StoredTuple&); iteration stops on the first error. The
+  // table must not be mutated during the visit (the engine defers emit-side
+  // mutations until its scans complete).
+  template <typename Fn>
+  Status ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : rows_) {
+      PROVNET_RETURN_IF_ERROR(fn(entry));
+    }
+    return OkStatus();
+  }
+
+  // Allocation-free indexed iteration over entries with column `col` equal
+  // to `v`. Builds the per-column index on first use.
+  template <typename Fn>
+  Status ForEachByColumn(int col, const Value& v, Fn&& fn) {
+    ColumnEq eq{col, &v};
+    return ForEachByColumns(&eq, 1, fn);
+  }
+
+  // Allocation-free indexed iteration over entries matching every equality
+  // in `eqs` (ascending column order, each column at most once). The
+  // composite index — one lazily-built hash per distinct column set — makes
+  // multi-bound join literals O(matches) instead of O(first-column
+  // matches): the join core passes every constant/bound column of the
+  // literal's slot program here.
+  template <typename Fn>
+  Status ForEachByColumns(const ColumnEq* eqs, size_t n, Fn&& fn) {
+    const std::vector<const StoredTuple*>* bucket = EqBucket(eqs, n);
+    if (bucket == nullptr) return OkStatus();
+    for (const StoredTuple* entry : *bucket) {
+      bool match = true;
+      for (size_t i = 0; i < n; ++i) {
+        size_t col = static_cast<size_t>(eqs[i].col);
+        if (col >= entry->tuple.arity() ||
+            !(entry->tuple.arg(col) == *eqs[i].value)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      PROVNET_RETURN_IF_ERROR(fn(*entry));
+    }
+    return OkStatus();
+  }
 
   // Drops entries with expires_at < now; returns the dropped entries (with
   // their provenance sidecars, so expiry can fire deletion deltas).
@@ -108,23 +182,57 @@ class Table {
   std::string ToString() const;
 
  private:
+  using RowMap = std::unordered_multimap<uint64_t, StoredTuple>;
+
   // Key of a tuple under this table's key columns.
   uint64_t KeyHash(const Tuple& tuple) const;
-  void IndexInsert(const Tuple& tuple);
-  void IndexErase(const Tuple& tuple);
+  // True when `a` and `b` agree on every key column (full equality for
+  // keyless set-semantics tables).
+  bool SameKey(const Tuple& a, const Tuple& b) const;
+  // The row whose key columns match `tuple` among the hash's collision
+  // chain, or end().
+  RowMap::iterator FindRow(uint64_t key, const Tuple& tuple);
+  RowMap::const_iterator FindRow(uint64_t key, const Tuple& tuple) const;
+
+  void IndexInsert(const StoredTuple* entry);
+  void IndexErase(const StoredTuple* entry);
+  // Index bucket holding candidates for the conjunction of `eqs` (nullptr
+  // when empty). Builds the column set's index on first use. Entries may be
+  // hash-collision false positives; callers re-verify.
+  const std::vector<const StoredTuple*>* EqBucket(const ColumnEq* eqs,
+                                                  size_t n);
+
+  // FIFO bookkeeping (only maintained for bounded tables).
+  void OrderPush(const StoredTuple* entry);
+  void OrderErase(const StoredTuple* entry);
+  void EvictOver(const StoredTuple* just_inserted);
 
   std::string name_;
   TableOptions options_;
-  // Primary store: key hash -> entry. (Full-key compare on collision is
-  // skipped: 64-bit hashes over simulation-scale tables.)
-  std::unordered_map<uint64_t, StoredTuple> rows_;
-  // Aggregate bookkeeping: group key -> distinct witness hashes (COUNT).
-  std::unordered_map<uint64_t, std::unordered_map<uint64_t, bool>> witnesses_;
-  // Lazy per-column index: col -> value hash -> key hashes.
-  std::unordered_map<int, std::unordered_map<uint64_t, std::vector<uint64_t>>>
+  // Primary store: key hash -> collision chain of entries. Node-based, so
+  // entry pointers are stable until the entry itself is removed.
+  RowMap rows_;
+  // Aggregate bookkeeping (COUNT): distinct witness hashes per group. Like
+  // rows_, chained per key hash with key-column verification so colliding
+  // groups never share (or lose) each other's witnesses.
+  struct WitnessChain {
+    Tuple group;  // any candidate of the group (key columns identify it)
+    std::unordered_map<uint64_t, bool> seen;
+  };
+  // The chain entry for `tuple`'s group, created on demand.
+  std::unordered_map<uint64_t, bool>& WitnessesFor(uint64_t key,
+                                                   const Tuple& tuple);
+  void WitnessErase(uint64_t key, const Tuple& tuple);
+  std::unordered_map<uint64_t, std::vector<WitnessChain>> witnesses_;
+  // Lazy composite equality index: column-set bitmask -> combined value
+  // hash -> entries. Single-column lookups use a one-bit mask; a table
+  // carries one index per distinct column set its join literals probe.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<uint64_t,
+                                        std::vector<const StoredTuple*>>>
       column_index_;
-  // FIFO order for max_size eviction.
-  std::vector<uint64_t> insertion_order_;
+  // FIFO order for max_size eviction (bounded tables only).
+  std::vector<const StoredTuple*> insertion_order_;
 };
 
 }  // namespace provnet

@@ -108,7 +108,7 @@ Expr Expr::Binary(ExprOp op, Expr lhs, Expr rhs) {
   return e;
 }
 
-bool Expr::IsComparison() const {
+bool IsComparisonOp(ExprOp op) {
   switch (op) {
     case ExprOp::kEq:
     case ExprOp::kNe:
@@ -121,6 +121,8 @@ bool Expr::IsComparison() const {
       return false;
   }
 }
+
+bool Expr::IsComparison() const { return IsComparisonOp(op); }
 
 std::string Expr::ToString() const {
   if (op == ExprOp::kTerm) return term.ToString();

@@ -61,6 +61,11 @@ enum class ExprOp : uint8_t {
 
 const char* ExprOpName(ExprOp op);
 
+// True for the comparison operators (kEq..kGe) — the ops a condition
+// literal may use. Shared by the Env evaluator and the slot-compiled
+// evaluator so the two can never disagree on what counts as a condition.
+bool IsComparisonOp(ExprOp op);
+
 struct Expr {
   ExprOp op = ExprOp::kTerm;
   Term term;                   // kTerm leaf

@@ -102,8 +102,14 @@ Result<double> Value::ToNumber() const {
   }
 }
 
-bool Value::operator==(const Value& other) const {
-  return Compare(other) == 0;
+bool Value::ListEquals(const Value& other) const {
+  const auto& a = *list_;
+  const auto& b = *other.list_;
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
 }
 
 int Value::Compare(const Value& other) const {

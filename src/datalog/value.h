@@ -56,7 +56,36 @@ class Value {
   // Numeric coercion: ints widen to double; errors otherwise.
   Result<double> ToNumber() const;
 
-  bool operator==(const Value& other) const;
+  // Equality is consistent with Compare() == 0 (Int 3 equals Double 3.0)
+  // but avoids the full three-way comparison: it is the innermost check of
+  // the join core's unification loop. Shared list payloads short-circuit by
+  // pointer, so path-vector compares are O(1) in the common case.
+  bool operator==(const Value& other) const {
+    if (kind_ == other.kind_) {
+      switch (kind_) {
+        case ValueKind::kNull:
+          return true;
+        case ValueKind::kInt:
+        case ValueKind::kAddress:
+          return int_ == other.int_;
+        case ValueKind::kDouble:
+          return double_ == other.double_;
+        case ValueKind::kString:
+          return string_ == other.string_;
+        case ValueKind::kList:
+          return list_ == other.list_ || ListEquals(other);
+      }
+      return false;
+    }
+    // Cross-kind: only int/double mixes can still be equal.
+    if (kind_ == ValueKind::kInt && other.kind_ == ValueKind::kDouble) {
+      return static_cast<double>(int_) == other.double_;
+    }
+    if (kind_ == ValueKind::kDouble && other.kind_ == ValueKind::kInt) {
+      return double_ == static_cast<double>(other.int_);
+    }
+    return false;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   // Total order across kinds (kind tag first, then value); gives tables a
@@ -73,6 +102,8 @@ class Value {
   static Result<Value> Deserialize(ByteReader& in);
 
  private:
+  bool ListEquals(const Value& other) const;
+
   ValueKind kind_ = ValueKind::kNull;
   int64_t int_ = 0;
   double double_ = 0.0;

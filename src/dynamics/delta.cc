@@ -139,113 +139,110 @@ Status Engine::ProcessRetraction(NodeId node, const StoredTuple& entry) {
 Status Engine::FireDeleteStrand(NodeId node_id, const CompiledRule& cr,
                                 int delta_index,
                                 const StoredTuple& delta_entry) {
-  const Rule& rule = cr.lr.rule;
-  Env env;
-  env.emplace(cr.lr.local_var, Value::Address(node_id));
+  const RuleProgram& prog = cr.prog;
+  frame_.Reset(prog.num_slots);
+  frame_.BindOrCheck(prog.local_slot, Value::Address(node_id));
 
-  const Literal& delta_lit = rule.body[static_cast<size_t>(delta_index)];
-  if (!UnifyTuple(delta_lit.atom, delta_entry.tuple, env)) return OkStatus();
-  if (delta_lit.atom.says.has_value() &&
-      !SaysMatches(*delta_lit.atom.says, delta_entry, env)) {
+  const SlotLiteral& delta_lit = prog.body[static_cast<size_t>(delta_index)];
+  if (!MatchTuple(delta_lit, delta_entry.tuple, frame_)) return OkStatus();
+  if (delta_lit.says.has_value() &&
+      !SaysMatches(*delta_lit.says, delta_entry, frame_)) {
     return OkStatus();
   }
 
   std::vector<const StoredTuple*> used;
+  used.reserve(prog.body.size());
   used.push_back(&delta_entry);
-  return DynJoin(node_id, cr, 0, delta_index, /*use_overlay=*/true, env, used,
-                 [this, node_id, &cr](const Env& e,
-                                      const std::vector<const StoredTuple*>&) {
-                   return OverDeleteHead(node_id, cr, e);
-                 });
+  PROVNET_RETURN_IF_ERROR(DynJoin(
+      node_id, cr, 0, delta_index, /*use_overlay=*/true, frame_, used,
+      [this, node_id, &cr](Frame& f,
+                           const std::vector<const StoredTuple*>&) {
+        return OverDeleteHead(node_id, cr, f);
+      }));
+  return DrainPending();
 }
 
 Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
                        size_t literal_pos, int delta_index, bool use_overlay,
-                       Env& env, std::vector<const StoredTuple*>& used,
+                       Frame& frame, std::vector<const StoredTuple*>& used,
                        const EmitFn& emit) {
-  const Rule& rule = cr.lr.rule;
-  if (literal_pos == rule.body.size()) return emit(env, used);
+  const RuleProgram& prog = cr.prog;
+  if (literal_pos == prog.body.size()) return emit(frame, used);
   if (static_cast<int>(literal_pos) == delta_index) {
     return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
-                   env, used, emit);
+                   frame, used, emit);
   }
-  const Literal& lit = rule.body[literal_pos];
+  const SlotLiteral& lit = prog.body[literal_pos];
   switch (lit.kind) {
     case LiteralKind::kCondition: {
-      PROVNET_ASSIGN_OR_RETURN(bool pass, EvalCondition(lit.expr, env));
+      PROVNET_ASSIGN_OR_RETURN(bool pass, EvalSlotCondition(lit.expr, frame));
       if (!pass) return OkStatus();
       return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
-                     env, used, emit);
+                     frame, used, emit);
     }
     case LiteralKind::kAssign: {
-      PROVNET_ASSIGN_OR_RETURN(Value v, EvalExpr(lit.expr, env));
-      auto it = env.find(lit.assign_var);
-      if (it != env.end()) {
-        if (!(it->second == v)) return OkStatus();
-        return DynJoin(node_id, cr, literal_pos + 1, delta_index, use_overlay,
-                       env, used, emit);
+      PROVNET_ASSIGN_OR_RETURN(Value v, EvalSlotExpr(lit.expr, frame));
+      size_t mark = frame.Mark();
+      if (!frame.BindOrCheck(lit.assign_slot, std::move(v))) {
+        return OkStatus();
       }
-      env.emplace(lit.assign_var, std::move(v));
       Status s = DynJoin(node_id, cr, literal_pos + 1, delta_index,
-                         use_overlay, env, used, emit);
-      env.erase(lit.assign_var);
+                         use_overlay, frame, used, emit);
+      frame.UndoTo(mark);
       return s;
     }
     case LiteralKind::kAtom: {
-      NodeContext& ctx = *contexts_[node_id];
-      Table* table = ctx.FindTableMutable(lit.atom.predicate);
+      // Zero-copy scan: candidates are visited as `const StoredTuple*` into
+      // live storage. Emits defer their table mutations (Engine::pending_),
+      // so the rows backing these pointers cannot move or die mid-scan.
+      auto try_candidate = [&](const StoredTuple& candidate) -> Status {
+        ++stats_.join_candidates;
+        size_t mark = frame.Mark();
+        if (MatchTuple(lit, candidate.tuple, frame) &&
+            (!lit.says.has_value() ||
+             SaysMatches(*lit.says, candidate, frame))) {
+          used.push_back(&candidate);
+          Status s = DynJoin(node_id, cr, literal_pos + 1, delta_index,
+                             use_overlay, frame, used, emit);
+          used.pop_back();
+          PROVNET_RETURN_IF_ERROR(s);
+        }
+        frame.UndoTo(mark);
+        return OkStatus();
+      };
 
-      // Copy candidates: emits may mutate the very tables being scanned.
-      std::vector<StoredTuple> candidates;
+      NodeContext& ctx = *contexts_[node_id];
+      Table* table = ctx.FindTableMutable(lit.predicate);
       if (table != nullptr) {
-        // Indexable column: first constant or bound-variable argument.
-        int index_col = -1;
-        Value index_val;
-        for (size_t i = 0; i < lit.atom.args.size(); ++i) {
-          const Term& t = lit.atom.args[i];
-          if (t.kind == TermKind::kConstant) {
-            index_col = static_cast<int>(i);
-            index_val = t.constant;
-            break;
-          }
-          if (t.kind == TermKind::kVariable) {
-            auto it = env.find(t.name);
-            if (it != env.end()) {
-              index_col = static_cast<int>(i);
-              index_val = it->second;
-              break;
-            }
+        // Index columns: every constant or currently-bound column,
+        // precomputed as candidates at plan time and gathered here in
+        // column order. The composite index serves the whole conjunction,
+        // so candidates shrink to (near-)matches only.
+        constexpr size_t kMaxEqs = 16;
+        Table::ColumnEq eqs[kMaxEqs];
+        size_t neq = 0;
+        for (const IndexCand& cand : lit.index_cands) {
+          if (neq == kMaxEqs || cand.col >= 64) break;
+          if (cand.is_const) {
+            eqs[neq++] = Table::ColumnEq{cand.col, &cand.constant};
+          } else if (frame.IsBound(cand.slot)) {
+            eqs[neq++] = Table::ColumnEq{cand.col, &frame.Get(cand.slot)};
           }
         }
-        std::vector<const StoredTuple*> found =
-            index_col >= 0 ? table->LookupByColumn(index_col, index_val)
-                           : table->Scan();
-        candidates.reserve(found.size());
-        for (const StoredTuple* entry : found) candidates.push_back(*entry);
+        PROVNET_RETURN_IF_ERROR(
+            neq > 0 ? table->ForEachByColumns(eqs, neq, try_candidate)
+                    : table->ForEach(try_candidate));
       }
       if (use_overlay) {
         // The pre-deletion database: tuples already deleted this epoch are
         // still join partners for over-deletion.
         const std::vector<StoredTuple>* deleted =
-            dynamics_->OverlayFor(node_id, lit.atom.predicate);
+            dynamics_->OverlayFor(node_id, lit.predicate);
         if (deleted != nullptr) {
-          candidates.insert(candidates.end(), deleted->begin(),
-                            deleted->end());
+          for (const StoredTuple& candidate : *deleted) {
+            PROVNET_RETURN_IF_ERROR(try_candidate(candidate));
+          }
         }
-      }
-
-      for (const StoredTuple& candidate : candidates) {
-        Env env2 = env;
-        if (!UnifyTuple(lit.atom, candidate.tuple, env2)) continue;
-        if (lit.atom.says.has_value() &&
-            !SaysMatches(*lit.atom.says, candidate, env2)) {
-          continue;
-        }
-        used.push_back(&candidate);
-        Status s = DynJoin(node_id, cr, literal_pos + 1, delta_index,
-                           use_overlay, env2, used, emit);
-        used.pop_back();
-        PROVNET_RETURN_IF_ERROR(s);
       }
       return OkStatus();
     }
@@ -254,13 +251,12 @@ Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
 }
 
 Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
-                              const Env& env) {
-  const Rule& rule = cr.lr.rule;
-  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(rule.head, env));
+                              const Frame& frame) {
+  PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, frame));
 
   NodeId dest = node_id;
-  if (cr.lr.send_to.has_value()) {
-    PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, env));
+  if (cr.prog.send_to.has_value()) {
+    PROVNET_ASSIGN_OR_RETURN(Value v, EvalSlotTerm(*cr.prog.send_to, frame));
     if (v.kind() != ValueKind::kAddress) {
       return InvalidArgumentError("retract: destination is not an address: " +
                                   v.ToString());
@@ -270,8 +266,16 @@ Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
       return InvalidArgumentError("retract: destination node out of range");
     }
   }
-  if (dest == node_id) return OverDeleteAt(node_id, head);
-  return SendRetract(node_id, dest, head);
+  // Defer: removals (and the annotation restriction they consult) must not
+  // run while the delete-mode join is scanning the same tables.
+  PendingAction action;
+  action.kind = dest == node_id ? PendingAction::Kind::kOverDelete
+                                : PendingAction::Kind::kSendRetract;
+  action.node = node_id;
+  action.dest = dest;
+  action.head = std::move(head);
+  pending_.push_back(std::move(action));
+  return OkStatus();
 }
 
 Status Engine::OverDeleteAt(NodeId node_id, const Tuple& tuple) {
@@ -398,6 +402,38 @@ Status Engine::RunRederivePass() {
   return OkStatus();
 }
 
+std::vector<NodeId> Engine::CandidateSites(const CompiledRule& cr) const {
+  // A node can only execute the rule if it stores every body-atom
+  // predicate; intersect the predicate->site index (grow-only, hence a
+  // sound superset of current support) instead of scanning all nodes.
+  std::vector<NodeId> sites;
+  const std::set<NodeId>* smallest = nullptr;
+  std::vector<const std::set<NodeId>*> others;
+  for (const SlotLiteral& lit : cr.prog.body) {
+    if (lit.kind != LiteralKind::kAtom) continue;
+    auto it = pred_sites_.find(lit.predicate);
+    if (it == pred_sites_.end()) return sites;  // never stored anywhere
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      if (smallest != nullptr) others.push_back(smallest);
+      smallest = &it->second;
+    } else {
+      others.push_back(&it->second);
+    }
+  }
+  if (smallest == nullptr) return sites;
+  for (NodeId site : *smallest) {
+    bool everywhere = true;
+    for (const std::set<NodeId>* s : others) {
+      if (s->count(site) == 0) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) sites.push_back(site);
+  }
+  return sites;  // std::set iteration => already in ascending node order
+}
+
 Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
                              bool group_only) {
   // Aggregate-group re-derivation constrains only the group columns and
@@ -416,8 +452,8 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
     if (!UnifyHeadPattern(rule.head, tuple, env0, positions)) continue;
 
     // Executing nodes: the head may pin the rule's local variable (e.g. a
-    // rule that stores where it runs); otherwise any node could hold the
-    // supporting body tuples.
+    // rule that stores where it runs); otherwise any node storing the
+    // rule's body predicates could hold the supporting tuples.
     std::vector<NodeId> sites;
     auto lv = env0.find(cr.lr.local_var);
     if (lv != env0.end()) {
@@ -426,22 +462,35 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
       if (m >= contexts_.size()) continue;
       sites.push_back(m);
     } else {
-      sites.reserve(contexts_.size());
-      for (NodeId m = 0; m < contexts_.size(); ++m) sites.push_back(m);
+      sites = CandidateSites(cr);
     }
 
     for (NodeId site : sites) {
-      Env env = env0;
-      env.emplace(cr.lr.local_var, Value::Address(site));
+      frame_.Reset(cr.prog.num_slots);
+      // Seed the frame with the head-pattern bindings, then pin the
+      // executing site.
+      bool consistent = true;
+      for (const auto& [name, value] : env0) {
+        auto slot = cr.prog.var_slots.find(name);
+        if (slot == cr.prog.var_slots.end()) continue;
+        if (!frame_.BindOrCheck(slot->second, value)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent ||
+          !frame_.BindOrCheck(cr.prog.local_slot, Value::Address(site))) {
+        continue;
+      }
       std::vector<const StoredTuple*> used;
       auto emit = [this, &cr, &tuple, &positions, exact, node, site](
-                      const Env& e,
+                      Frame& f,
                       const std::vector<const StoredTuple*>& u) -> Status {
-        PROVNET_ASSIGN_OR_RETURN(Tuple head,
-                                 BuildHeadTuple(cr.lr.rule.head, e));
+        PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, f));
         NodeId dest = site;
-        if (cr.lr.send_to.has_value()) {
-          PROVNET_ASSIGN_OR_RETURN(Value v, EvalTerm(*cr.lr.send_to, e));
+        if (cr.prog.send_to.has_value()) {
+          PROVNET_ASSIGN_OR_RETURN(Value v,
+                                   EvalSlotTerm(*cr.prog.send_to, f));
           if (v.kind() != ValueKind::kAddress) return OkStatus();
           dest = v.AsAddress();
         }
@@ -460,11 +509,12 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
         ++stats_.rederivations;
         // The normal head path: annotation product, signing, shipping —
         // restored tuples are indistinguishable from first derivations.
-        return EmitHead(site, cr, e, u);
+        return EmitHead(site, cr, f, u);
       };
       PROVNET_RETURN_IF_ERROR(DynJoin(site, cr, 0, /*delta_index=*/-1,
-                                      /*use_overlay=*/false, env, used,
+                                      /*use_overlay=*/false, frame_, used,
                                       emit));
+      PROVNET_RETURN_IF_ERROR(DrainPending());
     }
   }
   return OkStatus();

@@ -92,6 +92,33 @@ size_t CondensedProv::MinWitnessSize() const {
   return best;
 }
 
+namespace {
+
+// Collects the variables of a Plus-free expression into `vars` (setting
+// `zero` when a Zero factor nullifies the product). Returns false on the
+// first kPlus — the caller then needs the full BDD pipeline.
+bool CollectPureProduct(const ProvExpr& expr, bool& zero,
+                        std::vector<ProvVar>& vars) {
+  switch (expr.kind()) {
+    case ProvExprKind::kZero:
+      zero = true;
+      return true;
+    case ProvExprKind::kOne:
+      return true;
+    case ProvExprKind::kVar:
+      vars.push_back(expr.var());
+      return true;
+    case ProvExprKind::kTimes:
+      return CollectPureProduct(expr.left(), zero, vars) &&
+             CollectPureProduct(expr.right(), zero, vars);
+    case ProvExprKind::kPlus:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
 BddRef ProvToBdd(const ProvExpr& expr, BddManager& mgr) {
   switch (expr.kind()) {
     case ProvExprKind::kZero:
@@ -117,6 +144,21 @@ CondensedProv Condense(const ProvExpr& expr, BddManager& mgr) {
 }
 
 CondensedProv Condense(const ProvExpr& expr) {
+  // Fast path: a pure product (the annotation of every freshly-derived
+  // head: Times over base variables) condenses to a single cube — no BDD
+  // needed. This is the overwhelmingly common case on the wire, where
+  // SendTuple condenses per message.
+  bool zero = false;
+  std::vector<ProvVar> vars;
+  if (CollectPureProduct(expr, zero, vars)) {
+    CondensedProv out;
+    if (!zero) {
+      std::sort(vars.begin(), vars.end());
+      vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+      out.cubes.push_back(std::move(vars));
+    }
+    return out;
+  }
   BddManager mgr;
   return Condense(expr, mgr);
 }
