@@ -1,0 +1,283 @@
+#include "adversary/adversary.h"
+
+#include <utility>
+
+#include "provenance/condense.h"
+#include "provenance/derivation.h"
+
+namespace provnet {
+
+const char* AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kForgeBadSig:
+      return "forge_bad_sig";
+    case AttackKind::kForgeStolenKey:
+      return "forge_stolen_key";
+    case AttackKind::kForgeNoSig:
+      return "forge_no_sig";
+    case AttackKind::kReplay:
+      return "replay";
+    case AttackKind::kEquivocate:
+      return "equivocate";
+    case AttackKind::kRogueRetract:
+      return "rogue_retract";
+    case AttackKind::kDrop:
+      return "drop";
+    case AttackKind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+Adversary::Adversary(Engine& engine, uint64_t seed)
+    : engine_(engine), rng_(seed) {
+  engine_.network().SetSendTap(
+      [this](const NetMessage& msg) { return OnSend(msg); });
+}
+
+Adversary::~Adversary() { engine_.network().ClearSendTap(); }
+
+void Adversary::Compromise(NodeId node, AdversaryPolicy policy) {
+  policies_[node] = policy;
+}
+
+Network::TapVerdict Adversary::OnSend(const NetMessage& msg) {
+  Network::TapVerdict verdict;
+  if (policies_.empty()) return verdict;
+
+  // Capture traffic crossing a compromised node (either endpoint): the
+  // replay corpus. Injected messages are attack traffic already.
+  auto wants_capture = [this](NodeId node) {
+    auto it = policies_.find(node);
+    return it != policies_.end() && it->second.capture;
+  };
+  if (!injecting_ && (wants_capture(msg.from) || wants_capture(msg.to))) {
+    captured_.push_back(Captured{msg.from, msg.to, msg.payload});
+  }
+
+  if (injecting_) return verdict;  // never suppress our own injections
+  auto it = policies_.find(msg.from);
+  if (it == policies_.end()) return verdict;
+  const AdversaryPolicy& policy = it->second;
+  if (policy.drop_rate > 0.0 && rng_.NextBernoulli(policy.drop_rate)) {
+    ++dropped_;
+    verdict.drop = true;
+    return verdict;
+  }
+  verdict.extra_delay_s = policy.delay_seconds;
+  return verdict;
+}
+
+void Adversary::LogInjection(AttackKind kind, NodeId attacker, NodeId victim,
+                             const Principal& claimed, const Tuple& tuple) {
+  // An injecting node is Byzantine by definition: mark it compromised so
+  // honest-state scans and audits exclude it (and its traffic is captured).
+  if (!IsCompromised(attacker)) Compromise(attacker);
+  InjectionRecord rec;
+  rec.kind = kind;
+  rec.at = engine_.network().now();
+  rec.attacker = attacker;
+  rec.victim = victim;
+  rec.claimed = claimed;
+  rec.tuple = tuple;
+  injections_.push_back(std::move(rec));
+}
+
+Result<Bytes> Adversary::BuildTupleMessage(const Principal& as, NodeId dest,
+                                           const Tuple& tuple,
+                                           bool attach_says,
+                                           bool corrupt_sig) {
+  const EngineOptions& opts = engine_.options();
+
+  ByteWriter content;
+  if (opts.authenticate) {
+    // Key theft includes counter theft: continue the victim principal's
+    // sequence so the header is indistinguishable from honest traffic.
+    content.PutVarint(engine_.NextSendSeq(as));
+    content.PutVarint(dest);
+  }
+  tuple.Serialize(content);
+  switch (opts.prov_mode) {
+    case ProvMode::kNone:
+    case ProvMode::kPointers:
+      content.PutU8(kProvPayloadNone);
+      break;
+    case ProvMode::kCondensed: {
+      // Mimic honest wire format: cubes claiming `as` asserted the tuple. A
+      // forgery without an annotation would be trivially conspicuous — and
+      // this is also what makes provenance-driven response (retracting the
+      // principal) reach everything derived from the forgery.
+      content.PutU8(kProvPayloadCubes);
+      ProvExpr base = ProvExpr::Var(engine_.registry().Intern(as));
+      Condense(base).Serialize(content);
+      break;
+    }
+    case ProvMode::kFull: {
+      content.PutU8(kProvPayloadTree);
+      DerivationPtr deriv = MakeBaseDerivation(
+          tuple, dest, as, engine_.network().now(), -1.0);
+      if (opts.authenticate) {
+        PROVNET_ASSIGN_OR_RETURN(
+            deriv, SignDerivation(deriv, engine_.authenticator(),
+                                  opts.says_level));
+      }
+      deriv->Serialize(content);
+      break;
+    }
+  }
+
+  ByteWriter msg;
+  msg.PutU8(kMsgTuple);
+  msg.PutBlob(content.bytes());
+  msg.PutU8(attach_says ? 1 : 0);
+  if (attach_says) {
+    SaysLevel level =
+        opts.authenticate ? opts.says_level : SaysLevel::kCleartext;
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        engine_.authenticator().Say(as, content.bytes(), level));
+    if (corrupt_sig) {
+      if (tag.proof.empty()) {
+        tag.proof.push_back(0x5a);  // cleartext tags carry no proof to mangle
+      } else {
+        tag.proof[0] ^= 0xff;
+      }
+    }
+    tag.Serialize(msg);
+  }
+  return std::move(msg).Take();
+}
+
+Result<Bytes> Adversary::BuildRetractMessage(
+    const Principal& as, NodeId dest, const Tuple& tuple,
+    const std::vector<ProvVar>& killed) {
+  const EngineOptions& opts = engine_.options();
+  ByteWriter content;
+  if (opts.authenticate) {
+    content.PutVarint(engine_.NextSendSeq(as));
+    content.PutVarint(dest);
+  }
+  tuple.Serialize(content);
+  content.PutVarint(killed.size());
+  for (ProvVar v : killed) content.PutU32(v);
+
+  ByteWriter msg;
+  msg.PutU8(kMsgRetract);
+  msg.PutBlob(content.bytes());
+  bool attach_says = opts.authenticate || engine_.plan().sendlog();
+  msg.PutU8(attach_says ? 1 : 0);
+  if (attach_says) {
+    SaysLevel level =
+        opts.authenticate ? opts.says_level : SaysLevel::kCleartext;
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        engine_.authenticator().Say(as, content.bytes(), level));
+    tag.Serialize(msg);
+  }
+  return std::move(msg).Take();
+}
+
+Status Adversary::InjectForgedTuple(AttackKind kind, NodeId attacker,
+                                    NodeId victim, const Tuple& tuple,
+                                    const Principal& as) {
+  bool attach_says = kind != AttackKind::kForgeNoSig;
+  bool corrupt_sig = kind == AttackKind::kForgeBadSig;
+  PROVNET_ASSIGN_OR_RETURN(
+      Bytes msg, BuildTupleMessage(as, victim, tuple, attach_says,
+                                   corrupt_sig));
+  injecting_ = true;
+  Status sent = engine_.network().Send(attacker, victim, std::move(msg));
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent);
+  LogInjection(kind, attacker, victim, as, tuple);
+  return OkStatus();
+}
+
+Status Adversary::InjectReplay(NodeId attacker,
+                               std::optional<NodeId> redirect) {
+  // Replay corpus: captured kMsgTuple payloads (signed tuple messages).
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < captured_.size(); ++i) {
+    if (!captured_[i].payload.empty() &&
+        captured_[i].payload[0] == kMsgTuple) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return NotFoundError("replay: nothing captured yet");
+  }
+  const Captured& pick =
+      captured_[candidates[rng_.NextBelow(candidates.size())]];
+  NodeId dest = redirect.value_or(pick.to);
+
+  // Best-effort parse of the captured message for the scoring record (the
+  // bytes go out verbatim regardless).
+  Principal claimed;
+  Tuple tuple;
+  {
+    ByteReader reader(pick.payload);
+    (void)reader.GetU8();
+    Result<Bytes> content = reader.GetBlob();
+    Result<uint8_t> has_says = reader.GetU8();
+    if (has_says.ok() && has_says.value() != 0) {
+      Result<SaysTag> tag = SaysTag::Deserialize(reader);
+      if (tag.ok()) claimed = tag.value().principal;
+    }
+    if (content.ok()) {
+      ByteReader body(content.value());
+      if (engine_.options().authenticate) {
+        (void)body.GetVarint();
+        (void)body.GetVarint();
+      }
+      Result<Tuple> t = Tuple::Deserialize(body);
+      if (t.ok()) tuple = std::move(t).value();
+    }
+  }
+
+  Bytes payload = pick.payload;  // copy; the corpus entry stays replayable
+  injecting_ = true;
+  Status sent = engine_.network().Send(attacker, dest, std::move(payload));
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent);
+  LogInjection(AttackKind::kReplay, attacker, dest, claimed, tuple);
+  return OkStatus();
+}
+
+Status Adversary::InjectEquivocation(NodeId attacker, NodeId victim_a,
+                                     const Tuple& tuple_a, NodeId victim_b,
+                                     const Tuple& tuple_b) {
+  Principal self = engine_.PrincipalOf(attacker);
+  PROVNET_ASSIGN_OR_RETURN(
+      Bytes msg_a, BuildTupleMessage(self, victim_a, tuple_a,
+                                     /*attach_says=*/true,
+                                     /*corrupt_sig=*/false));
+  PROVNET_ASSIGN_OR_RETURN(
+      Bytes msg_b, BuildTupleMessage(self, victim_b, tuple_b,
+                                     /*attach_says=*/true,
+                                     /*corrupt_sig=*/false));
+  injecting_ = true;
+  Status sent_a = engine_.network().Send(attacker, victim_a, std::move(msg_a));
+  Status sent_b = engine_.network().Send(attacker, victim_b, std::move(msg_b));
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent_a);
+  PROVNET_RETURN_IF_ERROR(sent_b);
+  LogInjection(AttackKind::kEquivocate, attacker, victim_a, self, tuple_a);
+  LogInjection(AttackKind::kEquivocate, attacker, victim_b, self, tuple_b);
+  return OkStatus();
+}
+
+Status Adversary::InjectRogueRetract(NodeId attacker, NodeId victim,
+                                     const Tuple& tuple,
+                                     std::vector<ProvVar> killed) {
+  Principal self = engine_.PrincipalOf(attacker);
+  PROVNET_ASSIGN_OR_RETURN(Bytes msg,
+                           BuildRetractMessage(self, victim, tuple, killed));
+  injecting_ = true;
+  Status sent = engine_.network().Send(attacker, victim, std::move(msg));
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent);
+  LogInjection(AttackKind::kRogueRetract, attacker, victim, self, tuple);
+  return OkStatus();
+}
+
+}  // namespace provnet

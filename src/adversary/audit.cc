@@ -1,0 +1,69 @@
+#include "adversary/audit.h"
+
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* SecurityEventKindName(SecurityEventKind kind) {
+  switch (kind) {
+    case SecurityEventKind::kBadSignature:
+      return "bad_signature";
+    case SecurityEventKind::kMissingSignature:
+      return "missing_signature";
+    case SecurityEventKind::kUnknownPrincipal:
+      return "unknown_principal";
+    case SecurityEventKind::kReplay:
+      return "replay";
+    case SecurityEventKind::kMisdirected:
+      return "misdirected";
+    case SecurityEventKind::kUnauthorizedRetract:
+      return "unauthorized_retract";
+    case SecurityEventKind::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+std::string SecurityEvent::ToString() const {
+  return StrFormat("t=%.3f node=%u from=%u %s claimed=%s %s", at, node, from,
+                   SecurityEventKindName(kind), claimed.c_str(),
+                   detail.c_str());
+}
+
+size_t SecurityLog::CountOf(SecurityEventKind kind) const {
+  size_t n = 0;
+  for (const SecurityEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<const SecurityEvent*> SecurityLog::EventsSince(size_t mark) const {
+  std::vector<const SecurityEvent*> out;
+  for (size_t i = mark; i < events_.size(); ++i) out.push_back(&events_[i]);
+  return out;
+}
+
+bool ReplayGuard::Accept(uint64_t seq) {
+  if (!any_) {
+    any_ = true;
+    high_ = seq;
+    mask_ = 1;
+    return true;
+  }
+  if (seq > high_) {
+    uint64_t shift = seq - high_;
+    mask_ = shift >= 64 ? 0 : mask_ << shift;
+    mask_ |= 1;
+    high_ = seq;
+    return true;
+  }
+  uint64_t age = high_ - seq;
+  if (age >= kWindow) return false;  // stale: outside the window
+  uint64_t bit = 1ull << age;
+  if (mask_ & bit) return false;  // duplicate: the replay case
+  mask_ |= bit;
+  return true;
+}
+
+}  // namespace provnet

@@ -12,15 +12,6 @@
 
 namespace provnet {
 
-namespace {
-
-// Provenance payload kinds inside tuple messages.
-constexpr uint8_t kProvNone = 0;
-constexpr uint8_t kProvCubes = 1;
-constexpr uint8_t kProvTree = 2;
-
-}  // namespace
-
 const char* ProvModeName(ProvMode mode) {
   switch (mode) {
     case ProvMode::kNone:
@@ -39,7 +30,8 @@ std::string RunStats::ToString() const {
   return StrFormat(
       "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
       "prov=%llu) events=%llu derivations=%llu candidates=%llu signs=%llu "
-      "verifies=%llu auth_failures=%llu retractions=%llu rederivations=%llu",
+      "verifies=%llu auth_failures=%llu replays_rejected=%llu "
+      "retracts_rejected=%llu retractions=%llu rederivations=%llu",
       wall_seconds, sim_seconds, static_cast<unsigned long long>(messages),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(tuple_bytes),
@@ -51,6 +43,8 @@ std::string RunStats::ToString() const {
       static_cast<unsigned long long>(signs),
       static_cast<unsigned long long>(verifies),
       static_cast<unsigned long long>(auth_failures),
+      static_cast<unsigned long long>(replays_rejected),
+      static_cast<unsigned long long>(retracts_rejected),
       static_cast<unsigned long long>(retractions),
       static_cast<unsigned long long>(rederivations));
 }
@@ -223,6 +217,14 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
   if (observer_ && result.outcome != InsertOutcome::kRejected) {
     observer_(node_id, result.stored, result.outcome, net_.now());
   }
+  // Retraction-authorization bookkeeping: an aggregate group's stored
+  // asserted_by rotates to the latest contributor, so every contributor is
+  // remembered against the stable group digest — each may later retract
+  // its own contribution.
+  if (result.outcome != InsertOutcome::kRejected && !asserted_by.empty() &&
+      table.options().agg != AggKind::kNone) {
+    ctx.NoteCoAsserter(table.GroupDigest(result.stored), asserted_by);
+  }
 
   switch (result.outcome) {
     case InsertOutcome::kNew:
@@ -237,6 +239,13 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
       // threshold).
       RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
                        asserted_by, std::move(children), expires_at);
+      // A refresh under a different principal is an additional assertion of
+      // the same tuple; retraction authorization honors every asserter.
+      const StoredTuple* merged_entry = table.Find(result.stored);
+      if (merged_entry != nullptr && !asserted_by.empty() &&
+          asserted_by != merged_entry->asserted_by) {
+        ctx.NoteCoAsserter(DigestOf(result.stored), asserted_by);
+      }
       if (options_.prov_mode == ProvMode::kCondensed) {
         StoredTuple* merged = table.FindMutable(result.stored);
         if (merged != nullptr &&
@@ -447,6 +456,11 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
     // under it. Provenance child refs are captured now, while `used` points
     // at live entries.
     StoredTuple entry;
+    // COUNT candidates carry their derivation identity so the witness
+    // multiset counts each derivation once (and deletion retires it).
+    if (plan_.OptionsFor(head.predicate()).agg == AggKind::kCount) {
+      entry.deriv_id = CountDerivId(cr, node_id, head, used);
+    }
     entry.tuple = std::move(head);
     entry.origin = TupleOrigin::kLocalRule;
     entry.asserted_by = contexts_[node_id]->principal();
@@ -488,7 +502,8 @@ Status Engine::DrainPending() {
                                              action.rule_label));
         break;
       case PendingAction::Kind::kOverDelete:
-        PROVNET_RETURN_IF_ERROR(OverDeleteAt(action.node, action.head));
+        PROVNET_RETURN_IF_ERROR(
+            OverDeleteAt(action.node, action.head, action.deriv_id));
         break;
       case PendingAction::Kind::kSendRetract:
         PROVNET_RETURN_IF_ERROR(
@@ -502,20 +517,24 @@ Status Engine::DrainPending() {
 
 Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
                          const ProvExpr& prov, const DerivationPtr& deriv) {
-  // Content: tuple + provenance payload. The says tag signs these bytes, so
-  // piggybacked provenance is authenticated too (Section 4.3).
+  // Content: [seq, dest when authenticated] + tuple + provenance payload.
+  // The says tag signs these bytes, so piggybacked provenance is
+  // authenticated too (Section 4.3), and the anti-replay header cannot be
+  // stripped or re-targeted.
   ByteWriter content;
+  PutAuthHeader(content, contexts_[from]->principal(), to);
+  size_t header_len = content.size();
   tuple.Serialize(content);
   switch (options_.prov_mode) {
     case ProvMode::kNone:
     case ProvMode::kPointers:
-      content.PutU8(kProvNone);
+      content.PutU8(kProvPayloadNone);
       break;
     case ProvMode::kCondensed:
-      content.PutU8(kProvCubes);
+      content.PutU8(kProvPayloadCubes);
       break;
     case ProvMode::kFull:
-      content.PutU8(kProvTree);
+      content.PutU8(kProvPayloadTree);
       break;
   }
   size_t marker_end = content.size();  // the kind marker is protocol, not
@@ -555,7 +574,8 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
     tag.Serialize(msg);
   }
-  size_t auth_part = msg.size() - pre_auth;
+  // The anti-replay header is authentication overhead, not tuple payload.
+  size_t auth_part = msg.size() - pre_auth + header_len;
 
   stats_.prov_bytes += prov_part;
   stats_.auth_bytes += auth_part;
@@ -565,39 +585,50 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
 
 Status Engine::HandleMessage(NodeId to, NodeId from, const Bytes& payload) {
   ByteReader reader(payload);
-  PROVNET_ASSIGN_OR_RETURN(uint8_t type, reader.GetU8());
-  switch (type) {
-    case kMsgTuple:
-      return HandleTupleMessage(to, from, reader);
-    case kMsgProvRequest:
-      return HandleProvRequest(to, from, reader);
-    case kMsgProvResponse:
-      return HandleProvResponse(to, from, reader);
-    case kMsgRetract:
-      return HandleRetractMessage(to, from, reader);
-    default:
-      return InvalidArgumentError("unknown message type");
+  Status s = [&]() -> Status {
+    PROVNET_ASSIGN_OR_RETURN(uint8_t type, reader.GetU8());
+    switch (type) {
+      case kMsgTuple:
+        return HandleTupleMessage(to, from, reader);
+      case kMsgProvRequest:
+        return HandleProvRequest(to, from, reader);
+      case kMsgProvResponse:
+        return HandleProvResponse(to, from, reader);
+      case kMsgRetract:
+        return HandleRetractMessage(to, from, reader);
+      default:
+        return InvalidArgumentError("unknown message type");
+    }
+  }();
+  // In an authenticated (hostile-world) deployment, unparseable traffic is
+  // an attack symptom, not an engine failure: audit it and drop the message
+  // instead of poisoning the run. (A verified signature does not imply
+  // well-formed content — a stolen key signs anything.)
+  if (!s.ok() && s.code() == StatusCode::kInvalidArgument &&
+      options_.authenticate) {
+    RecordSecurityEvent(SecurityEventKind::kMalformed, to, from, "",
+                        s.ToString());
+    return OkStatus();
   }
+  return s;
 }
 
 Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
   PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
   PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
 
-  Principal sender_principal;
+  std::optional<SaysTag> tag;
   if (has_says != 0) {
-    PROVNET_ASSIGN_OR_RETURN(SaysTag tag, SaysTag::Deserialize(reader));
-    if (options_.authenticate && options_.verify_incoming) {
-      Status verdict = auth_.Verify(tag, content);
-      if (!verdict.ok()) {
-        ++stats_.auth_failures;
-        return OkStatus();  // drop silently; the sender is untrusted
-      }
-    }
-    sender_principal = tag.principal;
+    PROVNET_ASSIGN_OR_RETURN(SaysTag t, SaysTag::Deserialize(reader));
+    tag = std::move(t);
   }
-
   ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(bool accepted,
+                           VerifyInbound(to, from, tag, content, body,
+                                         "tuple"));
+  if (!accepted) return OkStatus();  // rejected and audited; drop
+  Principal sender_principal = tag.has_value() ? tag->principal : "";
+
   PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
   PROVNET_ASSIGN_OR_RETURN(uint8_t prov_kind, body.GetU8());
 
@@ -607,15 +638,15 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
   entry.from_node = from;
   entry.asserted_by = sender_principal;
   switch (prov_kind) {
-    case kProvNone:
+    case kProvPayloadNone:
       break;
-    case kProvCubes: {
+    case kProvPayloadCubes: {
       PROVNET_ASSIGN_OR_RETURN(CondensedProv cubes,
                                CondensedProv::Deserialize(body));
       entry.prov = cubes.ToExpr();
       break;
     }
-    case kProvTree: {
+    case kProvPayloadTree: {
       PROVNET_ASSIGN_OR_RETURN(entry.deriv, DerivationNode::Deserialize(body));
       // Rebuild the annotation from the tree so local semiring queries keep
       // working in full mode: leaves are base variables, unions are +,
@@ -715,6 +746,8 @@ Result<RunStats> Engine::Run() {
   out.signs = auth_.sign_count() - signs0;
   out.verifies = auth_.verify_count() - verifies0;
   out.auth_failures = stats_.auth_failures - before.auth_failures;
+  out.replays_rejected = stats_.replays_rejected - before.replays_rejected;
+  out.retracts_rejected = stats_.retracts_rejected - before.retracts_rejected;
   out.retractions = stats_.retractions - before.retractions;
   out.rederivations = stats_.rederivations - before.rederivations;
   return out;

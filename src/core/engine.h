@@ -23,11 +23,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "adversary/audit.h"
 #include "core/eval.h"
 #include "core/node_context.h"
 #include "core/plan.h"
@@ -58,6 +60,13 @@ inline constexpr uint8_t kMsgProvRequest = 2;
 inline constexpr uint8_t kMsgProvResponse = 3;
 inline constexpr uint8_t kMsgRetract = 4;
 
+// Provenance payload kinds inside tuple messages. In the header (not
+// engine.cc) because the fault-injection layer (src/adversary/) crafts
+// wire-faithful forged messages and must agree on the format.
+inline constexpr uint8_t kProvPayloadNone = 0;
+inline constexpr uint8_t kProvPayloadCubes = 1;
+inline constexpr uint8_t kProvPayloadTree = 2;
+
 enum class ProvGrain : uint8_t {
   kPrincipal = 0,  // one variable per asserting principal (paper's figures)
   kTuple = 1,      // one variable per base tuple (classic semiring lineage)
@@ -69,6 +78,18 @@ struct EngineOptions {
   SaysLevel says_level = SaysLevel::kRsa;
   bool verify_incoming = true;  // receivers check tags (drop on failure)
   size_t rsa_bits = 256;
+
+  // --- receive-side verification pipeline (src/adversary/) ---
+  // With authentication on, every kMsgTuple/kMsgRetract carries a signed
+  // (sequence, destination) header: the destination check defeats
+  // cross-receiver replay, the per-sender ReplayGuard defeats re-sent
+  // messages. Off => the header is still sent/parsed but not enforced (for
+  // measuring enforcement overhead in isolation).
+  bool replay_protection = true;
+  // Principals with an operator capability: allowed to retract tuples they
+  // did not assert (the "network operator" of Section 4.2's compromise
+  // response). Everyone else may only retract their own assertions.
+  std::vector<Principal> operators;
 
   // --- provenance (Section 4) ---
   ProvMode prov_mode = ProvMode::kNone;
@@ -107,6 +128,10 @@ struct RunStats {
   uint64_t signs = 0;
   uint64_t verifies = 0;
   uint64_t auth_failures = 0;
+  // Verification-pipeline rejections beyond signature failures: replayed or
+  // misdirected sequence headers, and unauthorized retractions.
+  uint64_t replays_rejected = 0;
+  uint64_t retracts_rejected = 0;
   // Incremental maintenance (src/dynamics/): deletion deltas processed and
   // tuples restored by the re-derivation phase.
   uint64_t retractions = 0;
@@ -171,6 +196,27 @@ class Engine {
   ProvVarRegistry& registry() { return registry_; }
   const EngineOptions& options() const { return options_; }
   const Plan& plan() const { return plan_; }
+
+  // --- Verification & audit (src/adversary/verify.cc) -----------------------
+  // Every receive-side rejection (bad/missing signature, replay, misdirected
+  // destination, unauthorized retraction, malformed content) lands here.
+  const SecurityLog& security_log() const { return security_log_; }
+  SecurityLog& security_log() { return security_log_; }
+  // Issues the next authenticated-message sequence number for `principal`.
+  // Public because key compromise includes counter compromise: an adversary
+  // holding a principal's key continues its sequence (src/adversary/).
+  uint64_t NextSendSeq(const Principal& principal) {
+    return ++send_seq_[principal];
+  }
+
+  // Annotation aging (ROADMAP follow-up from PR 1): restricts every stored
+  // annotation by the base variables whose base tuples are no longer stored
+  // anywhere (expired un-refreshed or externally removed), so restriction
+  // pruning agrees with DRed. Tuples left with Zero support are enqueued as
+  // deletion deltas (run Run() afterwards). Only meaningful with complete
+  // annotations at ProvGrain::kTuple; a no-op otherwise. Returns the number
+  // of annotations restricted or retired.
+  size_t AgeAnnotations();
 
   // Sorted tuples of `pred` stored at `node`.
   std::vector<Tuple> TuplesAt(NodeId node, const std::string& pred) const;
@@ -255,6 +301,27 @@ class Engine {
   Status HandleProvRequest(NodeId to, NodeId from, ByteReader& reader);
   Status HandleProvResponse(NodeId to, NodeId from, ByteReader& reader);
 
+  // --- Receive-side verification (implemented in src/adversary/verify.cc) --
+  // Appends the signed (sequence, destination) header authenticated senders
+  // prepend to message content.
+  void PutAuthHeader(ByteWriter& content, const Principal& sender,
+                     NodeId dest);
+  // Runs the verification pipeline over an inbound message: signature
+  // present/valid/known principal, then the signed header's destination and
+  // anti-replay checks (consumed from `body`). Returns false when the
+  // message must be dropped — the rejection has been audited and counted.
+  Result<bool> VerifyInbound(NodeId to, NodeId from,
+                             const std::optional<SaysTag>& tag,
+                             const Bytes& content, ByteReader& body,
+                             const char* what);
+  // True when `claimed` may retract `stored` at `node`: the asserting
+  // principal, a recorded co-asserter, an operator capability, or a
+  // principal the tuple's (principal-grain) annotation depends on.
+  bool AuthorizedRetractor(NodeId node, const Principal& claimed,
+                           const StoredTuple& stored) const;
+  void RecordSecurityEvent(SecurityEventKind kind, NodeId node, NodeId from,
+                           const Principal& claimed, std::string detail);
+
   // --- Incremental deletion (implemented in src/dynamics/delta.cc) ---------
   // True when stored annotations enumerate every derivation (condensed/full
   // piggybacked provenance), i.e. restriction-based pruning is sound.
@@ -284,12 +351,23 @@ class Engine {
                  int delta_index, bool use_overlay, Frame& frame,
                  std::vector<const StoredTuple*>& used, const EmitFn& emit);
   // Resolves a delete-mode head: schedules removal of the local tuple (or a
-  // retraction message when the head lives remotely).
+  // retraction message when the head lives remotely). `used` identifies the
+  // dying derivation so COUNT-aggregate heads decrement exactly once even
+  // when several deleted body tuples each enumerate it.
   Status OverDeleteHead(NodeId node, const CompiledRule& cr,
-                        const Frame& frame);
+                        const Frame& frame,
+                        const std::vector<const StoredTuple*>& used);
   // Applies an over-deletion to whatever `node` stores for `tuple`,
-  // consulting annotation restriction before cascading.
-  Status OverDeleteAt(NodeId node, const Tuple& tuple);
+  // consulting annotation restriction before cascading. `deriv_id`
+  // identifies the dying derivation for COUNT witness retirement (0 =
+  // unidentified, e.g. a remote retract: count groups then recompute).
+  Status OverDeleteAt(NodeId node, const Tuple& tuple, uint64_t deriv_id = 0);
+  // Identity of a local rule firing: hash over rule label, executing node,
+  // head, and the body tuples used. Computed identically at emit time
+  // (EmitHead -> StoredTuple::deriv_id) and delete time (OverDeleteHead),
+  // so COUNT witness bookkeeping is idempotent per derivation.
+  uint64_t CountDerivId(const CompiledRule& cr, NodeId node, const Tuple& head,
+                        const std::vector<const StoredTuple*>& used) const;
   Status SendRetract(NodeId from, NodeId to, const Tuple& tuple);
   Status HandleRetractMessage(NodeId to, NodeId from, ByteReader& reader);
   // DRed phase 2: attempts to restore over-deleted tuples from surviving
@@ -314,6 +392,7 @@ class Engine {
     std::vector<ProvChildRef> children;   // kDeliver provenance capture
     std::string rule_label;               // kDeliver
     Tuple head;                           // kOverDelete / kSendRetract
+    uint64_t deriv_id = 0;                // kOverDelete COUNT retirement
   };
   Status DrainPending();
 
@@ -338,6 +417,9 @@ class Engine {
   RunStats stats_;
   Status async_error_;  // first error raised inside a network handler
   UpdateObserver observer_;
+  SecurityLog security_log_;
+  // Per-principal authenticated-message sequence counters (send side).
+  std::unordered_map<Principal, uint64_t> send_seq_;
 
   // Distributed provenance query state.
   struct ProvQueryState {

@@ -36,6 +36,24 @@ std::vector<Table*> NodeContext::AllTables() {
   return out;
 }
 
+void NodeContext::NoteCoAsserter(uint64_t digest, const Principal& principal) {
+  std::vector<Principal>& list = co_asserters_[digest];
+  for (const Principal& p : list) {
+    if (p == principal) return;
+  }
+  list.push_back(principal);
+}
+
+bool NodeContext::IsCoAsserter(uint64_t digest,
+                               const Principal& principal) const {
+  auto it = co_asserters_.find(digest);
+  if (it == co_asserters_.end()) return false;
+  for (const Principal& p : it->second) {
+    if (p == principal) return true;
+  }
+  return false;
+}
+
 size_t NodeContext::ExpireTablesBefore(double now,
                                        std::vector<StoredTuple>* expired) {
   size_t dropped = 0;

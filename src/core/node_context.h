@@ -7,7 +7,9 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "adversary/audit.h"
 #include "core/plan.h"
 #include "core/table.h"
 #include "provenance/store.h"
@@ -47,6 +49,21 @@ class NodeContext {
   size_t ExpireTablesBefore(double now,
                             std::vector<StoredTuple>* expired = nullptr);
 
+  // --- Receive-side verification state (src/adversary/) --------------------
+  // Anti-replay window for authenticated messages from `sender`.
+  ReplayGuard& ReplayGuardFor(const Principal& sender) {
+    return replay_guards_[sender];
+  }
+
+  // Records that `principal` also asserted the tuple with `digest` (a
+  // refresh under a different principal than the stored copy's). Retraction
+  // authorization consults this: any principal that contributed an
+  // assertion of a tuple may retract it. Entries are retained after the
+  // tuple is removed — "once an asserter" is the durable fact retraction
+  // authority rests on.
+  void NoteCoAsserter(uint64_t digest, const Principal& principal);
+  bool IsCoAsserter(uint64_t digest, const Principal& principal) const;
+
  private:
   NodeId id_;
   Principal principal_;
@@ -54,6 +71,8 @@ class NodeContext {
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   OnlineProvStore online_;
   OfflineProvStore offline_;
+  std::unordered_map<Principal, ReplayGuard> replay_guards_;
+  std::unordered_map<uint64_t, std::vector<Principal>> co_asserters_;
 };
 
 }  // namespace provnet

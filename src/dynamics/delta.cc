@@ -78,7 +78,10 @@ Status Engine::RetractPrincipal(const Principal& principal) {
   for (auto& ctx : contexts_) {
     for (Table* table : ctx->AllTables()) {
       const bool count_agg = table->options().agg == AggKind::kCount;
-      const bool is_agg = table->options().agg != AggKind::kNone;
+      // Aggregate *and* keyed rows re-derive as key groups: a removed row
+      // may have replaced a surviving alternative under its primary key.
+      const bool group_rederive = table->options().agg != AggKind::kNone ||
+                                  !table->options().key_columns.empty();
       // Classify before mutating: Scan pointers die on removal.
       std::vector<Tuple> revoked;    // the principal's own assertions
       std::vector<Tuple> dependent;  // annotation mentions a killed var
@@ -97,7 +100,7 @@ Status Engine::RetractPrincipal(const Principal& principal) {
         // rederive: a revoked copy of a tuple someone else can also derive
         // comes back through an untainted principal.
         EnqueueRetraction(ctx->id(), std::move(*removed), /*rederive=*/true,
-                          /*rederive_group=*/is_agg);
+                          /*rederive_group=*/group_rederive);
       }
       for (const Tuple& t : dependent) {
         StoredTuple* e = table->FindMutable(t);
@@ -110,7 +113,8 @@ Status Engine::RetractPrincipal(const Principal& principal) {
           std::optional<StoredTuple> removed = table->Remove(t);
           if (removed.has_value()) {
             EnqueueRetraction(ctx->id(), std::move(*removed),
-                              /*rederive=*/true, /*rederive_group=*/is_agg);
+                              /*rederive=*/true,
+                              /*rederive_group=*/group_rederive);
           }
         } else {
           e->prov = std::move(restricted);
@@ -156,8 +160,8 @@ Status Engine::FireDeleteStrand(NodeId node_id, const CompiledRule& cr,
   PROVNET_RETURN_IF_ERROR(DynJoin(
       node_id, cr, 0, delta_index, /*use_overlay=*/true, frame_, used,
       [this, node_id, &cr](Frame& f,
-                           const std::vector<const StoredTuple*>&) {
-        return OverDeleteHead(node_id, cr, f);
+                           const std::vector<const StoredTuple*>& u) {
+        return OverDeleteHead(node_id, cr, f, u);
       }));
   return DrainPending();
 }
@@ -250,9 +254,36 @@ Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
   return InternalError("unreachable literal kind");
 }
 
+uint64_t Engine::CountDerivId(const CompiledRule& cr, NodeId node,
+                              const Tuple& head,
+                              const std::vector<const StoredTuple*>& used)
+    const {
+  uint64_t id = HashCombine(Fnv1a64(cr.prog.label), DigestOf(head));
+  id = HashCombine(id, static_cast<uint64_t>(node));
+  uint64_t body = 0;
+  for (const StoredTuple* u : used) {
+    body += Mix64(DigestOf(u->tuple));  // order-independent: the delta
+  }                                     // literal leads in its own strand
+  id = HashCombine(id, body);
+  return id == 0 ? 1 : id;  // 0 is reserved for "unidentified"
+}
+
 Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
-                              const Frame& frame) {
+                              const Frame& frame,
+                              const std::vector<const StoredTuple*>& used) {
   PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, frame));
+
+  // COUNT heads retire one witness derivation per dead derivation — so a
+  // derivation joining several tuples deleted in the same epoch (each of
+  // whose delete strands enumerates it) must be processed exactly once.
+  // Other heads are removed idempotently and need no dedup.
+  uint64_t deriv_id = 0;
+  if (plan_.OptionsFor(head.predicate()).agg == AggKind::kCount) {
+    deriv_id = CountDerivId(cr, node_id, head, used);
+    if (!dynamics_->count_deriv_seen.insert(deriv_id).second) {
+      return OkStatus();
+    }
+  }
 
   NodeId dest = node_id;
   if (cr.prog.send_to.has_value()) {
@@ -274,22 +305,53 @@ Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
   action.node = node_id;
   action.dest = dest;
   action.head = std::move(head);
+  action.deriv_id = deriv_id;
   pending_.push_back(std::move(action));
   return OkStatus();
 }
 
-Status Engine::OverDeleteAt(NodeId node_id, const Tuple& tuple) {
+Status Engine::OverDeleteAt(NodeId node_id, const Tuple& tuple,
+                            uint64_t deriv_id) {
   NodeContext& ctx = *contexts_[node_id];
   Table* table = ctx.FindTableMutable(tuple.predicate());
   if (table == nullptr) return OkStatus();
   const TableOptions& topt = table->options();
 
   if (topt.agg != AggKind::kNone) {
+    if (topt.agg == AggKind::kCount) {
+      // O(delta) count maintenance via the witness multiset (ROADMAP
+      // follow-up from PR 1): retire this derivation's refcount; when a
+      // witness dies the count drops in place. The old count's downstream
+      // consequences are torn down by an ordinary retraction delta and the
+      // decremented count re-propagates as an insertion delta — no group
+      // re-derivation.
+      Table::WitnessRemoval removal = table->RemoveWitness(tuple, deriv_id);
+      switch (removal.kind) {
+        case Table::WitnessRemoval::Kind::kRefcounted:
+          return OkStatus();  // the witness survives on another derivation
+        case Table::WitnessRemoval::Kind::kCountChanged:
+          if (observer_) {
+            observer_(node_id, removal.new_tuple, InsertOutcome::kReplaced,
+                      net_.now());
+          }
+          EnqueueRetraction(node_id, std::move(removal.old_entry),
+                            /*rederive=*/false, /*rederive_group=*/false);
+          events_.push_back(PendingEvent{node_id, removal.new_tuple});
+          return OkStatus();
+        case Table::WitnessRemoval::Kind::kGroupEmptied:
+          EnqueueRetraction(node_id, std::move(removal.old_entry),
+                            /*rederive=*/false, /*rederive_group=*/false);
+          return OkStatus();
+        case Table::WitnessRemoval::Kind::kNoWitness:
+          break;  // unknown witness: fall back to group re-derivation
+      }
+    }
     const StoredTuple* group = table->FindGroup(tuple);
     if (group == nullptr) return OkStatus();
     size_t agg_col = static_cast<size_t>(topt.agg_column);
     // MIN/MAX: only a derivation of the current extremum can invalidate the
-    // group. COUNT: any dead witness changes the count.
+    // group. COUNT (witness-multiset fallback): any dead witness changes
+    // the count.
     bool contributes =
         topt.agg == AggKind::kCount ||
         (agg_col < tuple.arity() &&
@@ -326,17 +388,24 @@ Status Engine::OverDeleteAt(NodeId node_id, const Tuple& tuple) {
   }
   std::optional<StoredTuple> removed = table->Remove(tuple);
   if (removed.has_value()) {
+    // Keyed tables re-derive the *key group*, not the exact tuple: the dead
+    // row may have replaced a differently-valued alternative (P2 update
+    // semantics), and only a key-constrained re-derivation can bring that
+    // alternative back — the same reroute logic aggregate groups use.
     EnqueueRetraction(node_id, std::move(*removed), /*rederive=*/true,
-                      /*rederive_group=*/false);
+                      /*rederive_group=*/!topt.key_columns.empty());
   }
   return OkStatus();
 }
 
 Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
-  // Content: tuple + the epoch's killed variables, so the receiver can
-  // restrict its own (merged) annotation. The says tag covers these bytes —
-  // forged retractions from untrusted senders are dropped on verify.
+  // Content: [seq, dest when authenticated] + tuple + the epoch's killed
+  // variables, so the receiver can restrict its own (merged) annotation.
+  // The says tag covers these bytes — forged retractions from untrusted
+  // senders are dropped on verify, and replayed ones by the anti-replay
+  // header.
   ByteWriter content;
+  PutAuthHeader(content, contexts_[from]->principal(), to);
   tuple.Serialize(content);
   std::vector<ProvVar> killed(dynamics_->killed.begin(),
                               dynamics_->killed.end());
@@ -364,32 +433,156 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
   return net_.Send(from, to, std::move(msg).Take());
 }
 
-Status Engine::HandleRetractMessage(NodeId to, NodeId /*from*/,
+Status Engine::HandleRetractMessage(NodeId to, NodeId from,
                                     ByteReader& reader) {
   PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
   PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
+  std::optional<SaysTag> tag;
   if (has_says != 0) {
-    PROVNET_ASSIGN_OR_RETURN(SaysTag tag, SaysTag::Deserialize(reader));
-    if (options_.authenticate && options_.verify_incoming) {
-      Status verdict = auth_.Verify(tag, content);
-      if (!verdict.ok()) {
-        ++stats_.auth_failures;
-        return OkStatus();  // unauthenticated retraction: ignored
-      }
-    }
+    PROVNET_ASSIGN_OR_RETURN(SaysTag t, SaysTag::Deserialize(reader));
+    tag = std::move(t);
   }
-
   ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(bool accepted,
+                           VerifyInbound(to, from, tag, content, body,
+                                         "retract"));
+  if (!accepted) return OkStatus();  // rejected and audited; drop
+
   PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
   PROVNET_ASSIGN_OR_RETURN(uint64_t killed_count, body.GetVarint());
   if (killed_count > body.remaining()) {
     return InvalidArgumentError("retract: bad killed-variable count");
   }
+
+  // Parse the killed-variable payload in full before touching any state, so
+  // a truncated message cannot leave a half-merged epoch set behind.
+  std::vector<ProvVar> killed;
+  killed.reserve(static_cast<size_t>(killed_count));
   for (uint64_t i = 0; i < killed_count; ++i) {
     PROVNET_ASSIGN_OR_RETURN(ProvVar v, body.GetU32());
-    dynamics_->killed.insert(v);
+    killed.push_back(v);
   }
+
+  // Retraction authorization (closes the PR 1 follow-up): in an
+  // authenticated deployment, a kMsgRetract is honored only for tuples the
+  // speaker asserted (or co-asserted), tuples whose provenance depends on
+  // the speaker, or when the speaker holds an operator capability. A
+  // retraction for an absent tuple is an idempotent no-op — and its killed
+  // variables are NOT merged, so a hostile retractor cannot poison the
+  // epoch's restriction set by naming tuples that do not exist.
+  const StoredTuple* stored = nullptr;
+  {
+    const Table* table = contexts_[to]->FindTable(tuple.predicate());
+    if (table != nullptr) {
+      stored = table->Find(tuple);
+      if (stored == nullptr && table->options().agg != AggKind::kNone) {
+        // Aggregate heads travel as *candidates* (aggregate column =
+        // contributing value); the stored row holds the aggregated value,
+        // so authorization must consult the group row.
+        stored = table->FindGroup(tuple);
+      }
+    }
+  }
+  if (options_.authenticate && options_.verify_incoming) {
+    if (stored == nullptr) return OkStatus();
+    const Principal& claimed = tag.has_value() ? tag->principal : Principal();
+    if (!AuthorizedRetractor(to, claimed, *stored)) {
+      ++stats_.retracts_rejected;
+      RecordSecurityEvent(SecurityEventKind::kUnauthorizedRetract, to, from,
+                          claimed, tuple.ToString());
+      return OkStatus();
+    }
+    // Even an authorized retraction may only kill variables the target's
+    // own annotation depends on: the restriction this retraction is
+    // entitled to. Anything else would let one trivially-authorized
+    // message poison the epoch-global restriction set that prunes
+    // *unrelated* tuples' alternatives.
+    std::vector<ProvVar> relevant;
+    for (ProvVar v : killed) {
+      if (!stored->prov.IsZero() && stored->prov.DependsOnAny({v})) {
+        relevant.push_back(v);
+      }
+    }
+    killed.swap(relevant);
+  }
+
+  for (ProvVar v : killed) dynamics_->killed.insert(v);
   return OverDeleteAt(to, tuple);
+}
+
+size_t Engine::AgeAnnotations() {
+  // Aging closes the PR 1 gap: a stored annotation may retain alternatives
+  // whose supporting base tuples expired un-refreshed (or were removed
+  // outside the delta machinery). Restriction pruning would then keep a
+  // tuple DRed drops. The pass computes the dead variables — variables that
+  // occur in some annotation but whose base tuple is stored nowhere — and
+  // restricts every annotation by them; tuples left with Zero support are
+  // converted into deletion deltas (with re-derivation, so cross-node copies
+  // whose merged annotations under-enumerate are restored if support
+  // exists). Sound only when annotations enumerate every derivation at
+  // tuple grain.
+  if (!AnnotationsComplete() || options_.prov_grain != ProvGrain::kTuple) {
+    return 0;
+  }
+
+  std::unordered_set<ProvVar> live;
+  std::unordered_set<ProvVar> occurring;
+  for (auto& ctx : contexts_) {
+    for (Table* table : ctx->AllTables()) {
+      for (const StoredTuple* e : table->Scan()) {
+        if (e->origin == TupleOrigin::kBase) {
+          std::optional<ProvVar> v = registry_.Find(e->tuple.ToString());
+          if (v.has_value()) live.insert(*v);
+        }
+        if (!e->prov.IsZero() && !e->prov.IsOne()) {
+          for (ProvVar v : e->prov.Variables()) occurring.insert(v);
+        }
+      }
+    }
+  }
+  std::unordered_set<ProvVar> dead;
+  for (ProvVar v : occurring) {
+    if (live.find(v) == live.end()) dead.insert(v);
+  }
+  if (dead.empty()) return 0;
+
+  size_t aged = 0;
+  for (auto& ctx : contexts_) {
+    for (Table* table : ctx->AllTables()) {
+      // COUNT annotations are approximate (a count is not a disjunction of
+      // witnesses); the witness multiset, not aging, keeps them honest.
+      if (table->options().agg == AggKind::kCount) continue;
+      const bool group_rederive = table->options().agg != AggKind::kNone ||
+                                  !table->options().key_columns.empty();
+      std::vector<Tuple> stale;
+      for (const StoredTuple* e : table->Scan()) {
+        if (e->origin == TupleOrigin::kBase) continue;  // own var is live
+        if (!e->prov.IsZero() && e->prov.DependsOnAny(dead)) {
+          stale.push_back(e->tuple);
+        }
+      }
+      for (const Tuple& t : stale) {
+        StoredTuple* e = table->FindMutable(t);
+        if (e == nullptr) continue;
+        ProvExpr restricted = e->prov.Restrict(dead);
+        ++aged;
+        if (restricted.IsZero()) {
+          std::optional<StoredTuple> removed = table->Remove(t);
+          if (removed.has_value()) {
+            EnqueueRetraction(ctx->id(), std::move(*removed),
+                              /*rederive=*/true,
+                              /*rederive_group=*/group_rederive);
+          }
+        } else {
+          e->prov = std::move(restricted);
+        }
+      }
+    }
+  }
+  // The cascade the retractions fire must treat the dead variables as
+  // killed, exactly as if their base tuples had been deleted this epoch.
+  for (ProvVar v : dead) dynamics_->killed.insert(v);
+  return aged;
 }
 
 Status Engine::RunRederivePass() {

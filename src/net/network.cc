@@ -35,12 +35,23 @@ Status Network::Send(NodeId from, NodeId to, Bytes payload) {
   msg.to = to;
   msg.send_time = now_;
   msg.deliver_time = now_ + LatencyOf(from, to);
-  msg.seq = seq_++;
-  total_bytes_ += payload.size();
-  total_messages_ += 1;
-  tx_bytes_[from] += payload.size();
-  rx_bytes_[to] += payload.size();
   msg.payload = std::move(payload);
+  if (tap_) {
+    TapVerdict verdict = tap_(msg);
+    if (verdict.drop) {
+      ++dropped_messages_;
+      return OkStatus();  // suppressed before it touched the wire
+    }
+    if (verdict.extra_delay_s > 0.0) {
+      msg.deliver_time += verdict.extra_delay_s;
+      ++delayed_messages_;
+    }
+  }
+  msg.seq = seq_++;
+  total_bytes_ += msg.payload.size();
+  total_messages_ += 1;
+  tx_bytes_[from] += msg.payload.size();
+  rx_bytes_[to] += msg.payload.size();
   queue_.push(std::move(msg));
   return OkStatus();
 }

@@ -44,8 +44,25 @@ class Network {
   void SetLatency(NodeId from, NodeId to, double latency_s);
 
   // Enqueues a message for delivery at now + latency. Bytes are charged to
-  // the meters immediately.
+  // the meters immediately (unless a send tap drops the message first).
   Status Send(NodeId from, NodeId to, Bytes payload);
+
+  // --- Fault injection (src/adversary/) -------------------------------------
+  // A send tap observes every message before it is queued and may drop it or
+  // add delivery delay — the hook the Byzantine fault-injection layer uses
+  // for selective suppression, delaying, and wire capture. Dropped messages
+  // are never metered (they never reach the wire); they are counted
+  // separately. Honest deployments install no tap and behave exactly as
+  // before.
+  struct TapVerdict {
+    bool drop = false;
+    double extra_delay_s = 0.0;  // added on top of the link latency
+  };
+  using SendTap = std::function<TapVerdict(const NetMessage&)>;
+  void SetSendTap(SendTap tap) { tap_ = std::move(tap); }
+  void ClearSendTap() { tap_ = nullptr; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t delayed_messages() const { return delayed_messages_; }
 
   // Delivery callback: (to, from, payload).
   using Handler = std::function<void(NodeId, NodeId, const Bytes&)>;
@@ -93,6 +110,9 @@ class Network {
   double default_latency_;
   std::unordered_map<uint64_t, double> link_latency_;  // key = from<<32|to
   Handler handler_;
+  SendTap tap_;
+  uint64_t dropped_messages_ = 0;
+  uint64_t delayed_messages_ = 0;
   std::priority_queue<NetMessage, std::vector<NetMessage>, Later> queue_;
   double now_ = 0.0;
   uint64_t seq_ = 0;
