@@ -11,6 +11,7 @@
 #include "apps/bestpath.h"
 #include "apps/forensics.h"
 #include "apps/programs.h"
+#include "query/provquery.h"
 
 using namespace provnet;
 
@@ -43,12 +44,14 @@ Result<ModeResult> RunMode(const Topology& topo, ProvMode mode,
     for (NodeId n = 0; n < engine->num_nodes() && done < queries; ++n) {
       for (const Tuple& t : engine->TuplesAt(n, "bestPath")) {
         if (done >= queries) break;
-        uint64_t b0 = engine->network().total_bytes();
-        uint64_t m0 = engine->network().total_messages();
-        Result<DerivationPtr> tree = engine->QueryDistributedProvenance(n, t);
-        if (tree.ok()) {
-          result.query_bytes += engine->network().total_bytes() - b0;
-          result.query_messages += engine->network().total_messages() - m0;
+        Result<QueryResult> query = ProvQueryBuilder(*engine)
+                                        .At(n)
+                                        .Of(t)
+                                        .WithScope(QueryScope::kDistributed)
+                                        .Run();
+        if (query.ok()) {
+          result.query_bytes += query.value().stats.bytes;
+          result.query_messages += query.value().stats.messages;
           ++done;
         }
       }

@@ -16,6 +16,7 @@
 #include "apps/forensics.h"
 #include "apps/programs.h"
 #include "core/engine.h"
+#include "query/provquery.h"
 
 using namespace provnet;
 
@@ -69,6 +70,40 @@ int main() {
               "meters as the protocol)\n\n",
               static_cast<unsigned long long>(report.value().query_messages),
               static_cast<unsigned long long>(report.value().query_bytes));
+
+  // 1b. The same investigation through the raw ProvQuery API: an explicit
+  // proof DAG, per-query accounting, bounded probes, and semiring folds.
+  auto query = ProvQueryBuilder(*engine)
+                   .At(0)
+                   .Of(suspect)
+                   .WithScope(QueryScope::kDistributed)
+                   .Run();
+  if (query.ok()) {
+    const QueryResult& r = query.value();
+    std::printf("== ProvQuery (scope=%s) ==\n", QueryScopeName(r.used));
+    std::printf("proof DAG: %zu nodes, depth %zu; stats: %s\n",
+                r.dag.nodes.size(), r.dag.Depth(),
+                r.stats.ToString().c_str());
+    CondensedProv cubes = r.Condensed();
+    std::printf("condensed support sets: %zu (smallest needs %zu "
+                "principals)\n\n",
+                cubes.VoteCount(), cubes.MinWitnessSize());
+
+    // A bounded probe: two hops only — cheap, partial, explicit about it.
+    auto probe = ProvQueryBuilder(*engine)
+                     .At(0)
+                     .Of(suspect)
+                     .WithScope(QueryScope::kDistributed)
+                     .MaxDepth(2)
+                     .Run();
+    if (probe.ok()) {
+      std::printf("bounded probe (depth<=2): %llu bytes vs %llu unbounded, "
+                  "%zu refs truncated\n\n",
+                  static_cast<unsigned long long>(probe.value().stats.bytes),
+                  static_cast<unsigned long long>(r.stats.bytes),
+                  probe.value().stats.truncated);
+    }
+  }
 
   // 2. Random moonwalks.
   Rng walk_rng(7);

@@ -4,6 +4,8 @@
 
 #include "provenance/condense.h"
 #include "provenance/derivation.h"
+#include "provenance/store.h"
+#include "query/provquery.h"
 
 namespace provnet {
 
@@ -86,7 +88,8 @@ void Adversary::LogInjection(AttackKind kind, NodeId attacker, NodeId victim,
 Result<Bytes> Adversary::BuildTupleMessage(const Principal& as, NodeId dest,
                                            const Tuple& tuple,
                                            bool attach_says,
-                                           bool corrupt_sig) {
+                                           bool corrupt_sig,
+                                           const Principal* frame_as) {
   const EngineOptions& opts = engine_.options();
 
   ByteWriter content;
@@ -108,7 +111,8 @@ Result<Bytes> Adversary::BuildTupleMessage(const Principal& as, NodeId dest,
       // this is also what makes provenance-driven response (retracting the
       // principal) reach everything derived from the forgery.
       content.PutU8(kProvPayloadCubes);
-      ProvExpr base = ProvExpr::Var(engine_.registry().Intern(as));
+      ProvExpr base = ProvExpr::Var(
+          engine_.registry().Intern(frame_as != nullptr ? *frame_as : as));
       Condense(base).Serialize(content);
       break;
     }
@@ -194,12 +198,15 @@ Status Adversary::InjectForgedTuple(AttackKind kind, NodeId attacker,
 }
 
 Status Adversary::InjectReplay(NodeId attacker,
-                               std::optional<NodeId> redirect) {
-  // Replay corpus: captured kMsgTuple payloads (signed tuple messages).
+                               std::optional<NodeId> redirect,
+                               uint8_t msg_type) {
+  // Replay corpus: captured payloads of the requested wire type (signed
+  // tuple messages by default; provenance-query responses for attacks on
+  // the forensic path).
   std::vector<size_t> candidates;
   for (size_t i = 0; i < captured_.size(); ++i) {
     if (!captured_[i].payload.empty() &&
-        captured_[i].payload[0] == kMsgTuple) {
+        captured_[i].payload[0] == msg_type) {
       candidates.push_back(i);
     }
   }
@@ -263,6 +270,82 @@ Status Adversary::InjectEquivocation(NodeId attacker, NodeId victim_a,
   PROVNET_RETURN_IF_ERROR(sent_b);
   LogInjection(AttackKind::kEquivocate, attacker, victim_a, self, tuple_a);
   LogInjection(AttackKind::kEquivocate, attacker, victim_b, self, tuple_b);
+  return OkStatus();
+}
+
+Status Adversary::InjectForgedProvResponse(AttackKind kind, NodeId attacker,
+                                           NodeId victim, uint64_t query_id,
+                                           const Tuple& tuple,
+                                           const Principal& as) {
+  const EngineOptions& opts = engine_.options();
+  // The responder the signed content claims: the node `as` operates (so a
+  // stolen key exercises the outstanding-query match, not the trivial
+  // responder/principal check).
+  NodeId responder = attacker;
+  Result<NodeId> as_node = engine_.NodeOf(as);
+  if (as_node.ok()) responder = as_node.value();
+
+  // A fabricated base record: "this tuple originated here, no questions".
+  ProvRecord rec;
+  rec.tuple = tuple;
+  rec.rule = kBaseRule;
+  rec.location = responder;
+  rec.asserted_by = as;
+  rec.created_at = engine_.network().now();
+
+  ByteWriter content;
+  if (opts.authenticate) {
+    content.PutVarint(engine_.NextSendSeq(as));
+    content.PutVarint(victim);
+  }
+  content.PutU8(kQueryRecords);
+  content.PutU64(query_id);
+  content.PutU32(responder);
+  content.PutU64(DigestOf(tuple));
+  content.PutVarint(1);
+  rec.Serialize(content);
+
+  bool attach_says = kind != AttackKind::kForgeNoSig &&
+                     (opts.authenticate || engine_.plan().sendlog());
+  ByteWriter msg;
+  msg.PutU8(kMsgProvResponse);
+  msg.PutBlob(content.bytes());
+  msg.PutU8(attach_says ? 1 : 0);
+  if (attach_says) {
+    SaysLevel level =
+        opts.authenticate ? opts.says_level : SaysLevel::kCleartext;
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        engine_.authenticator().Say(as, content.bytes(), level));
+    if (kind == AttackKind::kForgeBadSig) {
+      if (tag.proof.empty()) {
+        tag.proof.push_back(0x5a);
+      } else {
+        tag.proof[0] ^= 0xff;
+      }
+    }
+    tag.Serialize(msg);
+  }
+
+  injecting_ = true;
+  Status sent = engine_.network().Send(attacker, victim, std::move(msg).Take());
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent);
+  LogInjection(kind, attacker, victim, as, tuple);
+  return OkStatus();
+}
+
+Status Adversary::InjectFramedTuple(NodeId attacker, NodeId victim,
+                                    const Tuple& tuple, const Principal& as,
+                                    const Principal& framed) {
+  PROVNET_ASSIGN_OR_RETURN(
+      Bytes msg, BuildTupleMessage(as, victim, tuple, /*attach_says=*/true,
+                                   /*corrupt_sig=*/false, &framed));
+  injecting_ = true;
+  Status sent = engine_.network().Send(attacker, victim, std::move(msg));
+  injecting_ = false;
+  PROVNET_RETURN_IF_ERROR(sent);
+  LogInjection(AttackKind::kForgeStolenKey, attacker, victim, as, tuple);
   return OkStatus();
 }
 

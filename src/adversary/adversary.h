@@ -102,11 +102,33 @@ class Adversary {
   Status InjectForgedTuple(AttackKind kind, NodeId attacker, NodeId victim,
                            const Tuple& tuple, const Principal& as);
 
-  // Re-sends a captured authenticated message. The replay targets the
-  // original destination (defeated by the sequence window) or, when
-  // `redirect` names a different node, that node (defeated by the signed
-  // destination). Fails with NotFound when nothing suitable was captured.
-  Status InjectReplay(NodeId attacker, std::optional<NodeId> redirect = {});
+  // Re-sends a captured authenticated message of `msg_type` (kMsgTuple by
+  // default; kMsgProvResponse replays a captured provenance-query answer).
+  // The replay targets the original destination (defeated by the sequence
+  // window) or, when `redirect` names a different node, that node (defeated
+  // by the signed destination). Fails with NotFound when nothing suitable
+  // was captured.
+  Status InjectReplay(NodeId attacker, std::optional<NodeId> redirect = {},
+                      uint8_t msg_type = kMsgTuple);
+
+  // Forged kMsgProvResponse claiming to answer `query_id` from the node of
+  // principal `as` with a fabricated base record of `tuple`:
+  //   kForgeStolenKey - validly signed with `as`'s real key; defeated by
+  //                     the (query_id, responder, digest) outstanding-query
+  //                     match (kBogusResponse);
+  //   kForgeBadSig    - proof bytes corrupted (kBadSignature);
+  //   kForgeNoSig     - shipped without a says tag (kMissingSignature).
+  Status InjectForgedProvResponse(AttackKind kind, NodeId attacker,
+                                  NodeId victim, uint64_t query_id,
+                                  const Tuple& tuple, const Principal& as);
+
+  // Framing forgery (the PR 3 follow-up the receive-side framing check
+  // closes): a tuple signed with `as`'s stolen key whose piggybacked
+  // condensed cubes name only `framed` — blame-shifting provenance that a
+  // later traceback would pin on an innocent principal. Only meaningful in
+  // ProvMode::kCondensed.
+  Status InjectFramedTuple(NodeId attacker, NodeId victim, const Tuple& tuple,
+                           const Principal& as, const Principal& framed);
 
   // Conflicting claims: `tuple_a` to `victim_a` and `tuple_b` to
   // `victim_b`, both validly signed by the attacker's own principal with
@@ -140,10 +162,13 @@ class Adversary {
 
   Network::TapVerdict OnSend(const NetMessage& msg);
   // Wire-faithful tuple message: [kMsgTuple][blob: header+tuple+prov]
-  // [has_says][tag]. `corrupt_sig`/`attach_says` select the forgery class.
+  // [has_says][tag]. `corrupt_sig`/`attach_says` select the forgery class;
+  // `frame_as` (condensed mode) names a different principal inside the
+  // mimicked cubes than the one speaking.
   Result<Bytes> BuildTupleMessage(const Principal& as, NodeId dest,
                                   const Tuple& tuple, bool attach_says,
-                                  bool corrupt_sig);
+                                  bool corrupt_sig,
+                                  const Principal* frame_as = nullptr);
   Result<Bytes> BuildRetractMessage(const Principal& as, NodeId dest,
                                     const Tuple& tuple,
                                     const std::vector<ProvVar>& killed);

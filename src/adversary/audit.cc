@@ -20,6 +20,10 @@ const char* SecurityEventKindName(SecurityEventKind kind) {
       return "unauthorized_retract";
     case SecurityEventKind::kMalformed:
       return "malformed";
+    case SecurityEventKind::kBogusResponse:
+      return "bogus_response";
+    case SecurityEventKind::kForeignProvenance:
+      return "foreign_provenance";
   }
   return "?";
 }

@@ -31,6 +31,10 @@ enum class SecurityEventKind : uint8_t {
   kUnauthorizedRetract = 5, // retraction from a principal that never
                             // asserted the tuple (and holds no capability)
   kMalformed = 6,           // verified sender shipped unparseable content
+  kBogusResponse = 7,       // kMsgProvResponse answering no outstanding
+                            // query (wrong id/responder/digest, or none)
+  kForeignProvenance = 8,   // piggybacked annotation cube omitting the
+                            // sender's own variable (framing attempt)
 };
 
 const char* SecurityEventKindName(SecurityEventKind kind);

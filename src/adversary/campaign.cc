@@ -5,6 +5,7 @@
 #include <map>
 
 #include "apps/forensics.h"
+#include "query/provquery.h"
 #include "util/strings.h"
 
 namespace provnet {
@@ -194,46 +195,70 @@ AttackScript AttackScript::RandomAttacks(const Topology& topo,
   return script;
 }
 
-std::vector<EquivocationFinding> EquivocationAudit(
+Result<std::vector<EquivocationFinding>> EquivocationAudit(
     Engine& engine, const std::set<std::string>& predicates,
-    const std::set<NodeId>& skip_nodes) {
-  struct Claim {
+    const std::set<NodeId>& skip_nodes, std::optional<NodeId> auditor) {
+  NodeId audit_node = 0;
+  bool have_auditor = auditor.has_value();
+  if (have_auditor) {
+    audit_node = *auditor;
+  } else {
+    for (NodeId n = 0; n < engine.num_nodes(); ++n) {
+      if (skip_nodes.count(n) == 0) {
+        audit_node = n;
+        have_auditor = true;
+        break;
+      }
+    }
+  }
+  if (!have_auditor) {
+    return FailedPreconditionError("equivocation audit: no honest auditor");
+  }
+
+  // The digest exchange: every honest node ships its claims of the audited
+  // predicates to the auditor over the signed query wire path.
+  ClaimsExchange exchange(engine, audit_node);
+  PROVNET_ASSIGN_OR_RETURN(std::vector<ClaimsExchange::Claim> collected,
+                           exchange.Collect(predicates, skip_nodes));
+
+  struct FirstClaim {
     NodeId node = 0;
     Tuple tuple;
   };
-  std::map<std::string, Claim> first_claim;
+  std::map<std::string, FirstClaim> first_claim;
   std::set<std::string> flagged_keys;
   std::vector<EquivocationFinding> findings;
 
-  for (NodeId n = 0; n < engine.num_nodes(); ++n) {
-    if (skip_nodes.count(n) != 0) continue;
-    for (Table* table : engine.node(n).AllTables()) {
-      if (predicates.find(table->name()) == predicates.end()) continue;
-      const std::vector<int>& keys = table->options().key_columns;
-      for (const StoredTuple* e : table->Scan()) {
-        if (e->asserted_by.empty()) continue;
-        std::string key = table->name() + "|" + e->asserted_by + "|";
-        if (keys.empty()) {
-          key += e->tuple.ToString();
-        } else {
-          for (int c : keys) {
-            if (static_cast<size_t>(c) < e->tuple.arity()) {
-              key += e->tuple.arg(static_cast<size_t>(c)).ToString() + ",";
-            }
-          }
-        }
-        auto [it, fresh] = first_claim.emplace(key, Claim{n, e->tuple});
-        if (!fresh && !(it->second.tuple == e->tuple) &&
-            flagged_keys.insert(key).second) {
-          EquivocationFinding f;
-          f.principal = e->asserted_by;
-          f.node_a = it->second.node;
-          f.node_b = n;
-          f.claim_a = it->second.tuple;
-          f.claim_b = e->tuple;
-          findings.push_back(std::move(f));
+  // Key columns resolved once per audited predicate, not per claim.
+  std::map<std::string, std::vector<int>> keys_of;
+  for (const std::string& pred : predicates) {
+    keys_of.emplace(pred, engine.plan().OptionsFor(pred).key_columns);
+  }
+
+  for (const ClaimsExchange::Claim& claim : collected) {
+    const std::string& pred = claim.tuple.predicate();
+    const std::vector<int>& keys = keys_of[pred];
+    std::string key = pred + "|" + claim.asserted_by + "|";
+    if (keys.empty()) {
+      key += claim.tuple.ToString();
+    } else {
+      for (int c : keys) {
+        if (static_cast<size_t>(c) < claim.tuple.arity()) {
+          key += claim.tuple.arg(static_cast<size_t>(c)).ToString() + ",";
         }
       }
+    }
+    auto [it, fresh] =
+        first_claim.emplace(key, FirstClaim{claim.node, claim.tuple});
+    if (!fresh && !(it->second.tuple == claim.tuple) &&
+        flagged_keys.insert(key).second) {
+      EquivocationFinding f;
+      f.principal = claim.asserted_by;
+      f.node_a = it->second.node;
+      f.node_b = claim.node;
+      f.claim_a = it->second.tuple;
+      f.claim_b = claim.tuple;
+      findings.push_back(std::move(f));
     }
   }
   return findings;
@@ -325,8 +350,9 @@ Status AttackCampaignDriver::RunAuditSweep(CampaignReport& report) {
   std::set<Principal> suspects;
 
   // 1. Cross-node equivocation audit.
-  std::vector<EquivocationFinding> findings =
-      EquivocationAudit(engine_, opts_.audit_predicates, compromised);
+  PROVNET_ASSIGN_OR_RETURN(
+      std::vector<EquivocationFinding> findings,
+      EquivocationAudit(engine_, opts_.audit_predicates, compromised));
   for (const EquivocationFinding& f : findings) {
     suspects.insert(f.principal);
     for (AttackOutcome& o : report.outcomes) {

@@ -110,11 +110,16 @@ struct EquivocationFinding {
 
 // Cross-node equivocation audit over `predicates` (claims a principal makes
 // about keyed facts): one principal, same primary key, different tuples at
-// different honest nodes. Centralized stand-in for a distributed audit
-// protocol; its cost is not charged to the bandwidth meters.
-std::vector<EquivocationFinding> EquivocationAudit(
+// different honest nodes. Distributed: the auditor collects every honest
+// node's claims through the authenticated query wire path (a ClaimsExchange
+// of src/query/), so the audit's bandwidth is real metered traffic charged
+// to RunStats::prov_query_bytes. `auditor` defaults to the first
+// non-skipped node. Errors (exchange could not run to completion) are
+// surfaced, not swallowed — a failed audit must never read as a clean one.
+Result<std::vector<EquivocationFinding>> EquivocationAudit(
     Engine& engine, const std::set<std::string>& predicates,
-    const std::set<NodeId>& skip_nodes);
+    const std::set<NodeId>& skip_nodes,
+    std::optional<NodeId> auditor = std::nullopt);
 
 struct CampaignReport {
   std::vector<AttackOutcome> outcomes;

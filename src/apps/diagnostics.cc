@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "query/provquery.h"
 #include "util/hash.h"
 
 namespace provnet {
@@ -58,19 +59,14 @@ void RouteFlapMonitor::OnUpdate(NodeId node, const Tuple& tuple,
 
 Result<std::vector<Principal>> RouteFlapMonitor::SuspectPrincipals(
     const FlapAlarm& alarm) {
-  PROVNET_ASSIGN_OR_RETURN(
-      DerivationPtr tree,
-      engine_->QueryDistributedProvenance(alarm.node, alarm.tuple));
-  std::set<Principal> principals;
+  PROVNET_ASSIGN_OR_RETURN(QueryResult result,
+                           ProvQueryBuilder(*engine_)
+                               .At(alarm.node)
+                               .Of(alarm.tuple)
+                               .WithScope(QueryScope::kDistributed)
+                               .Run());
   // Leaf assertions are the base inputs whose churn explains the flap.
-  std::function<void(const DerivationNode&)> walk =
-      [&](const DerivationNode& n) {
-        if (n.children.empty() && !n.asserted_by.empty()) {
-          principals.insert(n.asserted_by);
-        }
-        for (const DerivationPtr& c : n.children) walk(*c);
-      };
-  walk(*tree);
+  std::set<Principal> principals = result.dag.LeafPrincipals();
   return std::vector<Principal>(principals.begin(), principals.end());
 }
 

@@ -2,32 +2,25 @@
 
 #include <functional>
 
+#include "query/provquery.h"
+
 namespace provnet {
 
 Result<TracebackReport> Traceback(Engine& engine, NodeId node,
                                   const Tuple& tuple) {
-  uint64_t bytes0 = engine.network().total_bytes();
-  uint64_t msgs0 = engine.network().total_messages();
-  PROVNET_ASSIGN_OR_RETURN(DerivationPtr tree,
-                           engine.QueryDistributedProvenance(node, tuple));
+  // One distributed ProvQuery: the reconstruction, its origins, and the
+  // traffic it cost all come out of the typed result.
+  PROVNET_ASSIGN_OR_RETURN(QueryResult result,
+                           ProvQueryBuilder(engine)
+                               .At(node)
+                               .Of(tuple)
+                               .WithScope(QueryScope::kDistributed)
+                               .Run());
   TracebackReport report;
-  report.query_bytes = engine.network().total_bytes() - bytes0;
-  report.query_messages = engine.network().total_messages() - msgs0;
-
-  std::set<const DerivationNode*> seen;
-  std::set<Tuple> distinct;
-  std::function<void(const DerivationNode&)> walk =
-      [&](const DerivationNode& n) {
-        if (!seen.insert(&n).second) return;
-        if (n.children.empty() && n.rule != "missing" && n.rule != "cycle") {
-          if (distinct.insert(n.tuple).second) {
-            report.origin_tuples.push_back(n.tuple);
-          }
-          report.origin_nodes.insert(n.location);
-        }
-        for (const DerivationPtr& c : n.children) walk(*c);
-      };
-  walk(*tree);
+  report.query_bytes = result.stats.bytes;
+  report.query_messages = result.stats.messages;
+  report.origin_tuples = result.dag.Leaves();
+  report.origin_nodes = result.dag.OriginNodes();
   return report;
 }
 

@@ -23,9 +23,10 @@ struct TracebackReport {
   uint64_t query_bytes = 0;
 };
 
-// Full traceback: reconstructs the distributed provenance of `tuple` as
-// stored at `node` and reports the origins. Works against online or offline
-// stores (whatever the engine recorded).
+// Full traceback: one distributed ProvQuery (src/query/) reconstructing the
+// provenance of `tuple` as stored at `node`, reported as its origins. Works
+// against online or offline stores (whatever the engine recorded); the
+// query traffic is signed, sequenced, and charged to the meters.
 Result<TracebackReport> Traceback(Engine& engine, NodeId node,
                                   const Tuple& tuple);
 

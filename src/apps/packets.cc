@@ -4,6 +4,7 @@
 
 #include "apps/forensics.h"
 #include "apps/programs.h"
+#include "query/provquery.h"
 
 namespace provnet {
 
@@ -42,9 +43,12 @@ Tuple DeliveredTuple(const PacketInjection& injection) {
 Result<SpoofVerdict> TracePacketOrigin(Engine& engine,
                                        const PacketInjection& injection) {
   Tuple delivered = DeliveredTuple(injection);
-  PROVNET_ASSIGN_OR_RETURN(
-      DerivationPtr tree,
-      engine.QueryDistributedProvenance(injection.dst, delivered));
+  PROVNET_ASSIGN_OR_RETURN(QueryResult result,
+                           ProvQueryBuilder(engine)
+                               .At(injection.dst)
+                               .Of(delivered)
+                               .WithScope(QueryScope::kDistributed)
+                               .Run());
 
   SpoofVerdict verdict;
   verdict.claimed_src = injection.claimed_src;
@@ -53,21 +57,15 @@ Result<SpoofVerdict> TracePacketOrigin(Engine& engine,
   // provenance leaves; the forwarding path is every node whose records the
   // reconstruction traversed (on packet-chain tuples only).
   bool found_origin = false;
-  std::set<const DerivationNode*> seen;
-  std::function<void(const DerivationNode&)> walk =
-      [&](const DerivationNode& n) {
-        if (!seen.insert(&n).second) return;
-        const std::string& pred = n.tuple.predicate();
-        if (pred == "packet" || pred == "delivered") {
-          verdict.forwarding_path.insert(n.location);
-          if (n.children.empty() && n.rule == kBaseRule) {
-            verdict.true_origin = n.location;
-            found_origin = true;
-          }
-        }
-        for (const DerivationPtr& c : n.children) walk(*c);
-      };
-  walk(*tree);
+  for (const ProofNode& n : result.dag.nodes) {
+    const std::string& pred = n.tuple.predicate();
+    if (pred != "packet" && pred != "delivered") continue;
+    verdict.forwarding_path.insert(n.location);
+    if (n.children.empty() && n.rule == kBaseRule) {
+      verdict.true_origin = n.location;
+      found_origin = true;
+    }
+  }
 
   if (!found_origin) {
     return NotFoundError(

@@ -31,7 +31,9 @@ std::string RunStats::ToString() const {
       "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
       "prov=%llu) events=%llu derivations=%llu candidates=%llu signs=%llu "
       "verifies=%llu auth_failures=%llu replays_rejected=%llu "
-      "retracts_rejected=%llu retractions=%llu rederivations=%llu",
+      "retracts_rejected=%llu retractions=%llu rederivations=%llu "
+      "prov_queries=%llu prov_query_bytes=%llu prov_responses_rejected=%llu "
+      "prov_frames_rejected=%llu",
       wall_seconds, sim_seconds, static_cast<unsigned long long>(messages),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(tuple_bytes),
@@ -46,7 +48,11 @@ std::string RunStats::ToString() const {
       static_cast<unsigned long long>(replays_rejected),
       static_cast<unsigned long long>(retracts_rejected),
       static_cast<unsigned long long>(retractions),
-      static_cast<unsigned long long>(rederivations));
+      static_cast<unsigned long long>(rederivations),
+      static_cast<unsigned long long>(prov_queries),
+      static_cast<unsigned long long>(prov_query_bytes),
+      static_cast<unsigned long long>(prov_responses_rejected),
+      static_cast<unsigned long long>(prov_frames_rejected));
 }
 
 Engine::~Engine() = default;
@@ -643,6 +649,34 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     case kProvPayloadCubes: {
       PROVNET_ASSIGN_OR_RETURN(CondensedProv cubes,
                                CondensedProv::Deserialize(body));
+      // Receive-side framing check (closes a PR 3 follow-up): every honest
+      // derivation a principal ships passes through one of its own
+      // assertions (localized rules join through the sender's link state),
+      // so every shipped cube must contain the sender's own variable. A
+      // stolen key can still forge tuples, but it can no longer *frame*
+      // other principals with annotation cubes that omit itself — the
+      // traceback that follows a framed cube would blame an innocent.
+      if (options_.authenticate && options_.verify_incoming &&
+          options_.prov_grain == ProvGrain::kPrincipal && tag.has_value()) {
+        std::optional<ProvVar> sender_var = registry_.Find(tag->principal);
+        bool framed = false;
+        for (const std::vector<ProvVar>& cube : cubes.cubes) {
+          if (!sender_var.has_value() ||
+              std::find(cube.begin(), cube.end(), *sender_var) ==
+                  cube.end()) {
+            framed = true;
+            break;
+          }
+        }
+        if (framed) {
+          ++stats_.prov_frames_rejected;
+          RecordSecurityEvent(
+              SecurityEventKind::kForeignProvenance, to, from,
+              tag->principal,
+              "annotation cube omits sender: " + entry.tuple.ToString());
+          return OkStatus();  // rejected and audited; drop
+        }
+      }
       entry.prov = cubes.ToExpr();
       break;
     }
@@ -750,6 +784,12 @@ Result<RunStats> Engine::Run() {
   out.retracts_rejected = stats_.retracts_rejected - before.retracts_rejected;
   out.retractions = stats_.retractions - before.retractions;
   out.rederivations = stats_.rederivations - before.rederivations;
+  out.prov_queries = stats_.prov_queries - before.prov_queries;
+  out.prov_query_bytes = stats_.prov_query_bytes - before.prov_query_bytes;
+  out.prov_responses_rejected =
+      stats_.prov_responses_rejected - before.prov_responses_rejected;
+  out.prov_frames_rejected =
+      stats_.prov_frames_rejected - before.prov_frames_rejected;
   return out;
 }
 

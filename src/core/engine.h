@@ -15,7 +15,8 @@
 //
 // plus the taxonomy modes of Section 4: kFull (local provenance piggybacks
 // entire derivation trees), kPointers (distributed provenance: per-hop
-// pointers, reconstructed on demand with QueryDistributedProvenance).
+// pointers, reconstructed on demand through the ProvQuery API of
+// src/query/).
 #ifndef PROVNET_CORE_ENGINE_H_
 #define PROVNET_CORE_ENGINE_H_
 
@@ -26,6 +27,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -53,7 +55,7 @@ enum class ProvMode : uint8_t {
 const char* ProvModeName(ProvMode mode);
 
 // Wire message tags, shared by every protocol handler (core/engine.cc,
-// core/distquery.cc, dynamics/delta.cc) so senders and the dispatcher can
+// query/wire.cc, dynamics/delta.cc) so senders and the dispatcher can
 // never disagree.
 inline constexpr uint8_t kMsgTuple = 1;
 inline constexpr uint8_t kMsgProvRequest = 2;
@@ -132,6 +134,16 @@ struct RunStats {
   // misdirected sequence headers, and unauthorized retractions.
   uint64_t replays_rejected = 0;
   uint64_t retracts_rejected = 0;
+  // Provenance-query API (src/query/): queries executed over the wire,
+  // their request/response traffic, and responses dropped by the
+  // verification pipeline (forged, replayed, misdirected, or answering no
+  // outstanding query).
+  uint64_t prov_queries = 0;
+  uint64_t prov_query_bytes = 0;
+  uint64_t prov_responses_rejected = 0;
+  // Piggybacked annotations rejected by the receive-side framing check (a
+  // shipped cube that does not contain the sender's own variable).
+  uint64_t prov_frames_rejected = 0;
   // Incremental maintenance (src/dynamics/): deletion deltas processed and
   // tuples restored by the re-derivation phase.
   uint64_t retractions = 0;
@@ -141,6 +153,7 @@ struct RunStats {
 };
 
 struct DeltaState;  // epoch state of the incremental evaluator (dynamics/delta.h)
+struct ProvQuerySession;  // in-flight provenance query (query/session.h)
 
 class Engine {
  public:
@@ -226,6 +239,11 @@ class Engine {
   std::string VarName(ProvVar v) const { return registry_.NameOf(v); }
 
   // --- Provenance queries ---------------------------------------------------
+  // Raw stored-state accessors. Reconstruction and evaluation — local or
+  // over the network — goes through the ProvQuery API (src/query/), which
+  // issues signed, sequenced request/response messages whose bytes are
+  // charged to the bandwidth meters and to RunStats::prov_query_bytes.
+  //
   // Semiring annotation of a stored tuple.
   Result<ProvExpr> AnnotationOf(NodeId node, const Tuple& tuple) const;
   // Condensed annotation (<a + a*b> -> <a>).
@@ -233,11 +251,11 @@ class Engine {
   // Full local derivation tree (ProvMode::kFull).
   Result<DerivationPtr> LocalDerivationOf(NodeId node,
                                           const Tuple& tuple) const;
-  // Distributed reconstruction over the network (ProvMode::kPointers; also
-  // works in other modes when record_online is on). Issues ProvReq/ProvResp
-  // messages whose bytes are charged to the bandwidth meters.
-  Result<DerivationPtr> QueryDistributedProvenance(NodeId node,
-                                                   const Tuple& tuple);
+  // Cumulative engine counters (RunStats returns per-Run() windows; this is
+  // the running total). Meter-style fields — wall/sim seconds, messages,
+  // bytes — are computed per window and stay zero here; the tuple/auth/prov
+  // byte splits and all rejection counters are cumulative.
+  const RunStats& cumulative_stats() const { return stats_; }
 
   // Reactive provenance control (Section 5).
   void SetRecordingEnabled(bool enabled) {
@@ -298,6 +316,42 @@ class Engine {
 
   Status HandleMessage(NodeId to, NodeId from, const Bytes& payload);
   Status HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader);
+
+  // --- Provenance-query wire path (implemented in src/query/wire.cc) -------
+  // The ProvQuery/ClaimsExchange drivers (src/query/provquery.cc) run as
+  // friends: they install the active session, issue requests, and pump the
+  // network; the handlers below verify and fold responses into it.
+  friend class ProvQuery;
+  friend class ClaimsExchange;
+  // Wraps `inner` in the authenticated query envelope — the same framing as
+  // kMsgTuple/kMsgRetract: signed (sequence, destination) header + says tag
+  // over the content — and ships it, charging prov_query_bytes.
+  Status SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
+                       const Bytes& inner);
+  // Issues one signed records request for `digest` to `to`, registering it
+  // in the session's pending set.
+  Status ProvQuerySendRequest(ProvQuerySession& session, NodeId to,
+                              TupleDigest digest);
+  // Records a detaching session's unanswered query ids so their late
+  // responses are recognized as stale rather than audited as attacks.
+  void NoteAbandonedQueries(const ProvQuerySession& session);
+  // Issues one signed claims request for `predicates` to `to`.
+  Status ProvQuerySendClaimsRequest(ProvQuerySession& session, NodeId to,
+                                    const std::set<std::string>& predicates);
+  // Records of `digest` at `node`: online store preferred, offline archive
+  // as fallback (forensics over expired state, Section 4.2).
+  std::vector<ProvRecord> ProvRecordsAt(NodeId node, TupleDigest digest,
+                                        bool* offline_hit) const;
+  // Attributable claims `node` stores of the given predicates — what a
+  // claims request answers and what the auditor reads locally; one
+  // definition so responders and the auditor can never diverge.
+  std::vector<const StoredTuple*> ClaimTuplesAt(
+      NodeId node, const std::set<std::string>& predicates) const;
+  // Folds a batch of records for (at, digest) into the session: stores them
+  // and expands unseen child references (local frontier or signed requests),
+  // honoring the session's depth/fanout/record limits.
+  Status ProvQueryIngest(ProvQuerySession& session, NodeId at,
+                         TupleDigest digest, std::vector<ProvRecord> records);
   Status HandleProvRequest(NodeId to, NodeId from, ByteReader& reader);
   Status HandleProvResponse(NodeId to, NodeId from, ByteReader& reader);
 
@@ -421,15 +475,17 @@ class Engine {
   // Per-principal authenticated-message sequence counters (send side).
   std::unordered_map<Principal, uint64_t> send_seq_;
 
-  // Distributed provenance query state.
-  struct ProvQueryState {
-    std::map<std::pair<NodeId, TupleDigest>, std::vector<ProvRecord>>
-        collected;
-    std::set<std::pair<NodeId, TupleDigest>> requested;
-    size_t outstanding = 0;
-  };
-  std::unique_ptr<ProvQueryState> prov_query_;
+  // The provenance query currently pumping the network (nullptr when none).
+  // Non-owning: the ProvQuery/ClaimsExchange driver owns the session on its
+  // stack and detaches before returning.
+  ProvQuerySession* query_session_ = nullptr;
   uint64_t next_query_id_ = 1;
+  // Query ids whose session ended before their responses arrived (aborted
+  // or error-terminated queries). A late response matching one is stale
+  // honest traffic — dropped silently, neither counted nor audited, and
+  // the id is consumed. Anything else answering no outstanding query is a
+  // bogus (attack) response.
+  std::unordered_set<uint64_t> abandoned_queries_;
 
   // Incremental-evaluator epoch state (deletion queue, overlay of deleted
   // tuples, killed provenance variables, re-derivation worklist).

@@ -81,6 +81,13 @@ class OnlineProvStore {
   // associated with the malicious node" query of Section 4.2.
   std::vector<TupleDigest> DependentsOf(const Principal& principal) const;
 
+  // Drops every record (e.g. simulating fully aged-out online state before
+  // an archive-only forensic query).
+  void Clear() {
+    records_.clear();
+    count_ = 0;
+  }
+
   size_t size() const { return count_; }
 
  private:

@@ -1,0 +1,672 @@
+#include "query/provquery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <map>
+
+#include "provenance/semiring.h"
+#include "query/session.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+const char* QueryScopeName(QueryScope scope) {
+  switch (scope) {
+    case QueryScope::kAuto:
+      return "auto";
+    case QueryScope::kLocal:
+      return "local";
+    case QueryScope::kDistributed:
+      return "distributed";
+  }
+  return "?";
+}
+
+std::string QueryStats::ToString() const {
+  return StrFormat(
+      "msgs=%llu bytes=%llu requests=%llu responses=%llu rejected=%llu "
+      "records=%llu local=%llu offline=%llu depth=%zu truncated=%zu "
+      "wall=%.4fs",
+      static_cast<unsigned long long>(messages),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(responses),
+      static_cast<unsigned long long>(responses_rejected),
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(local_lookups),
+      static_cast<unsigned long long>(offline_hits), depth, truncated,
+      wall_seconds);
+}
+
+// --- ProofDag ---------------------------------------------------------------
+
+std::vector<Tuple> ProofDag::Leaves() const {
+  std::vector<Tuple> out;
+  std::set<Tuple> seen;
+  for (const ProofNode& n : nodes) {
+    if (n.IsOrigin() && seen.insert(n.tuple).second) out.push_back(n.tuple);
+  }
+  return out;
+}
+
+std::set<NodeId> ProofDag::OriginNodes() const {
+  std::set<NodeId> out;
+  for (const ProofNode& n : nodes) {
+    if (n.IsOrigin()) out.insert(n.location);
+  }
+  return out;
+}
+
+std::set<Principal> ProofDag::LeafPrincipals() const {
+  std::set<Principal> out;
+  for (const ProofNode& n : nodes) {
+    if (n.IsOrigin() && !n.asserted_by.empty()) out.insert(n.asserted_by);
+  }
+  return out;
+}
+
+size_t ProofDag::Depth() const {
+  if (nodes.empty()) return 0;
+  // Memoized longest path; proof DAGs are acyclic by construction (cycles
+  // were cut into kCycleRule leaves).
+  std::vector<size_t> memo(nodes.size(), 0);
+  std::function<size_t(uint32_t)> walk = [&](uint32_t i) -> size_t {
+    if (memo[i] != 0) return memo[i];
+    size_t best = 0;
+    for (uint32_t c : nodes[i].children) best = std::max(best, walk(c));
+    return memo[i] = best + 1;
+  };
+  return walk(root);
+}
+
+ProvExpr ProofDag::Annotation(ProvVarRegistry& registry,
+                              ProvGrain grain) const {
+  if (nodes.empty()) return ProvExpr::Zero();
+  std::map<uint32_t, ProvExpr> memo;
+  std::function<ProvExpr(uint32_t)> fold = [&](uint32_t i) -> ProvExpr {
+    auto it = memo.find(i);
+    if (it != memo.end()) return it->second;
+    const ProofNode& n = nodes[i];
+    ProvExpr result;
+    if (n.children.empty()) {
+      if (n.IsOrigin()) {
+        result = ProvExpr::Var(registry.Intern(
+            grain == ProvGrain::kPrincipal ? n.asserted_by
+                                           : n.tuple.ToString()));
+      } else {
+        result = ProvExpr::Zero();  // missing/cycle: not derivable this way
+      }
+    } else if (n.rule == kUnionRule) {
+      result = ProvExpr::Zero();
+      for (uint32_t c : n.children) result = ProvExpr::Plus(result, fold(c));
+    } else {
+      result = ProvExpr::One();
+      for (uint32_t c : n.children) result = ProvExpr::Times(result, fold(c));
+    }
+    memo.emplace(i, result);
+    return result;
+  };
+  return fold(root);
+}
+
+Bytes ProofDag::CanonicalBytes() const {
+  ByteWriter out;
+  if (nodes.empty()) return std::move(out).Take();
+  // Preorder DFS with first-visit ids: equal bytes <=> identical structure,
+  // regardless of the order nodes were appended during construction.
+  std::map<uint32_t, uint32_t> ids;
+  std::function<void(uint32_t)> walk = [&](uint32_t i) {
+    auto it = ids.find(i);
+    if (it != ids.end()) {
+      out.PutU8(0);  // back-reference to a shared node
+      out.PutVarint(it->second);
+      return;
+    }
+    ids.emplace(i, static_cast<uint32_t>(ids.size()));
+    const ProofNode& n = nodes[i];
+    out.PutU8(1);
+    n.tuple.Serialize(out);
+    out.PutString(n.rule);
+    out.PutU32(n.location);
+    out.PutString(n.asserted_by);
+    out.PutVarint(n.children.size());
+    for (uint32_t c : n.children) walk(c);
+  };
+  walk(root);
+  return std::move(out).Take();
+}
+
+DerivationPtr ProofDag::ToDerivation() const {
+  if (nodes.empty()) return nullptr;
+  std::map<uint32_t, DerivationPtr> memo;
+  std::function<DerivationPtr(uint32_t)> build =
+      [&](uint32_t i) -> DerivationPtr {
+    auto it = memo.find(i);
+    if (it != memo.end()) return it->second;
+    const ProofNode& n = nodes[i];
+    DerivationPtr result;
+    if (n.children.empty() && n.rule == kBaseRule) {
+      result = MakeBaseDerivation(n.tuple, n.location, n.asserted_by,
+                                  n.created_at, -1.0);
+    } else {
+      std::vector<DerivationPtr> children;
+      children.reserve(n.children.size());
+      for (uint32_t c : n.children) children.push_back(build(c));
+      result = MakeRuleDerivation(n.tuple, n.rule, n.location, n.asserted_by,
+                                  n.created_at, -1.0, std::move(children));
+    }
+    memo.emplace(i, result);
+    return result;
+  };
+  return build(root);
+}
+
+ProofDag ProofDag::FromDerivation(const DerivationPtr& root_deriv) {
+  ProofDag dag;
+  if (root_deriv == nullptr) return dag;
+  std::map<const DerivationNode*, uint32_t> memo;
+  std::function<uint32_t(const DerivationNode&)> build =
+      [&](const DerivationNode& d) -> uint32_t {
+    auto it = memo.find(&d);
+    if (it != memo.end()) return it->second;
+    std::vector<uint32_t> children;
+    children.reserve(d.children.size());
+    for (const DerivationPtr& c : d.children) children.push_back(build(*c));
+    ProofNode node;
+    node.tuple = d.tuple;
+    node.rule = d.rule;
+    node.location = d.location;
+    node.asserted_by = d.asserted_by;
+    node.created_at = d.created_at;
+    node.children = std::move(children);
+    uint32_t idx = static_cast<uint32_t>(dag.nodes.size());
+    dag.nodes.push_back(std::move(node));
+    memo.emplace(&d, idx);
+    return idx;
+  };
+  dag.root = build(*root_deriv);
+  return dag;
+}
+
+std::string ProofDag::ToString() const {
+  DerivationPtr deriv = ToDerivation();
+  return deriv == nullptr ? std::string("<empty proof>") : deriv->ToString();
+}
+
+// --- QueryResult evaluations ------------------------------------------------
+
+bool QueryResult::DerivableFrom(
+    const std::unordered_map<ProvVar, bool>& trusted) const {
+  return provnet::DerivableFrom(annotation, trusted);
+}
+
+int64_t QueryResult::TrustLevel(
+    const std::unordered_map<ProvVar, int64_t>& levels,
+    int64_t default_level) const {
+  return TrustLevelOf(annotation, levels, default_level);
+}
+
+uint64_t QueryResult::DerivationCount() const {
+  return provnet::DerivationCount(annotation);
+}
+
+CondensedProv QueryResult::Condensed() const { return Condense(annotation); }
+
+// --- DAG assembly from collected records ------------------------------------
+
+namespace {
+
+bool AnyLimitSet(const QueryLimits& limits) {
+  return limits.max_depth != 0 || limits.max_fanout != 0 ||
+         limits.max_records != 0;
+}
+
+// Depth/fanout/record-limited import of a stored derivation tree, mirroring
+// the distributed walk's semantics: base leaves are exempt (they ride inside
+// their parent's record on the wire), union alternatives share their key's
+// depth, and cut children become kMissingRule leaves counted into
+// stats.truncated. Memoized per (node, depth): truncation is
+// depth-dependent, so sharing across depths cannot be reused.
+class LimitedTreeImporter {
+ public:
+  LimitedTreeImporter(const QueryLimits& limits, QueryStats& stats)
+      : limits_(limits), stats_(stats) {}
+
+  ProofDag Import(const DerivationNode& root) {
+    dag_.root = Build(root, 0);
+    return std::move(dag_);
+  }
+
+ private:
+  uint32_t AddNode(ProofNode node) {
+    uint32_t idx = static_cast<uint32_t>(dag_.nodes.size());
+    dag_.nodes.push_back(std::move(node));
+    return idx;
+  }
+
+  uint32_t MissingLeaf(const DerivationNode& d) {
+    ProofNode node;
+    node.tuple = d.tuple;
+    node.rule = kMissingRule;
+    node.location = d.location;
+    return AddNode(std::move(node));
+  }
+
+  uint32_t Build(const DerivationNode& d, size_t depth) {
+    auto key = std::make_pair(&d, depth);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    bool is_base = d.children.empty() && d.rule == kBaseRule;
+    if (!is_base) {
+      if (limits_.max_records != 0 &&
+          stats_.records >= limits_.max_records) {
+        ++stats_.truncated;
+        return MissingLeaf(d);
+      }
+      ++stats_.records;
+      // Base leaves ride inside their parent's record (no hop of their
+      // own), so only record-like nodes advance the depth gauge — same
+      // accounting as the distributed walk.
+      stats_.depth = std::max(stats_.depth, depth);
+    }
+
+    std::vector<uint32_t> children;
+    children.reserve(d.children.size());
+    size_t expanded = 0;
+    for (const DerivationPtr& child : d.children) {
+      bool child_is_base =
+          child->children.empty() && child->rule == kBaseRule;
+      // Union alternatives resolve the same tuple: same depth, no fanout.
+      size_t child_depth = d.rule == kUnionRule ? depth : depth + 1;
+      if (!child_is_base && d.rule != kUnionRule) {
+        if (limits_.max_fanout != 0 && expanded >= limits_.max_fanout) {
+          ++stats_.truncated;
+          children.push_back(MissingLeaf(*child));
+          continue;
+        }
+        if (limits_.max_depth != 0 && child_depth > limits_.max_depth) {
+          ++stats_.truncated;
+          children.push_back(MissingLeaf(*child));
+          continue;
+        }
+        ++expanded;
+      }
+      children.push_back(Build(*child, child_depth));
+    }
+
+    ProofNode node;
+    node.tuple = d.tuple;
+    node.rule = d.rule;
+    node.location = d.location;
+    node.asserted_by = d.asserted_by;
+    node.created_at = d.created_at;
+    node.children = std::move(children);
+    uint32_t idx = AddNode(std::move(node));
+    memo_.emplace(key, idx);
+    return idx;
+  }
+
+  const QueryLimits& limits_;
+  QueryStats& stats_;
+  ProofDag dag_;
+  std::map<std::pair<const DerivationNode*, size_t>, uint32_t> memo_;
+};
+
+// A pass-through transport hop: the receive-side record a shipped tuple
+// leaves behind (rule "recv", one non-base child, same digest). Collapsed
+// during assembly so the reconstruction mirrors the derivation structure a
+// local full-provenance tree stores — hops are transport, not derivation.
+bool IsRecvHop(const ProvRecord& rec, TupleDigest digest) {
+  return rec.rule == "recv" && rec.children.size() == 1 &&
+         !rec.children[0].is_base && rec.children[0].digest == digest;
+}
+
+class DagAssembler {
+ public:
+  explicit DagAssembler(
+      const std::map<ProvQuerySession::Key, std::vector<ProvRecord>>&
+          collected)
+      : collected_(collected) {}
+
+  ProofDag Assemble(NodeId node, TupleDigest digest, const Tuple& known) {
+    dag_.root = Build(node, digest, &known);
+    return std::move(dag_);
+  }
+
+ private:
+  uint32_t AddNode(ProofNode node) {
+    uint32_t idx = static_cast<uint32_t>(dag_.nodes.size());
+    dag_.nodes.push_back(std::move(node));
+    return idx;
+  }
+
+  uint32_t AddBaseLeaf(const ProvChildRef& ref, double created_at) {
+    // Base assertions are shared DAG nodes, exactly as the emit-time
+    // derivation trees share one DerivationPtr per inserted fact.
+    auto key = std::make_tuple(ref.node, DigestOf(ref.base_tuple),
+                               ref.asserted_by);
+    auto it = base_memo_.find(key);
+    if (it != base_memo_.end()) return it->second;
+    ProofNode node;
+    node.tuple = ref.base_tuple;
+    node.rule = kBaseRule;
+    node.location = ref.node;
+    node.asserted_by = ref.asserted_by;
+    node.created_at = created_at;
+    uint32_t idx = AddNode(std::move(node));
+    base_memo_.emplace(key, idx);
+    return idx;
+  }
+
+  uint32_t Build(NodeId n, TupleDigest digest, const Tuple* known_tuple) {
+    ProvQuerySession::Key key{n, digest};
+    auto memo_it = memo_.find(key);
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    auto it = collected_.find(key);
+    if (it == collected_.end() || it->second.empty()) {
+      // Unknown (sampled-out, expired, rejected, or cut by a limit).
+      ProofNode node;
+      node.tuple =
+          known_tuple != nullptr ? *known_tuple : Tuple("unknown", {});
+      node.rule = kMissingRule;
+      node.location = n;
+      uint32_t idx = AddNode(std::move(node));
+      memo_.emplace(key, idx);
+      return idx;
+    }
+    if (visiting_.count(key) != 0) {
+      // Conservative cut; engine pointer graphs are acyclic in the common
+      // case, and a memoized subtree may still resolve the tuple elsewhere.
+      ProofNode node;
+      node.tuple =
+          known_tuple != nullptr ? *known_tuple : it->second[0].tuple;
+      node.rule = kCycleRule;
+      node.location = n;
+      return AddNode(std::move(node));
+    }
+    visiting_.insert(key);
+
+    std::vector<uint32_t> alternatives;
+    for (const ProvRecord& rec : it->second) {
+      if (IsRecvHop(rec, digest)) {
+        alternatives.push_back(
+            Build(rec.children[0].node, digest, &rec.tuple));
+        continue;
+      }
+      std::vector<uint32_t> children;
+      children.reserve(rec.children.size());
+      for (const ProvChildRef& ref : rec.children) {
+        if (ref.is_base) {
+          children.push_back(AddBaseLeaf(ref, rec.created_at));
+        } else {
+          children.push_back(Build(ref.node, ref.digest, nullptr));
+        }
+      }
+      ProofNode node;
+      node.tuple = rec.tuple;
+      node.rule = rec.rule;
+      node.location = rec.location;
+      node.asserted_by = rec.asserted_by;
+      node.created_at = rec.created_at;
+      node.children = std::move(children);
+      alternatives.push_back(AddNode(std::move(node)));
+    }
+    visiting_.erase(key);
+
+    uint32_t idx;
+    if (alternatives.size() == 1) {
+      idx = alternatives[0];
+    } else {
+      // Alternative derivations merge under a union node (the DAG analogue
+      // of MergeAlternatives). Duplicate alternatives (a recv hop plus a
+      // memoized shared subtree resolving to the same node) collapse.
+      std::vector<uint32_t> unique;
+      for (uint32_t a : alternatives) {
+        if (std::find(unique.begin(), unique.end(), a) == unique.end()) {
+          unique.push_back(a);
+        }
+      }
+      if (unique.size() == 1) {
+        idx = unique[0];
+      } else {
+        ProofNode node;
+        node.tuple = dag_.nodes[unique[0]].tuple;
+        node.rule = kUnionRule;
+        node.location = dag_.nodes[unique[0]].location;
+        node.asserted_by = dag_.nodes[unique[0]].asserted_by;
+        node.created_at = dag_.nodes[unique[0]].created_at;
+        node.children = std::move(unique);
+        idx = AddNode(std::move(node));
+      }
+    }
+    memo_.emplace(key, idx);
+    return idx;
+  }
+
+  const std::map<ProvQuerySession::Key, std::vector<ProvRecord>>& collected_;
+  ProofDag dag_;
+  std::map<ProvQuerySession::Key, uint32_t> memo_;
+  std::set<ProvQuerySession::Key> visiting_;
+  std::map<std::tuple<NodeId, TupleDigest, Principal>, uint32_t> base_memo_;
+};
+
+}  // namespace
+
+// --- ProvQuery --------------------------------------------------------------
+
+Status ProvQuery::DrainLocalFrontier(Engine& engine,
+                                     ProvQuerySession& session) {
+  while (!session.local_frontier.empty()) {
+    ProvQuerySession::Key key = session.local_frontier.front();
+    session.local_frontier.pop_front();
+    if (session.collected.count(key) != 0) continue;
+    ++session.stats.local_lookups;
+    bool offline = false;
+    std::vector<ProvRecord> records =
+        engine.ProvRecordsAt(key.first, key.second, &offline);
+    if (offline) ++session.stats.offline_hits;
+    PROVNET_RETURN_IF_ERROR(
+        engine.ProvQueryIngest(session, key.first, key.second,
+                               std::move(records)));
+  }
+  return OkStatus();
+}
+
+Status ProvQuery::Pump(Engine& engine, ProvQuerySession& session) {
+  PROVNET_RETURN_IF_ERROR(DrainLocalFrontier(engine, session));
+  // Pump the network until every outstanding request resolved (or can no
+  // longer resolve: a rejected response leaves its subtree missing).
+  uint64_t guard = 0;
+  while (session.outstanding > 0 && !engine.net_.Idle()) {
+    engine.net_.Step();
+    if (!engine.async_error_.ok()) {
+      Status s = engine.async_error_;
+      engine.async_error_ = OkStatus();
+      return s;
+    }
+    // Responses may have queued asker-local references.
+    PROVNET_RETURN_IF_ERROR(DrainLocalFrontier(engine, session));
+    if (++guard > engine.options_.max_steps) {
+      return ResourceExhaustedError("provenance query did not converge");
+    }
+  }
+  return OkStatus();
+}
+
+Result<QueryResult> ProvQuery::RunLocal(const StoredTuple* stored) {
+  Engine& engine = *engine_;
+  QueryResult out;
+  out.used = QueryScope::kLocal;
+  if (stored != nullptr && stored->deriv != nullptr) {
+    // The stored full-provenance tree (ProvMode::kFull) is the proof;
+    // limits truncate it exactly as they bound the distributed walk.
+    if (AnyLimitSet(limits_)) {
+      out.dag = LimitedTreeImporter(limits_, out.stats).Import(*stored->deriv);
+    } else {
+      out.dag = ProofDag::FromDerivation(stored->deriv);
+    }
+    return out;
+  }
+  // Walk this node's own records; references held by other nodes are cut
+  // (they would need the network — that is what kDistributed is for).
+  ProvQuerySession session;
+  session.asker = node_;
+  session.kind = kQueryRecords;
+  session.local_only = true;
+  session.limits = limits_;
+  TupleDigest root = DigestOf(tuple_);
+  session.depth.emplace(ProvQuerySession::Key{node_, root}, 0);
+  session.local_frontier.push_back({node_, root});
+  PROVNET_RETURN_IF_ERROR(DrainLocalFrontier(engine, session));
+  if (session.collected[{node_, root}].empty()) {
+    return NotFoundError("no provenance records for " + tuple_.ToString());
+  }
+  out.dag = DagAssembler(session.collected).Assemble(node_, root, tuple_);
+  out.stats = session.stats;
+  return out;
+}
+
+Result<QueryResult> ProvQuery::RunDistributed() {
+  Engine& engine = *engine_;
+  if (engine.query_session_ != nullptr) {
+    return FailedPreconditionError(
+        "another provenance query is already pumping the network");
+  }
+  ProvQuerySession session;
+  session.asker = node_;
+  session.kind = kQueryRecords;
+  session.limits = limits_;
+  TupleDigest root = DigestOf(tuple_);
+  session.depth.emplace(ProvQuerySession::Key{node_, root}, 0);
+  session.local_frontier.push_back({node_, root});
+
+  Network::Meters meters0 = engine.net_.MeterSnapshot();
+  engine.query_session_ = &session;
+  Status pumped = Pump(engine, session);
+  engine.query_session_ = nullptr;
+  // Requests that never got their answer (abort, rejection, or error):
+  // their responses may still be in flight and must not be audited as
+  // attacks when a later Run() delivers them.
+  engine.NoteAbandonedQueries(session);
+  PROVNET_RETURN_IF_ERROR(pumped);
+  Network::Meters meters1 = engine.net_.MeterSnapshot();
+  session.stats.bytes = meters1.bytes - meters0.bytes;
+  session.stats.messages = meters1.messages - meters0.messages;
+  ++engine.stats_.prov_queries;
+
+  // A tuple nobody recorded is not reconstructible at all.
+  if (session.collected[{node_, root}].empty()) {
+    return NotFoundError("no provenance records for " + tuple_.ToString());
+  }
+  QueryResult out;
+  out.used = QueryScope::kDistributed;
+  out.dag = DagAssembler(session.collected).Assemble(node_, root, tuple_);
+  out.stats = session.stats;
+  return out;
+}
+
+Result<QueryResult> ProvQuery::Run() {
+  Engine& engine = *engine_;
+  if (node_ >= engine.num_nodes()) {
+    return InvalidArgumentError("ProvQuery: unknown node");
+  }
+  if (tuple_.predicate().empty()) {
+    return InvalidArgumentError("ProvQuery: no tuple selected (use Of())");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+
+  const StoredTuple* stored = nullptr;
+  const Table* table = engine.node(node_).FindTable(tuple_.predicate());
+  if (table != nullptr) stored = table->Find(tuple_);
+
+  QueryScope used = scope_;
+  if (used == QueryScope::kAuto) {
+    used = (stored != nullptr && stored->deriv != nullptr)
+               ? QueryScope::kLocal
+               : QueryScope::kDistributed;
+  }
+  Result<QueryResult> result = used == QueryScope::kLocal
+                                   ? RunLocal(stored)
+                                   : RunDistributed();
+  PROVNET_RETURN_IF_ERROR(result.status());
+  QueryResult out = std::move(result).value();
+  out.annotation = out.dag.Annotation(engine.registry(), grain_);
+  out.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+// --- ClaimsExchange ---------------------------------------------------------
+
+Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
+    const std::set<std::string>& predicates,
+    const std::set<NodeId>& skip_nodes) {
+  Engine& engine = *engine_;
+  if (auditor_ >= engine.num_nodes()) {
+    return InvalidArgumentError("ClaimsExchange: unknown auditor node");
+  }
+  if (engine.query_session_ != nullptr) {
+    return FailedPreconditionError(
+        "another provenance query is already pumping the network");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  ProvQuerySession session;
+  session.asker = auditor_;
+  session.kind = kQueryClaims;
+
+  Network::Meters meters0 = engine.net_.MeterSnapshot();
+  engine.query_session_ = &session;
+  Status status = OkStatus();
+  for (NodeId n = 0; n < engine.num_nodes() && status.ok(); ++n) {
+    if (n == auditor_ || skip_nodes.count(n) != 0) continue;
+    status = engine.ProvQuerySendClaimsRequest(session, n, predicates);
+  }
+  uint64_t guard = 0;
+  while (status.ok() && session.outstanding > 0 && !engine.net_.Idle()) {
+    engine.net_.Step();
+    if (!engine.async_error_.ok()) {
+      status = engine.async_error_;
+      engine.async_error_ = OkStatus();
+    }
+    if (++guard > engine.options_.max_steps) {
+      status = ResourceExhaustedError("claims exchange did not converge");
+    }
+  }
+  engine.query_session_ = nullptr;
+  engine.NoteAbandonedQueries(session);
+  PROVNET_RETURN_IF_ERROR(status);
+  // A node that never answered (suppressed, rejected, or dropped its
+  // response) leaves a hole the findings cannot see — campaign.h promises
+  // a failed audit never reads as a clean one, so surface it. (The caller
+  // decides whether silence itself is incriminating.)
+  if (session.outstanding > 0) {
+    return DeadlineExceededError(
+        StrFormat("claims exchange incomplete: %zu of %llu responders never "
+                  "answered",
+                  session.outstanding,
+                  static_cast<unsigned long long>(session.stats.requests)));
+  }
+
+  // The auditor's own claims are read locally, for free — through the same
+  // definition of "claim" the responders answered with.
+  ++session.stats.local_lookups;
+  for (const StoredTuple* e : engine.ClaimTuplesAt(auditor_, predicates)) {
+    session.claims.push_back(Claim{auditor_, e->asserted_by, e->tuple});
+  }
+
+  Network::Meters meters1 = engine.net_.MeterSnapshot();
+  session.stats.bytes = meters1.bytes - meters0.bytes;
+  session.stats.messages = meters1.messages - meters0.messages;
+  session.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++engine.stats_.prov_queries;
+  stats_ = session.stats;
+  return std::move(session.claims);
+}
+
+}  // namespace provnet

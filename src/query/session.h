@@ -1,0 +1,51 @@
+// Internal state of one in-flight provenance query, shared between the
+// driver (provquery.cc) and the Engine wire handlers (wire.cc). The Engine
+// holds a non-owning pointer to the active session (at most one at a time);
+// inbound kMsgProvResponse messages are matched against `pending` and folded
+// in here. Not installed API — include query/provquery.h instead.
+#ifndef PROVNET_QUERY_SESSION_H_
+#define PROVNET_QUERY_SESSION_H_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "provenance/store.h"
+#include "query/provquery.h"
+
+namespace provnet {
+
+struct ProvQuerySession {
+  using Key = std::pair<NodeId, TupleDigest>;
+
+  NodeId asker = 0;
+  uint8_t kind = kQueryRecords;
+  bool local_only = false;  // QueryScope::kLocal: remote refs are cut
+  QueryLimits limits;
+  QueryStats stats;
+
+  // --- Records walk (kQueryRecords) ----------------------------------------
+  std::map<Key, std::vector<ProvRecord>> collected;
+  // First-seen expansion depth per key; doubles as the dedup set.
+  std::map<Key, size_t> depth;
+  // Keys resolvable from the asker's own stores, drained without messages.
+  std::deque<Key> local_frontier;
+
+  // Outstanding requests by query id: what a response must present to be
+  // accepted. Anything else is an unsolicited (bogus) response.
+  struct Pending {
+    NodeId responder = 0;
+    TupleDigest digest = 0;
+  };
+  std::unordered_map<uint64_t, Pending> pending;
+  size_t outstanding = 0;
+
+  // --- Claims exchange (kQueryClaims) --------------------------------------
+  std::vector<ClaimsExchange::Claim> claims;
+};
+
+}  // namespace provnet
+
+#endif  // PROVNET_QUERY_SESSION_H_

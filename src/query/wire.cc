@@ -1,0 +1,327 @@
+// Authenticated provenance-query wire path (Engine member functions live
+// here, next to the session state they feed — the same layout as
+// adversary/verify.cc and dynamics/delta.cc).
+//
+// kMsgProvRequest / kMsgProvResponse use the exact envelope of
+// kMsgTuple/kMsgRetract: [type][blob content][has_says][says tag], with the
+// content carrying the signed (sequence, destination) header when
+// authentication is on. On top of the generic pipeline (signature present /
+// valid / known principal, destination check, per-sender ReplayGuard), a
+// response must answer an *outstanding* query: its (query_id, responder,
+// digest) triple has to match a request this node issued, and with
+// verification on the responder named in the signed content must be the
+// node the speaking principal operates. Anything else — a forged, replayed,
+// misdirected, or unsolicited response — is dropped, counted
+// (RunStats::prov_responses_rejected) and audited in the SecurityLog.
+//
+// Two payload kinds ride the same path:
+//   kQueryRecords - digest -> ProvRecords (the Section 4.1 pointer-walk;
+//     online records preferred, offline archive fallback at the responder);
+//   kQueryClaims  - predicates -> (asserting principal, tuple) claims (the
+//     distributed equivocation audit's digest exchange).
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "query/session.h"
+#include "util/strings.h"
+
+namespace provnet {
+
+Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
+                             const Bytes& inner) {
+  ByteWriter content;
+  PutAuthHeader(content, contexts_[from]->principal(), to);
+  content.PutRaw(inner.data(), inner.size());
+
+  bool attach_says = options_.authenticate || plan_.sendlog();
+  SaysLevel level = options_.authenticate ? options_.says_level
+                                          : SaysLevel::kCleartext;
+  ByteWriter msg;
+  msg.PutU8(msg_type);
+  msg.PutBlob(content.bytes());
+  msg.PutU8(attach_says ? 1 : 0);
+  if (attach_says) {
+    PROVNET_ASSIGN_OR_RETURN(
+        SaysTag tag,
+        auth_.Say(contexts_[from]->principal(), content.bytes(), level));
+    tag.Serialize(msg);
+  }
+  stats_.prov_query_bytes += msg.size();
+  return net_.Send(from, to, std::move(msg).Take());
+}
+
+void Engine::NoteAbandonedQueries(const ProvQuerySession& session) {
+  // Ids whose entries were consumed by a rejected response never match a
+  // late delivery, so the set only shrinks via erase-on-match for genuinely
+  // in-flight answers; cap it so sustained hostile rejection cannot grow it
+  // without bound (losing old entries merely re-audits very-late traffic).
+  if (abandoned_queries_.size() > 65536) abandoned_queries_.clear();
+  for (const auto& [query_id, pending] : session.pending) {
+    abandoned_queries_.insert(query_id);
+  }
+}
+
+Status Engine::ProvQuerySendRequest(ProvQuerySession& session, NodeId to,
+                                    TupleDigest digest) {
+  uint64_t query_id = next_query_id_++;
+  ByteWriter inner;
+  inner.PutU8(kQueryRecords);
+  inner.PutU64(query_id);
+  inner.PutU64(digest);
+  session.pending.emplace(query_id, ProvQuerySession::Pending{to, digest});
+  ++session.outstanding;
+  ++session.stats.requests;
+  return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
+}
+
+Status Engine::ProvQuerySendClaimsRequest(
+    ProvQuerySession& session, NodeId to,
+    const std::set<std::string>& predicates) {
+  uint64_t query_id = next_query_id_++;
+  ByteWriter inner;
+  inner.PutU8(kQueryClaims);
+  inner.PutU64(query_id);
+  inner.PutVarint(predicates.size());
+  for (const std::string& pred : predicates) inner.PutString(pred);
+  session.pending.emplace(query_id, ProvQuerySession::Pending{to, 0});
+  ++session.outstanding;
+  ++session.stats.requests;
+  return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
+}
+
+std::vector<const StoredTuple*> Engine::ClaimTuplesAt(
+    NodeId node, const std::set<std::string>& predicates) const {
+  std::vector<const StoredTuple*> claims;
+  for (const std::string& pred : predicates) {
+    const Table* table = contexts_[node]->FindTable(pred);
+    if (table == nullptr) continue;
+    for (const StoredTuple* e : table->Scan()) {
+      if (e->asserted_by.empty()) continue;  // nothing to attribute
+      claims.push_back(e);
+    }
+  }
+  return claims;
+}
+
+std::vector<ProvRecord> Engine::ProvRecordsAt(NodeId node, TupleDigest digest,
+                                              bool* offline_hit) const {
+  const std::vector<ProvRecord>* online =
+      contexts_[node]->online_store().Lookup(digest);
+  if (online != nullptr) return *online;
+  std::vector<ProvRecord> out;
+  for (const ProvRecord* rec :
+       contexts_[node]->offline_store().FindByDigest(digest)) {
+    out.push_back(*rec);
+  }
+  if (offline_hit != nullptr && !out.empty()) *offline_hit = true;
+  return out;
+}
+
+Status Engine::ProvQueryIngest(ProvQuerySession& session, NodeId at,
+                               TupleDigest digest,
+                               std::vector<ProvRecord> records) {
+  ProvQuerySession::Key key{at, digest};
+  size_t level = 0;
+  auto depth_it = session.depth.find(key);
+  if (depth_it != session.depth.end()) level = depth_it->second;
+  session.stats.depth = std::max(session.stats.depth, level);
+
+  for (const ProvRecord& rec : records) {
+    if (session.limits.max_records != 0 &&
+        session.stats.records >= session.limits.max_records) {
+      // Over budget: the record is still stored (it arrived), but its
+      // children stay unexpanded and surface as missing leaves.
+      ++session.stats.truncated;
+      continue;
+    }
+    ++session.stats.records;
+    size_t expanded = 0;
+    for (const ProvChildRef& ref : rec.children) {
+      if (ref.is_base) continue;
+      ProvQuerySession::Key child_key{ref.node, ref.digest};
+      if (session.depth.count(child_key) != 0) continue;  // already on route
+      if (session.limits.max_fanout != 0 &&
+          expanded >= session.limits.max_fanout) {
+        ++session.stats.truncated;
+        continue;
+      }
+      if (session.limits.max_depth != 0 &&
+          level + 1 > session.limits.max_depth) {
+        ++session.stats.truncated;
+        continue;
+      }
+      if (session.local_only && ref.node != session.asker) {
+        ++session.stats.truncated;
+        continue;
+      }
+      session.depth.emplace(child_key, level + 1);
+      ++expanded;
+      if (ref.node == session.asker) {
+        session.local_frontier.push_back(child_key);
+      } else {
+        PROVNET_RETURN_IF_ERROR(
+            ProvQuerySendRequest(session, ref.node, ref.digest));
+      }
+    }
+  }
+  session.collected[key] = std::move(records);
+  return OkStatus();
+}
+
+Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
+  PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
+  std::optional<SaysTag> tag;
+  if (has_says != 0) {
+    PROVNET_ASSIGN_OR_RETURN(SaysTag t, SaysTag::Deserialize(reader));
+    tag = std::move(t);
+  }
+  ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(bool accepted,
+                           VerifyInbound(to, from, tag, content, body,
+                                         "prov_request"));
+  if (!accepted) return OkStatus();  // rejected and audited; drop
+
+  PROVNET_ASSIGN_OR_RETURN(uint8_t kind, body.GetU8());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, body.GetU64());
+
+  ByteWriter inner;
+  inner.PutU8(kind);
+  inner.PutU64(query_id);
+  inner.PutU32(to);  // responding node, covered by the response signature
+  switch (kind) {
+    case kQueryRecords: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t digest, body.GetU64());
+      std::vector<ProvRecord> records = ProvRecordsAt(to, digest, nullptr);
+      inner.PutU64(digest);
+      inner.PutVarint(records.size());
+      for (const ProvRecord& rec : records) rec.Serialize(inner);
+      break;
+    }
+    case kQueryClaims: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t npred, body.GetVarint());
+      if (npred > body.remaining()) {
+        return InvalidArgumentError("prov_request: bad predicate count");
+      }
+      std::set<std::string> predicates;
+      for (uint64_t i = 0; i < npred; ++i) {
+        PROVNET_ASSIGN_OR_RETURN(std::string pred, body.GetString());
+        predicates.insert(std::move(pred));
+      }
+      std::vector<const StoredTuple*> claims = ClaimTuplesAt(to, predicates);
+      inner.PutVarint(claims.size());
+      for (const StoredTuple* e : claims) {
+        inner.PutString(e->asserted_by);
+        e->tuple.Serialize(inner);
+      }
+      break;
+    }
+    default:
+      return InvalidArgumentError("prov_request: unknown query kind");
+  }
+  return SendQueryWire(to, from, kMsgProvResponse, inner.bytes());
+}
+
+Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
+  PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
+  PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
+  std::optional<SaysTag> tag;
+  if (has_says != 0) {
+    PROVNET_ASSIGN_OR_RETURN(SaysTag t, SaysTag::Deserialize(reader));
+    tag = std::move(t);
+  }
+  ByteReader body(content);
+  PROVNET_ASSIGN_OR_RETURN(bool accepted,
+                           VerifyInbound(to, from, tag, content, body,
+                                         "prov_response"));
+  ProvQuerySession* session = query_session_;
+  if (!accepted) {
+    ++stats_.prov_responses_rejected;
+    if (session != nullptr) ++session->stats.responses_rejected;
+    return OkStatus();  // rejected and audited; drop
+  }
+
+  PROVNET_ASSIGN_OR_RETURN(uint8_t kind, body.GetU8());
+  PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, body.GetU64());
+  PROVNET_ASSIGN_OR_RETURN(uint32_t responder, body.GetU32());
+
+  // A response is only as good as the question it answers: it must match an
+  // outstanding (query_id, responder, digest) this node issued. This is
+  // what stops a compromised responder (holding a perfectly valid key) from
+  // pushing unsolicited "answers" into a node's forensic state.
+  auto bogus = [&](const char* why) {
+    ++stats_.prov_responses_rejected;
+    if (session != nullptr) ++session->stats.responses_rejected;
+    RecordSecurityEvent(SecurityEventKind::kBogusResponse, to, from,
+                        tag.has_value() ? tag->principal : Principal(),
+                        StrFormat("%s (query %llu)", why,
+                                  static_cast<unsigned long long>(query_id)));
+    return OkStatus();
+  };
+  if (session == nullptr || session->asker != to || session->kind != kind) {
+    // A response to a query whose session already ended (aborted mid-walk)
+    // is stale honest traffic, not an attack — drop it silently, as the
+    // pre-ProvQuery path did.
+    if (abandoned_queries_.erase(query_id) > 0) return OkStatus();
+    return bogus("no outstanding query");
+  }
+  auto it = session->pending.find(query_id);
+  if (it == session->pending.end() || it->second.responder != from ||
+      it->second.responder != responder) {
+    if (abandoned_queries_.erase(query_id) > 0) return OkStatus();
+    return bogus("unsolicited response");
+  }
+  if (options_.authenticate && options_.verify_incoming && tag.has_value()) {
+    // The responder named in the signed content must be the node the
+    // speaking principal operates: a compromised node cannot answer for
+    // another responder's records.
+    Result<NodeId> speaker_node = NodeOf(tag->principal);
+    if (!speaker_node.ok() || speaker_node.value() != responder) {
+      return bogus("responder/principal mismatch");
+    }
+  }
+
+  switch (kind) {
+    case kQueryRecords: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t digest, body.GetU64());
+      if (digest != it->second.digest) return bogus("digest mismatch");
+      PROVNET_ASSIGN_OR_RETURN(uint64_t count, body.GetVarint());
+      if (count > body.remaining()) {
+        return InvalidArgumentError("prov_response: bad record count");
+      }
+      std::vector<ProvRecord> records;
+      records.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        PROVNET_ASSIGN_OR_RETURN(ProvRecord rec,
+                                 ProvRecord::Deserialize(body));
+        records.push_back(std::move(rec));
+      }
+      session->pending.erase(it);
+      if (session->outstanding > 0) --session->outstanding;
+      ++session->stats.responses;
+      return ProvQueryIngest(*session, responder, digest, std::move(records));
+    }
+    case kQueryClaims: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t count, body.GetVarint());
+      if (count > body.remaining()) {
+        return InvalidArgumentError("prov_response: bad claim count");
+      }
+      session->pending.erase(it);
+      if (session->outstanding > 0) --session->outstanding;
+      ++session->stats.responses;
+      for (uint64_t i = 0; i < count; ++i) {
+        ClaimsExchange::Claim claim;
+        claim.node = responder;
+        PROVNET_ASSIGN_OR_RETURN(claim.asserted_by, body.GetString());
+        PROVNET_ASSIGN_OR_RETURN(claim.tuple, Tuple::Deserialize(body));
+        session->claims.push_back(std::move(claim));
+      }
+      return OkStatus();
+    }
+    default:
+      return bogus("unknown response kind");
+  }
+}
+
+}  // namespace provnet

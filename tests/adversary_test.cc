@@ -416,7 +416,7 @@ TEST(AdversaryTest, EquivocationAuditFlagsConflictingClaims) {
   ASSERT_TRUE(engine->Run().ok());
 
   std::vector<EquivocationFinding> findings =
-      EquivocationAudit(*engine, {"link"}, /*skip_nodes=*/{2});
+      EquivocationAudit(*engine, {"link"}, /*skip_nodes=*/{2}).value();
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].principal, engine->PrincipalOf(2));
   EXPECT_NE(findings[0].claim_a, findings[0].claim_b);

@@ -11,6 +11,7 @@
 #include "apps/programs.h"
 #include "core/engine.h"
 #include "provenance/semiring.h"
+#include "query/provquery.h"
 
 namespace provnet {
 namespace {
@@ -100,24 +101,24 @@ TEST(IntegrationTest, DistributedReconstructionMatchesLocalTree) {
   auto engine = RunReach(topo, opts);
 
   Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
-  DerivationPtr local = engine->LocalDerivationOf(0, reach_ac).value();
-  DerivationPtr remote =
-      engine->QueryDistributedProvenance(0, reach_ac).value();
+  QueryResult local = ProvQueryBuilder(*engine)
+                          .At(0)
+                          .Of(reach_ac)
+                          .WithScope(QueryScope::kLocal)
+                          .Run()
+                          .value();
+  QueryResult remote = ProvQueryBuilder(*engine)
+                           .At(0)
+                           .Of(reach_ac)
+                           .WithScope(QueryScope::kDistributed)
+                           .Run()
+                           .value();
 
-  // Same base tuples recovered either way.
-  auto leaves_of = [](const DerivationPtr& root) {
-    std::set<std::string> out;
-    std::function<void(const DerivationNode&)> walk =
-        [&](const DerivationNode& n) {
-          if (n.children.empty() && n.rule != "missing") {
-            out.insert(n.tuple.ToString());
-          }
-          for (const DerivationPtr& c : n.children) walk(*c);
-        };
-    walk(*root);
-    return out;
-  };
-  EXPECT_EQ(leaves_of(local), leaves_of(remote));
+  // Same base tuples recovered either way — and the same proof structure:
+  // the distributed reconstruction is byte-identical to the canonical form
+  // of the locally stored full-provenance tree.
+  EXPECT_EQ(local.dag.Leaves(), remote.dag.Leaves());
+  EXPECT_EQ(local.dag.CanonicalBytes(), remote.dag.CanonicalBytes());
 }
 
 TEST(IntegrationTest, DistributedQueryChargesBandwidth) {
@@ -129,8 +130,15 @@ TEST(IntegrationTest, DistributedQueryChargesBandwidth) {
 
   uint64_t bytes_before = engine->network().total_bytes();
   Tuple reach_ac("reachable", {Value::Address(0), Value::Address(2)});
-  ASSERT_TRUE(engine->QueryDistributedProvenance(0, reach_ac).ok());
+  Result<QueryResult> result = ProvQueryBuilder(*engine)
+                                   .At(0)
+                                   .Of(reach_ac)
+                                   .WithScope(QueryScope::kDistributed)
+                                   .Run();
+  ASSERT_TRUE(result.ok());
   EXPECT_GT(engine->network().total_bytes(), bytes_before);
+  EXPECT_EQ(result.value().stats.bytes,
+            engine->network().total_bytes() - bytes_before);
 }
 
 // --- Quantifiable provenance on live state ------------------------------------
