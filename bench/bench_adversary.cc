@@ -47,6 +47,7 @@
 #include "core/engine.h"
 #include "dynamics/churn.h"
 #include "net/topology.h"
+#include "obs/export.h"
 
 using namespace provnet;
 
@@ -177,75 +178,77 @@ Result<AttackedResult> RunAttacked(const Config& cfg, const Topology& topo,
 
 void WriteJson(const Config& cfg, const std::vector<VariantStats>& variants,
                const AttackedResult& attacked) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "adversary")
+      .Field("workload", "bestpath-ndlog + attack campaign")
+      .Field("n", uint64_t{cfg.n})
+      .Field("per_class", uint64_t{cfg.per_class})
+      .Field("says", cfg.rsa ? "rsa" : "hmac")
+      .Field("seed", cfg.seed);
+  w.Key("variants").BeginArray();
+  for (const VariantStats& v : variants) {
+    w.BeginObject()
+        .Field("name", v.name)
+        .Field("wall_seconds", v.wall_seconds, "%.6f")
+        .Field("mbytes", v.mbytes, "%.3f")
+        .Field("messages", v.messages)
+        .Field("signs", v.signs)
+        .Field("verifies", v.verifies)
+        .EndObject();
+  }
+  w.EndArray();
+
+  const CampaignReport& r = attacked.report;
+  w.Key("campaign").BeginObject();
+  w.Field("injected", uint64_t{r.injected})
+      .Field("detected", uint64_t{r.detected})
+      .Field("rejected_at_verify", uint64_t{r.rejected_at_verify})
+      .Field("localized_correct", uint64_t{r.localized_correct})
+      .Field("forged_in_fixpoint", uint64_t{r.forged_in_fixpoint})
+      .Field("mean_detection_latency_s", r.mean_detection_latency_s, "%.4f")
+      .Field("max_detection_latency_s", r.max_detection_latency_s, "%.4f");
+  w.Key("per_class").BeginObject();
+  for (const auto& [kind, injected] : attacked.injected_per_class) {
+    size_t detected = 0;
+    auto it = attacked.detected_per_class.find(kind);
+    if (it != attacked.detected_per_class.end()) detected = it->second;
+    w.Key(kind).BeginObject();
+    w.Field("injected", uint64_t{injected})
+        .Field("detected", uint64_t{detected})
+        .EndObject();
+  }
+  w.EndObject();  // per_class
+  w.EndObject();  // campaign
+
+  double ndlog_mb = variants[0].mbytes, secure_mb = variants[1].mbytes;
+  double attacked_mb = variants[2].mbytes;
+  w.Key("overhead").BeginObject();
+  w.Field("verification_bytes_ratio",
+          ndlog_mb > 0 ? secure_mb / ndlog_mb : 0.0, "%.3f")
+      .Field("attack_bytes_ratio",
+             secure_mb > 0 ? attacked_mb / secure_mb : 0.0, "%.3f")
+      .Field("verification_wall_ratio",
+             variants[0].wall_seconds > 0
+                 ? variants[1].wall_seconds / variants[0].wall_seconds
+                 : 0.0,
+             "%.3f")
+      .Field("attack_wall_ratio",
+             variants[1].wall_seconds > 0
+                 ? variants[2].wall_seconds / variants[1].wall_seconds
+                 : 0.0,
+             "%.3f")
+      .EndObject();
+  w.EndObject();
+
   FILE* f = std::fopen(cfg.out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n",
                  cfg.out_path.c_str());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"adversary\",\n");
-  std::fprintf(f, "  \"workload\": \"bestpath-ndlog + attack campaign\",\n");
-  std::fprintf(f, "  \"n\": %zu,\n", cfg.n);
-  std::fprintf(f, "  \"per_class\": %zu,\n", cfg.per_class);
-  std::fprintf(f, "  \"says\": \"%s\",\n", cfg.rsa ? "rsa" : "hmac");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(cfg.seed));
-  std::fprintf(f, "  \"variants\": [\n");
-  for (size_t i = 0; i < variants.size(); ++i) {
-    const VariantStats& v = variants[i];
-    std::fprintf(
-        f,
-        "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"mbytes\": %.3f, "
-        "\"messages\": %llu, \"signs\": %llu, \"verifies\": %llu}%s\n",
-        v.name.c_str(), v.wall_seconds, v.mbytes,
-        static_cast<unsigned long long>(v.messages),
-        static_cast<unsigned long long>(v.signs),
-        static_cast<unsigned long long>(v.verifies),
-        i + 1 < variants.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-
-  const CampaignReport& r = attacked.report;
-  std::fprintf(f, "  \"campaign\": {\n");
-  std::fprintf(f, "    \"injected\": %zu,\n", r.injected);
-  std::fprintf(f, "    \"detected\": %zu,\n", r.detected);
-  std::fprintf(f, "    \"rejected_at_verify\": %zu,\n", r.rejected_at_verify);
-  std::fprintf(f, "    \"localized_correct\": %zu,\n", r.localized_correct);
-  std::fprintf(f, "    \"forged_in_fixpoint\": %zu,\n", r.forged_in_fixpoint);
-  std::fprintf(f, "    \"mean_detection_latency_s\": %.4f,\n",
-               r.mean_detection_latency_s);
-  std::fprintf(f, "    \"max_detection_latency_s\": %.4f,\n",
-               r.max_detection_latency_s);
-  std::fprintf(f, "    \"per_class\": {\n");
-  size_t k = 0;
-  for (const auto& [kind, injected] : attacked.injected_per_class) {
-    size_t detected = 0;
-    auto it = attacked.detected_per_class.find(kind);
-    if (it != attacked.detected_per_class.end()) detected = it->second;
-    std::fprintf(f, "      \"%s\": {\"injected\": %zu, \"detected\": %zu}%s\n",
-                 kind.c_str(), injected, detected,
-                 ++k < attacked.injected_per_class.size() ? "," : "");
-  }
-  std::fprintf(f, "    }\n");
-  std::fprintf(f, "  },\n");
-
-  double ndlog_mb = variants[0].mbytes, secure_mb = variants[1].mbytes;
-  double attacked_mb = variants[2].mbytes;
-  std::fprintf(f, "  \"overhead\": {\n");
-  std::fprintf(f, "    \"verification_bytes_ratio\": %.3f,\n",
-               ndlog_mb > 0 ? secure_mb / ndlog_mb : 0.0);
-  std::fprintf(f, "    \"attack_bytes_ratio\": %.3f,\n",
-               secure_mb > 0 ? attacked_mb / secure_mb : 0.0);
-  std::fprintf(f, "    \"verification_wall_ratio\": %.3f,\n",
-               variants[0].wall_seconds > 0
-                   ? variants[1].wall_seconds / variants[0].wall_seconds
-                   : 0.0);
-  std::fprintf(f, "    \"attack_wall_ratio\": %.3f\n",
-               variants[1].wall_seconds > 0
-                   ? variants[2].wall_seconds / variants[1].wall_seconds
-                   : 0.0);
-  std::fprintf(f, "  }\n}\n");
+  std::string body = w.Take() + "\n";
+  std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   std::printf("\nwrote %s\n", cfg.out_path.c_str());
 }

@@ -29,6 +29,7 @@
 #include "apps/programs.h"
 #include "core/engine.h"
 #include "net/topology.h"
+#include "obs/export.h"
 #include "util/logging.h"
 
 using namespace provnet;
@@ -108,36 +109,63 @@ Result<Point> RunPoint(size_t n, ProvMode mode, const Config& cfg) {
   return point;
 }
 
-void WriteJson(const Config& cfg, const std::vector<Point>& points) {
-  FILE* f = std::fopen(cfg.out_path.c_str(), "w");
+bool WriteFile(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n",
-                 cfg.out_path.c_str());
-    return;
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"fixpoint\",\n");
-  std::fprintf(f, "  \"workload\": \"bestpath-ndlog\",\n");
-  std::fprintf(f, "  \"outdegree\": 3,\n");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(cfg.seed));
-  std::fprintf(f, "  \"runs\": %zu,\n", cfg.runs);
-  std::fprintf(f, "  \"points\": [\n");
-  for (size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    std::fprintf(
-        f,
-        "    {\"n\": %zu, \"prov_mode\": \"%s\", \"wall_seconds\": %.6f, "
-        "\"derivations\": %.0f, \"derivations_per_sec\": %.0f, "
-        "\"join_candidates\": %.0f, \"events\": %.0f, \"messages\": %.0f, "
-        "\"mbytes\": %.3f, \"rss_peak_kb\": %ld}%s\n",
-        p.n, ProvModeName(p.mode), p.wall_seconds, p.derivations,
-        p.derivations_per_sec, p.join_candidates, p.events, p.messages,
-        p.mbytes, p.rss_peak_kb, i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
-  std::printf("\nwrote %s\n", cfg.out_path.c_str());
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+void WriteJson(const Config& cfg, const std::vector<Point>& points) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "fixpoint")
+      .Field("workload", "bestpath-ndlog")
+      .Field("outdegree", 3)
+      .Field("seed", cfg.seed)
+      .Field("runs", uint64_t{cfg.runs});
+  w.Key("points").BeginArray();
+  for (const Point& p : points) {
+    w.BeginObject()
+        .Field("n", uint64_t{p.n})
+        .Field("prov_mode", ProvModeName(p.mode))
+        .Field("wall_seconds", p.wall_seconds, "%.6f")
+        .Field("derivations", p.derivations, "%.0f")
+        .Field("derivations_per_sec", p.derivations_per_sec, "%.0f")
+        .Field("join_candidates", p.join_candidates, "%.0f")
+        .Field("events", p.events, "%.0f")
+        .Field("messages", p.messages, "%.0f")
+        .Field("mbytes", p.mbytes, "%.3f")
+        .Field("rss_peak_kb", int64_t{p.rss_peak_kb})
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  std::printf("\n");
+  WriteFile(cfg.out_path, w.Take() + "\n");
+}
+
+// One extra instrumented run at the largest node count: its full metrics
+// snapshot and (sampled) trace stream are the per-PR observability
+// artifacts CI archives next to the BENCH json.
+Status WriteObsArtifacts(const Config& cfg) {
+  size_t n = cfg.node_counts.back();
+  Rng rng(cfg.seed + n);
+  Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
+  PROVNET_ASSIGN_OR_RETURN(
+      std::unique_ptr<Engine> engine,
+      Engine::Create(topo, BestPathNdlogProgram(),
+                     OptionsFor(ProvMode::kCondensed, cfg.seed)));
+  engine->tracer().Enable(/*capacity=*/8192, /*sample_every=*/16);
+  PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+  PROVNET_RETURN_IF_ERROR(engine->Run().status());
+  WriteFile("OBS_fixpoint.json", obs::SnapshotJson(engine->metrics()));
+  WriteFile("TRACE_fixpoint.jsonl", engine->tracer().ToJsonl());
+  return OkStatus();
 }
 
 }  // namespace
@@ -192,5 +220,11 @@ int main(int argc, char** argv) {
   }
 
   WriteJson(cfg, points);
+  Status obs_status = WriteObsArtifacts(cfg);
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "obs artifacts failed: %s\n",
+                 obs_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -39,6 +39,7 @@
 #include "apps/programs.h"
 #include "core/engine.h"
 #include "net/topology.h"
+#include "obs/export.h"
 #include "query/provquery.h"
 
 using namespace provnet;
@@ -154,35 +155,38 @@ Result<Point> RunMode(const Config& cfg, size_t n, const std::string& mode) {
 }
 
 void WriteJson(const Config& cfg, const std::vector<Point>& points) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "provquery")
+      .Field("workload", "bestpath-sendlog-pointers")
+      .Field("outdegree", 3)
+      .Field("seed", cfg.seed)
+      .Field("queries_per_point", uint64_t{cfg.queries});
+  w.Key("points").BeginArray();
+  for (const Point& p : points) {
+    w.BeginObject()
+        .Field("n", uint64_t{p.n})
+        .Field("recording", p.mode)
+        .Field("queries", uint64_t{p.queries})
+        .Field("mean_latency_s", p.mean_latency_s, "%.6f")
+        .Field("max_latency_s", p.max_latency_s, "%.6f")
+        .Field("mean_messages", p.mean_messages, "%.1f")
+        .Field("mean_bytes", p.mean_bytes, "%.1f")
+        .Field("mean_records", p.mean_records, "%.1f")
+        .Field("complete_fraction", p.complete_fraction, "%.3f")
+        .Field("run_bytes", p.run_bytes)
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+
   FILE* f = std::fopen(cfg.out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n",
                  cfg.out_path.c_str());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"provquery\",\n");
-  std::fprintf(f, "  \"workload\": \"bestpath-sendlog-pointers\",\n");
-  std::fprintf(f, "  \"outdegree\": 3,\n");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(cfg.seed));
-  std::fprintf(f, "  \"queries_per_point\": %zu,\n", cfg.queries);
-  std::fprintf(f, "  \"points\": [\n");
-  for (size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    std::fprintf(
-        f,
-        "    {\"n\": %zu, \"recording\": \"%s\", \"queries\": %zu, "
-        "\"mean_latency_s\": %.6f, \"max_latency_s\": %.6f, "
-        "\"mean_messages\": %.1f, \"mean_bytes\": %.1f, "
-        "\"mean_records\": %.1f, \"complete_fraction\": %.3f, "
-        "\"run_bytes\": %llu}%s\n",
-        p.n, p.mode.c_str(), p.queries, p.mean_latency_s, p.max_latency_s,
-        p.mean_messages, p.mean_bytes, p.mean_records, p.complete_fraction,
-        static_cast<unsigned long long>(p.run_bytes),
-        i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::string body = w.Take() + "\n";
+  std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   std::printf("\nwrote %s\n", cfg.out_path.c_str());
 }

@@ -302,6 +302,7 @@ Status Adversary::InjectForgedProvResponse(AttackKind kind, NodeId attacker,
   content.PutU64(query_id);
   content.PutU32(responder);
   content.PutU64(DigestOf(tuple));
+  content.PutU8(0);  // offline-archive flag (wire-faithful forgery)
   content.PutVarint(1);
   rec.Serialize(content);
 

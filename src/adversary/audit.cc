@@ -24,6 +24,8 @@ const char* SecurityEventKindName(SecurityEventKind kind) {
       return "bogus_response";
     case SecurityEventKind::kForeignProvenance:
       return "foreign_provenance";
+    case SecurityEventKind::kSilentResponder:
+      return "silent_responder";
   }
   return "?";
 }

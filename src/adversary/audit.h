@@ -35,6 +35,8 @@ enum class SecurityEventKind : uint8_t {
                             // query (wrong id/responder/digest, or none)
   kForeignProvenance = 8,   // piggybacked annotation cube omitting the
                             // sender's own variable (framing attempt)
+  kSilentResponder = 9,     // claims-exchange responder that never answered
+                            // the auditor (suppression is itself evidence)
 };
 
 const char* SecurityEventKindName(SecurityEventKind kind);

@@ -197,7 +197,8 @@ AttackScript AttackScript::RandomAttacks(const Topology& topo,
 
 Result<std::vector<EquivocationFinding>> EquivocationAudit(
     Engine& engine, const std::set<std::string>& predicates,
-    const std::set<NodeId>& skip_nodes, std::optional<NodeId> auditor) {
+    const std::set<NodeId>& skip_nodes, std::optional<NodeId> auditor,
+    std::set<NodeId>* silent) {
   NodeId audit_node = 0;
   bool have_auditor = auditor.has_value();
   if (have_auditor) {
@@ -220,6 +221,7 @@ Result<std::vector<EquivocationFinding>> EquivocationAudit(
   ClaimsExchange exchange(engine, audit_node);
   PROVNET_ASSIGN_OR_RETURN(std::vector<ClaimsExchange::Claim> collected,
                            exchange.Collect(predicates, skip_nodes));
+  if (silent != nullptr) *silent = exchange.silent();
 
   struct FirstClaim {
     NodeId node = 0;
@@ -326,6 +328,10 @@ void AttackCampaignDriver::MatchSecurityEvents(CampaignReport& report) {
           break;
         case SecurityEventKind::kMalformed:
           return false;
+        case SecurityEventKind::kSilentResponder:
+          // Attributed by the audit sweep itself (suspect set), not by
+          // matching an injection record.
+          return false;
       }
       return ev.node == inj.victim;
     };
@@ -349,10 +355,16 @@ Status AttackCampaignDriver::RunAuditSweep(CampaignReport& report) {
 
   std::set<Principal> suspects;
 
-  // 1. Cross-node equivocation audit.
+  // 1. Cross-node equivocation audit. A responder that suppresses its
+  // answer incriminates itself: silence joins the suspect set directly.
+  std::set<NodeId> silent;
   PROVNET_ASSIGN_OR_RETURN(
       std::vector<EquivocationFinding> findings,
-      EquivocationAudit(engine_, opts_.audit_predicates, compromised));
+      EquivocationAudit(engine_, opts_.audit_predicates, compromised,
+                        std::nullopt, &silent));
+  for (NodeId n : silent) {
+    suspects.insert(engine_.PrincipalOf(n));
+  }
   for (const EquivocationFinding& f : findings) {
     suspects.insert(f.principal);
     for (AttackOutcome& o : report.outcomes) {

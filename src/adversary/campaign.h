@@ -114,12 +114,15 @@ struct EquivocationFinding {
 // node's claims through the authenticated query wire path (a ClaimsExchange
 // of src/query/), so the audit's bandwidth is real metered traffic charged
 // to RunStats::prov_query_bytes. `auditor` defaults to the first
-// non-skipped node. Errors (exchange could not run to completion) are
-// surfaced, not swallowed — a failed audit must never read as a clean one.
+// non-skipped node. A responder that never answers does not abort the
+// audit: it is recorded as a kSilentResponder SecurityEvent and, when
+// `silent` is non-null, reported there so the caller can treat suppression
+// as incriminating — a failed audit still never reads as a clean one.
 Result<std::vector<EquivocationFinding>> EquivocationAudit(
     Engine& engine, const std::set<std::string>& predicates,
     const std::set<NodeId>& skip_nodes,
-    std::optional<NodeId> auditor = std::nullopt);
+    std::optional<NodeId> auditor = std::nullopt,
+    std::set<NodeId>* silent = nullptr);
 
 struct CampaignReport {
   std::vector<AttackOutcome> outcomes;

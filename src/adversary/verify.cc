@@ -30,6 +30,25 @@ namespace provnet {
 void Engine::RecordSecurityEvent(SecurityEventKind kind, NodeId node,
                                  NodeId from, const Principal& claimed,
                                  std::string detail) {
+  // Every rejection kind is its own queryable detector ("Provenance Threat
+  // Modeling", arXiv 1703.03835: forgery / suppression / flooding need
+  // distinct signals): one labeled counter per SecurityEventKind, plus an
+  // unsampled trace event so detection latency is measurable in virtual
+  // time.
+  size_t k = static_cast<size_t>(kind);
+  if (k < cells_.security_events.size()) {
+    ++cells_.security_events[k]->value;
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = node;
+    ev.kind = "security";
+    ev.attrs = {{"event", SecurityEventKindName(kind)},
+                {"from", PrincipalOf(from)},
+                {"claimed", claimed}};
+    tracer_.Emit(std::move(ev));
+  }
   SecurityEvent event;
   event.at = net_.now();
   event.kind = kind;
@@ -55,7 +74,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
 
   if (enforce) {
     if (!tag.has_value()) {
-      ++stats_.auth_failures;
+      ++cells_.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kMissingSignature, to, from, "",
                           what);
       return false;
@@ -64,14 +83,14 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
       // The simulated PKI derives keys for any name, so an invented
       // principal's signature would verify; deployment membership is the
       // certificate check.
-      ++stats_.auth_failures;
+      ++cells_.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kUnknownPrincipal, to, from,
                           tag->principal, what);
       return false;
     }
     Status verdict = auth_.Verify(*tag, content);
     if (!verdict.ok()) {
-      ++stats_.auth_failures;
+      ++cells_.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kBadSignature, to, from,
                           tag->principal, what);
       return false;
@@ -85,7 +104,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
     PROVNET_ASSIGN_OR_RETURN(uint64_t dest, body.GetVarint());
     if (enforce && options_.replay_protection && tag.has_value()) {
       if (dest != to) {
-        ++stats_.replays_rejected;
+        ++cells_.replays_rejected->value;
         RecordSecurityEvent(
             SecurityEventKind::kMisdirected, to, from, tag->principal,
             StrFormat("%s signed for node %llu", what,
@@ -93,7 +112,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
         return false;
       }
       if (!contexts_[to]->ReplayGuardFor(tag->principal).Accept(seq)) {
-        ++stats_.replays_rejected;
+        ++cells_.replays_rejected->value;
         RecordSecurityEvent(
             SecurityEventKind::kReplay, to, from, tag->principal,
             StrFormat("%s seq %llu", what,

@@ -12,6 +12,31 @@
 
 namespace provnet {
 
+namespace {
+
+// Human label of a wire message tag, for the per-link byte counters and
+// trace events.
+const char* MsgKindName(uint8_t kind) {
+  switch (kind) {
+    case kMsgTuple:
+      return "tuple";
+    case kMsgProvRequest:
+      return "prov_request";
+    case kMsgProvResponse:
+      return "prov_response";
+    case kMsgRetract:
+      return "retract";
+  }
+  return "?";
+}
+
+// Number of SecurityEventKind values (adversary/audit.h); the per-kind
+// rejection counters are pre-registered so every snapshot has the full
+// schema even when a run sees no attacks.
+constexpr size_t kNumSecurityEventKinds = 10;
+
+}  // namespace
+
 const char* ProvModeName(ProvMode mode) {
   switch (mode) {
     case ProvMode::kNone:
@@ -116,6 +141,10 @@ Status Engine::Init(Program program) {
     }
   }
 
+  // Plan and principals are fixed: register every instrument and resolve
+  // the hot-path handles.
+  InitObs();
+
   net_.SetHandler([this](NodeId to, NodeId from, const Bytes& payload) {
     Status s = HandleMessage(to, from, payload);
     if (!s.ok() && async_error_.ok()) async_error_ = s;
@@ -142,6 +171,83 @@ Status Engine::Init(Program program) {
         InsertFact(node, Tuple(fact.predicate, std::move(args))));
   }
   return OkStatus();
+}
+
+void Engine::InitObs() {
+  cells_.deliveries = obs_.GetCounter("engine.deliveries");
+  cells_.events = obs_.GetCounter("engine.events");
+  cells_.retractions = obs_.GetCounter("engine.retractions");
+  cells_.rederivations = obs_.GetCounter("engine.rederivations");
+  cells_.tuple_bytes = obs_.GetCounter("net.tuple_bytes");
+  cells_.auth_bytes = obs_.GetCounter("net.auth_bytes");
+  cells_.prov_bytes = obs_.GetCounter("net.prov_bytes");
+  cells_.auth_failures = obs_.GetCounter("verify.auth_failures");
+  cells_.replays_rejected = obs_.GetCounter("verify.replays_rejected");
+  cells_.retracts_rejected = obs_.GetCounter("verify.retracts_rejected");
+  cells_.prov_queries = obs_.GetCounter("provquery.queries");
+  cells_.prov_query_bytes = obs_.GetCounter("provquery.bytes");
+  cells_.prov_responses_rejected =
+      obs_.GetCounter("provquery.responses_rejected");
+  cells_.prov_frames_rejected = obs_.GetCounter("provquery.frames_rejected");
+  cells_.query_offline_hits = obs_.GetCounter("provquery.offline_hits");
+
+  const std::vector<CompiledRule>& rules = plan_.rules();
+  cells_.rule_firings.reserve(rules.size());
+  cells_.rule_candidates.reserve(rules.size());
+  cells_.rule_derivations.reserve(rules.size());
+  for (const CompiledRule& cr : rules) {
+    obs::Labels labels{{"rule", cr.prog.label}};
+    cells_.rule_firings.push_back(obs_.GetCounter("rule.firings", labels));
+    cells_.rule_candidates.push_back(
+        obs_.GetCounter("rule.candidates", labels));
+    cells_.rule_derivations.push_back(
+        obs_.GetCounter("rule.derivations", labels));
+  }
+
+  cells_.security_events.reserve(kNumSecurityEventKinds);
+  for (size_t k = 0; k < kNumSecurityEventKinds; ++k) {
+    cells_.security_events.push_back(obs_.GetCounter(
+        "security.events",
+        {{"kind", SecurityEventKindName(static_cast<SecurityEventKind>(k))}}));
+  }
+
+  cells_.query_latency = obs_.GetHistogram("provquery.latency_s");
+  cells_.query_hop_latency = obs_.GetHistogram("provquery.hop_latency_s");
+}
+
+RunStats Engine::StatsView() const {
+  RunStats s;
+  s.deliveries = cells_.deliveries->value;
+  s.events = cells_.events->value;
+  s.retractions = cells_.retractions->value;
+  s.rederivations = cells_.rederivations->value;
+  s.tuple_bytes = cells_.tuple_bytes->value;
+  s.auth_bytes = cells_.auth_bytes->value;
+  s.prov_bytes = cells_.prov_bytes->value;
+  s.auth_failures = cells_.auth_failures->value;
+  s.replays_rejected = cells_.replays_rejected->value;
+  s.retracts_rejected = cells_.retracts_rejected->value;
+  s.prov_queries = cells_.prov_queries->value;
+  s.prov_query_bytes = cells_.prov_query_bytes->value;
+  s.prov_responses_rejected = cells_.prov_responses_rejected->value;
+  s.prov_frames_rejected = cells_.prov_frames_rejected->value;
+  // Global totals recovered from the per-rule breakdowns.
+  s.derivations = obs_.CounterTotal("rule.derivations");
+  s.join_candidates = obs_.CounterTotal("rule.candidates");
+  return s;
+}
+
+obs::Counter* Engine::LinkBytesCell(NodeId from, NodeId to, uint8_t msg_kind) {
+  uint64_t key =
+      (uint64_t(from) << 40) | (uint64_t(to) << 8) | uint64_t(msg_kind);
+  auto it = link_cells_.find(key);
+  if (it != link_cells_.end()) return it->second;
+  obs::Counter* cell =
+      obs_.GetCounter("net.link.bytes", {{"from", PrincipalOf(from)},
+                                         {"to", PrincipalOf(to)},
+                                         {"kind", MsgKindName(msg_kind)}});
+  link_cells_.emplace(key, cell);
+  return cell;
 }
 
 Principal Engine::PrincipalOf(NodeId id) const {
@@ -391,6 +497,18 @@ Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
     return OkStatus();
   }
 
+  // The strand actually runs its join (the delta literal matched).
+  ++cells_.rule_firings[RuleIndex(cr)]->value;
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = node_id;
+    ev.kind = "fire";
+    ev.attrs = {{"rule", prog.label},
+                {"delta", delta_entry.tuple.predicate()}};
+    tracer_.Emit(std::move(ev));
+  }
+
   std::vector<const StoredTuple*> used;
   used.reserve(prog.body.size());
   used.push_back(&delta_entry);
@@ -410,7 +528,7 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
                         const Frame& frame,
                         const std::vector<const StoredTuple*>& used) {
   PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, frame));
-  ++stats_.derivations;
+  ++cells_.rule_derivations[RuleIndex(cr)]->value;
 
   const std::string& label = cr.prog.label;
 
@@ -583,9 +701,21 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
   // The anti-replay header is authentication overhead, not tuple payload.
   size_t auth_part = msg.size() - pre_auth + header_len;
 
-  stats_.prov_bytes += prov_part;
-  stats_.auth_bytes += auth_part;
-  stats_.tuple_bytes += msg.size() - prov_part - auth_part;
+  cells_.prov_bytes->value += prov_part;
+  cells_.auth_bytes->value += auth_part;
+  cells_.tuple_bytes->value += msg.size() - prov_part - auth_part;
+  LinkBytesCell(from, to, kMsgTuple)->value += msg.size();
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = from;
+    ev.kind = "send";
+    ev.attrs = {{"to", PrincipalOf(to)},
+                {"msg", "tuple"},
+                {"pred", tuple.predicate()},
+                {"bytes", std::to_string(msg.size())}};
+    tracer_.Emit(std::move(ev));
+  }
   return net_.Send(from, to, std::move(msg).Take());
 }
 
@@ -669,7 +799,7 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
           }
         }
         if (framed) {
-          ++stats_.prov_frames_rejected;
+          ++cells_.prov_frames_rejected->value;
           RecordSecurityEvent(
               SecurityEventKind::kForeignProvenance, to, from,
               tag->principal,
@@ -715,11 +845,21 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     default:
       return InvalidArgumentError("bad provenance payload kind");
   }
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = to;
+    ev.kind = "deliver";
+    ev.attrs = {{"from", PrincipalOf(from)},
+                {"msg", "tuple"},
+                {"pred", entry.tuple.predicate()}};
+    tracer_.Emit(std::move(ev));
+  }
   return DeliverLocal(to, std::move(entry), {}, "recv");
 }
 
 Result<RunStats> Engine::Run() {
-  RunStats before = stats_;
+  RunStats before = StatsView();
   uint64_t bytes0 = net_.total_bytes();
   uint64_t msgs0 = net_.total_messages();
   uint64_t signs0 = auth_.sign_count();
@@ -739,17 +879,17 @@ Result<RunStats> Engine::Run() {
       // reaches fixpoint before any restoration fires.
       DeltaState::Retraction retraction = std::move(dynamics_->queue.front());
       dynamics_->queue.pop_front();
-      ++stats_.retractions;
+      ++cells_.retractions->value;
       PROVNET_RETURN_IF_ERROR(
           ProcessRetraction(retraction.node, retraction.entry));
     } else if (!events_.empty()) {
       PendingEvent event = std::move(events_.front());
       events_.pop_front();
-      ++stats_.events;
+      ++cells_.events->value;
       PROVNET_RETURN_IF_ERROR(ProcessEvent(event));
     } else if (!net_.Idle()) {
       net_.Step();
-      ++stats_.deliveries;
+      ++cells_.deliveries->value;
     } else if (!dynamics_->rederive.empty()) {
       // Quiescent (no deltas, nothing in flight): the over-deletion cascade
       // is complete, so DRed's re-derivation phase may restore survivors.
@@ -765,31 +905,32 @@ Result<RunStats> Engine::Run() {
   dynamics_->EndEpoch();
   auto t1 = std::chrono::steady_clock::now();
 
+  RunStats cur = StatsView();
   RunStats out;
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.sim_seconds = net_.now() - sim0;
-  out.deliveries = stats_.deliveries - before.deliveries;
-  out.events = stats_.events - before.events;
-  out.derivations = stats_.derivations - before.derivations;
-  out.join_candidates = stats_.join_candidates - before.join_candidates;
+  out.deliveries = cur.deliveries - before.deliveries;
+  out.events = cur.events - before.events;
+  out.derivations = cur.derivations - before.derivations;
+  out.join_candidates = cur.join_candidates - before.join_candidates;
   out.messages = net_.total_messages() - msgs0;
   out.bytes = net_.total_bytes() - bytes0;
-  out.tuple_bytes = stats_.tuple_bytes - before.tuple_bytes;
-  out.auth_bytes = stats_.auth_bytes - before.auth_bytes;
-  out.prov_bytes = stats_.prov_bytes - before.prov_bytes;
+  out.tuple_bytes = cur.tuple_bytes - before.tuple_bytes;
+  out.auth_bytes = cur.auth_bytes - before.auth_bytes;
+  out.prov_bytes = cur.prov_bytes - before.prov_bytes;
   out.signs = auth_.sign_count() - signs0;
   out.verifies = auth_.verify_count() - verifies0;
-  out.auth_failures = stats_.auth_failures - before.auth_failures;
-  out.replays_rejected = stats_.replays_rejected - before.replays_rejected;
-  out.retracts_rejected = stats_.retracts_rejected - before.retracts_rejected;
-  out.retractions = stats_.retractions - before.retractions;
-  out.rederivations = stats_.rederivations - before.rederivations;
-  out.prov_queries = stats_.prov_queries - before.prov_queries;
-  out.prov_query_bytes = stats_.prov_query_bytes - before.prov_query_bytes;
+  out.auth_failures = cur.auth_failures - before.auth_failures;
+  out.replays_rejected = cur.replays_rejected - before.replays_rejected;
+  out.retracts_rejected = cur.retracts_rejected - before.retracts_rejected;
+  out.retractions = cur.retractions - before.retractions;
+  out.rederivations = cur.rederivations - before.rederivations;
+  out.prov_queries = cur.prov_queries - before.prov_queries;
+  out.prov_query_bytes = cur.prov_query_bytes - before.prov_query_bytes;
   out.prov_responses_rejected =
-      stats_.prov_responses_rejected - before.prov_responses_rejected;
+      cur.prov_responses_rejected - before.prov_responses_rejected;
   out.prov_frames_rejected =
-      stats_.prov_frames_rejected - before.prov_frames_rejected;
+      cur.prov_frames_rejected - before.prov_frames_rejected;
   return out;
 }
 

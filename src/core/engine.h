@@ -39,6 +39,8 @@
 #include "datalog/parser.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "provenance/condense.h"
 #include "provenance/prov_expr.h"
 #include "util/status.h"
@@ -254,8 +256,25 @@ class Engine {
   // Cumulative engine counters (RunStats returns per-Run() windows; this is
   // the running total). Meter-style fields — wall/sim seconds, messages,
   // bytes — are computed per window and stay zero here; the tuple/auth/prov
-  // byte splits and all rejection counters are cumulative.
-  const RunStats& cumulative_stats() const { return stats_; }
+  // byte splits and all rejection counters are cumulative. RunStats is a
+  // *view*: the counters live in the metrics registry (per rule, per link,
+  // per security-event kind) and are summed back into the flat struct here.
+  const RunStats& cumulative_stats() const {
+    stats_view_ = StatsView();
+    return stats_view_;
+  }
+
+  // --- Observability (src/obs/) ---------------------------------------------
+  // The typed metrics registry every engine counter lives in: per-rule
+  // firing/candidate/derivation counts, per-link bytes by message kind,
+  // per-kind security-event counters, provenance-query latency histograms.
+  // Export with obs::SnapshotJson / obs::SnapshotText (obs/export.h).
+  obs::Registry& metrics() { return obs_; }
+  const obs::Registry& metrics() const { return obs_; }
+  // Virtual-time tracer (off by default; Enable() to capture spans for rule
+  // firings, message hops, deletion cascades, and ProvQuery walks).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   // Reactive provenance control (Section 5).
   void SetRecordingEnabled(bool enabled) {
@@ -277,6 +296,51 @@ class Engine {
   Engine(const Topology& topo, EngineOptions options);
 
   Status Init(Program program);
+
+  // --- Observability plumbing (src/obs/) ------------------------------------
+  // Registers every engine instrument and resolves the hot-path handles
+  // (raw pointers into the registry). Runs once at Init, after the plan is
+  // compiled and node principals are known.
+  void InitObs();
+  // The flat RunStats recovered from the registry (per-rule counters summed
+  // into the global totals). Meter-style fields stay zero; Run() fills them
+  // from the network/authenticator meters per window.
+  RunStats StatsView() const;
+  // Per-(src, dst, message-kind) byte counter, interned on first traffic.
+  obs::Counter* LinkBytesCell(NodeId from, NodeId to, uint8_t msg_kind);
+  // Index of a compiled rule within plan_.rules() (contiguous storage).
+  size_t RuleIndex(const CompiledRule& cr) const {
+    return static_cast<size_t>(&cr - plan_.rules().data());
+  }
+
+  // Pre-resolved registry handles: registration (string hashing) happens at
+  // InitObs, never on the firing/receive hot paths.
+  struct ObsCells {
+    obs::Counter* deliveries = nullptr;
+    obs::Counter* events = nullptr;
+    obs::Counter* retractions = nullptr;
+    obs::Counter* rederivations = nullptr;
+    obs::Counter* tuple_bytes = nullptr;
+    obs::Counter* auth_bytes = nullptr;
+    obs::Counter* prov_bytes = nullptr;
+    obs::Counter* auth_failures = nullptr;
+    obs::Counter* replays_rejected = nullptr;
+    obs::Counter* retracts_rejected = nullptr;
+    obs::Counter* prov_queries = nullptr;
+    obs::Counter* prov_query_bytes = nullptr;
+    obs::Counter* prov_responses_rejected = nullptr;
+    obs::Counter* prov_frames_rejected = nullptr;
+    obs::Counter* query_offline_hits = nullptr;
+    // Indexed by position in plan_.rules().
+    std::vector<obs::Counter*> rule_firings;
+    std::vector<obs::Counter*> rule_candidates;
+    std::vector<obs::Counter*> rule_derivations;
+    // Indexed by SecurityEventKind.
+    std::vector<obs::Counter*> security_events;
+    // Virtual-time latency distributions of the ProvQuery walk.
+    obs::Histogram* query_latency = nullptr;
+    obs::Histogram* query_hop_latency = nullptr;
+  };
 
   struct PendingEvent {
     NodeId node;
@@ -335,6 +399,9 @@ class Engine {
   // Records a detaching session's unanswered query ids so their late
   // responses are recognized as stale rather than audited as attacks.
   void NoteAbandonedQueries(const ProvQuerySession& session);
+  // Folds one accepted request->response round trip into the hop-latency
+  // histogram (virtual time) and the trace stream.
+  void ObserveQueryHop(NodeId asker, NodeId responder, double sent_at);
   // Issues one signed claims request for `predicates` to `to`.
   Status ProvQuerySendClaimsRequest(ProvQuerySession& session, NodeId to,
                                     const std::set<std::string>& predicates);
@@ -468,7 +535,14 @@ class Engine {
   // mutations, and event processing is single-threaded).
   Frame frame_;
   std::vector<PendingAction> pending_;
-  RunStats stats_;
+  // Metrics registry + resolved handles (see InitObs). The registry is the
+  // single source of truth for counters; RunStats is computed from it.
+  obs::Registry obs_;
+  obs::Tracer tracer_;
+  ObsCells cells_;
+  // (src, dst, kind) -> byte counter, keyed packed (from<<40 | to<<8 | kind).
+  std::unordered_map<uint64_t, obs::Counter*> link_cells_;
+  mutable RunStats stats_view_;  // scratch for cumulative_stats()
   Status async_error_;  // first error raised inside a network handler
   UpdateObserver observer_;
   SecurityLog security_log_;

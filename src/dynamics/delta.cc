@@ -126,6 +126,16 @@ Status Engine::RetractPrincipal(const Principal& principal) {
 }
 
 Status Engine::ProcessRetraction(NodeId node, const StoredTuple& entry) {
+  // One deletion-delta cascade step (sampled: cascades can be large).
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = node;
+    ev.kind = "retract_cascade";
+    ev.attrs = {{"pred", entry.tuple.predicate()}};
+    tracer_.Emit(std::move(ev));
+  }
+
   // The tuple's live provenance dies with it.
   contexts_[node]->online_store().Remove(DigestOf(entry.tuple));
 
@@ -153,6 +163,9 @@ Status Engine::FireDeleteStrand(NodeId node_id, const CompiledRule& cr,
       !SaysMatches(*delta_lit.says, delta_entry, frame_)) {
     return OkStatus();
   }
+
+  // Delete-mode firing of the same strand (DRed over-deletion).
+  ++cells_.rule_firings[RuleIndex(cr)]->value;
 
   std::vector<const StoredTuple*> used;
   used.reserve(prog.body.size());
@@ -199,8 +212,11 @@ Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
       // Zero-copy scan: candidates are visited as `const StoredTuple*` into
       // live storage. Emits defer their table mutations (Engine::pending_),
       // so the rows backing these pointers cannot move or die mid-scan.
+      // The per-rule candidate cell is resolved once per literal, outside
+      // the scan — the inner loop pays one pointer increment.
+      obs::Counter* candidates = cells_.rule_candidates[RuleIndex(cr)];
       auto try_candidate = [&](const StoredTuple& candidate) -> Status {
-        ++stats_.join_candidates;
+        ++candidates->value;
         size_t mark = frame.Mark();
         if (MatchTuple(lit, candidate.tuple, frame) &&
             (!lit.says.has_value() ||
@@ -428,8 +444,20 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
     tag.Serialize(msg);
   }
-  stats_.auth_bytes += msg.size() - pre_auth;
-  stats_.tuple_bytes += pre_auth;
+  cells_.auth_bytes->value += msg.size() - pre_auth;
+  cells_.tuple_bytes->value += pre_auth;
+  LinkBytesCell(from, to, kMsgRetract)->value += msg.size();
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = from;
+    ev.kind = "send";
+    ev.attrs = {{"to", PrincipalOf(to)},
+                {"msg", "retract"},
+                {"pred", tuple.predicate()},
+                {"bytes", std::to_string(msg.size())}};
+    tracer_.Emit(std::move(ev));
+  }
   return net_.Send(from, to, std::move(msg).Take());
 }
 
@@ -487,7 +515,7 @@ Status Engine::HandleRetractMessage(NodeId to, NodeId from,
     if (stored == nullptr) return OkStatus();
     const Principal& claimed = tag.has_value() ? tag->principal : Principal();
     if (!AuthorizedRetractor(to, claimed, *stored)) {
-      ++stats_.retracts_rejected;
+      ++cells_.retracts_rejected->value;
       RecordSecurityEvent(SecurityEventKind::kUnauthorizedRetract, to, from,
                           claimed, tuple.ToString());
       return OkStatus();
@@ -699,7 +727,7 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
             }
           }
         }
-        ++stats_.rederivations;
+        ++cells_.rederivations->value;
         // The normal head path: annotation product, signing, shipping —
         // restored tuples are indistinguishable from first derivations.
         return EmitHead(site, cr, f, u);

@@ -1,0 +1,261 @@
+#include "obs/export.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace provnet {
+namespace obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          out += StrFormat("\\u%04x", unsigned(uint8_t(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().count > 0) out_ += ',';
+  ++stack_.back().count;
+  Indent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back(Frame{false, 0});
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  bool had_members = !stack_.empty() && stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) Indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back(Frame{true, 0});
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  bool had_members = !stack_.empty() && stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) Indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  if (!stack_.empty()) {
+    if (stack_.back().count > 0) out_ += ',';
+    ++stack_.back().count;
+    Indent();
+  }
+  out_ += '"';
+  out_ += JsonEscape(k);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& s) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* s) { return Value(std::string(s)); }
+
+JsonWriter& JsonWriter::Value(bool b) {
+  BeforeValue();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%llu", (unsigned long long)v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%lld", (long long)v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v, const char* fmt) {
+  BeforeValue();
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& token) {
+  BeforeValue();
+  out_ += token;
+  return *this;
+}
+
+namespace {
+
+void WriteLabels(JsonWriter& w, const Labels& labels) {
+  w.Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) w.Field(k, v);
+  w.EndObject();
+}
+
+std::string LabelSuffix(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string SnapshotJson(const Registry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters").BeginArray();
+  for (const auto& [key, c] : registry.counters()) {
+    w.BeginObject();
+    w.Field("name", key.first);
+    WriteLabels(w, key.second);
+    w.Field("value", c->value);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("gauges").BeginArray();
+  for (const auto& [key, g] : registry.gauges()) {
+    w.BeginObject();
+    w.Field("name", key.first);
+    WriteLabels(w, key.second);
+    w.Field("value", g->value, "%.9g");
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("histograms").BeginArray();
+  for (const auto& [key, h] : registry.histograms()) {
+    w.BeginObject();
+    w.Field("name", key.first);
+    WriteLabels(w, key.second);
+    w.Field("count", h->count());
+    w.Field("sum", h->sum(), "%.9g");
+    w.Field("min", h->min(), "%.9g");
+    w.Field("max", h->max(), "%.9g");
+    w.Field("mean", h->mean(), "%.9g");
+    w.Field("p50", h->Quantile(0.50), "%.9g");
+    w.Field("p90", h->Quantile(0.90), "%.9g");
+    w.Field("p99", h->Quantile(0.99), "%.9g");
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  return out;
+}
+
+std::string SnapshotText(const Registry& registry) {
+  // Left column width: longest name{labels} across every section.
+  size_t width = 0;
+  auto measure = [&width](const Registry::Key& key) {
+    width = std::max(width, key.first.size() + LabelSuffix(key.second).size());
+  };
+  for (const auto& [key, c] : registry.counters()) measure(key);
+  for (const auto& [key, g] : registry.gauges()) measure(key);
+  for (const auto& [key, h] : registry.histograms()) measure(key);
+  width = std::min(width, size_t(72));
+
+  std::string out;
+  auto line = [&out, width](const Registry::Key& key, std::string value) {
+    std::string left = key.first + LabelSuffix(key.second);
+    if (left.size() < width) left.append(width - left.size(), ' ');
+    out += left;
+    out += "  ";
+    out += value;
+    out += '\n';
+  };
+
+  if (!registry.counters().empty()) {
+    out += "== counters ==\n";
+    for (const auto& [key, c] : registry.counters()) {
+      line(key, StrFormat("%llu", (unsigned long long)c->value));
+    }
+  }
+  if (!registry.gauges().empty()) {
+    out += "== gauges ==\n";
+    for (const auto& [key, g] : registry.gauges()) {
+      line(key, StrFormat("%.6g", g->value));
+    }
+  }
+  if (!registry.histograms().empty()) {
+    out += "== histograms ==\n";
+    for (const auto& [key, h] : registry.histograms()) {
+      line(key, StrFormat(
+                    "count=%llu mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g",
+                    (unsigned long long)h->count(), h->mean(),
+                    h->Quantile(0.50), h->Quantile(0.90), h->Quantile(0.99),
+                    h->max()));
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace provnet

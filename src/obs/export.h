@@ -1,0 +1,91 @@
+// Unified telemetry export: one JSON writer, one snapshot format.
+//
+// Everything the repo serializes about a run goes through here — the
+// registry snapshot consumed by obs_dump and the golden determinism tests,
+// and the BENCH_fixpoint/adversary/provquery JSON files (their writers build
+// on JsonWriter instead of hand-concatenated strings, so escaping, comma
+// placement, and layout have a single implementation).
+//
+// Output is deterministic: registry iteration is key-ordered, floats use
+// fixed printf formats, and nothing here reads the wall clock.
+#ifndef PROVNET_OBS_EXPORT_H_
+#define PROVNET_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace provnet {
+namespace obs {
+
+// JSON string-escape (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& s);
+
+// Structural JSON emitter with pretty 2-space indentation. The caller
+// supplies structure (Begin/End, Key, Value); commas, newlines, and
+// escaping are handled here. Numeric formatting is explicit per call so
+// bench writers keep their historical value formats exactly.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& Value(const std::string& s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint32_t v) { return Value(uint64_t(v)); }
+  JsonWriter& Value(int v) { return Value(int64_t(v)); }
+  JsonWriter& Value(double v, const char* fmt = "%.9g");
+  // Pre-formatted scalar token, emitted verbatim in value position.
+  JsonWriter& Raw(const std::string& token);
+
+  template <typename T>
+  JsonWriter& Field(const std::string& k, T v) {
+    Key(k);
+    return Value(v);
+  }
+  JsonWriter& Field(const std::string& k, double v, const char* fmt) {
+    Key(k);
+    return Value(v, fmt);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  struct Frame {
+    bool array = false;
+    size_t count = 0;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+// Canonical registry snapshot:
+//   {"counters":[{"name","labels","value"}...],
+//    "gauges":[...],
+//    "histograms":[{"name","labels","count","sum","min","max",
+//                   "mean","p50","p90","p99"}...]}
+// Byte-identical for identical registries (the golden determinism contract).
+std::string SnapshotJson(const Registry& registry);
+
+// Human-readable table for obs_dump: one line per instrument,
+// `name{k=v,...}` left column, values right.
+std::string SnapshotText(const Registry& registry);
+
+}  // namespace obs
+}  // namespace provnet
+
+#endif  // PROVNET_OBS_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace provnet {
+namespace obs {
+
+namespace {
+// Bucket range: 2^-30 (~1ns in seconds) .. 2^40 (~1TB in bytes) at quarter
+// octaves. Values outside clamp into the edge buckets.
+constexpr int kMinBucket = -30 * 4;
+constexpr int kMaxBucket = 40 * 4;
+// Non-positive observations (durations rounded to zero) get their own
+// bucket below everything else.
+constexpr int kZeroBucket = kMinBucket - 1;
+}  // namespace
+
+int Histogram::BucketOf(double v) {
+  if (!(v > 0.0)) return kZeroBucket;
+  int b = int(std::floor(4.0 * std::log2(v)));
+  return std::min(std::max(b, kMinBucket), kMaxBucket);
+}
+
+void Histogram::Observe(double v) {
+  ++buckets_[BucketOf(v)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile among `count_` ordered observations (1-based).
+  uint64_t rank = uint64_t(std::ceil(q * double(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      if (bucket == kZeroBucket) return std::min(0.0, max_);
+      // Upper bound of the quarter-octave bucket, clamped to the observed
+      // range so single-observation histograms report the exact value.
+      double upper = std::exp2(double(bucket + 1) / 4.0);
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
+Registry::Key Registry::MakeKey(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key(name, std::move(labels));
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels) {
+  auto& slot = counters_[MakeKey(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels) {
+  auto& slot = gauges_[MakeKey(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, Labels labels) {
+  auto& slot = histograms_[MakeKey(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* Registry::FindCounter(const std::string& name,
+                                     Labels labels) const {
+  auto it = counters_.find(MakeKey(name, std::move(labels)));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+uint64_t Registry::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  // Keys sort by name first, so the range is contiguous.
+  for (auto it = counters_.lower_bound(Key(name, Labels()));
+       it != counters_.end() && it->first.first == name; ++it) {
+    total += it->second->value;
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace provnet

@@ -1,0 +1,117 @@
+// Typed metrics registry — the engine's quantitative self-description.
+//
+// The paper's thesis is that a secure network should be able to explain
+// itself; this module is the corresponding requirement turned inward: every
+// performance and security signal the engine produces (rule firings, join
+// candidates, per-link bytes by message kind, verification rejections by
+// security-event kind, provenance-query latency) lives in one registry,
+// keyed by metric name plus a small label set, and is exported through one
+// snapshot path (obs/export.h). RunStats and the bench JSON writers are
+// views over this registry, not parallel bookkeeping.
+//
+// Design constraints, in order:
+//   1. The slot-compiled join inner loop increments counters per candidate
+//      tuple. A handle must therefore be a raw pointer to a plain uint64_t
+//      cell — registration (name/label hashing) happens once at plan time,
+//      never per event.
+//   2. Snapshots must be byte-identical across identical seeded runs, so
+//      iteration order is the std::map key order (name, then sorted labels)
+//      and no wall-clock state is stored here.
+#ifndef PROVNET_OBS_METRICS_H_
+#define PROVNET_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace provnet {
+namespace obs {
+
+// Label set of one instrument. Registry sorts by key on registration, so
+// callers may pass labels in any order; two permutations are one metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotone event count. `value` is public: the hot path does ++c->value.
+struct Counter {
+  uint64_t value = 0;
+  void Add(uint64_t n = 1) { value += n; }
+};
+
+// Last-write level (queue depths, table sizes, config echoes).
+struct Gauge {
+  double value = 0.0;
+  void Set(double v) { value = v; }
+};
+
+// Log-bucketed distribution: quarter-octave buckets (bucket index =
+// floor(4*log2(v))), exact count/sum/min/max, quantiles estimated from the
+// bucket upper bound and clamped to the observed range. Good to ~19% value
+// resolution, which is plenty for latency/size distributions, while staying
+// allocation-light and deterministic.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return max_; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+  // q in [0,1]; 0.5/0.9/0.99 are the exported quantiles.
+  double Quantile(double q) const;
+
+ private:
+  static int BucketOf(double v);
+
+  // bucket index -> observation count. Non-positive values collapse into a
+  // dedicated lowest bucket.
+  std::map<int, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Owns every instrument. Get* interns on first use and returns a stable
+// pointer (map nodes never move); lookups are meant for setup paths only.
+class Registry {
+ public:
+  using Key = std::pair<std::string, Labels>;
+
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  Histogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  // Lookup without interning; nullptr when absent (labels in any order).
+  const Counter* FindCounter(const std::string& name, Labels labels = {}) const;
+
+  // Sum over every counter with `name`, all label sets — how the RunStats
+  // view recovers a global total from per-rule/per-link breakdowns.
+  uint64_t CounterTotal(const std::string& name) const;
+
+  // Deterministic iteration for the exporter (ascending by name, labels).
+  const std::map<Key, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<Key, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<Key, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  static Key MakeKey(const std::string& name, Labels labels);
+
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace provnet
+
+#endif  // PROVNET_OBS_METRICS_H_

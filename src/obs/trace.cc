@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/export.h"
+#include "util/strings.h"
+
+namespace provnet {
+namespace obs {
+
+namespace {
+double WallNow() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+}  // namespace
+
+void Tracer::Enable(size_t capacity, uint32_t sample_every, bool record_wall) {
+  enabled_ = capacity > 0;
+  record_wall_ = record_wall;
+  sample_every_ = sample_every == 0 ? 1 : sample_every;
+  sample_seq_ = 0;
+  capacity_ = capacity;
+  total_ = 0;
+  ring_.clear();
+  ring_.reserve(capacity_);
+}
+
+void Tracer::Disable() {
+  enabled_ = false;
+  record_wall_ = false;
+}
+
+void Tracer::Emit(TraceEvent ev) {
+  if (!enabled_) return;
+  if (record_wall_) ev.wall_time = WallNow();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[total_ % capacity_] = std::move(ev);
+  }
+  ++total_;
+}
+
+std::vector<const TraceEvent*> Tracer::Events() const {
+  std::vector<const TraceEvent*> out;
+  out.reserve(ring_.size());
+  // The ring is full once total_ >= capacity_; the oldest surviving event
+  // sits at total_ % capacity_.
+  size_t start = ring_.size() < capacity_ ? 0 : total_ % capacity_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(&ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t Tracer::size() const { return ring_.size(); }
+
+void Tracer::Clear() {
+  ring_.clear();
+  total_ = 0;
+  sample_seq_ = 0;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent* ev : Events()) {
+    out += StrFormat("{\"sim_time\":%.9f,", ev->sim_time);
+    if (record_wall_) out += StrFormat("\"wall_time\":%.9f,", ev->wall_time);
+    out += StrFormat("\"dur\":%.9f,\"node\":%u,\"kind\":\"%s\",\"attrs\":{",
+                     ev->dur, unsigned(ev->node),
+                     JsonEscape(ev->kind).c_str());
+    bool first = true;
+    for (const auto& [k, v] : ev->attrs) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += JsonEscape(k);
+      out += "\":\"";
+      out += JsonEscape(v);
+      out += '"';
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace provnet

@@ -1,0 +1,86 @@
+// Virtual-time trace spans — the engine's qualitative self-description.
+//
+// A TraceEvent records one unit of engine work (a rule strand firing, a
+// message send/verify/deliver hop, a deletion-delta cascade step, one hop of
+// a distributed ProvQuery walk) stamped with *virtual* network time, so
+// detection latencies and query fan-outs are measurable as distributions and
+// — crucially — identical seeded runs emit byte-identical streams. Wall time
+// is opt-in (Enable(record_wall=true)) and excluded from the golden format.
+//
+// Cost discipline: tracing off must cost one predictable branch per site.
+// Every instrumentation site is guarded by enabled()/Sample(); TraceEvent
+// construction (string allocation) happens only when tracing is on. Events
+// land in a fixed-capacity ring buffer (oldest overwritten, drop count
+// kept), and hot-path sites go through Sample() for deterministic 1-in-k
+// sampling.
+#ifndef PROVNET_OBS_TRACE_H_
+#define PROVNET_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace provnet {
+namespace obs {
+
+struct TraceEvent {
+  double sim_time = 0.0;   // virtual network time at the event
+  double dur = 0.0;        // virtual-time duration (0 for instantaneous)
+  double wall_time = 0.0;  // process wall clock; recorded only when opted in
+  uint32_t node = 0;       // executing/receiving node
+  std::string kind;        // "fire", "send", "verify", "deliver", ...
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  // Turns tracing on with a ring of `capacity` events. `sample_every` thins
+  // hot-path events (Sample() passes 1 in k); structural events (queries,
+  // cascades, security) bypass sampling. `record_wall` adds wall_time to
+  // each event and its JSONL line — off by default so identical seeded runs
+  // serialize identically.
+  void Enable(size_t capacity, uint32_t sample_every = 1,
+              bool record_wall = false);
+  void Disable();
+
+  bool enabled() const { return enabled_; }
+  bool record_wall() const { return record_wall_; }
+
+  // Hot-path gate: false when disabled, else true for 1 in sample_every
+  // calls (deterministic counter, not random).
+  bool Sample() {
+    if (!enabled_) return false;
+    return sample_every_ <= 1 || (sample_seq_++ % sample_every_) == 0;
+  }
+
+  // Records an event (caller already checked enabled()/Sample()). Stamps
+  // wall_time itself when record_wall is on.
+  void Emit(TraceEvent ev);
+
+  // Events currently in the ring, oldest first.
+  std::vector<const TraceEvent*> Events() const;
+  size_t size() const;
+  uint64_t total_emitted() const { return total_; }
+  uint64_t dropped() const { return total_ - size(); }
+  void Clear();
+
+  // One JSON object per line, oldest first:
+  //   {"sim_time":...,"dur":...,"node":N,"kind":"...","attrs":{...}}
+  // with "wall_time" after sim_time when record_wall is on.
+  std::string ToJsonl() const;
+
+ private:
+  bool enabled_ = false;
+  bool record_wall_ = false;
+  uint32_t sample_every_ = 1;
+  uint64_t sample_seq_ = 0;
+  size_t capacity_ = 0;
+  uint64_t total_ = 0;  // events ever emitted (ring may have evicted some)
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace obs
+}  // namespace provnet
+
+#endif  // PROVNET_OBS_TRACE_H_

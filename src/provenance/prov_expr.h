@@ -78,6 +78,11 @@ class ProvExpr {
   // Structural equality (cheap pointer check first).
   bool Equals(const ProvExpr& other) const;
 
+  // Stable identity of the underlying DAG node (nullptr for Zero). Shared
+  // subexpressions have the same identity, so evaluators can memoize over
+  // the DAG instead of exploding it into a tree (see DerivationCountExact).
+  const void* NodeIdentity() const { return node_.get(); }
+
   // "a + a*b" given a naming function.
   std::string ToString(
       const std::function<std::string(ProvVar)>& var_name) const;

@@ -15,9 +15,49 @@ int64_t TrustLevelOf(const ProvExpr& expr,
   return EvalIn(s, expr, levels, default_level);
 }
 
+namespace {
+
+// Fold in BigInt, memoized by DAG node identity: each shared node is
+// evaluated once, so the cost tracks ProvExpr::NodeCount() rather than the
+// (possibly exponential) tree unfolding.
+const BigInt& CountExactRec(const ProvExpr& expr,
+                            std::unordered_map<const void*, BigInt>& memo) {
+  const void* id = expr.NodeIdentity();
+  auto it = memo.find(id);
+  if (it != memo.end()) return it->second;
+  BigInt value;
+  switch (expr.kind()) {
+    case ProvExprKind::kZero:
+      break;  // zero derivations
+    case ProvExprKind::kOne:
+    case ProvExprKind::kVar:
+      value = BigInt::FromU64(1);  // one way: the base assertion itself
+      break;
+    case ProvExprKind::kPlus:
+      value = CountExactRec(expr.left(), memo) +
+              CountExactRec(expr.right(), memo);
+      break;
+    case ProvExprKind::kTimes:
+      value = CountExactRec(expr.left(), memo) *
+              CountExactRec(expr.right(), memo);
+      break;
+  }
+  return memo.emplace(id, std::move(value)).first->second;
+}
+
+}  // namespace
+
+BigInt DerivationCountExact(const ProvExpr& expr) {
+  std::unordered_map<const void*, BigInt> memo;
+  return CountExactRec(expr, memo);
+}
+
 uint64_t DerivationCount(const ProvExpr& expr) {
-  CountingSemiring s;
-  return EvalIn(s, expr, {}, /*missing=*/1);
+  BigInt exact = DerivationCountExact(expr);
+  if (exact.Compare(BigInt::FromU64(UINT64_MAX)) > 0) return UINT64_MAX;
+  uint64_t out = 0;
+  for (uint8_t byte : exact.ToBytes()) out = (out << 8) | byte;
+  return out;
 }
 
 }  // namespace provnet

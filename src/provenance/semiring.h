@@ -18,6 +18,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "bignum/bigint.h"
 #include "provenance/prov_expr.h"
 
 namespace provnet {
@@ -72,7 +73,9 @@ struct TrustLevelSemiring {
   Value Times(Value a, Value b) const { return a < b ? a : b; }
 };
 
-// How many distinct derivations exist.
+// How many distinct derivations exist. Beware: machine arithmetic wraps
+// mod 2^64 on aggregate-heavy proofs — DerivationCount/DerivationCountExact
+// below are the overflow-safe entry points.
 struct CountingSemiring {
   using Value = uint64_t;
   Value Zero() const { return 0; }
@@ -93,8 +96,15 @@ int64_t TrustLevelOf(const ProvExpr& expr,
                      const std::unordered_map<ProvVar, int64_t>& levels,
                      int64_t default_level);
 
-// Number of derivations, counting each base tuple as one way.
+// Number of derivations, counting each base tuple as one way. Saturates at
+// UINT64_MAX instead of wrapping mod 2^64 (a recursive Best-Path proof over
+// a dense network multiplies counts fast enough to overflow a machine word).
 uint64_t DerivationCount(const ProvExpr& expr);
+
+// Exact derivation count in arbitrary precision (src/bignum). Memoized by
+// DAG node identity, so the cost is linear in the *shared* expression size
+// even when the count itself is astronomical.
+BigInt DerivationCountExact(const ProvExpr& expr);
 
 }  // namespace provnet
 

@@ -211,6 +211,10 @@ uint64_t QueryResult::DerivationCount() const {
   return provnet::DerivationCount(annotation);
 }
 
+BigInt QueryResult::DerivationCountExact() const {
+  return provnet::DerivationCountExact(annotation);
+}
+
 CondensedProv QueryResult::Condensed() const { return Condense(annotation); }
 
 // --- DAG assembly from collected records ------------------------------------
@@ -467,7 +471,10 @@ Status ProvQuery::DrainLocalFrontier(Engine& engine,
     bool offline = false;
     std::vector<ProvRecord> records =
         engine.ProvRecordsAt(key.first, key.second, &offline);
-    if (offline) ++session.stats.offline_hits;
+    if (offline) {
+      ++session.stats.offline_hits;
+      ++engine.cells_.query_offline_hits->value;
+    }
     PROVNET_RETURN_IF_ERROR(
         engine.ProvQueryIngest(session, key.first, key.second,
                                std::move(records)));
@@ -544,6 +551,7 @@ Result<QueryResult> ProvQuery::RunDistributed() {
   session.local_frontier.push_back({node_, root});
 
   Network::Meters meters0 = engine.net_.MeterSnapshot();
+  double sim0 = engine.net_.now();
   engine.query_session_ = &session;
   Status pumped = Pump(engine, session);
   engine.query_session_ = nullptr;
@@ -555,7 +563,21 @@ Result<QueryResult> ProvQuery::RunDistributed() {
   Network::Meters meters1 = engine.net_.MeterSnapshot();
   session.stats.bytes = meters1.bytes - meters0.bytes;
   session.stats.messages = meters1.messages - meters0.messages;
-  ++engine.stats_.prov_queries;
+  ++engine.cells_.prov_queries->value;
+  // End-to-end walk latency in virtual time: deterministic across runs,
+  // unlike QueryStats::wall_seconds.
+  double sim_latency = engine.net_.now() - sim0;
+  engine.cells_.query_latency->Observe(sim_latency);
+  if (engine.tracer_.enabled()) {
+    obs::TraceEvent ev;
+    ev.sim_time = engine.net_.now();
+    ev.dur = sim_latency;
+    ev.node = node_;
+    ev.kind = "provquery";
+    ev.attrs = {{"records", StrFormat("%zu", session.stats.records)},
+                {"requests", StrFormat("%zu", session.stats.requests)}};
+    engine.tracer_.Emit(std::move(ev));
+  }
 
   // A tuple nobody recorded is not reconstructible at all.
   if (session.collected[{node_, root}].empty()) {
@@ -614,6 +636,7 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
         "another provenance query is already pumping the network");
   }
   auto t0 = std::chrono::steady_clock::now();
+  silent_.clear();
   ProvQuerySession session;
   session.asker = auditor_;
   session.kind = kQueryClaims;
@@ -640,15 +663,20 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
   engine.NoteAbandonedQueries(session);
   PROVNET_RETURN_IF_ERROR(status);
   // A node that never answered (suppressed, rejected, or dropped its
-  // response) leaves a hole the findings cannot see — campaign.h promises
-  // a failed audit never reads as a clean one, so surface it. (The caller
-  // decides whether silence itself is incriminating.)
-  if (session.outstanding > 0) {
-    return DeadlineExceededError(
-        StrFormat("claims exchange incomplete: %zu of %llu responders never "
-                  "answered",
-                  session.outstanding,
-                  static_cast<unsigned long long>(session.stats.requests)));
+  // response) is not a transport error to abort on: in an adversarial
+  // deployment, silence *is* evidence. Each silent responder becomes a
+  // kSilentResponder SecurityEvent (counted in the metrics registry) and a
+  // suspect the caller can fold into its findings; the sweep completes over
+  // the answers that did arrive. campaign.h's promise — a failed audit never
+  // reads as a clean one — holds because silent() is never empty when the
+  // exchange was incomplete.
+  for (const auto& [query_id, pending] : session.pending) {
+    if (!silent_.insert(pending.responder).second) continue;
+    engine.RecordSecurityEvent(
+        SecurityEventKind::kSilentResponder, auditor_, pending.responder,
+        engine.PrincipalOf(pending.responder),
+        StrFormat("claims exchange: no answer to query %llu",
+                  static_cast<unsigned long long>(query_id)));
   }
 
   // The auditor's own claims are read locally, for free — through the same
@@ -664,7 +692,7 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
   session.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  ++engine.stats_.prov_queries;
+  ++engine.cells_.prov_queries->value;
   stats_ = session.stats;
   return std::move(session.claims);
 }

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bignum/bigint.h"
 #include "core/engine.h"
 #include "provenance/condense.h"
 #include "provenance/derivation.h"
@@ -159,10 +160,13 @@ struct QueryResult {
       const std::unordered_map<ProvVar, bool>& trusted) const;
   int64_t TrustLevel(const std::unordered_map<ProvVar, int64_t>& levels,
                      int64_t default_level) const;
-  // Counting semiring; mod 2^64 — proofs whose shared sub-derivations are
-  // referenced both directly and through an aggregate record legitimately
-  // count exponentially many derivations.
+  // Counting semiring, saturating at UINT64_MAX — proofs whose shared
+  // sub-derivations are referenced both directly and through an aggregate
+  // record legitimately count exponentially many derivations, so the
+  // machine-word view clamps instead of wrapping mod 2^64.
   uint64_t DerivationCount() const;
+  // The exact count in arbitrary precision (src/bignum).
+  BigInt DerivationCountExact() const;
   CondensedProv Condensed() const;
 };
 
@@ -267,10 +271,17 @@ class ClaimsExchange {
   // Accounting of the last Collect().
   const QueryStats& stats() const { return stats_; }
 
+  // Responders that never answered the last Collect(). Silence is not a
+  // transport error: each silent node is audited (kSilentResponder) and
+  // surfaced here so the caller can treat suppression as incriminating —
+  // the sweep completes over the answers it did get.
+  const std::set<NodeId>& silent() const { return silent_; }
+
  private:
   Engine* engine_;
   NodeId auditor_;
   QueryStats stats_;
+  std::set<NodeId> silent_;
 };
 
 }  // namespace provnet

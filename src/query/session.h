@@ -38,6 +38,7 @@ struct ProvQuerySession {
   struct Pending {
     NodeId responder = 0;
     TupleDigest digest = 0;
+    double sent_at = 0.0;  // virtual send time, for hop-latency histograms
   };
   std::unordered_map<uint64_t, Pending> pending;
   size_t outstanding = 0;

@@ -47,8 +47,36 @@ Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
     tag.Serialize(msg);
   }
-  stats_.prov_query_bytes += msg.size();
+  cells_.prov_query_bytes->value += msg.size();
+  LinkBytesCell(from, to, msg_type)->value += msg.size();
+  if (tracer_.Sample()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = from;
+    ev.kind = "send";
+    ev.attrs = {{"to", PrincipalOf(to)},
+                {"msg", msg_type == kMsgProvRequest ? "prov_request"
+                                                    : "prov_response"},
+                {"bytes", StrFormat("%zu", msg.size())}};
+    tracer_.Emit(std::move(ev));
+  }
   return net_.Send(from, to, std::move(msg).Take());
+}
+
+void Engine::ObserveQueryHop(NodeId asker, NodeId responder, double sent_at) {
+  // One request->response round trip of the pointer walk, in virtual time
+  // (wall time would break the golden determinism contract).
+  double hop = net_.now() - sent_at;
+  cells_.query_hop_latency->Observe(hop);
+  if (tracer_.enabled()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.dur = hop;
+    ev.node = asker;
+    ev.kind = "provhop";
+    ev.attrs = {{"responder", PrincipalOf(responder)}};
+    tracer_.Emit(std::move(ev));
+  }
 }
 
 void Engine::NoteAbandonedQueries(const ProvQuerySession& session) {
@@ -69,7 +97,8 @@ Status Engine::ProvQuerySendRequest(ProvQuerySession& session, NodeId to,
   inner.PutU8(kQueryRecords);
   inner.PutU64(query_id);
   inner.PutU64(digest);
-  session.pending.emplace(query_id, ProvQuerySession::Pending{to, digest});
+  session.pending.emplace(query_id,
+                          ProvQuerySession::Pending{to, digest, net_.now()});
   ++session.outstanding;
   ++session.stats.requests;
   return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
@@ -84,7 +113,8 @@ Status Engine::ProvQuerySendClaimsRequest(
   inner.PutU64(query_id);
   inner.PutVarint(predicates.size());
   for (const std::string& pred : predicates) inner.PutString(pred);
-  session.pending.emplace(query_id, ProvQuerySession::Pending{to, 0});
+  session.pending.emplace(query_id,
+                          ProvQuerySession::Pending{to, 0, net_.now()});
   ++session.outstanding;
   ++session.stats.requests;
   return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
@@ -193,8 +223,13 @@ Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
   switch (kind) {
     case kQueryRecords: {
       PROVNET_ASSIGN_OR_RETURN(uint64_t digest, body.GetU64());
-      std::vector<ProvRecord> records = ProvRecordsAt(to, digest, nullptr);
+      bool offline = false;
+      std::vector<ProvRecord> records = ProvRecordsAt(to, digest, &offline);
       inner.PutU64(digest);
+      // Responder-side archive flag: set when the records came from the
+      // offline store, so the asker's QueryStats::offline_hits covers remote
+      // archive reads, not just its own (satellite of the Section 4.1 walk).
+      inner.PutU8(offline ? 1 : 0);
       inner.PutVarint(records.size());
       for (const ProvRecord& rec : records) rec.Serialize(inner);
       break;
@@ -237,7 +272,7 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
                                          "prov_response"));
   ProvQuerySession* session = query_session_;
   if (!accepted) {
-    ++stats_.prov_responses_rejected;
+    ++cells_.prov_responses_rejected->value;
     if (session != nullptr) ++session->stats.responses_rejected;
     return OkStatus();  // rejected and audited; drop
   }
@@ -251,7 +286,7 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
   // what stops a compromised responder (holding a perfectly valid key) from
   // pushing unsolicited "answers" into a node's forensic state.
   auto bogus = [&](const char* why) {
-    ++stats_.prov_responses_rejected;
+    ++cells_.prov_responses_rejected->value;
     if (session != nullptr) ++session->stats.responses_rejected;
     RecordSecurityEvent(SecurityEventKind::kBogusResponse, to, from,
                         tag.has_value() ? tag->principal : Principal(),
@@ -286,6 +321,7 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
     case kQueryRecords: {
       PROVNET_ASSIGN_OR_RETURN(uint64_t digest, body.GetU64());
       if (digest != it->second.digest) return bogus("digest mismatch");
+      PROVNET_ASSIGN_OR_RETURN(uint8_t offline, body.GetU8());
       PROVNET_ASSIGN_OR_RETURN(uint64_t count, body.GetVarint());
       if (count > body.remaining()) {
         return InvalidArgumentError("prov_response: bad record count");
@@ -297,6 +333,11 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
                                  ProvRecord::Deserialize(body));
         records.push_back(std::move(rec));
       }
+      if (offline != 0) {
+        ++session->stats.offline_hits;
+        ++cells_.query_offline_hits->value;
+      }
+      ObserveQueryHop(to, from, it->second.sent_at);
       session->pending.erase(it);
       if (session->outstanding > 0) --session->outstanding;
       ++session->stats.responses;
@@ -307,6 +348,7 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
       if (count > body.remaining()) {
         return InvalidArgumentError("prov_response: bad claim count");
       }
+      ObserveQueryHop(to, from, it->second.sent_at);
       session->pending.erase(it);
       if (session->outstanding > 0) --session->outstanding;
       ++session->stats.responses;

@@ -1,0 +1,400 @@
+// Observability layer (src/obs/): the typed metrics registry, the
+// virtual-time tracer, the unified snapshot exporter, and their engine
+// integration.
+//
+// The oracles:
+//   * determinism  - two identical seeded runs serialize byte-identical
+//     metric snapshots and trace streams (virtual time only, registry
+//     iteration is key-ordered);
+//   * consistency  - RunStats is a view: every flat counter equals the sum
+//     of its registry cells;
+//   * cost         - with tracing off, the per-event hook (one branch plus
+//     one counter increment) totals under 2% of a 50-node Best-Path
+//     fixpoint's wall time;
+//   * satellites   - remote offline-archive hits surface in the asker's
+//     QueryStats, silent claims-exchange responders become suspects rather
+//     than aborting the sweep, and DerivationCount saturates instead of
+//     wrapping mod 2^64.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "adversary/adversary.h"
+#include "adversary/campaign.h"
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "net/topology.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "provenance/semiring.h"
+#include "query/provquery.h"
+
+namespace provnet {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ObsRegistryTest, LabelOrderIsCanonicalizedAndHandlesAreStable) {
+  obs::Registry reg;
+  obs::Counter* a = reg.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  obs::Counter* b = reg.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);  // two label permutations are one metric
+  a->Add(3);
+  EXPECT_EQ(reg.FindCounter("x", {{"b", "2"}, {"a", "1"}})->value, 3u);
+  EXPECT_EQ(reg.FindCounter("x", {{"a", "other"}}), nullptr);
+
+  // Interning more metrics must not move existing cells.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("y", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(reg.FindCounter("x", {{"a", "1"}, {"b", "2"}}), a);
+}
+
+TEST(ObsRegistryTest, CounterTotalSumsAcrossLabelSets) {
+  obs::Registry reg;
+  reg.GetCounter("rule.firings", {{"rule", "r1"}})->Add(5);
+  reg.GetCounter("rule.firings", {{"rule", "r2"}})->Add(7);
+  reg.GetCounter("rule.firingsx")->Add(100);  // name prefix, not the name
+  reg.GetCounter("rule.firing")->Add(100);
+  EXPECT_EQ(reg.CounterTotal("rule.firings"), 12u);
+  EXPECT_EQ(reg.CounterTotal("absent"), 0u);
+}
+
+TEST(ObsHistogramTest, TracksMomentsAndQuantilesWithinBucketResolution) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(double(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Quarter-octave buckets are good to ~19%; quantiles must land near the
+  // true order statistics and never outside the observed range.
+  EXPECT_GE(h.Quantile(0.5), 40.0);
+  EXPECT_LE(h.Quantile(0.5), 60.0);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(ObsHistogramTest, NonPositiveObservationsCollapseIntoZeroBucket) {
+  obs::Histogram h;
+  h.Observe(0.0);
+  h.Observe(-2.5);
+  h.Observe(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -2.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_LE(h.Quantile(0.5), 0.0);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+obs::TraceEvent Ev(double t, const char* kind) {
+  obs::TraceEvent ev;
+  ev.sim_time = t;
+  ev.kind = kind;
+  return ev;
+}
+
+TEST(ObsTracerTest, RingEvictsOldestAndCountsDrops) {
+  obs::Tracer tr;
+  tr.Enable(/*capacity=*/2);
+  tr.Emit(Ev(1.0, "a"));
+  tr.Emit(Ev(2.0, "b"));
+  tr.Emit(Ev(3.0, "c"));
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr.total_emitted(), 3u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  std::vector<const obs::TraceEvent*> events = tr.Events();
+  EXPECT_EQ(events[0]->kind, "b");  // oldest surviving first
+  EXPECT_EQ(events[1]->kind, "c");
+}
+
+TEST(ObsTracerTest, SamplingIsDeterministicOneInK) {
+  obs::Tracer tr;
+  tr.Enable(/*capacity=*/64, /*sample_every=*/4);
+  int kept = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (tr.Sample()) ++kept;
+  }
+  EXPECT_EQ(kept, 4);
+
+  obs::Tracer off;
+  EXPECT_FALSE(off.Sample());  // disabled tracer never samples
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(ObsTracerTest, JsonlOmitsWallTimeByDefault) {
+  obs::Tracer tr;
+  tr.Enable(4);
+  obs::TraceEvent ev = Ev(1.5, "fire");
+  ev.node = 7;
+  ev.attrs = {{"rule", "r\"1\""}};
+  tr.Emit(std::move(ev));
+  std::string jsonl = tr.ToJsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"fire\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"rule\":\"r\\\"1\\\"\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("wall_time"), std::string::npos);
+}
+
+// --- Exporter ---------------------------------------------------------------
+
+TEST(ObsExportTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObsExportTest, SnapshotIsByteIdenticalForIdenticalRegistries) {
+  auto populate = [](obs::Registry& reg) {
+    reg.GetCounter("z.last")->Add(1);
+    reg.GetCounter("a.first", {{"k", "v"}})->Add(2);
+    reg.GetGauge("g")->Set(0.25);
+    obs::Histogram* h = reg.GetHistogram("h", {{"q", "1"}});
+    h->Observe(0.001);
+    h->Observe(0.01);
+  };
+  obs::Registry r1, r2;
+  populate(r1);
+  populate(r2);
+  EXPECT_EQ(obs::SnapshotJson(r1), obs::SnapshotJson(r2));
+  EXPECT_EQ(obs::SnapshotText(r1), obs::SnapshotText(r2));
+  // Names sort before: a.first precedes z.last regardless of insert order.
+  std::string json = obs::SnapshotJson(r1);
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+}
+
+// --- Engine integration -----------------------------------------------------
+
+Tuple Link2(NodeId a, NodeId b) {
+  return Tuple("link", {Value::Address(a), Value::Address(b)});
+}
+
+Tuple Reach(NodeId a, NodeId b) {
+  return Tuple("reachable", {Value::Address(a), Value::Address(b)});
+}
+
+std::unique_ptr<Engine> RunReach(const Topology& topo, EngineOptions opts,
+                                 bool trace = false) {
+  auto engine =
+      Engine::Create(topo, ReachableSendlogProgram(), std::move(opts)).value();
+  if (trace) engine->tracer().Enable(/*capacity=*/4096, /*sample_every=*/4);
+  for (const TopoEdge& e : topo.edges) {
+    EXPECT_TRUE(engine->InsertFact(e.from, Link2(e.from, e.to)).ok());
+  }
+  EXPECT_TRUE(engine->Run().ok());
+  return engine;
+}
+
+EngineOptions PointerAuthOptions() {
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = ProvMode::kPointers;
+  return opts;
+}
+
+TEST(ObsEngineTest, RunStatsIsAViewOverTheRegistry) {
+  Rng rng(11);
+  Topology topo = Topology::RingPlusRandom(10, 3, rng);
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kCondensed;
+  auto engine =
+      Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+
+  const RunStats& stats = engine->cumulative_stats();
+  const obs::Registry& reg = engine->metrics();
+  EXPECT_GT(stats.derivations, 0u);
+  EXPECT_EQ(stats.derivations, reg.CounterTotal("rule.derivations"));
+  EXPECT_EQ(stats.join_candidates, reg.CounterTotal("rule.candidates"));
+  EXPECT_EQ(stats.deliveries, reg.CounterTotal("engine.deliveries"));
+  EXPECT_EQ(stats.events, reg.CounterTotal("engine.events"));
+  EXPECT_EQ(stats.tuple_bytes, reg.CounterTotal("net.tuple_bytes"));
+  // Per-link bytes split by message kind partition the byte counters that
+  // go over the wire.
+  EXPECT_EQ(reg.CounterTotal("net.link.bytes"),
+            stats.tuple_bytes + stats.auth_bytes + stats.prov_bytes +
+                reg.CounterTotal("provquery.bytes"));
+  // Per-rule firing counters exist for every compiled rule label.
+  EXPECT_GT(reg.CounterTotal("rule.firings"), 0u);
+}
+
+TEST(ObsEngineTest, IdenticalSeededRunsEmitByteIdenticalTelemetry) {
+  auto one_run = [](std::string* snapshot, std::string* trace) {
+    Rng rng(20080407);
+    Topology topo = Topology::RingPlusRandom(12, 3, rng);
+    auto engine = RunReach(topo, PointerAuthOptions(), /*trace=*/true);
+    // A couple of distributed walks so query metrics and spans are covered.
+    int queries = 0;
+    for (const Tuple& t : engine->TuplesAt(0, "reachable")) {
+      if (queries++ >= 2) break;
+      ASSERT_TRUE(ProvQueryBuilder(*engine)
+                      .At(0)
+                      .Of(t)
+                      .WithScope(QueryScope::kDistributed)
+                      .Run()
+                      .ok());
+    }
+    *snapshot = obs::SnapshotJson(engine->metrics());
+    *trace = engine->tracer().ToJsonl();
+  };
+  std::string snap1, trace1, snap2, trace2;
+  one_run(&snap1, &trace1);
+  one_run(&snap2, &trace2);
+  EXPECT_GT(snap1.size(), 0u);
+  EXPECT_GT(trace1.size(), 0u);
+  EXPECT_EQ(snap1, snap2);
+  EXPECT_EQ(trace1, trace2);
+}
+
+TEST(ObsEngineTest, DisabledTracingHookCostUnderTwoPercentOfFixpoint) {
+  Rng rng(20080407);
+  Topology topo = Topology::RingPlusRandom(50, 3, rng);
+  EngineOptions opts;
+  opts.prov_mode = ProvMode::kCondensed;
+  auto engine =
+      Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  auto t0 = std::chrono::steady_clock::now();
+  RunStats stats = engine->Run().value();
+  auto t1 = std::chrono::steady_clock::now();
+  double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  // Upper bound on instrumentation sites executed during the run: every
+  // candidate, firing, derivation, event, delivery, and message runs a
+  // handful of hooks (a disabled-tracer branch and/or a cell increment).
+  uint64_t hooks = 4 * (stats.join_candidates + stats.derivations +
+                        stats.events + stats.deliveries + stats.messages);
+
+  // Price one disabled hook: the exact code the hot path runs when tracing
+  // is off — a branch on enabled_ plus a raw counter increment.
+  obs::Tracer tracer;
+  obs::Counter cell;
+  uint64_t acc = 0;
+  auto h0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < hooks; ++i) {
+    if (tracer.Sample()) acc ^= i;
+    ++cell.value;
+  }
+  auto h1 = std::chrono::steady_clock::now();
+  asm volatile("" ::"r"(acc), "r"(cell.value));
+  double hook_cost = std::chrono::duration<double>(h1 - h0).count();
+
+  EXPECT_LT(hook_cost, 0.02 * wall + 0.001)
+      << "hooks=" << hooks << " wall=" << wall;
+}
+
+// --- Satellite: responder-side offline-archive hits -------------------------
+
+TEST(ObsQueryTest, RemoteOfflineArchiveHitsSurfaceInAskerStats) {
+  Topology topo = Topology::Line(4);
+  EngineOptions opts = PointerAuthOptions();
+  opts.record_offline = true;
+  auto engine = RunReach(topo, opts);
+
+  // Age out every *remote* online store: the asker's own records stay
+  // online, so any offline hit must have crossed the wire in a response's
+  // archive flag.
+  for (NodeId n = 1; n < engine->num_nodes(); ++n) {
+    engine->node(n).online_store().Clear();
+  }
+  QueryResult result = ProvQueryBuilder(*engine)
+                           .At(0)
+                           .Of(Reach(0, 3))
+                           .WithScope(QueryScope::kDistributed)
+                           .Run()
+                           .value();
+  EXPECT_GT(result.stats.responses, 0u);
+  EXPECT_GT(result.stats.offline_hits, 0u);
+  EXPECT_EQ(engine->metrics().CounterTotal("provquery.offline_hits"),
+            result.stats.offline_hits);
+  // The proof is still complete: archives answered what online stores lost.
+  for (const ProofNode& pn : result.dag.nodes) {
+    EXPECT_NE(pn.rule, kMissingRule);
+  }
+}
+
+// --- Satellite: silent claims-exchange responders ---------------------------
+
+TEST(ObsAuditTest, SilentResponderBecomesSuspectInsteadOfAbortingSweep) {
+  Topology topo;
+  topo.num_nodes = 6;
+  for (NodeId i = 0; i < 6; ++i) {
+    topo.edges.push_back(TopoEdge{i, static_cast<NodeId>((i + 1) % 6), 1});
+  }
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+
+  // Node 2 suppresses everything it would send: its claims response never
+  // arrives.
+  Adversary adversary(*engine, 7);
+  AdversaryPolicy policy;
+  policy.drop_rate = 1.0;
+  adversary.Compromise(2, policy);
+
+  ClaimsExchange exchange(*engine, /*auditor=*/0);
+  Result<std::vector<ClaimsExchange::Claim>> claims =
+      exchange.Collect({"link"}, /*skip_nodes=*/{});
+  // The sweep completes over the answers it did get...
+  ASSERT_TRUE(claims.ok()) << claims.status().ToString();
+  EXPECT_GT(claims.value().size(), 0u);
+  // ...and silence is attributed, not swallowed.
+  ASSERT_EQ(exchange.silent().size(), 1u);
+  EXPECT_EQ(*exchange.silent().begin(), 2u);
+  EXPECT_EQ(
+      engine->security_log().CountOf(SecurityEventKind::kSilentResponder),
+      1u);
+  const obs::Counter* cell = engine->metrics().FindCounter(
+      "security.events", {{"kind", "silent_responder"}});
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->value, 1u);
+
+  // The audit entry point surfaces the same suspects.
+  std::set<NodeId> silent;
+  ASSERT_TRUE(EquivocationAudit(*engine, {"link"}, /*skip_nodes=*/{},
+                                /*auditor=*/std::nullopt, &silent)
+                  .ok());
+  EXPECT_EQ(silent, std::set<NodeId>{2});
+}
+
+// --- Satellite: saturating derivation counts --------------------------------
+
+// count = 2^k: a conjunction of k independent two-way choices. (Plus is
+// idempotent on physically-shared nodes, so each pair needs fresh vars.)
+ProvExpr PowTwo(int k) {
+  ProvExpr e = ProvExpr::One();
+  for (int i = 0; i < k; ++i) {
+    e = ProvExpr::Times(e, ProvExpr::Plus(ProvExpr::Var(2 * i + 1),
+                                          ProvExpr::Var(2 * i + 2)));
+  }
+  return e;
+}
+
+TEST(ObsSemiringTest, DerivationCountSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(DerivationCount(PowTwo(10)), 1024u);
+  EXPECT_EQ(DerivationCount(PowTwo(63)), uint64_t{1} << 63);  // still exact
+
+  ProvExpr e64 = PowTwo(64);  // 2^64: first value past the word
+  EXPECT_EQ(DerivationCount(e64), UINT64_MAX);
+  EXPECT_EQ(DerivationCountExact(e64).ToDecimal(), "18446744073709551616");
+
+  ProvExpr e70 = PowTwo(70);
+  EXPECT_EQ(DerivationCount(e70), UINT64_MAX);
+  EXPECT_EQ(DerivationCountExact(e70),
+            BigInt::FromU64(1).ShiftLeft(70));
+
+  // Mod-2^64 arithmetic would report 0 here; saturation must not.
+  EXPECT_NE(DerivationCount(e64), 0u);
+}
+
+}  // namespace
+}  // namespace provnet
