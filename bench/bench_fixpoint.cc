@@ -7,10 +7,20 @@
 // Writes a JSON report (default ./BENCH_fixpoint.json, i.e. the repo root
 // when run from there) so CI can archive per-PR numbers.
 //
+// Thread-count axis (the parallel sharded executor, ISSUE 7): none and
+// condensed points repeat at threads in {1, 2, 4, hw} (deduped after
+// resolving hw = hardware concurrency) with `speedup_vs_1t` relative to the
+// same (n, mode) at one thread. Full mode at tuple grain pins itself
+// sequential (receive-side provenance-variable interning must stay in
+// arrival order), so its points carry threads=1 only. The top-level
+// `hw_threads` field records the machine the numbers came from — a 1-CPU
+// host honestly reports ~1x speedups.
+//
 // Usage:
 //   bench_fixpoint [--quick] [--out PATH]
 //
-//   --quick      node counts {10, 25, 50} and 1 run per point (CI smoke)
+//   --quick      node counts {10, 25, 50}, 1 run per point, threads {1, hw},
+//                no 500-node point (CI smoke)
 //   --out PATH   JSON output path (default BENCH_fixpoint.json)
 //
 // Environment knobs:
@@ -19,11 +29,13 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/programs.h"
@@ -38,15 +50,21 @@ namespace {
 
 struct Config {
   std::vector<size_t> node_counts = {10, 25, 50, 75, 100};
+  // 0 = hardware concurrency; resolved and deduped in main().
+  std::vector<size_t> thread_counts = {1, 2, 4, 0};
   size_t runs = 3;
   uint64_t seed = 20080407;
   std::string out_path = "BENCH_fixpoint.json";
+  bool big_point = true;  // the 500-node condensed point (1 run)
 };
 
 struct Point {
   size_t n = 0;
   ProvMode mode = ProvMode::kNone;
+  size_t threads = 1;
+  size_t runs = 1;                 // runs averaged into this point
   double wall_seconds = 0.0;       // mean over runs
+  double speedup_vs_1t = 1.0;      // wall(1 thread) / wall, same (n, mode)
   double derivations = 0.0;        // mean over runs
   double derivations_per_sec = 0.0;
   double join_candidates = 0.0;
@@ -62,10 +80,11 @@ long PeakRssKb() {
   return usage.ru_maxrss;  // KiB on Linux
 }
 
-EngineOptions OptionsFor(ProvMode mode, uint64_t seed) {
+EngineOptions OptionsFor(ProvMode mode, uint64_t seed, size_t threads) {
   EngineOptions opts;
   opts.seed = seed;
   opts.prov_mode = mode;
+  opts.threads = threads;
   // Condensed/full annotations at tuple grain: the configuration the
   // incremental evaluator's restriction pruning needs (bench_churn's "prov"
   // variant), i.e. the cost of leaving provenance on.
@@ -73,17 +92,20 @@ EngineOptions OptionsFor(ProvMode mode, uint64_t seed) {
   return opts;
 }
 
-Result<Point> RunPoint(size_t n, ProvMode mode, const Config& cfg) {
+Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
+                       const Config& cfg) {
   Point point;
   point.n = n;
   point.mode = mode;
-  for (size_t run = 0; run < cfg.runs; ++run) {
+  point.threads = threads;
+  point.runs = runs;
+  for (size_t run = 0; run < runs; ++run) {
     Rng rng(cfg.seed + run * 1000003 + n);
     Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
     PROVNET_ASSIGN_OR_RETURN(
         std::unique_ptr<Engine> engine,
         Engine::Create(topo, BestPathNdlogProgram(),
-                       OptionsFor(mode, cfg.seed + run)));
+                       OptionsFor(mode, cfg.seed + run, threads)));
     PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
     auto t0 = std::chrono::steady_clock::now();
     PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine->Run());
@@ -96,13 +118,13 @@ Result<Point> RunPoint(size_t n, ProvMode mode, const Config& cfg) {
     point.messages += static_cast<double>(stats.messages);
     point.mbytes += static_cast<double>(stats.bytes) / 1e6;
   }
-  double runs = static_cast<double>(cfg.runs);
-  point.wall_seconds /= runs;
-  point.derivations /= runs;
-  point.join_candidates /= runs;
-  point.events /= runs;
-  point.messages /= runs;
-  point.mbytes /= runs;
+  double nruns = static_cast<double>(runs);
+  point.wall_seconds /= nruns;
+  point.derivations /= nruns;
+  point.join_candidates /= nruns;
+  point.events /= nruns;
+  point.messages /= nruns;
+  point.mbytes /= nruns;
   point.derivations_per_sec =
       point.wall_seconds > 0 ? point.derivations / point.wall_seconds : 0.0;
   point.rss_peak_kb = PeakRssKb();
@@ -128,13 +150,18 @@ void WriteJson(const Config& cfg, const std::vector<Point>& points) {
       .Field("workload", "bestpath-ndlog")
       .Field("outdegree", 3)
       .Field("seed", cfg.seed)
-      .Field("runs", uint64_t{cfg.runs});
+      .Field("runs", uint64_t{cfg.runs})
+      .Field("hw_threads",
+             uint64_t{std::max(1u, std::thread::hardware_concurrency())});
   w.Key("points").BeginArray();
   for (const Point& p : points) {
     w.BeginObject()
         .Field("n", uint64_t{p.n})
         .Field("prov_mode", ProvModeName(p.mode))
+        .Field("threads", uint64_t{p.threads})
+        .Field("runs", uint64_t{p.runs})
         .Field("wall_seconds", p.wall_seconds, "%.6f")
+        .Field("speedup_vs_1t", p.speedup_vs_1t, "%.3f")
         .Field("derivations", p.derivations, "%.0f")
         .Field("derivations_per_sec", p.derivations_per_sec, "%.0f")
         .Field("join_candidates", p.join_candidates, "%.0f")
@@ -159,7 +186,8 @@ Status WriteObsArtifacts(const Config& cfg) {
   PROVNET_ASSIGN_OR_RETURN(
       std::unique_ptr<Engine> engine,
       Engine::Create(topo, BestPathNdlogProgram(),
-                     OptionsFor(ProvMode::kCondensed, cfg.seed)));
+                     OptionsFor(ProvMode::kCondensed, cfg.seed,
+                                /*threads=*/1)));
   engine->tracer().Enable(/*capacity=*/8192, /*sample_every=*/16);
   PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
   PROVNET_RETURN_IF_ERROR(engine->Run().status());
@@ -175,7 +203,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.node_counts = {10, 25, 50};
+      cfg.thread_counts = {1, 0};
       cfg.runs = 1;
+      cfg.big_point = false;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       cfg.out_path = argv[++i];
     } else {
@@ -190,32 +220,70 @@ int main(int argc, char** argv) {
   if (const char* v = std::getenv("PROVNET_FIXPOINT_SEED")) {
     cfg.seed = static_cast<uint64_t>(std::atoll(v));
   }
+  // Resolve hw (0) and dedup, preserving order: on a 1-core host {1,2,4,hw}
+  // becomes {1,2,4}.
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_axis;
+  for (size_t t : cfg.thread_counts) {
+    size_t resolved = t == 0 ? hw : t;
+    if (std::find(thread_axis.begin(), thread_axis.end(), resolved) ==
+        thread_axis.end()) {
+      thread_axis.push_back(resolved);
+    }
+  }
 
   const ProvMode modes[] = {ProvMode::kNone, ProvMode::kCondensed,
                             ProvMode::kFull};
   std::printf("bench_fixpoint: Best-Path fixpoint, outdegree 3, %zu run(s) "
-              "per point\n\n",
-              cfg.runs);
-  std::printf("%5s %-10s %12s %14s %14s %12s %10s %12s\n", "n", "prov",
-              "wall s", "derivations", "deriv/sec", "candidates", "MB",
-              "rss KiB");
+              "per point, hw threads %zu\n\n",
+              cfg.runs, hw);
+  std::printf("%5s %-10s %3s %12s %8s %14s %14s %12s %10s %12s\n", "n",
+              "prov", "thr", "wall s", "speedup", "derivations", "deriv/sec",
+              "candidates", "MB", "rss KiB");
 
   std::vector<Point> points;
+  auto run_point = [&](size_t n, ProvMode mode, size_t threads,
+                       size_t runs) -> bool {
+    Result<Point> point = RunPoint(n, mode, threads, runs, cfg);
+    if (!point.ok()) {
+      std::fprintf(stderr, "point n=%zu mode=%s threads=%zu failed: %s\n", n,
+                   ProvModeName(mode), threads,
+                   point.status().ToString().c_str());
+      return false;
+    }
+    Point p = point.value();
+    for (const Point& base : points) {
+      if (base.n == p.n && base.mode == p.mode && base.threads == 1 &&
+          p.wall_seconds > 0) {
+        p.speedup_vs_1t = base.wall_seconds / p.wall_seconds;
+        break;
+      }
+    }
+    std::printf(
+        "%5zu %-10s %3zu %12.4f %8.2f %14.0f %14.0f %12.0f %10.3f %12ld\n",
+        p.n, ProvModeName(p.mode), p.threads, p.wall_seconds, p.speedup_vs_1t,
+        p.derivations, p.derivations_per_sec, p.join_candidates, p.mbytes,
+        p.rss_peak_kb);
+    points.push_back(p);
+    return true;
+  };
+
   for (size_t n : cfg.node_counts) {
     for (ProvMode mode : modes) {
-      Result<Point> point = RunPoint(n, mode, cfg);
-      if (!point.ok()) {
-        std::fprintf(stderr, "point n=%zu mode=%s failed: %s\n", n,
-                     ProvModeName(mode),
-                     point.status().ToString().c_str());
-        return 1;
+      // Full mode runs at tuple grain, which the engine pins to sequential
+      // execution (provenance-variable interning order); its thread-axis
+      // repeats would measure the identical pinned path.
+      size_t axis_len = mode == ProvMode::kFull ? 1 : thread_axis.size();
+      for (size_t ti = 0; ti < axis_len; ++ti) {
+        if (!run_point(n, mode, thread_axis[ti], cfg.runs)) return 1;
       }
-      const Point& p = point.value();
-      std::printf("%5zu %-10s %12.4f %14.0f %14.0f %12.0f %10.3f %12ld\n",
-                  p.n, ProvModeName(p.mode), p.wall_seconds, p.derivations,
-                  p.derivations_per_sec, p.join_candidates, p.mbytes,
-                  p.rss_peak_kb);
-      points.push_back(p);
+    }
+  }
+  if (cfg.big_point) {
+    // The headline scale point: 500-node condensed Best-Path, one run per
+    // thread count (ROADMAP item 1's "500-node networks become routine").
+    for (size_t threads : thread_axis) {
+      if (!run_point(500, ProvMode::kCondensed, threads, 1)) return 1;
     }
   }
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "apps/forensics.h"
+#include "provenance/store.h"
 #include "query/provquery.h"
 #include "util/strings.h"
 
@@ -216,20 +217,12 @@ Result<std::vector<EquivocationFinding>> EquivocationAudit(
     return FailedPreconditionError("equivocation audit: no honest auditor");
   }
 
-  // The digest exchange: every honest node ships its claims of the audited
-  // predicates to the auditor over the signed query wire path.
+  // Phase one — the digest exchange: every honest node ships its claims of
+  // the audited predicates to the auditor over the signed query wire path.
   ClaimsExchange exchange(engine, audit_node);
   PROVNET_ASSIGN_OR_RETURN(std::vector<ClaimsExchange::Claim> collected,
                            exchange.Collect(predicates, skip_nodes));
   if (silent != nullptr) *silent = exchange.silent();
-
-  struct FirstClaim {
-    NodeId node = 0;
-    Tuple tuple;
-  };
-  std::map<std::string, FirstClaim> first_claim;
-  std::set<std::string> flagged_keys;
-  std::vector<EquivocationFinding> findings;
 
   // Key columns resolved once per audited predicate, not per claim.
   std::map<std::string, std::vector<int>> keys_of;
@@ -237,7 +230,18 @@ Result<std::vector<EquivocationFinding>> EquivocationAudit(
     keys_of.emplace(pred, engine.plan().OptionsFor(pred).key_columns);
   }
 
-  for (const ClaimsExchange::Claim& claim : collected) {
+  // Bucket claims by equivocation key (predicate | principal | key columns)
+  // in collected order, so each bucket's entry 0 is the key's first claim —
+  // the baseline the centralized sweep compared everything against. 64-bit
+  // FNV tuple digests stand in for the tuples themselves: equal tuples
+  // always match, and a colliding pair of *different* claims is the usual
+  // negligible-digest-collision caveat (the full claims stay at the auditor
+  // for confirmation).
+  std::map<std::string, size_t> bucket_of;
+  std::vector<CompareExchange::Bucket> buckets;
+  std::vector<std::vector<size_t>> members;  // bucket -> collected indices
+  for (size_t i = 0; i < collected.size(); ++i) {
+    const ClaimsExchange::Claim& claim = collected[i];
     const std::string& pred = claim.tuple.predicate();
     const std::vector<int>& keys = keys_of[pred];
     std::string key = pred + "|" + claim.asserted_by + "|";
@@ -250,18 +254,47 @@ Result<std::vector<EquivocationFinding>> EquivocationAudit(
         }
       }
     }
-    auto [it, fresh] =
-        first_claim.emplace(key, FirstClaim{claim.node, claim.tuple});
-    if (!fresh && !(it->second.tuple == claim.tuple) &&
-        flagged_keys.insert(key).second) {
-      EquivocationFinding f;
-      f.principal = claim.asserted_by;
-      f.node_a = it->second.node;
-      f.node_b = claim.node;
-      f.claim_a = it->second.tuple;
-      f.claim_b = claim.tuple;
-      findings.push_back(std::move(f));
+    auto [it, fresh] = bucket_of.emplace(key, buckets.size());
+    if (fresh) {
+      buckets.push_back(CompareExchange::Bucket{key, {}});
+      members.emplace_back();
     }
+    buckets[it->second].digests.push_back(DigestOf(claim.tuple));
+    members[it->second].push_back(i);
+  }
+
+  // Phase two — the pairwise comparison, spread across the eligible
+  // comparers (every non-skipped node that answered phase one; a responder
+  // that suppressed its claims is a suspect, not a delegate).
+  std::vector<NodeId> comparers;
+  for (NodeId n = 0; n < engine.num_nodes(); ++n) {
+    if (skip_nodes.count(n) != 0) continue;
+    if (exchange.silent().count(n) != 0) continue;
+    comparers.push_back(n);
+  }
+  CompareExchange compare(engine, audit_node);
+  PROVNET_ASSIGN_OR_RETURN(std::vector<CompareExchange::Conflict> conflicts,
+                           compare.Compare(buckets, comparers));
+
+  // Map conflict indices back to full claims. Centralized order was "by the
+  // conflicting claim's position in the collected stream"; sorting by the
+  // global index of entry `b` restores exactly that.
+  std::sort(conflicts.begin(), conflicts.end(),
+            [&](const CompareExchange::Conflict& x,
+                const CompareExchange::Conflict& y) {
+              return members[x.bucket][x.b] < members[y.bucket][y.b];
+            });
+  std::vector<EquivocationFinding> findings;
+  for (const CompareExchange::Conflict& c : conflicts) {
+    const ClaimsExchange::Claim& first = collected[members[c.bucket][c.a]];
+    const ClaimsExchange::Claim& other = collected[members[c.bucket][c.b]];
+    EquivocationFinding f;
+    f.principal = other.asserted_by;
+    f.node_a = first.node;
+    f.node_b = other.node;
+    f.claim_a = first.tuple;
+    f.claim_b = other.tuple;
+    findings.push_back(std::move(f));
   }
   return findings;
 }

@@ -110,10 +110,15 @@ struct EquivocationFinding {
 
 // Cross-node equivocation audit over `predicates` (claims a principal makes
 // about keyed facts): one principal, same primary key, different tuples at
-// different honest nodes. Distributed: the auditor collects every honest
-// node's claims through the authenticated query wire path (a ClaimsExchange
-// of src/query/), so the audit's bandwidth is real metered traffic charged
-// to RunStats::prov_query_bytes. `auditor` defaults to the first
+// different honest nodes. Distributed twice over: the auditor collects
+// every honest node's claims through the authenticated query wire path (a
+// ClaimsExchange of src/query/), then spreads the pairwise digest
+// comparison itself across the responding nodes (a CompareExchange — each
+// equivocation key hashes to one comparer, which answers with the
+// conflicting entry indices), so both the audit's bandwidth *and* its
+// comparison work are real metered traffic charged to
+// RunStats::prov_query_bytes. The findings are identical to the old
+// auditor-centralized comparison. `auditor` defaults to the first
 // non-skipped node. A responder that never answers does not abort the
 // audit: it is recorded as a kSilentResponder SecurityEvent and, when
 // `silent` is non-null, reported there so the caller can treat suppression

@@ -30,6 +30,21 @@ namespace provnet {
 void Engine::RecordSecurityEvent(SecurityEventKind kind, NodeId node,
                                  NodeId from, const Principal& claimed,
                                  std::string detail) {
+  // Worker lane: the security log and its trace event are ordered state —
+  // buffer the whole call and replay it in canonical commit order (the
+  // audit sweep at the epoch barrier).
+  ExecSlot& ex = exec();
+  if (ex.buffered) {
+    ExecSlot::Effect fx;
+    fx.kind = ExecSlot::Effect::Kind::kSecurity;
+    fx.sec_kind = kind;
+    fx.node = node;
+    fx.peer = from;
+    fx.claimed = claimed;
+    fx.detail = std::move(detail);
+    ex.effects->push_back(std::move(fx));
+    return;
+  }
   // Every rejection kind is its own queryable detector ("Provenance Threat
   // Modeling", arXiv 1703.03835: forgery / suppression / flooding need
   // distinct signals): one labeled counter per SecurityEventKind, plus an
@@ -71,10 +86,11 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
                                    const Bytes& content, ByteReader& body,
                                    const char* what) {
   const bool enforce = options_.authenticate && options_.verify_incoming;
+  ExecSlot& ex = exec();
 
   if (enforce) {
     if (!tag.has_value()) {
-      ++cells_.auth_failures->value;
+      ++ex.cells.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kMissingSignature, to, from, "",
                           what);
       return false;
@@ -83,14 +99,14 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
       // The simulated PKI derives keys for any name, so an invented
       // principal's signature would verify; deployment membership is the
       // certificate check.
-      ++cells_.auth_failures->value;
+      ++ex.cells.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kUnknownPrincipal, to, from,
                           tag->principal, what);
       return false;
     }
     Status verdict = auth_.Verify(*tag, content);
     if (!verdict.ok()) {
-      ++cells_.auth_failures->value;
+      ++ex.cells.auth_failures->value;
       RecordSecurityEvent(SecurityEventKind::kBadSignature, to, from,
                           tag->principal, what);
       return false;
@@ -104,7 +120,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
     PROVNET_ASSIGN_OR_RETURN(uint64_t dest, body.GetVarint());
     if (enforce && options_.replay_protection && tag.has_value()) {
       if (dest != to) {
-        ++cells_.replays_rejected->value;
+        ++ex.cells.replays_rejected->value;
         RecordSecurityEvent(
             SecurityEventKind::kMisdirected, to, from, tag->principal,
             StrFormat("%s signed for node %llu", what,
@@ -112,7 +128,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
         return false;
       }
       if (!contexts_[to]->ReplayGuardFor(tag->principal).Accept(seq)) {
-        ++cells_.replays_rejected->value;
+        ++ex.cells.replays_rejected->value;
         RecordSecurityEvent(
             SecurityEventKind::kReplay, to, from, tag->principal,
             StrFormat("%s seq %llu", what,

@@ -9,8 +9,13 @@
 #include "provenance/sampling.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace provnet {
+
+// Worker lanes bind their ExecSlot here for the duration of a parallel
+// phase; null means "the main slot" (see Engine::exec()).
+thread_local Engine::ExecSlot* Engine::tls_slot_ = nullptr;
 
 namespace {
 
@@ -87,7 +92,11 @@ Engine::Engine(const Topology& topo, EngineOptions options)
       options_(std::move(options)),
       net_(topo.num_nodes, options_.link_latency),
       keystore_(options_.seed, options_.rsa_bits),
-      auth_(&keystore_) {}
+      auth_(&keystore_) {
+  // The sequential lane queues delta events straight onto the engine queue;
+  // wired before Init so program-fact insertion goes through it too.
+  main_slot_.events = &events_;
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
                                                const std::string& source,
@@ -127,6 +136,9 @@ Status Engine::Init(Program program) {
     // order, interned up front so all nodes agree.
     registry_.Intern(principal);
     node_of_.emplace(principal, id);
+    // Pre-populate the send-sequence map so worker lanes never insert into
+    // it concurrently (operator[] would have default-constructed 0 anyway).
+    send_seq_.emplace(principal, 0);
     contexts_.push_back(
         std::make_unique<NodeContext>(id, std::move(principal), &plan_));
   }
@@ -144,6 +156,8 @@ Status Engine::Init(Program program) {
   // Plan and principals are fixed: register every instrument and resolve
   // the hot-path handles.
   InitObs();
+  // The main lane writes the registry-backed cells directly.
+  main_slot_.cells = cells_;
 
   net_.SetHandler([this](NodeId to, NodeId from, const Bytes& payload) {
     Status s = HandleMessage(to, from, payload);
@@ -317,7 +331,7 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
   // predicate, making it a candidate executing site for re-derivation. Only
   // the first fill needs recording, keeping the hot path free of it.
   if (table.size() == 0) {
-    pred_sites_[entry.tuple.predicate()].insert(node_id);
+    NotePredSite(entry.tuple.predicate(), node_id);
   }
   // Received tuples are recorded under the *asserting* principal (who says
   // them); unauthenticated traffic falls back to the transport-level sender.
@@ -326,8 +340,20 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
     asserted_by = PrincipalOf(from_node);
   }
   InsertResult result = table.Insert(std::move(entry), net_.now());
+  ExecSlot& ex = exec();
   if (observer_ && result.outcome != InsertOutcome::kRejected) {
-    observer_(node_id, result.stored, result.outcome, net_.now());
+    if (ex.buffered) {
+      // Worker lane: the observer is user code with arbitrary side effects;
+      // replay it in canonical commit order.
+      ExecSlot::Effect fx;
+      fx.kind = ExecSlot::Effect::Kind::kObserver;
+      fx.node = node_id;
+      fx.observed = result.stored;
+      fx.outcome = result.outcome;
+      ex.effects->push_back(std::move(fx));
+    } else {
+      observer_(node_id, result.stored, result.outcome, net_.now());
+    }
   }
   // Retraction-authorization bookkeeping: an aggregate group's stored
   // asserted_by rotates to the latest contributor, so every contributor is
@@ -343,7 +369,7 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
     case InsertOutcome::kReplaced:
       RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
                        asserted_by, std::move(children), expires_at);
-      events_.push_back(PendingEvent{node_id, result.stored});
+      ex.events->push_back(PendingEvent{node_id, result.stored});
       break;
     case InsertOutcome::kRefreshed: {
       // Alternative derivation of an existing tuple: record it, and keep the
@@ -487,26 +513,28 @@ bool Engine::SaysMatches(const SlotSays& says, const StoredTuple& entry,
 Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
                           int delta_index, const StoredTuple& delta_entry) {
   const RuleProgram& prog = cr.prog;
-  frame_.Reset(prog.num_slots);
-  frame_.BindOrCheck(prog.local_slot, Value::Address(node_id));
+  ExecSlot& ex = exec();
+  Frame& frame = ex.frame;
+  frame.Reset(prog.num_slots);
+  frame.BindOrCheck(prog.local_slot, Value::Address(node_id));
 
   const SlotLiteral& delta_lit = prog.body[static_cast<size_t>(delta_index)];
-  if (!MatchTuple(delta_lit, delta_entry.tuple, frame_)) return OkStatus();
+  if (!MatchTuple(delta_lit, delta_entry.tuple, frame)) return OkStatus();
   if (delta_lit.says.has_value() &&
-      !SaysMatches(*delta_lit.says, delta_entry, frame_)) {
+      !SaysMatches(*delta_lit.says, delta_entry, frame)) {
     return OkStatus();
   }
 
   // The strand actually runs its join (the delta literal matched).
-  ++cells_.rule_firings[RuleIndex(cr)]->value;
-  if (tracer_.Sample()) {
+  ++ex.cells.rule_firings[RuleIndex(cr)]->value;
+  if (tracer_.enabled()) {
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = node_id;
     ev.kind = "fire";
     ev.attrs = {{"rule", prog.label},
                 {"delta", delta_entry.tuple.predicate()}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
   }
 
   std::vector<const StoredTuple*> used;
@@ -516,7 +544,7 @@ Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
   // record the delta first, then joins in literal order. The shared join
   // recursion (dynamics/delta.cc) runs without the deletion overlay here.
   PROVNET_RETURN_IF_ERROR(DynJoin(
-      node_id, cr, 0, delta_index, /*use_overlay=*/false, frame_, used,
+      node_id, cr, 0, delta_index, /*use_overlay=*/false, frame, used,
       [this, node_id, &cr](Frame& f,
                            const std::vector<const StoredTuple*>& u) {
         return EmitHead(node_id, cr, f, u);
@@ -528,7 +556,7 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
                         const Frame& frame,
                         const std::vector<const StoredTuple*>& used) {
   PROVNET_ASSIGN_OR_RETURN(Tuple head, BuildHeadTuple(cr.prog, frame));
-  ++cells_.rule_derivations[RuleIndex(cr)]->value;
+  ++exec().cells.rule_derivations[RuleIndex(cr)]->value;
 
   const std::string& label = cr.prog.label;
 
@@ -597,7 +625,7 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
     action.entry = std::move(entry);
     if (RecordingPossible()) action.children = BuildChildRefs(node_id, used);
     action.rule_label = label;
-    pending_.push_back(std::move(action));
+    exec().pending.push_back(std::move(action));
     return OkStatus();
   }
 
@@ -615,9 +643,10 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
 Status Engine::DrainPending() {
   // Apply in emit order; DeliverLocal pushes delta events in the same
   // order the seed evaluator did. Actions may append further pending work
-  // only via the retraction queue, never pending_ itself.
-  for (size_t i = 0; i < pending_.size(); ++i) {
-    PendingAction action = std::move(pending_[i]);
+  // only via the retraction queue, never the pending buffer itself.
+  std::vector<PendingAction>& pending = exec().pending;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    PendingAction action = std::move(pending[i]);
     switch (action.kind) {
       case PendingAction::Kind::kDeliver:
         PROVNET_RETURN_IF_ERROR(DeliverLocal(action.node,
@@ -635,7 +664,7 @@ Status Engine::DrainPending() {
         break;
     }
   }
-  pending_.clear();
+  pending.clear();
   return OkStatus();
 }
 
@@ -701,11 +730,12 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
   // The anti-replay header is authentication overhead, not tuple payload.
   size_t auth_part = msg.size() - pre_auth + header_len;
 
-  cells_.prov_bytes->value += prov_part;
-  cells_.auth_bytes->value += auth_part;
-  cells_.tuple_bytes->value += msg.size() - prov_part - auth_part;
-  LinkBytesCell(from, to, kMsgTuple)->value += msg.size();
-  if (tracer_.Sample()) {
+  ExecSlot& ex = exec();
+  ex.cells.prov_bytes->value += prov_part;
+  ex.cells.auth_bytes->value += auth_part;
+  ex.cells.tuple_bytes->value += msg.size() - prov_part - auth_part;
+  ChargeLink(from, to, kMsgTuple, msg.size());
+  if (tracer_.enabled()) {
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = from;
@@ -714,7 +744,20 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
                 {"msg", "tuple"},
                 {"pred", tuple.predicate()},
                 {"bytes", std::to_string(msg.size())}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
+  }
+  if (ex.buffered) {
+    // Worker lane: the message is fully built and signed (per-principal
+    // sequence numbers are node-local), but the wire — global sequence
+    // numbers, fault-injection taps, byte meters — is ordered state. Commit
+    // runs Network::Send in canonical order.
+    ExecSlot::Effect fx;
+    fx.kind = ExecSlot::Effect::Kind::kSend;
+    fx.node = from;
+    fx.peer = to;
+    fx.payload = std::move(msg).Take();
+    ex.effects->push_back(std::move(fx));
+    return OkStatus();
   }
   return net_.Send(from, to, std::move(msg).Take());
 }
@@ -799,7 +842,7 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
           }
         }
         if (framed) {
-          ++cells_.prov_frames_rejected->value;
+          ++exec().cells.prov_frames_rejected->value;
           RecordSecurityEvent(
               SecurityEventKind::kForeignProvenance, to, from,
               tag->principal,
@@ -845,7 +888,7 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     default:
       return InvalidArgumentError("bad provenance payload kind");
   }
-  if (tracer_.Sample()) {
+  if (tracer_.enabled()) {
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = to;
@@ -853,7 +896,7 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     ev.attrs = {{"from", PrincipalOf(from)},
                 {"msg", "tuple"},
                 {"pred", entry.tuple.predicate()}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
   }
   return DeliverLocal(to, std::move(entry), {}, "recv");
 }
@@ -867,6 +910,15 @@ Result<RunStats> Engine::Run() {
   double sim0 = net_.now();
 
   auto t0 = std::chrono::steady_clock::now();
+  // Parallel lanes are worth engaging only when there are several nodes to
+  // shard across. kFull provenance at tuple grain is pinned sequential: its
+  // receive path interns provenance variables for unseen base tuples, and
+  // first-come interning order must stay the sequential one.
+  const bool parallel =
+      ResolvedThreads() > 1 && contexts_.size() > 1 &&
+      !(options_.prov_mode == ProvMode::kFull &&
+        options_.prov_grain == ProvGrain::kTuple);
+  if (parallel) EnsureParallelRuntime();
   uint64_t steps = 0;
   while (true) {
     if (!async_error_.ok()) {
@@ -883,13 +935,27 @@ Result<RunStats> Engine::Run() {
       PROVNET_RETURN_IF_ERROR(
           ProcessRetraction(retraction.node, retraction.entry));
     } else if (!events_.empty()) {
-      PendingEvent event = std::move(events_.front());
-      events_.pop_front();
-      ++cells_.events->value;
-      PROVNET_RETURN_IF_ERROR(ProcessEvent(event));
+      if (parallel && events_.size() > 1) {
+        // Drains the whole queue as one sharded epoch (equivalent to the
+        // sequential branch below repeated to quiescence: insert cascades
+        // never touch the retraction queue, so branch priority is
+        // preserved).
+        PROVNET_RETURN_IF_ERROR(ParallelDrainEvents(&steps));
+      } else {
+        PendingEvent event = std::move(events_.front());
+        events_.pop_front();
+        ++cells_.events->value;
+        PROVNET_RETURN_IF_ERROR(ProcessEvent(event));
+      }
     } else if (!net_.Idle()) {
-      net_.Step();
-      ++cells_.deliveries->value;
+      bool handled = false;
+      if (parallel) {
+        PROVNET_ASSIGN_OR_RETURN(handled, TryParallelWave(&steps));
+      }
+      if (!handled) {
+        net_.Step();
+        ++cells_.deliveries->value;
+      }
     } else if (!dynamics_->rederive.empty()) {
       // Quiescent (no deltas, nothing in flight): the over-deletion cascade
       // is complete, so DRed's re-derivation phase may restore survivors.

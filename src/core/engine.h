@@ -47,6 +47,8 @@
 
 namespace provnet {
 
+class ThreadPool;  // util/threadpool.h
+
 enum class ProvMode : uint8_t {
   kNone = 0,       // no provenance (NDLog / SeNDLog baselines)
   kCondensed = 1,  // BDD-condensed annotations piggybacked (SeNDLogProv)
@@ -110,6 +112,15 @@ struct EngineOptions {
   double default_ttl = -1.0;  // table TTL unless materialize says otherwise
   double link_latency = 0.01;
   uint64_t max_steps = 100000000;  // safety valve (events + deliveries)
+  // Worker lanes for the sharded parallel executor (src/core/parallel.cc).
+  // 1 = today's single-threaded loop, bit-for-bit. 0 = hardware
+  // concurrency. >1 shards event cascades and delivery waves across a
+  // worker pool; buffered side effects commit in canonical (time, seq)
+  // order at epoch barriers, so fixpoints, derivation counts, and telemetry
+  // snapshots are byte-identical at every thread count. When left at the
+  // default 1, the PROVNET_THREADS environment variable overrides it (CI
+  // runs the whole suite parallel that way).
+  size_t threads = 1;
   // Principal names per node; defaults to "n0", "n1", ...
   std::vector<std::string> node_names;
 };
@@ -387,6 +398,7 @@ class Engine {
   // network; the handlers below verify and fold responses into it.
   friend class ProvQuery;
   friend class ClaimsExchange;
+  friend class CompareExchange;
   // Wraps `inner` in the authenticated query envelope — the same framing as
   // kMsgTuple/kMsgRetract: signed (sequence, destination) header + says tag
   // over the content — and ships it, charging prov_query_bytes.
@@ -405,6 +417,13 @@ class Engine {
   // Issues one signed claims request for `predicates` to `to`.
   Status ProvQuerySendClaimsRequest(ProvQuerySession& session, NodeId to,
                                     const std::set<std::string>& predicates);
+  // Issues one signed digest-comparison request to `to`, carrying
+  // (bucket id, claim digests) pairs — the decentralized equivocation
+  // audit's work assignment for that comparer.
+  Status ProvQuerySendCompareRequest(
+      ProvQuerySession& session, NodeId to,
+      const std::vector<std::pair<uint64_t, std::vector<TupleDigest>>>&
+          buckets);
   // Records of `digest` at `node`: online store preferred, offline archive
   // as fallback (forensics over expired state, Section 4.2).
   std::vector<ProvRecord> ProvRecordsAt(NodeId node, TupleDigest digest,
@@ -517,6 +536,126 @@ class Engine {
   };
   Status DrainPending();
 
+  // --- Parallel sharded execution (implemented in src/core/parallel.cc) ----
+  // One execution lane's private state. Lane 0 of the sequential path (the
+  // main slot) owns the real registry-backed counter handles and applies
+  // side effects directly. Worker lanes are `buffered`: their counter
+  // handles point into a private mirror array (merged into the registry at
+  // the epoch barrier — sums commute, so merge order is free), and every
+  // externally visible side effect — network sends, trace events, security
+  // events, observer callbacks — is appended to the current node's effect
+  // stream, which the main thread replays in canonical (time, seq) order.
+  // That replay is what keeps fixpoints and telemetry byte-identical at
+  // every thread count. Hot-path code reaches its lane through exec().
+  struct ExecSlot {
+    // One buffered side effect of a worker-lane cascade.
+    struct Effect {
+      enum class Kind : uint8_t { kSend, kTrace, kSecurity, kObserver };
+      Kind kind = Kind::kSend;
+      NodeId node = 0;  // sender (kSend), executing node (else)
+      NodeId peer = 0;  // destination (kSend), offending sender (kSecurity)
+      // kSend: a fully built (sequenced, signed) wire message. Per-principal
+      // send sequences are assigned node-locally by the worker; the commit
+      // runs Network::Send so the *global* wire order — network sequence
+      // numbers, fault-injection taps, byte meters — matches sequential
+      // execution exactly.
+      Bytes payload;
+      // kTrace: `sampled` events consume the tracer's 1-in-k counter at
+      // commit (Tracer::EmitSampled); structural events bypass it.
+      obs::TraceEvent trace;
+      bool sampled = false;
+      // kSecurity: replayed through RecordSecurityEvent at commit.
+      SecurityEventKind sec_kind{};
+      Principal claimed;
+      std::string detail;
+      // kObserver: the tuple-change callback.
+      Tuple observed;
+      InsertOutcome outcome = InsertOutcome::kNew;
+    };
+
+    ObsCells cells;  // main slot: real handles; workers: into cell_storage
+    Frame frame;
+    std::vector<PendingAction> pending;
+    // Where DeliverLocal queues delta events: &Engine::events_ on the main
+    // slot, the per-node local queue on worker lanes.
+    std::deque<PendingEvent>* events = nullptr;
+    // Non-null on worker lanes while running a node: its effect stream.
+    std::vector<Effect>* effects = nullptr;
+    // Worker-lane counter mirrors and order-free buffers, merged at the
+    // barrier.
+    std::vector<obs::Counter> cell_storage;
+    struct LinkCharge {
+      NodeId from = 0;
+      NodeId to = 0;
+      uint8_t msg_kind = 0;
+      uint64_t bytes = 0;
+    };
+    std::vector<LinkCharge> link_charges;
+    std::vector<std::pair<std::string, NodeId>> pred_sites;
+    bool buffered = false;  // true on worker lanes: defer side effects
+  };
+
+  // The executing lane's state: the worker slot bound to this thread during
+  // a parallel phase, the main slot otherwise.
+  ExecSlot& exec() { return tls_slot_ != nullptr ? *tls_slot_ : main_slot_; }
+
+  // Enumerates every counter handle of an ObsCells in one fixed order, so
+  // worker mirrors can be allocated and merged positionally.
+  template <typename Fn>
+  static void ForEachCell(ObsCells& cells, Fn&& fn) {
+    fn(cells.deliveries);
+    fn(cells.events);
+    fn(cells.retractions);
+    fn(cells.rederivations);
+    fn(cells.tuple_bytes);
+    fn(cells.auth_bytes);
+    fn(cells.prov_bytes);
+    fn(cells.auth_failures);
+    fn(cells.replays_rejected);
+    fn(cells.retracts_rejected);
+    fn(cells.prov_queries);
+    fn(cells.prov_query_bytes);
+    fn(cells.prov_responses_rejected);
+    fn(cells.prov_frames_rejected);
+    fn(cells.query_offline_hits);
+    for (obs::Counter*& c : cells.rule_firings) fn(c);
+    for (obs::Counter*& c : cells.rule_candidates) fn(c);
+    for (obs::Counter*& c : cells.rule_derivations) fn(c);
+    for (obs::Counter*& c : cells.security_events) fn(c);
+  }
+
+  // Side-effect helpers shared by the sequential and worker-lane paths.
+  // Per-link byte charge: direct on the main slot, buffered (interned at
+  // the barrier) on workers — the cells are sums, so order is free.
+  void ChargeLink(NodeId from, NodeId to, uint8_t msg_kind, uint64_t bytes);
+  // Hot-path sampled trace event: EmitSampled on the main slot (consuming
+  // the 1-in-k counter immediately), buffered to consume it at commit on
+  // workers. Callers check tracer().enabled() before building the event.
+  void TraceSampled(obs::TraceEvent ev);
+  // Predicate->site index fill (grow-only set union; order-free).
+  void NotePredSite(const std::string& pred, NodeId node);
+
+  // Worker-pool plumbing and the two parallel phase drivers.
+  size_t ResolvedThreads();  // options_.threads with PROVNET_THREADS/0=hw
+  void EnsureParallelRuntime();
+  void MergeWorkerSlots();
+  Status CommitEffects(std::vector<ExecSlot::Effect>& effects, size_t begin,
+                       size_t end);
+  // Drains the entire local-event queue as one parallel epoch: events are
+  // partitioned by node (cascades are strictly node-local), workers run
+  // each node's queue to quiescence buffering effects per event unit, and
+  // the main thread replays the original FIFO token order, committing each
+  // unit's effects and re-enqueueing the units it spawned — reproducing the
+  // sequential engine's event order exactly.
+  Status ParallelDrainEvents(uint64_t* steps);
+  // Attempts to deliver the next wave (all messages due at the earliest
+  // instant) in parallel, grouped by destination with per-message cascade
+  // units committed in wave seq order. Returns false — after requeueing the
+  // wave untouched — when the wave is ineligible (single message, single
+  // destination, or any non-kMsgTuple message): the caller falls back to
+  // the sequential Step() path.
+  Result<bool> TryParallelWave(uint64_t* steps);
+
   Topology topo_;
   EngineOptions options_;
   Network net_;
@@ -531,10 +670,15 @@ class Engine {
   // Predicate -> nodes that ever stored it (grow-only, so always a
   // superset of current support); prunes re-derivation site scans.
   std::unordered_map<std::string, std::set<NodeId>> pred_sites_;
-  // Scratch reused across rule firings (never nested: emits defer their
-  // mutations, and event processing is single-threaded).
-  Frame frame_;
-  std::vector<PendingAction> pending_;
+  // The sequential execution lane: scratch frame and deferred-mutation
+  // buffer reused across rule firings (never nested: emits defer their
+  // mutations), registry-backed counter handles, events -> &events_.
+  // Worker lanes get buffered ExecSlots of their own (see exec()).
+  ExecSlot main_slot_;
+  static thread_local ExecSlot* tls_slot_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built on first parallel phase
+  std::vector<std::unique_ptr<ExecSlot>> worker_slots_;  // one per lane
+  size_t resolved_threads_ = 0;  // cached ResolvedThreads(); 0 = unresolved
   // Metrics registry + resolved handles (see InitObs). The registry is the
   // single source of truth for counters; RunStats is computed from it.
   obs::Registry obs_;

@@ -1,6 +1,7 @@
 #include "core/table.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -9,7 +10,10 @@
 namespace provnet {
 
 namespace {
-uint64_t g_stored_tuple_copies = 0;
+// Relaxed atomic: worker shards copy StoredTuples concurrently during
+// parallel epochs, and the total (a commutative sum) is what tests assert —
+// it is identical at every thread count.
+std::atomic<uint64_t> g_stored_tuple_copies{0};
 
 // Hash of the tuple's values on the mask's columns (ascending column
 // order). False when the tuple lacks one of the columns (not indexable
@@ -37,7 +41,7 @@ StoredTuple::StoredTuple(const StoredTuple& other)
       from_node(other.from_node),
       rule(other.rule),
       deriv_id(other.deriv_id) {
-  ++g_stored_tuple_copies;
+  g_stored_tuple_copies.fetch_add(1, std::memory_order_relaxed);
 }
 
 StoredTuple& StoredTuple::operator=(const StoredTuple& other) {
@@ -52,13 +56,17 @@ StoredTuple& StoredTuple::operator=(const StoredTuple& other) {
     from_node = other.from_node;
     rule = other.rule;
     deriv_id = other.deriv_id;
-    ++g_stored_tuple_copies;
+    g_stored_tuple_copies.fetch_add(1, std::memory_order_relaxed);
   }
   return *this;
 }
 
-uint64_t StoredTuple::CopyCount() { return g_stored_tuple_copies; }
-void StoredTuple::ResetCopyCount() { g_stored_tuple_copies = 0; }
+uint64_t StoredTuple::CopyCount() {
+  return g_stored_tuple_copies.load(std::memory_order_relaxed);
+}
+void StoredTuple::ResetCopyCount() {
+  g_stored_tuple_copies.store(0, std::memory_order_relaxed);
+}
 
 Table::Table(std::string name, TableOptions options)
     : name_(std::move(name)), options_(std::move(options)) {

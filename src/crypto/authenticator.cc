@@ -49,13 +49,13 @@ Result<SaysTag> Authenticator::Say(const Principal& principal,
     case SaysLevel::kCleartext:
       break;
     case SaysLevel::kHmac: {
-      ++sign_count_;
+      sign_count_.fetch_add(1, std::memory_order_relaxed);
       Sha256Digest mac = HmacSha256(keystore_->HmacKeyFor(principal), payload);
       tag.proof.assign(mac.begin(), mac.end());
       break;
     }
     case SaysLevel::kRsa: {
-      ++sign_count_;
+      sign_count_.fetch_add(1, std::memory_order_relaxed);
       PROVNET_ASSIGN_OR_RETURN(const RsaKeyPair* kp,
                                keystore_->KeyPairFor(principal));
       PROVNET_ASSIGN_OR_RETURN(tag.proof, RsaSign(kp->priv, payload));
@@ -70,7 +70,7 @@ Status Authenticator::Verify(const SaysTag& tag, const Bytes& payload) {
     case SaysLevel::kCleartext:
       return OkStatus();
     case SaysLevel::kHmac: {
-      ++verify_count_;
+      verify_count_.fetch_add(1, std::memory_order_relaxed);
       Sha256Digest expected =
           HmacSha256(keystore_->HmacKeyFor(tag.principal), payload);
       if (tag.proof.size() != expected.size()) {
@@ -85,7 +85,7 @@ Status Authenticator::Verify(const SaysTag& tag, const Bytes& payload) {
       return OkStatus();
     }
     case SaysLevel::kRsa: {
-      ++verify_count_;
+      verify_count_.fetch_add(1, std::memory_order_relaxed);
       PROVNET_ASSIGN_OR_RETURN(const RsaPublicKey* pub,
                                keystore_->PublicKeyFor(tag.principal));
       return RsaVerify(*pub, payload, tag.proof);

@@ -13,6 +13,7 @@
 #ifndef PROVNET_CRYPTO_AUTHENTICATOR_H_
 #define PROVNET_CRYPTO_AUTHENTICATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -55,14 +56,23 @@ class Authenticator {
   // asserts identity without proof). Returns kUnauthenticated on mismatch.
   Status Verify(const SaysTag& tag, const Bytes& payload);
 
-  uint64_t sign_count() const { return sign_count_; }
-  uint64_t verify_count() const { return verify_count_; }
-  void ResetCounters() { sign_count_ = verify_count_ = 0; }
+  uint64_t sign_count() const {
+    return sign_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t verify_count() const {
+    return verify_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    sign_count_.store(0, std::memory_order_relaxed);
+    verify_count_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   KeyStore* keystore_;
-  uint64_t sign_count_ = 0;
-  uint64_t verify_count_ = 0;
+  // Relaxed atomics: worker shards sign/verify concurrently; the totals are
+  // commutative sums, identical at every thread count.
+  std::atomic<uint64_t> sign_count_{0};
+  std::atomic<uint64_t> verify_count_{0};
 };
 
 }  // namespace provnet

@@ -9,7 +9,13 @@ namespace provnet {
 KeyStore::KeyStore(uint64_t seed, size_t rsa_bits)
     : seed_(seed), rsa_bits_(rsa_bits) {}
 
+size_t KeyStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
 Result<const KeyStore::Entry*> KeyStore::EntryFor(const Principal& principal) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = keys_.find(principal);
   if (it != keys_.end()) return &it->second;
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "crypto/rsa.h"
@@ -37,7 +38,7 @@ class KeyStore {
   const Bytes& HmacKeyFor(const Principal& principal);
 
   // Number of principals with derived material (for tests/inspection).
-  size_t size() const { return keys_.size(); }
+  size_t size() const;
 
  private:
   struct Entry {
@@ -49,6 +50,11 @@ class KeyStore {
 
   uint64_t seed_;
   size_t rsa_bits_;
+  // Guards keys_: worker shards sign/verify concurrently and may race a
+  // first-use derivation. Derived material depends only on (seed_,
+  // principal), and std::map node stability keeps returned pointers valid
+  // across later inserts, so derivation order never affects results.
+  mutable std::mutex mu_;
   std::map<Principal, Entry> keys_;
 };
 

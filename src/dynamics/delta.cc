@@ -127,13 +127,13 @@ Status Engine::RetractPrincipal(const Principal& principal) {
 
 Status Engine::ProcessRetraction(NodeId node, const StoredTuple& entry) {
   // One deletion-delta cascade step (sampled: cascades can be large).
-  if (tracer_.Sample()) {
+  if (tracer_.enabled()) {
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = node;
     ev.kind = "retract_cascade";
     ev.attrs = {{"pred", entry.tuple.predicate()}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
   }
 
   // The tuple's live provenance dies with it.
@@ -154,24 +154,25 @@ Status Engine::FireDeleteStrand(NodeId node_id, const CompiledRule& cr,
                                 int delta_index,
                                 const StoredTuple& delta_entry) {
   const RuleProgram& prog = cr.prog;
-  frame_.Reset(prog.num_slots);
-  frame_.BindOrCheck(prog.local_slot, Value::Address(node_id));
+  Frame& frame = exec().frame;
+  frame.Reset(prog.num_slots);
+  frame.BindOrCheck(prog.local_slot, Value::Address(node_id));
 
   const SlotLiteral& delta_lit = prog.body[static_cast<size_t>(delta_index)];
-  if (!MatchTuple(delta_lit, delta_entry.tuple, frame_)) return OkStatus();
+  if (!MatchTuple(delta_lit, delta_entry.tuple, frame)) return OkStatus();
   if (delta_lit.says.has_value() &&
-      !SaysMatches(*delta_lit.says, delta_entry, frame_)) {
+      !SaysMatches(*delta_lit.says, delta_entry, frame)) {
     return OkStatus();
   }
 
   // Delete-mode firing of the same strand (DRed over-deletion).
-  ++cells_.rule_firings[RuleIndex(cr)]->value;
+  ++exec().cells.rule_firings[RuleIndex(cr)]->value;
 
   std::vector<const StoredTuple*> used;
   used.reserve(prog.body.size());
   used.push_back(&delta_entry);
   PROVNET_RETURN_IF_ERROR(DynJoin(
-      node_id, cr, 0, delta_index, /*use_overlay=*/true, frame_, used,
+      node_id, cr, 0, delta_index, /*use_overlay=*/true, frame, used,
       [this, node_id, &cr](Frame& f,
                            const std::vector<const StoredTuple*>& u) {
         return OverDeleteHead(node_id, cr, f, u);
@@ -210,11 +211,11 @@ Status Engine::DynJoin(NodeId node_id, const CompiledRule& cr,
     }
     case LiteralKind::kAtom: {
       // Zero-copy scan: candidates are visited as `const StoredTuple*` into
-      // live storage. Emits defer their table mutations (Engine::pending_),
-      // so the rows backing these pointers cannot move or die mid-scan.
-      // The per-rule candidate cell is resolved once per literal, outside
-      // the scan — the inner loop pays one pointer increment.
-      obs::Counter* candidates = cells_.rule_candidates[RuleIndex(cr)];
+      // live storage. Emits defer their table mutations (the lane's pending
+      // buffer), so the rows backing these pointers cannot move or die
+      // mid-scan. The per-rule candidate cell is resolved once per literal,
+      // outside the scan — the inner loop pays one pointer increment.
+      obs::Counter* candidates = exec().cells.rule_candidates[RuleIndex(cr)];
       auto try_candidate = [&](const StoredTuple& candidate) -> Status {
         ++candidates->value;
         size_t mark = frame.Mark();
@@ -322,7 +323,7 @@ Status Engine::OverDeleteHead(NodeId node_id, const CompiledRule& cr,
   action.dest = dest;
   action.head = std::move(head);
   action.deriv_id = deriv_id;
-  pending_.push_back(std::move(action));
+  exec().pending.push_back(std::move(action));
   return OkStatus();
 }
 
@@ -444,10 +445,11 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
     tag.Serialize(msg);
   }
-  cells_.auth_bytes->value += msg.size() - pre_auth;
-  cells_.tuple_bytes->value += pre_auth;
-  LinkBytesCell(from, to, kMsgRetract)->value += msg.size();
-  if (tracer_.Sample()) {
+  ExecSlot& ex = exec();
+  ex.cells.auth_bytes->value += msg.size() - pre_auth;
+  ex.cells.tuple_bytes->value += pre_auth;
+  ChargeLink(from, to, kMsgRetract, msg.size());
+  if (tracer_.enabled()) {
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = from;
@@ -456,7 +458,7 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
                 {"msg", "retract"},
                 {"pred", tuple.predicate()},
                 {"bytes", std::to_string(msg.size())}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
   }
   return net_.Send(from, to, std::move(msg).Take());
 }
@@ -687,20 +689,21 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
     }
 
     for (NodeId site : sites) {
-      frame_.Reset(cr.prog.num_slots);
+      Frame& frame = exec().frame;
+      frame.Reset(cr.prog.num_slots);
       // Seed the frame with the head-pattern bindings, then pin the
       // executing site.
       bool consistent = true;
       for (const auto& [name, value] : env0) {
         auto slot = cr.prog.var_slots.find(name);
         if (slot == cr.prog.var_slots.end()) continue;
-        if (!frame_.BindOrCheck(slot->second, value)) {
+        if (!frame.BindOrCheck(slot->second, value)) {
           consistent = false;
           break;
         }
       }
       if (!consistent ||
-          !frame_.BindOrCheck(cr.prog.local_slot, Value::Address(site))) {
+          !frame.BindOrCheck(cr.prog.local_slot, Value::Address(site))) {
         continue;
       }
       std::vector<const StoredTuple*> used;
@@ -733,7 +736,7 @@ Status Engine::RederiveTuple(NodeId node, const Tuple& tuple,
         return EmitHead(site, cr, f, u);
       };
       PROVNET_RETURN_IF_ERROR(DynJoin(site, cr, 0, /*delta_index=*/-1,
-                                      /*use_overlay=*/false, frame_, used,
+                                      /*use_overlay=*/false, frame, used,
                                       emit));
       PROVNET_RETURN_IF_ERROR(DrainPending());
     }

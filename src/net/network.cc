@@ -71,6 +71,24 @@ size_t Network::Run(size_t max_messages) {
   return delivered;
 }
 
+std::vector<NetMessage> Network::PopWave() {
+  std::vector<NetMessage> wave;
+  if (queue_.empty()) return wave;
+  const double t = queue_.top().deliver_time;
+  now_ = t;
+  // Exact double comparison is intentional: wave membership means "computed
+  // the same delivery instant", not "close in time".
+  while (!queue_.empty() && queue_.top().deliver_time == t) {
+    wave.push_back(queue_.top());
+    queue_.pop();
+  }
+  return wave;
+}
+
+void Network::Requeue(std::vector<NetMessage> messages) {
+  for (NetMessage& msg : messages) queue_.push(std::move(msg));
+}
+
 void Network::AdvanceTime(double seconds) {
   PROVNET_CHECK(seconds >= 0);
   now_ += seconds;

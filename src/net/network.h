@@ -75,6 +75,18 @@ class Network {
   // Returns the number of deliveries.
   size_t Run(size_t max_messages = SIZE_MAX);
 
+  // Pops every message due at the earliest delivery time — one delivery
+  // "wave" — advancing virtual time to it. Returned in ascending seq order,
+  // exactly the order repeated Step() calls would have delivered them.
+  // Empty when idle. The handler is NOT invoked. The parallel executor
+  // shards a wave across worker lanes; Requeue() hands back a wave it
+  // decided not to process.
+  std::vector<NetMessage> PopWave();
+  // Re-enqueues messages previously popped by PopWave(). Sequence numbers,
+  // meters, and send taps are not re-applied — the messages were already
+  // charged and tapped when first sent.
+  void Requeue(std::vector<NetMessage> messages);
+
   bool Idle() const { return queue_.empty(); }
   double now() const { return now_; }
   // Advances virtual time when the network is idle (for TTL experiments).

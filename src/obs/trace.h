@@ -58,6 +58,19 @@ class Tracer {
   // wall_time itself when record_wall is on.
   void Emit(TraceEvent ev);
 
+  // Sampled emit for hot-path events: applies the 1-in-k counter at emit
+  // time instead of at the instrumentation site. Parallel epochs buffer
+  // hot-path events on worker shards and replay them here in canonical
+  // commit order, so the counter is consumed in that same order and the
+  // sampled stream is byte-identical at every thread count. Caller already
+  // checked enabled() (events are cheap-constructed only when tracing).
+  void EmitSampled(TraceEvent ev) {
+    if (!enabled_) return;
+    if (sample_every_ <= 1 || (sample_seq_++ % sample_every_) == 0) {
+      Emit(std::move(ev));
+    }
+  }
+
   // Events currently in the ring, oldest first.
   std::vector<const TraceEvent*> Events() const;
   size_t size() const;

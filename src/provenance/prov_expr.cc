@@ -262,6 +262,7 @@ size_t ProvExpr::WireSize() const {
 }
 
 ProvVar ProvVarRegistry::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   ProvVar v = static_cast<ProvVar>(names_.size());
@@ -271,11 +272,18 @@ ProvVar ProvVarRegistry::Intern(const std::string& name) {
 }
 
 std::string ProvVarRegistry::NameOf(ProvVar v) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (v < names_.size()) return names_[v];
   return "v" + std::to_string(v);
 }
 
+size_t ProvVarRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
 std::optional<ProvVar> ProvVarRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return std::nullopt;
   return it->second;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -106,6 +107,13 @@ class ProvExpr {
 
 // Maps provenance variables to human-readable names (principals or base
 // tuples). Interning is deterministic in insertion order.
+//
+// Thread-safe: worker shards annotate received base tuples concurrently
+// during parallel epochs. Determinism note: every name a worker looks up is
+// already interned by the main thread (principals at Init, base tuples at
+// InsertFact), so concurrent calls are read-hits and variable numbering
+// stays insertion-ordered regardless of thread count; the lock makes the
+// stray first-use insert safe rather than ordered.
 class ProvVarRegistry {
  public:
   // Returns the variable for `name`, interning it on first use.
@@ -113,11 +121,12 @@ class ProvVarRegistry {
   // Name of a variable; "v<id>" if unknown.
   std::string NameOf(ProvVar v) const;
   // Number of interned variables.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
   // Lookup without interning; nullopt if absent.
   std::optional<ProvVar> Find(const std::string& name) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, ProvVar> index_;
   std::vector<std::string> names_;
 };

@@ -7,6 +7,7 @@
 
 #include "provenance/semiring.h"
 #include "query/session.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace provnet {
@@ -695,6 +696,134 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
   ++engine.cells_.prov_queries->value;
   stats_ = session.stats;
   return std::move(session.claims);
+}
+
+// --- CompareExchange --------------------------------------------------------
+
+Result<std::vector<CompareExchange::Conflict>> CompareExchange::Compare(
+    const std::vector<Bucket>& buckets,
+    const std::vector<NodeId>& comparers) {
+  Engine& engine = *engine_;
+  if (auditor_ >= engine.num_nodes()) {
+    return InvalidArgumentError("CompareExchange: unknown auditor node");
+  }
+  if (engine.query_session_ != nullptr) {
+    return FailedPreconditionError(
+        "another provenance query is already pumping the network");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  silent_.clear();
+  stats_ = QueryStats{};
+  std::vector<Conflict> conflicts;
+
+  // The centralized comparison, applied to one bucket: flag the first entry
+  // whose digest disagrees with the bucket's first claim.
+  auto compare_locally = [&](uint64_t id) {
+    const std::vector<TupleDigest>& digests = buckets[id].digests;
+    for (size_t j = 1; j < digests.size(); ++j) {
+      if (digests[j] != digests[0]) {
+        conflicts.push_back(Conflict{id, 0, static_cast<uint32_t>(j)});
+        return;
+      }
+    }
+  };
+
+  // Deterministic work assignment: the key hashes to its comparer, so every
+  // honest auditor hands the same bucket to the same node. Single-entry
+  // buckets cannot conflict and are never shipped.
+  std::map<NodeId, std::vector<std::pair<uint64_t, std::vector<TupleDigest>>>>
+      by_comparer;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].digests.size() < 2) continue;
+    NodeId target =
+        comparers.empty()
+            ? auditor_
+            : comparers[Fnv1a64(buckets[i].key) % comparers.size()];
+    if (target == auditor_) {
+      ++stats_.local_lookups;
+      compare_locally(i);
+    } else {
+      by_comparer[target].emplace_back(i, buckets[i].digests);
+    }
+  }
+
+  ProvQuerySession session;
+  session.asker = auditor_;
+  session.kind = kQueryCompare;
+
+  Network::Meters meters0 = engine.net_.MeterSnapshot();
+  engine.query_session_ = &session;
+  Status status = OkStatus();
+  for (const auto& [target, assigned] : by_comparer) {
+    if (!status.ok()) break;
+    status = engine.ProvQuerySendCompareRequest(session, target, assigned);
+  }
+  uint64_t guard = 0;
+  while (status.ok() && session.outstanding > 0 && !engine.net_.Idle()) {
+    engine.net_.Step();
+    if (!engine.async_error_.ok()) {
+      status = engine.async_error_;
+      engine.async_error_ = OkStatus();
+    }
+    if (++guard > engine.options_.max_steps) {
+      status = ResourceExhaustedError("compare exchange did not converge");
+    }
+  }
+  engine.query_session_ = nullptr;
+  engine.NoteAbandonedQueries(session);
+  PROVNET_RETURN_IF_ERROR(status);
+
+  // A silent comparer is audited like a silent claims responder — and its
+  // buckets fall back to local comparison (the auditor holds every digest),
+  // so suppressing comparison work can hide nothing.
+  for (const auto& [query_id, pending] : session.pending) {
+    if (!silent_.insert(pending.responder).second) continue;
+    engine.RecordSecurityEvent(
+        SecurityEventKind::kSilentResponder, auditor_, pending.responder,
+        engine.PrincipalOf(pending.responder),
+        StrFormat("compare exchange: no answer to query %llu",
+                  static_cast<unsigned long long>(query_id)));
+  }
+  for (NodeId mute : silent_) {
+    for (const auto& [bucket_id, digests] : by_comparer[mute]) {
+      (void)digests;
+      compare_locally(bucket_id);
+    }
+  }
+
+  for (const Conflict& c : session.conflicts) {
+    // Trust but verify the shape: a comparer can only name buckets it was
+    // handed, with in-range indices (a conflict for someone else's bucket
+    // would corrupt the index mapping at the auditor).
+    if (c.bucket >= buckets.size() ||
+        c.a >= buckets[c.bucket].digests.size() ||
+        c.b >= buckets[c.bucket].digests.size()) {
+      continue;
+    }
+    conflicts.push_back(c);
+  }
+  std::stable_sort(conflicts.begin(), conflicts.end(),
+                   [](const Conflict& x, const Conflict& y) {
+                     return x.bucket < y.bucket;
+                   });
+  // One finding per bucket, like the centralized flagged_keys set — also
+  // caps what a malicious comparer can inject by repeating itself.
+  conflicts.erase(std::unique(conflicts.begin(), conflicts.end(),
+                              [](const Conflict& x, const Conflict& y) {
+                                return x.bucket == y.bucket;
+                              }),
+                  conflicts.end());
+
+  Network::Meters meters1 = engine.net_.MeterSnapshot();
+  stats_.bytes = meters1.bytes - meters0.bytes;
+  stats_.messages = meters1.messages - meters0.messages;
+  stats_.requests = session.stats.requests;
+  stats_.responses = session.stats.responses;
+  stats_.responses_rejected = session.stats.responses_rejected;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return conflicts;
 }
 
 }  // namespace provnet

@@ -45,6 +45,9 @@ struct ProvQuerySession {
 
   // --- Claims exchange (kQueryClaims) --------------------------------------
   std::vector<ClaimsExchange::Claim> claims;
+
+  // --- Digest comparison (kQueryCompare) -----------------------------------
+  std::vector<CompareExchange::Conflict> conflicts;
 };
 
 }  // namespace provnet

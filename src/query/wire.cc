@@ -14,11 +14,13 @@
 // misdirected, or unsolicited response — is dropped, counted
 // (RunStats::prov_responses_rejected) and audited in the SecurityLog.
 //
-// Two payload kinds ride the same path:
+// Three payload kinds ride the same path:
 //   kQueryRecords - digest -> ProvRecords (the Section 4.1 pointer-walk;
 //     online records preferred, offline archive fallback at the responder);
 //   kQueryClaims  - predicates -> (asserting principal, tuple) claims (the
-//     distributed equivocation audit's digest exchange).
+//     distributed equivocation audit's digest exchange);
+//   kQueryCompare - claim-digest buckets -> conflicting entry indices (the
+//     audit's pairwise comparison, spread across responder nodes).
 
 #include <algorithm>
 
@@ -49,7 +51,9 @@ Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
   }
   cells_.prov_query_bytes->value += msg.size();
   LinkBytesCell(from, to, msg_type)->value += msg.size();
-  if (tracer_.Sample()) {
+  if (tracer_.enabled()) {
+    // Sampling decided at emit (TraceSampled), not here: the 1-in-k counter
+    // must only ever be consumed in canonical commit order.
     obs::TraceEvent ev;
     ev.sim_time = net_.now();
     ev.node = from;
@@ -58,7 +62,7 @@ Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
                 {"msg", msg_type == kMsgProvRequest ? "prov_request"
                                                     : "prov_response"},
                 {"bytes", StrFormat("%zu", msg.size())}};
-    tracer_.Emit(std::move(ev));
+    TraceSampled(std::move(ev));
   }
   return net_.Send(from, to, std::move(msg).Take());
 }
@@ -113,6 +117,27 @@ Status Engine::ProvQuerySendClaimsRequest(
   inner.PutU64(query_id);
   inner.PutVarint(predicates.size());
   for (const std::string& pred : predicates) inner.PutString(pred);
+  session.pending.emplace(query_id,
+                          ProvQuerySession::Pending{to, 0, net_.now()});
+  ++session.outstanding;
+  ++session.stats.requests;
+  return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
+}
+
+Status Engine::ProvQuerySendCompareRequest(
+    ProvQuerySession& session, NodeId to,
+    const std::vector<std::pair<uint64_t, std::vector<TupleDigest>>>&
+        buckets) {
+  uint64_t query_id = next_query_id_++;
+  ByteWriter inner;
+  inner.PutU8(kQueryCompare);
+  inner.PutU64(query_id);
+  inner.PutVarint(buckets.size());
+  for (const auto& [bucket_id, digests] : buckets) {
+    inner.PutVarint(bucket_id);
+    inner.PutVarint(digests.size());
+    for (TupleDigest d : digests) inner.PutU64(d);
+  }
   session.pending.emplace(query_id,
                           ProvQuerySession::Pending{to, 0, net_.now()});
   ++session.outstanding;
@@ -252,6 +277,44 @@ Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
       }
       break;
     }
+    case kQueryCompare: {
+      // The responder does the auditor's pairwise work: per bucket, find the
+      // first digest that disagrees with the bucket's first entry — exactly
+      // the comparison the centralized sweep ran, so the conflict indices
+      // map back to identical findings at the auditor.
+      PROVNET_ASSIGN_OR_RETURN(uint64_t nbuckets, body.GetVarint());
+      if (nbuckets > body.remaining()) {
+        return InvalidArgumentError("prov_request: bad bucket count");
+      }
+      ByteWriter conflicts;
+      uint64_t nconflicts = 0;
+      for (uint64_t b = 0; b < nbuckets; ++b) {
+        PROVNET_ASSIGN_OR_RETURN(uint64_t bucket_id, body.GetVarint());
+        PROVNET_ASSIGN_OR_RETURN(uint64_t nentries, body.GetVarint());
+        if (nentries > body.remaining()) {
+          return InvalidArgumentError("prov_request: bad entry count");
+        }
+        uint64_t first = 0;
+        uint64_t conflict_at = 0;
+        for (uint64_t j = 0; j < nentries; ++j) {
+          PROVNET_ASSIGN_OR_RETURN(uint64_t digest, body.GetU64());
+          if (j == 0) {
+            first = digest;
+          } else if (conflict_at == 0 && digest != first) {
+            conflict_at = j;
+          }
+        }
+        if (conflict_at != 0) {
+          conflicts.PutVarint(bucket_id);
+          conflicts.PutVarint(0);
+          conflicts.PutVarint(conflict_at);
+          ++nconflicts;
+        }
+      }
+      inner.PutVarint(nconflicts);
+      inner.PutRaw(conflicts.bytes().data(), conflicts.size());
+      break;
+    }
     default:
       return InvalidArgumentError("prov_request: unknown query kind");
   }
@@ -358,6 +421,26 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
         PROVNET_ASSIGN_OR_RETURN(claim.asserted_by, body.GetString());
         PROVNET_ASSIGN_OR_RETURN(claim.tuple, Tuple::Deserialize(body));
         session->claims.push_back(std::move(claim));
+      }
+      return OkStatus();
+    }
+    case kQueryCompare: {
+      PROVNET_ASSIGN_OR_RETURN(uint64_t count, body.GetVarint());
+      if (count > body.remaining()) {
+        return InvalidArgumentError("prov_response: bad conflict count");
+      }
+      ObserveQueryHop(to, from, it->second.sent_at);
+      session->pending.erase(it);
+      if (session->outstanding > 0) --session->outstanding;
+      ++session->stats.responses;
+      for (uint64_t i = 0; i < count; ++i) {
+        CompareExchange::Conflict c;
+        PROVNET_ASSIGN_OR_RETURN(c.bucket, body.GetVarint());
+        PROVNET_ASSIGN_OR_RETURN(uint64_t a, body.GetVarint());
+        PROVNET_ASSIGN_OR_RETURN(uint64_t b, body.GetVarint());
+        c.a = static_cast<uint32_t>(a);
+        c.b = static_cast<uint32_t>(b);
+        session->conflicts.push_back(c);
       }
       return OkStatus();
     }

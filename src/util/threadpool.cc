@@ -1,0 +1,67 @@
+#include "util/threadpool.h"
+
+namespace provnet {
+
+ThreadPool::ThreadPool(size_t threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Run(size_t n,
+                     const std::function<void(size_t, size_t)>& task) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) task(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    task_count_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  // The caller is lane 0 and claims indexes alongside the workers.
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    task(i, 0);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  task_ = nullptr;
+  task_count_ = 0;
+}
+
+void ThreadPool::WorkerLoop(size_t thread_index) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* task = task_;
+    const size_t n = task_count_;
+    lock.unlock();
+    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*task)(i, thread_index);
+    }
+    lock.lock();
+    if (--active_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace provnet

@@ -1,0 +1,162 @@
+// Determinism contract of the sharded parallel executor (ISSUE 7).
+//
+// The oracle: a seeded 50-node Best-Path deployment must reach a
+// byte-identical end state at every thread count — stored tuples and their
+// provenance annotations, the per-Run() RunStats window, the full metrics
+// snapshot (per-rule, per-link, per-kind counters), and the sampled trace
+// stream (the 1-in-k sampling counter is consumed in canonical commit
+// order, so even *which* hot-path events survive thinning is stable).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "core/node_context.h"
+#include "net/topology.h"
+#include "obs/export.h"
+#include "util/random.h"
+
+namespace provnet {
+namespace {
+
+// The CI suite runs once with PROVNET_THREADS=4 to exercise every test in
+// parallel mode; this test compares explicit thread counts against a true
+// sequential baseline, so the ambient override must not apply.
+void ClearThreadsEnv() { unsetenv("PROVNET_THREADS"); }
+
+Topology SeededTopology(size_t nodes) {
+  Rng rng(7);
+  return Topology::RingPlusRandom(nodes, 3, rng);
+}
+
+struct RunResult {
+  std::string fingerprint;  // stored tuples + annotations, all nodes
+  std::string metrics;      // obs::SnapshotJson
+  std::string trace;        // sampled trace stream, JSONL
+  RunStats stats;
+  uint64_t tuple_copies = 0;
+};
+
+// Every stored tuple at every node, with asserter and annotation, in a
+// canonical order — byte-equal iff the fixpoints are identical.
+std::string Fingerprint(Engine& engine) {
+  std::ostringstream out;
+  for (NodeId n = 0; n < engine.num_nodes(); ++n) {
+    for (Table* table : engine.node(n).AllTables()) {
+      std::vector<std::string> lines;
+      for (const StoredTuple* e : table->Scan()) {
+        lines.push_back(e->tuple.ToString() + " by " + e->asserted_by +
+                        " prov " + e->prov.ToString());
+      }
+      std::sort(lines.begin(), lines.end());
+      for (const std::string& line : lines) {
+        out << "n" << n << "|" << table->name() << "|" << line << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+RunResult RunBestPath(size_t threads, ProvMode mode) {
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  opts.prov_mode = mode;
+  opts.threads = threads;
+  Topology topo = SeededTopology(50);
+  Result<std::unique_ptr<Engine>> created =
+      Engine::Create(topo, BestPathNdlogProgram(), opts);
+  EXPECT_TRUE(created.ok()) << created.status();
+  std::unique_ptr<Engine> engine = std::move(created).value();
+  // Thinned hot-path tracing: the regression oracle for the sampling
+  // counter (a thread-dependent consumption order would change which
+  // events survive, not just their order).
+  engine->tracer().Enable(/*capacity=*/1 << 14, /*sample_every=*/4);
+  StoredTuple::ResetCopyCount();
+  EXPECT_TRUE(engine->InsertLinkFacts().ok());
+  Result<RunStats> stats = engine->Run();
+  EXPECT_TRUE(stats.ok()) << stats.status();
+
+  RunResult result;
+  result.fingerprint = Fingerprint(*engine);
+  result.metrics = obs::SnapshotJson(engine->metrics());
+  result.trace = engine->tracer().ToJsonl();
+  result.stats = stats.value();
+  result.tuple_copies = StoredTuple::CopyCount();
+  return result;
+}
+
+void ExpectSameWindow(const RunStats& got, const RunStats& want) {
+  EXPECT_EQ(got.deliveries, want.deliveries);
+  EXPECT_EQ(got.messages, want.messages);
+  EXPECT_EQ(got.bytes, want.bytes);
+  EXPECT_EQ(got.tuple_bytes, want.tuple_bytes);
+  EXPECT_EQ(got.auth_bytes, want.auth_bytes);
+  EXPECT_EQ(got.prov_bytes, want.prov_bytes);
+  EXPECT_EQ(got.events, want.events);
+  EXPECT_EQ(got.derivations, want.derivations);
+  EXPECT_EQ(got.join_candidates, want.join_candidates);
+  EXPECT_EQ(got.signs, want.signs);
+  EXPECT_EQ(got.verifies, want.verifies);
+  EXPECT_EQ(got.auth_failures, want.auth_failures);
+  EXPECT_EQ(got.replays_rejected, want.replays_rejected);
+  EXPECT_EQ(got.sim_seconds, want.sim_seconds);
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<ProvMode> {};
+
+TEST_P(ParallelDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  ClearThreadsEnv();
+  const ProvMode mode = GetParam();
+  RunResult sequential = RunBestPath(1, mode);
+  ASSERT_FALSE(sequential.fingerprint.empty());
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RunResult parallel = RunBestPath(threads, mode);
+    EXPECT_EQ(parallel.fingerprint, sequential.fingerprint);
+    EXPECT_EQ(parallel.metrics, sequential.metrics);
+    EXPECT_EQ(parallel.trace, sequential.trace);
+    ExpectSameWindow(parallel.stats, sequential.stats);
+    // StoredTuple copies are table-op-driven; identical executions make
+    // identical copies regardless of which lane performs them.
+    EXPECT_EQ(parallel.tuple_copies, sequential.tuple_copies);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProvModes, ParallelDeterminismTest,
+                         ::testing::Values(ProvMode::kNone,
+                                           ProvMode::kCondensed,
+                                           ProvMode::kFull),
+                         [](const ::testing::TestParamInfo<ProvMode>& info) {
+                           return ProvModeName(info.param);
+                         });
+
+// threads=0 resolves to hardware concurrency and must still be exact.
+TEST(ParallelDeterminismTest, HardwareConcurrencyMatchesSequential) {
+  ClearThreadsEnv();
+  RunResult sequential = RunBestPath(1, ProvMode::kCondensed);
+  RunResult hw = RunBestPath(0, ProvMode::kCondensed);
+  EXPECT_EQ(hw.fingerprint, sequential.fingerprint);
+  EXPECT_EQ(hw.metrics, sequential.metrics);
+  EXPECT_EQ(hw.trace, sequential.trace);
+}
+
+// The PROVNET_THREADS override applies only to the untouched default.
+TEST(ParallelDeterminismTest, EnvOverrideMatchesSequential) {
+  ClearThreadsEnv();
+  RunResult sequential = RunBestPath(1, ProvMode::kNone);
+  setenv("PROVNET_THREADS", "3", /*overwrite=*/1);
+  RunResult overridden = RunBestPath(1, ProvMode::kNone);
+  unsetenv("PROVNET_THREADS");
+  EXPECT_EQ(overridden.fingerprint, sequential.fingerprint);
+  EXPECT_EQ(overridden.metrics, sequential.metrics);
+  EXPECT_EQ(overridden.trace, sequential.trace);
+}
+
+}  // namespace
+}  // namespace provnet

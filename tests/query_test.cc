@@ -493,5 +493,67 @@ TEST(ClaimsExchangeTest, AuditChargesBandwidthAndStillFindsConflicts) {
   EXPECT_EQ(engine->security_log().CountOf(SecurityEventKind::kReplay), 0u);
 }
 
+TEST(CompareExchangeTest, ComparisonWorkIsSpreadAndFindingsAreStable) {
+  // Two equivocators, so the audit has several conflicting keys to spread
+  // over the honest comparers, plus hundreds of clean link/path buckets.
+  Topology topo;
+  topo.num_nodes = 8;
+  for (NodeId i = 0; i < 8; ++i) {
+    topo.edges.push_back(TopoEdge{i, static_cast<NodeId>((i + 1) % 8), 1});
+  }
+  EngineOptions opts;
+  opts.authenticate = true;
+  opts.says_level = SaysLevel::kHmac;
+  auto engine = Engine::Create(topo, BestPathNdlogProgram(), opts).value();
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+  Adversary adversary(*engine, 11);
+  ASSERT_TRUE(adversary
+                  .InjectEquivocation(2, 0, Link3(2, 5, 1), 4, Link3(2, 5, 77))
+                  .ok());
+  ASSERT_TRUE(adversary
+                  .InjectEquivocation(3, 1, Link3(3, 6, 2), 5, Link3(3, 6, 88))
+                  .ok());
+  ASSERT_TRUE(engine->Run().ok());
+
+  uint64_t messages0 = engine->network().total_messages();
+  uint64_t query_bytes0 = engine->cumulative_stats().prov_query_bytes;
+  std::vector<EquivocationFinding> findings =
+      EquivocationAudit(*engine, {"link"}, /*skip_nodes=*/{2, 3}).value();
+  ASSERT_EQ(findings.size(), 2u);
+  std::set<Principal> flagged;
+  for (const EquivocationFinding& f : findings) {
+    flagged.insert(f.principal);
+    EXPECT_NE(f.claim_a, f.claim_b);
+  }
+  EXPECT_EQ(flagged, (std::set<Principal>{engine->PrincipalOf(2),
+                                          engine->PrincipalOf(3)}));
+  // Both phases are metered: 5 responders answer the claims collection
+  // (2 messages each), and the digest-comparison requests that hashed to
+  // non-auditor comparers add their own signed round trips on top.
+  uint64_t audit_messages = engine->network().total_messages() - messages0;
+  EXPECT_GT(audit_messages, 10u);
+  EXPECT_GT(engine->cumulative_stats().prov_query_bytes, query_bytes0);
+  // Nothing went unanswered, and nothing tripped the replay/bogus checks.
+  EXPECT_EQ(
+      engine->security_log().CountOf(SecurityEventKind::kSilentResponder),
+      0u);
+  EXPECT_EQ(
+      engine->security_log().CountOf(SecurityEventKind::kBogusResponse), 0u);
+
+  // The key->comparer assignment is deterministic, so re-running the audit
+  // over unchanged state reproduces the findings exactly.
+  std::vector<EquivocationFinding> again =
+      EquivocationAudit(*engine, {"link"}, /*skip_nodes=*/{2, 3}).value();
+  ASSERT_EQ(again.size(), findings.size());
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(again[i].principal, findings[i].principal);
+    EXPECT_EQ(again[i].node_a, findings[i].node_a);
+    EXPECT_EQ(again[i].node_b, findings[i].node_b);
+    EXPECT_EQ(again[i].claim_a, findings[i].claim_a);
+    EXPECT_EQ(again[i].claim_b, findings[i].claim_b);
+  }
+}
+
 }  // namespace
 }  // namespace provnet
