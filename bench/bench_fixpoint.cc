@@ -42,6 +42,8 @@
 #include "core/engine.h"
 #include "net/topology.h"
 #include "obs/export.h"
+#include "obs/mem.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 using namespace provnet;
@@ -72,6 +74,12 @@ struct Point {
   double messages = 0.0;
   double mbytes = 0.0;
   long rss_peak_kb = 0;  // process high-water mark after this point
+  // From the point's last run (profiler + memory accounting enabled):
+  // serial-commit share of the parallel executor's time, and per-subsystem
+  // accounted peaks.
+  double commit_serial_fraction = 0.0;
+  uint64_t mem_peak[obs::kNumMemSubsystems] = {};
+  uint64_t total_peak_bytes = 0;
 };
 
 long PeakRssKb() {
@@ -99,13 +107,20 @@ Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
   point.mode = mode;
   point.threads = threads;
   point.runs = runs;
+  obs::MemAccounting& mem = obs::MemAccounting::Global();
   for (size_t run = 0; run < runs; ++run) {
+    // Per-run accounting window: peaks reported for a point belong to its
+    // last run alone (tables/queues from the previous engine are released
+    // when it dies; Reset clears the peak high-water marks).
+    mem.Reset();
+    mem.Enable();
     Rng rng(cfg.seed + run * 1000003 + n);
     Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
     PROVNET_ASSIGN_OR_RETURN(
         std::unique_ptr<Engine> engine,
         Engine::Create(topo, BestPathNdlogProgram(),
                        OptionsFor(mode, cfg.seed + run, threads)));
+    engine->profiler().Enable();
     PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
     auto t0 = std::chrono::steady_clock::now();
     PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine->Run());
@@ -117,6 +132,14 @@ Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
     point.events += static_cast<double>(stats.events);
     point.messages += static_cast<double>(stats.messages);
     point.mbytes += static_cast<double>(stats.bytes) / 1e6;
+    if (run + 1 == runs) {
+      point.commit_serial_fraction = engine->profiler().CommitSerialFraction();
+      for (size_t i = 0; i < obs::kNumMemSubsystems; ++i) {
+        point.mem_peak[i] =
+            mem.PeakBytes(static_cast<obs::MemSubsystem>(i));
+      }
+      point.total_peak_bytes = mem.TotalPeakBytes();
+    }
   }
   double nruns = static_cast<double>(runs);
   point.wall_seconds /= nruns;
@@ -169,7 +192,17 @@ void WriteJson(const Config& cfg, const std::vector<Point>& points) {
         .Field("messages", p.messages, "%.0f")
         .Field("mbytes", p.mbytes, "%.3f")
         .Field("rss_peak_kb", int64_t{p.rss_peak_kb})
-        .EndObject();
+        .Field("peak_rss_bytes", uint64_t{static_cast<uint64_t>(p.rss_peak_kb) *
+                                          1024})
+        .Field("commit_serial_fraction", p.commit_serial_fraction, "%.6f");
+    w.Key("mem_peak_bytes").BeginObject();
+    for (size_t i = 0; i < obs::kNumMemSubsystems; ++i) {
+      w.Field(obs::MemSubsystemName(static_cast<obs::MemSubsystem>(i)),
+              p.mem_peak[i]);
+    }
+    w.EndObject();
+    w.Field("total_peak_bytes", p.total_peak_bytes);
+    w.EndObject();
   }
   w.EndArray().EndObject();
   std::printf("\n");
@@ -193,6 +226,55 @@ Status WriteObsArtifacts(const Config& cfg) {
   PROVNET_RETURN_IF_ERROR(engine->Run().status());
   WriteFile("OBS_fixpoint.json", obs::SnapshotJson(engine->metrics()));
   WriteFile("TRACE_fixpoint.jsonl", engine->tracer().ToJsonl());
+  return OkStatus();
+}
+
+// PROF_fixpoint.json: wall-clock phase profile, lane utilization, and
+// per-subsystem memory peaks for the two 100-node acceptance fixtures
+// (condensed at full thread width, full pinned sequential). Written on
+// every invocation, --quick included, so CI always archives it.
+Status WriteProfArtifact(const Config& cfg) {
+  const size_t n = 100;
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  struct Fixture {
+    ProvMode mode;
+    size_t threads;
+  };
+  // The condensed fixture runs at least 4 lanes even on small containers:
+  // commit_serial_fraction and lane utilization are only meaningful when
+  // the parallel executor actually splits work.
+  const Fixture fixtures[] = {{ProvMode::kCondensed, std::max<size_t>(hw, 4)},
+                              {ProvMode::kFull, 1}};
+
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Field("bench", "fixpoint_profile")
+      .Field("workload", "bestpath-ndlog")
+      .Field("seed", cfg.seed)
+      .Field("hw_threads", uint64_t{hw});
+  w.Key("fixtures").BeginArray();
+  obs::MemAccounting& mem = obs::MemAccounting::Global();
+  for (const Fixture& fx : fixtures) {
+    mem.Reset();
+    mem.Enable();
+    Rng rng(cfg.seed + n);
+    Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
+    PROVNET_ASSIGN_OR_RETURN(
+        std::unique_ptr<Engine> engine,
+        Engine::Create(topo, BestPathNdlogProgram(),
+                       OptionsFor(fx.mode, cfg.seed, fx.threads)));
+    engine->profiler().Enable();
+    PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+    PROVNET_RETURN_IF_ERROR(engine->Run().status());
+    w.BeginObject()
+        .Field("n", uint64_t{n})
+        .Field("prov_mode", ProvModeName(fx.mode))
+        .Field("threads", uint64_t{fx.threads});
+    obs::WriteProfileFields(w, engine->profiler(), mem);
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  WriteFile("PROF_fixpoint.json", w.Take() + "\n");
   return OkStatus();
 }
 
@@ -292,6 +374,12 @@ int main(int argc, char** argv) {
   if (!obs_status.ok()) {
     std::fprintf(stderr, "obs artifacts failed: %s\n",
                  obs_status.ToString().c_str());
+    return 1;
+  }
+  Status prof_status = WriteProfArtifact(cfg);
+  if (!prof_status.ok()) {
+    std::fprintf(stderr, "profile artifact failed: %s\n",
+                 prof_status.ToString().c_str());
     return 1;
   }
   return 0;

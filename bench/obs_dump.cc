@@ -12,12 +12,17 @@
 //
 // Usage:
 //   obs_dump [--n N] [--queries Q] [--sample K] [--json PATH] [--trace PATH]
+//            [--prof] [--trace-tree]
 //
 //   --n N        deployment size (default 50)
 //   --queries Q  distributed ProvQueries to issue after fixpoint (default 10)
 //   --sample K   trace sampling: keep 1 in K sampled events (default 8)
 //   --json PATH  write obs::SnapshotJson of the registry to PATH
 //   --trace PATH write the virtual-time trace stream (JSONL) to PATH
+//   --prof       enable the wall-clock profiler + memory accounting and
+//                append the phase/lane/memory profile to the output
+//   --trace-tree record causal span ids and print the largest stitched
+//                cross-node span tree (the distributed-walk view)
 //
 // Environment knobs:
 //   PROVNET_OBS_SEED  topology seed (default 20080407)
@@ -25,13 +30,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "apps/programs.h"
 #include "core/engine.h"
 #include "net/topology.h"
 #include "obs/export.h"
+#include "obs/mem.h"
+#include "obs/trace.h"
 #include "query/provquery.h"
 #include "util/logging.h"
 
@@ -46,6 +57,8 @@ struct Config {
   uint64_t seed = 20080407;
   std::string json_path;
   std::string trace_path;
+  bool prof = false;
+  bool trace_tree = false;
 };
 
 bool WriteFile(const std::string& path, const std::string& body) {
@@ -60,6 +73,98 @@ bool WriteFile(const std::string& path, const std::string& body) {
   return true;
 }
 
+// Stitches the ring's events into causal span trees and renders the
+// largest one: events sharing a span id collapse into one span node (a
+// wire message's send and deliver halves), children are spans whose
+// parent_span matches, and roots are spans with no parent in the ring.
+void PrintLargestTraceTree(const obs::Tracer& tracer) {
+  std::vector<const obs::TraceEvent*> events = tracer.Events();
+
+  // trace id -> span id -> that span's events (ring order).
+  std::map<uint64_t, std::map<uint64_t, std::vector<const obs::TraceEvent*>>>
+      traces;
+  for (const obs::TraceEvent* ev : events) {
+    if (ev->span_id == 0) continue;
+    uint64_t trace = ev->trace_id != 0 ? ev->trace_id : ev->span_id;
+    traces[trace][ev->span_id].push_back(ev);
+  }
+  if (traces.empty()) {
+    std::printf("== trace tree ==\n(no causal spans recorded)\n");
+    return;
+  }
+
+  // Prefer the largest trace rooted in a ProvQuery walk (the structural
+  // events the flag exists to show); fall back to the largest trace of any
+  // kind (sampled fixpoint traffic).
+  auto has_query = [](const std::map<uint64_t,
+                                     std::vector<const obs::TraceEvent*>>&
+                          spans) {
+    for (const auto& [span_id, evs] : spans) {
+      for (const obs::TraceEvent* ev : evs) {
+        if (ev->kind.rfind("provquery", 0) == 0) return true;
+      }
+    }
+    return false;
+  };
+  const auto* largest = &*traces.begin();
+  bool largest_is_query = has_query(largest->second);
+  for (const auto& entry : traces) {
+    bool is_query = has_query(entry.second);
+    if ((is_query && !largest_is_query) ||
+        (is_query == largest_is_query &&
+         entry.second.size() > largest->second.size())) {
+      largest = &entry;
+      largest_is_query = is_query;
+    }
+  }
+  const auto& spans = largest->second;
+
+  std::map<uint64_t, std::vector<uint64_t>> children;
+  std::vector<uint64_t> roots;
+  for (const auto& [span_id, evs] : spans) {
+    uint64_t parent = 0;
+    for (const obs::TraceEvent* ev : evs) {
+      if (ev->parent_span != 0) parent = ev->parent_span;
+    }
+    if (parent != 0 && spans.count(parent) != 0 && parent != span_id) {
+      children[parent].push_back(span_id);
+    } else {
+      roots.push_back(span_id);
+    }
+  }
+
+  std::set<uint32_t> nodes;
+  for (const auto& [span_id, evs] : spans) {
+    for (const obs::TraceEvent* ev : evs) nodes.insert(ev->node);
+  }
+  std::printf("== trace tree ==\ntrace %llu: %zu spans across %zu nodes\n",
+              (unsigned long long)largest->first, spans.size(), nodes.size());
+
+  std::function<void(uint64_t, int)> print_span = [&](uint64_t span_id,
+                                                      int depth) {
+    const std::vector<const obs::TraceEvent*>& evs = spans.at(span_id);
+    std::string kinds;
+    std::set<uint32_t> span_nodes;
+    for (const obs::TraceEvent* ev : evs) {
+      if (!kinds.empty()) kinds += '+';
+      kinds += ev->kind;
+      span_nodes.insert(ev->node);
+    }
+    std::string node_list;
+    for (uint32_t node : span_nodes) {
+      if (!node_list.empty()) node_list += ',';
+      node_list += std::to_string(node);
+    }
+    std::printf("%*sspan %llu [node %s] %s t=%.6f\n", depth * 2, "",
+                (unsigned long long)span_id, node_list.c_str(), kinds.c_str(),
+                evs.front()->sim_time);
+    auto it = children.find(span_id);
+    if (it == children.end()) return;
+    for (uint64_t child : it->second) print_span(child, depth + 1);
+  };
+  for (uint64_t root : roots) print_span(root, 1);
+}
+
 Status RunDump(const Config& cfg) {
   Rng rng(cfg.seed + cfg.n);
   Topology topo = Topology::RingPlusRandom(cfg.n, /*outdegree=*/3, rng);
@@ -70,10 +175,17 @@ Status RunDump(const Config& cfg) {
   opts.says_level = SaysLevel::kHmac;
   opts.prov_mode = ProvMode::kPointers;  // distributed walks need records
 
+  if (cfg.prof) obs::MemAccounting::Global().Enable();
   PROVNET_ASSIGN_OR_RETURN(
       std::unique_ptr<Engine> engine,
       Engine::Create(topo, BestPathSendlogProgram(), opts));
-  engine->tracer().Enable(/*capacity=*/16384, cfg.sample_every);
+  // Tree mode records every event: sampled-out hops would otherwise break
+  // parent links and shatter the tree into fragments.
+  engine->tracer().Enable(/*capacity=*/16384,
+                          cfg.trace_tree ? 1 : cfg.sample_every,
+                          /*record_wall=*/false,
+                          /*record_spans=*/cfg.trace_tree);
+  if (cfg.prof) engine->profiler().Enable();
 
   PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
   PROVNET_RETURN_IF_ERROR(engine->Run().status());
@@ -97,6 +209,13 @@ Status RunDump(const Config& cfg) {
 
   std::string table = obs::SnapshotText(engine->metrics());
   std::fwrite(table.data(), 1, table.size(), stdout);
+
+  if (cfg.prof) {
+    std::string prof = obs::ProfileText(engine->profiler(),
+                                        obs::MemAccounting::Global());
+    std::fwrite(prof.data(), 1, prof.size(), stdout);
+  }
+  if (cfg.trace_tree) PrintLargestTraceTree(engine->tracer());
 
   if (!cfg.json_path.empty()) {
     WriteFile(cfg.json_path, obs::SnapshotJson(engine->metrics()));
@@ -122,10 +241,14 @@ int main(int argc, char** argv) {
       cfg.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       cfg.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prof") == 0) {
+      cfg.prof = true;
+    } else if (std::strcmp(argv[i], "--trace-tree") == 0) {
+      cfg.trace_tree = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--n N] [--queries Q] [--sample K] "
-                   "[--json PATH] [--trace PATH]\n",
+                   "[--json PATH] [--trace PATH] [--prof] [--trace-tree]\n",
                    argv[0]);
       return 2;
     }

@@ -99,6 +99,16 @@ Result<Bytes> Adversary::BuildTupleMessage(const Principal& as, NodeId dest,
     content.PutVarint(engine_.NextSendSeq(as));
     content.PutVarint(dest);
   }
+  {
+    // Counter theft extends to the causal layer: the forged span continues
+    // the impersonated node's sequence, indistinguishable from honest
+    // traffic, and roots a fresh trace (no inbound context to extend).
+    // Invented identities have no node; any counter parses, and the
+    // receiver rejects the message before adopting its causal ids.
+    Result<NodeId> as_node = engine_.NodeOf(as);
+    uint64_t span = engine_.NewCausalSpan(as_node.ok() ? as_node.value() : dest);
+    PutCausalIds(content, CausalIds{span, span});
+  }
   tuple.Serialize(content);
   switch (opts.prov_mode) {
     case ProvMode::kNone:
@@ -160,6 +170,11 @@ Result<Bytes> Adversary::BuildRetractMessage(
   if (opts.authenticate) {
     content.PutVarint(engine_.NextSendSeq(as));
     content.PutVarint(dest);
+  }
+  {
+    Result<NodeId> as_node = engine_.NodeOf(as);
+    uint64_t span = engine_.NewCausalSpan(as_node.ok() ? as_node.value() : dest);
+    PutCausalIds(content, CausalIds{span, span});
   }
   tuple.Serialize(content);
   content.PutVarint(killed.size());
@@ -297,6 +312,12 @@ Status Adversary::InjectForgedProvResponse(AttackKind kind, NodeId attacker,
   if (opts.authenticate) {
     content.PutVarint(engine_.NextSendSeq(as));
     content.PutVarint(victim);
+  }
+  {
+    Result<NodeId> as_node = engine_.NodeOf(as);
+    uint64_t span =
+        engine_.NewCausalSpan(as_node.ok() ? as_node.value() : victim);
+    PutCausalIds(content, CausalIds{span, span});
   }
   content.PutU8(kQueryRecords);
   content.PutU64(query_id);

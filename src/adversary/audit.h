@@ -37,6 +37,9 @@ enum class SecurityEventKind : uint8_t {
                             // sender's own variable (framing attempt)
   kSilentResponder = 9,     // claims-exchange responder that never answered
                             // the auditor (suppression is itself evidence)
+  kLyingComparer = 10,      // compare-exchange responder whose reported
+                            // conflicts disagree with the auditor's local
+                            // re-comparison of a spot-checked bucket
 };
 
 const char* SecurityEventKindName(SecurityEventKind kind);

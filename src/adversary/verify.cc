@@ -85,6 +85,7 @@ Result<bool> Engine::VerifyInbound(NodeId to, NodeId from,
                                    const std::optional<SaysTag>& tag,
                                    const Bytes& content, ByteReader& body,
                                    const char* what) {
+  obs::Profiler::Scope verify_scope(profiler_, obs::Phase::kVerify);
   const bool enforce = options_.authenticate && options_.verify_incoming;
   ExecSlot& ex = exec();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/mem.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -23,10 +24,30 @@ size_t BddManager::IteKeyHash::operator()(const IteKey& k) const {
   return static_cast<size_t>(HashCombine(h, k.h));
 }
 
+namespace {
+// Per-node charge against obs::MemSubsystem::kBddNodes: the arena slot plus
+// the unique-table entry (key + ref + bucket overhead). A stable estimate, so
+// the destructor can release exactly what was added.
+constexpr uint64_t kBddNodeAccountedBytes =
+    sizeof(uint32_t) + 2 * sizeof(BddRef) +  // Node
+    sizeof(uint32_t) + 3 * sizeof(BddRef) +  // UniqueKey + mapped BddRef
+    2 * sizeof(void*);                       // hash-table bucket overhead
+}  // namespace
+
 BddManager::BddManager() {
   // Terminals: index 0 = false, 1 = true.
   nodes_.push_back(Node{kTerminalVar, 0, 0});
   nodes_.push_back(Node{kTerminalVar, 1, 1});
+  accounted_bytes_ = 2 * kBddNodeAccountedBytes;
+  obs::MemAccounting::Global().Add(obs::MemSubsystem::kBddNodes,
+                                   accounted_bytes_);
+}
+
+BddManager::~BddManager() {
+  if (accounted_bytes_ > 0) {
+    obs::MemAccounting::Global().Sub(obs::MemSubsystem::kBddNodes,
+                                     accounted_bytes_);
+  }
 }
 
 BddRef BddManager::MakeNode(uint32_t var, BddRef low, BddRef high) {
@@ -37,6 +58,9 @@ BddRef BddManager::MakeNode(uint32_t var, BddRef low, BddRef high) {
   BddRef ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back(Node{var, low, high});
   unique_.emplace(key, ref);
+  accounted_bytes_ += kBddNodeAccountedBytes;
+  obs::MemAccounting::Global().Add(obs::MemSubsystem::kBddNodes,
+                                   kBddNodeAccountedBytes);
   return ref;
 }
 

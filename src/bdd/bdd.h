@@ -31,6 +31,7 @@ constexpr BddRef kBddTrue = 1;
 class BddManager {
  public:
   BddManager();
+  ~BddManager();
 
   BddManager(const BddManager&) = delete;
   BddManager& operator=(const BddManager&) = delete;
@@ -124,6 +125,9 @@ class BddManager {
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+  // Bytes charged against obs::MemSubsystem::kBddNodes, released in the
+  // destructor (the arena never shrinks in between).
+  uint64_t accounted_bytes_ = 0;
 };
 
 }  // namespace provnet

@@ -6,6 +6,7 @@
 
 #include "datalog/analysis.h"
 #include "dynamics/delta.h"
+#include "obs/mem.h"
 #include "provenance/sampling.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -38,7 +39,7 @@ const char* MsgKindName(uint8_t kind) {
 // Number of SecurityEventKind values (adversary/audit.h); the per-kind
 // rejection counters are pre-registered so every snapshot has the full
 // schema even when a run sees no attacks.
-constexpr size_t kNumSecurityEventKinds = 10;
+constexpr size_t kNumSecurityEventKinds = 11;
 
 }  // namespace
 
@@ -57,7 +58,7 @@ const char* ProvModeName(ProvMode mode) {
 }
 
 std::string RunStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "wall=%.3fs sim=%.3fs msgs=%llu bytes=%llu (tuple=%llu auth=%llu "
       "prov=%llu) events=%llu derivations=%llu candidates=%llu signs=%llu "
       "verifies=%llu auth_failures=%llu replays_rejected=%llu "
@@ -83,6 +84,15 @@ std::string RunStats::ToString() const {
       static_cast<unsigned long long>(prov_query_bytes),
       static_cast<unsigned long long>(prov_responses_rejected),
       static_cast<unsigned long long>(prov_frames_rejected));
+  // Peak accounted memory (obs::MemAccounting) — present only when byte
+  // accounting was enabled for the run, so golden-stats comparisons that
+  // toggle observability exclude it explicitly.
+  if (!peak_mem.empty()) {
+    out += " peak_mem[";
+    out += peak_mem;
+    out += ']';
+  }
+  return out;
 }
 
 Engine::~Engine() = default;
@@ -142,6 +152,10 @@ Status Engine::Init(Program program) {
     contexts_.push_back(
         std::make_unique<NodeContext>(id, std::move(principal), &plan_));
   }
+  // Per-node causal span counters (core/causal.h). Sized up front: a lane
+  // only touches the counter of a node it owns during the wave, so minting
+  // never allocates or races.
+  causal_seqs_.assign(topo_.num_nodes, 0);
 
   // Pre-derive key material so PKI setup is not charged to query completion
   // time (the paper measures steady-state execution, not key distribution).
@@ -227,6 +241,12 @@ void Engine::InitObs() {
 
   cells_.query_latency = obs_.GetHistogram("provquery.latency_s");
   cells_.query_hop_latency = obs_.GetHistogram("provquery.hop_latency_s");
+
+  // Ring-buffer overwrites are silent data loss for trace consumers;
+  // surface them. Only the main thread's Tracer::Emit increments the cell
+  // (worker-lane trace events are replayed at commit), so no ObsCells slot
+  // is needed.
+  tracer_.SetDropCounter(obs_.GetCounter("trace.dropped_spans"));
 }
 
 RunStats Engine::StatsView() const {
@@ -296,6 +316,9 @@ Status Engine::InsertFact(NodeId node_id, const Tuple& tuple, double ttl) {
   if (node_id >= contexts_.size()) {
     return InvalidArgumentError("InsertFact: unknown node");
   }
+  // A base-fact insertion is a causal root: whatever cascade it triggers
+  // starts a fresh trace rather than inheriting stale message context.
+  exec().causal = CausalIds{};
   StoredTuple entry;
   entry.tuple = tuple;
   entry.origin = TupleOrigin::kBase;
@@ -369,7 +392,7 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
     case InsertOutcome::kReplaced:
       RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
                        asserted_by, std::move(children), expires_at);
-      ex.events->push_back(PendingEvent{node_id, result.stored});
+      ex.events->push_back(PendingEvent{node_id, result.stored, ex.causal});
       break;
     case InsertOutcome::kRefreshed: {
       // Alternative derivation of an existing tuple: record it, and keep the
@@ -466,6 +489,9 @@ void Engine::RecordProvenance(NodeId node_id, const Tuple& tuple,
 }
 
 Status Engine::ProcessEvent(const PendingEvent& event) {
+  // Restore the causal context captured when the event was queued, so
+  // cascades triggered by a remote delivery stay in the sender's trace.
+  exec().causal = event.causal;
   NodeContext& ctx = *contexts_[event.node];
   const Table* table = ctx.FindTable(event.tuple.predicate());
   if (table == nullptr) return OkStatus();
@@ -677,6 +703,16 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
   ByteWriter content;
   PutAuthHeader(content, contexts_[from]->principal(), to);
   size_t header_len = content.size();
+  ExecSlot& ex = exec();
+  // Causal span (core/causal.h): the message is a span, child of whatever
+  // context produced it; no context roots a fresh trace. The ids ride the
+  // wire unconditionally — inside the signed content, so they cannot be
+  // re-stitched — which keeps message bytes identical whether or not
+  // tracing is on.
+  CausalIds ids;
+  ids.span_id = NewCausalSpan(from);
+  ids.trace_id = ex.causal.trace_id != 0 ? ex.causal.trace_id : ids.span_id;
+  PutCausalIds(content, ids);
   tuple.Serialize(content);
   switch (options_.prov_mode) {
     case ProvMode::kNone:
@@ -722,6 +758,7 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
   msg.PutU8(attach_says ? 1 : 0);
   size_t pre_auth = msg.size();
   if (attach_says) {
+    obs::Profiler::Scope sign_scope(profiler_, obs::Phase::kSign);
     PROVNET_ASSIGN_OR_RETURN(
         SaysTag tag,
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
@@ -730,7 +767,6 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
   // The anti-replay header is authentication overhead, not tuple payload.
   size_t auth_part = msg.size() - pre_auth + header_len;
 
-  ExecSlot& ex = exec();
   ex.cells.prov_bytes->value += prov_part;
   ex.cells.auth_bytes->value += auth_part;
   ex.cells.tuple_bytes->value += msg.size() - prov_part - auth_part;
@@ -740,6 +776,9 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
     ev.sim_time = net_.now();
     ev.node = from;
     ev.kind = "send";
+    ev.trace_id = ids.trace_id;
+    ev.span_id = ids.span_id;
+    ev.parent_span = ex.causal.span_id;
     ev.attrs = {{"to", PrincipalOf(to)},
                 {"msg", "tuple"},
                 {"pred", tuple.predicate()},
@@ -807,6 +846,9 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
                                          "tuple"));
   if (!accepted) return OkStatus();  // rejected and audited; drop
   Principal sender_principal = tag.has_value() ? tag->principal : "";
+  // Adopt the sender's causal context: the cascade this delivery triggers —
+  // and every message that cascade sends — descends from the message span.
+  PROVNET_ASSIGN_OR_RETURN(exec().causal, GetCausalIds(body));
 
   PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
   PROVNET_ASSIGN_OR_RETURN(uint8_t prov_kind, body.GetU8());
@@ -893,6 +935,10 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
     ev.sim_time = net_.now();
     ev.node = to;
     ev.kind = "deliver";
+    // Same span id as the sender's "send" event — the cross-node join
+    // point when the JSONL streams are stitched into one tree.
+    ev.trace_id = exec().causal.trace_id;
+    ev.span_id = exec().causal.span_id;
     ev.attrs = {{"from", PrincipalOf(from)},
                 {"msg", "tuple"},
                 {"pred", entry.tuple.predicate()}};
@@ -919,6 +965,10 @@ Result<RunStats> Engine::Run() {
       !(options_.prov_mode == ProvMode::kFull &&
         options_.prov_grain == ProvGrain::kTuple);
   if (parallel) EnsureParallelRuntime();
+  // Phase meters (obs/profiler.h): kFixpoint spans the whole loop; the
+  // branch scopes below meter where it goes. All wall-clock, none exported
+  // through the (deterministic) metrics registry.
+  obs::Profiler::Scope fixpoint_scope(profiler_, obs::Phase::kFixpoint);
   uint64_t steps = 0;
   while (true) {
     if (!async_error_.ok()) {
@@ -927,14 +977,19 @@ Result<RunStats> Engine::Run() {
       return s;
     }
     if (!dynamics_->queue.empty()) {
+      obs::Profiler::Scope scope(profiler_, obs::Phase::kRetractions);
       // Deletion deltas run ahead of insertions: an epoch's over-deletion
       // reaches fixpoint before any restoration fires.
       DeltaState::Retraction retraction = std::move(dynamics_->queue.front());
       dynamics_->queue.pop_front();
       ++cells_.retractions->value;
+      // Restore the context captured at enqueue: the deletion cascade (and
+      // any kMsgRetract it ships) stays in its originating trace.
+      exec().causal = retraction.causal;
       PROVNET_RETURN_IF_ERROR(
           ProcessRetraction(retraction.node, retraction.entry));
     } else if (!events_.empty()) {
+      obs::Profiler::Scope scope(profiler_, obs::Phase::kEvents);
       if (parallel && events_.size() > 1) {
         // Drains the whole queue as one sharded epoch (equivalent to the
         // sequential branch below repeated to quiescence: insert cascades
@@ -948,6 +1003,7 @@ Result<RunStats> Engine::Run() {
         PROVNET_RETURN_IF_ERROR(ProcessEvent(event));
       }
     } else if (!net_.Idle()) {
+      obs::Profiler::Scope scope(profiler_, obs::Phase::kDelivery);
       bool handled = false;
       if (parallel) {
         PROVNET_ASSIGN_OR_RETURN(handled, TryParallelWave(&steps));
@@ -957,6 +1013,7 @@ Result<RunStats> Engine::Run() {
         ++cells_.deliveries->value;
       }
     } else if (!dynamics_->rederive.empty()) {
+      obs::Profiler::Scope scope(profiler_, obs::Phase::kRederive);
       // Quiescent (no deltas, nothing in flight): the over-deletion cascade
       // is complete, so DRed's re-derivation phase may restore survivors.
       PROVNET_RETURN_IF_ERROR(RunRederivePass());
@@ -997,6 +1054,11 @@ Result<RunStats> Engine::Run() {
       cur.prov_responses_rejected - before.prov_responses_rejected;
   out.prov_frames_rejected =
       cur.prov_frames_rejected - before.prov_frames_rejected;
+  // Peak accounted bytes by subsystem — filled only when accounting is on,
+  // so byte-accounting toggles never perturb golden stats comparisons.
+  if (obs::MemAccounting::Global().enabled()) {
+    out.peak_mem = obs::MemAccounting::Global().PeakSummary();
+  }
   return out;
 }
 
@@ -1040,6 +1102,8 @@ Result<DerivationPtr> Engine::LocalDerivationOf(NodeId node_id,
 }
 
 void Engine::ExpireNow() {
+  // Expiry is an external (clock-driven) cause: cascades root fresh traces.
+  exec().causal = CausalIds{};
   double now = net_.now();
   for (auto& ctx : contexts_) {
     std::vector<StoredTuple> expired;

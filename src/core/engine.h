@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "adversary/audit.h"
+#include "core/causal.h"
 #include "core/eval.h"
 #include "core/node_context.h"
 #include "core/plan.h"
@@ -40,6 +41,7 @@
 #include "net/network.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "provenance/condense.h"
 #include "provenance/prov_expr.h"
@@ -161,6 +163,13 @@ struct RunStats {
   // tuples restored by the re-derivation phase.
   uint64_t retractions = 0;
   uint64_t rederivations = 0;
+
+  // Peak accounted bytes by subsystem ("table_rows=N prov_annotations=M
+  // ..."), filled by Run() when obs::MemAccounting is enabled — empty
+  // otherwise, so the default ToString() is unchanged. Wall-clock-free but
+  // interleaving-dependent (peaks vary with thread count), hence excluded
+  // from the determinism oracles.
+  std::string peak_mem;
 
   std::string ToString() const;
 };
@@ -286,6 +295,33 @@ class Engine {
   // firings, message hops, deletion cascades, and ProvQuery walks).
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  // Wall-clock phase profiler (off by default; Enable() before Run() to
+  // measure where the wall time goes — parallel compute vs. serial commit
+  // replay, crypto, delivery, query serving). Never feeds the golden
+  // registry snapshot; export with obs::ProfileJson / obs_dump --prof.
+  obs::Profiler& profiler() { return profiler_; }
+  const obs::Profiler& profiler() const { return profiler_; }
+
+  // Mints the next causal span id for a message sent by `node` —
+  // deterministic (per-node counter, see core/causal.h). Public because
+  // the fault-injection layer crafts wire-faithful messages and a stolen
+  // key includes the victim's causal stream.
+  uint64_t NewCausalSpan(NodeId node) {
+    return PackSpanId(node, ++causal_seqs_[node]);
+  }
+
+  // Fault-injection seam (src/adversary/): a lying comparer suppresses
+  // every conflict it finds when answering kQueryCompare requests, so
+  // equivocation it was assigned to check goes unreported. The
+  // CompareExchange auditor's deterministic spot-check re-comparison is
+  // what detects it (kLyingComparer).
+  void SetLyingComparer(NodeId node, bool lying) {
+    if (lying) {
+      lying_comparers_.insert(node);
+    } else {
+      lying_comparers_.erase(node);
+    }
+  }
 
   // Reactive provenance control (Section 5).
   void SetRecordingEnabled(bool enabled) {
@@ -356,6 +392,10 @@ class Engine {
   struct PendingEvent {
     NodeId node;
     Tuple tuple;
+    // Causal context the event was created under (the inbound message that
+    // delivered the tuple, or zero for external inserts). Cascade sends
+    // processing this event inherit it.
+    CausalIds causal;
   };
 
   ProvExpr BaseAnnotation(const Principal& principal, const Tuple& tuple);
@@ -575,6 +615,11 @@ class Engine {
 
     ObsCells cells;  // main slot: real handles; workers: into cell_storage
     Frame frame;
+    // Causal context of the unit currently executing on this lane: set from
+    // the wire pair when handling an inbound message, from the stored pair
+    // when processing an event/retraction, zeroed at external entry points.
+    // Sends read it as the parent of the spans they mint.
+    CausalIds causal;
     std::vector<PendingAction> pending;
     // Where DeliverLocal queues delta events: &Engine::events_ on the main
     // slot, the per-node local queue on worker lanes.
@@ -683,6 +728,7 @@ class Engine {
   // single source of truth for counters; RunStats is computed from it.
   obs::Registry obs_;
   obs::Tracer tracer_;
+  obs::Profiler profiler_;
   ObsCells cells_;
   // (src, dst, kind) -> byte counter, keyed packed (from<<40 | to<<8 | kind).
   std::unordered_map<uint64_t, obs::Counter*> link_cells_;
@@ -692,6 +738,13 @@ class Engine {
   SecurityLog security_log_;
   // Per-principal authenticated-message sequence counters (send side).
   std::unordered_map<Principal, uint64_t> send_seq_;
+  // Per-node causal span counters (core/causal.h). Indexed by NodeId;
+  // worker lanes touch only their own node's element, in canonical cascade
+  // order, so minted ids are identical at every thread count (the
+  // NextSendSeq argument).
+  std::vector<uint64_t> causal_seqs_;
+  // Nodes flagged by SetLyingComparer (fault injection).
+  std::set<NodeId> lying_comparers_;
 
   // The provenance query currently pumping the network (nullptr when none).
   // Non-owning: the ProvQuery/ClaimsExchange driver owns the session on its

@@ -236,7 +236,13 @@ Status Engine::ParallelDrainEvents(uint64_t* steps) {
   // Compute phase: each lane runs one node's queue to quiescence. Cascades
   // are strictly node-local (a rule firing either delivers at its own node
   // or buffers a kSend effect), so shards share no mutable state.
-  pool_->Run(runs.size(), [this, &runs](size_t index, size_t lane) {
+  // kParallelCompute meters the whole pool dispatch (compute + barrier
+  // stall); AddLane meters each lane's busy slice — the gap between the two
+  // is the stall the lane-utilization gauges expose.
+  const bool prof = profiler_.enabled();
+  const uint64_t compute_t0 = prof ? obs::Profiler::NowNs() : 0;
+  pool_->Run(runs.size(), [this, &runs, prof](size_t index, size_t lane) {
+    uint64_t lane_t0 = prof ? obs::Profiler::NowNs() : 0;
     NodeRun& run = runs[index];
     ExecSlot* slot = worker_slots_[lane].get();
     ExecSlot* saved = tls_slot_;
@@ -261,11 +267,17 @@ Status Engine::ParallelDrainEvents(uint64_t* steps) {
     slot->events = nullptr;
     slot->effects = nullptr;
     tls_slot_ = saved;
+    if (prof) profiler_.AddLane(lane, obs::Profiler::NowNs() - lane_t0);
   });
+  if (prof) {
+    profiler_.AddPhase(obs::Phase::kParallelCompute,
+                       obs::Profiler::NowNs() - compute_t0);
+  }
 
   // Commit phase: replay the global FIFO by token, committing each event's
   // effect segment and appending the tokens its cascade spawned — the same
   // order the sequential loop would have popped.
+  const uint64_t commit_t0 = prof ? obs::Profiler::NowNs() : 0;
   std::vector<size_t> committed(runs.size(), 0);   // units consumed
   std::vector<size_t> effect_at(runs.size(), 0);   // effects committed
   Status result = OkStatus();
@@ -295,6 +307,10 @@ Status Engine::ParallelDrainEvents(uint64_t* steps) {
     }
   }
   MergeWorkerSlots();
+  if (prof) {
+    profiler_.AddPhase(obs::Phase::kCommitReplay,
+                       obs::Profiler::NowNs() - commit_t0);
+  }
   return result;
 }
 
@@ -360,7 +376,10 @@ Result<bool> Engine::TryParallelWave(uint64_t* steps) {
     runs[r].msgs.push_back(&wave[i]);
   }
 
-  pool_->Run(runs.size(), [this, &runs](size_t index, size_t lane) {
+  const bool prof = profiler_.enabled();
+  const uint64_t compute_t0 = prof ? obs::Profiler::NowNs() : 0;
+  pool_->Run(runs.size(), [this, &runs, prof](size_t index, size_t lane) {
+    uint64_t lane_t0 = prof ? obs::Profiler::NowNs() : 0;
     NodeRun& run = runs[index];
     ExecSlot* slot = worker_slots_[lane].get();
     ExecSlot* saved = tls_slot_;
@@ -384,10 +403,16 @@ Result<bool> Engine::TryParallelWave(uint64_t* steps) {
     slot->events = nullptr;
     slot->effects = nullptr;
     tls_slot_ = saved;
+    if (prof) profiler_.AddLane(lane, obs::Profiler::NowNs() - lane_t0);
   });
+  if (prof) {
+    profiler_.AddPhase(obs::Phase::kParallelCompute,
+                       obs::Profiler::NowNs() - compute_t0);
+  }
 
   // Commit in wave (seq) order: per message, the delivery counter, its
   // effect segment, and the event counters of its cascade.
+  const uint64_t commit_t0 = prof ? obs::Profiler::NowNs() : 0;
   std::vector<size_t> committed(runs.size(), 0);
   std::vector<size_t> effect_at(runs.size(), 0);
   Status result = OkStatus();
@@ -424,6 +449,10 @@ Result<bool> Engine::TryParallelWave(uint64_t* steps) {
     }
   }
   MergeWorkerSlots();
+  if (prof) {
+    profiler_.AddPhase(obs::Phase::kCommitReplay,
+                       obs::Profiler::NowNs() - commit_t0);
+  }
   if (!result.ok()) return result;
   return true;
 }

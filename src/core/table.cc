@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/mem.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -76,6 +77,57 @@ Table::Table(std::string name, TableOptions options)
   }
 }
 
+Table::~Table() {
+  obs::MemAccounting& mem = obs::MemAccounting::Global();
+  if (accounted_row_bytes_ > 0) {
+    mem.Sub(obs::MemSubsystem::kTableRows, accounted_row_bytes_);
+  }
+  if (accounted_index_bytes_ > 0) {
+    mem.Sub(obs::MemSubsystem::kTableIndexes, accounted_index_bytes_);
+  }
+}
+
+namespace {
+// Stable per-row estimate: the StoredTuple shell, predicate name, argument
+// slots, and the multimap node overhead. Depends only on the predicate and
+// arity, both invariant across the in-place replace paths, so those paths
+// need no hooks.
+uint64_t RowAccountedBytes(const StoredTuple& entry) {
+  return sizeof(StoredTuple) + entry.tuple.predicate().size() +
+         entry.tuple.arity() * sizeof(Value) + 3 * sizeof(void*);
+}
+// One column-index bucket slot: the entry pointer plus amortized bucket
+// overhead.
+constexpr uint64_t kIndexEntryAccountedBytes = 3 * sizeof(void*);
+}  // namespace
+
+void Table::ChargeRow(const StoredTuple& entry) {
+  uint64_t b = RowAccountedBytes(entry);
+  accounted_row_bytes_ += b;
+  obs::MemAccounting::Global().Add(obs::MemSubsystem::kTableRows, b);
+}
+
+void Table::ReleaseRow(const StoredTuple& entry) {
+  uint64_t b = RowAccountedBytes(entry);
+  accounted_row_bytes_ -= b > accounted_row_bytes_ ? accounted_row_bytes_ : b;
+  obs::MemAccounting::Global().Sub(obs::MemSubsystem::kTableRows, b);
+}
+
+void Table::ChargeIndexEntries(uint64_t n) {
+  if (n == 0) return;
+  uint64_t b = n * kIndexEntryAccountedBytes;
+  accounted_index_bytes_ += b;
+  obs::MemAccounting::Global().Add(obs::MemSubsystem::kTableIndexes, b);
+}
+
+void Table::ReleaseIndexEntries(uint64_t n) {
+  if (n == 0) return;
+  uint64_t b = n * kIndexEntryAccountedBytes;
+  accounted_index_bytes_ -= b > accounted_index_bytes_ ? accounted_index_bytes_
+                                                       : b;
+  obs::MemAccounting::Global().Sub(obs::MemSubsystem::kTableIndexes, b);
+}
+
 uint64_t Table::KeyHash(const Tuple& tuple) const {
   uint64_t h = Fnv1a64(name_);
   if (options_.key_columns.empty()) {
@@ -139,21 +191,30 @@ Table::RowMap::const_iterator Table::FindRow(uint64_t key,
 }
 
 void Table::IndexInsert(const StoredTuple* entry) {
+  uint64_t added = 0;
   for (auto& [mask, buckets] : column_index_) {
     uint64_t h;
-    if (MaskHash(entry->tuple, mask, &h)) buckets[h].push_back(entry);
+    if (MaskHash(entry->tuple, mask, &h)) {
+      buckets[h].push_back(entry);
+      ++added;
+    }
   }
+  ChargeIndexEntries(added);
 }
 
 void Table::IndexErase(const StoredTuple* entry) {
+  uint64_t removed = 0;
   for (auto& [mask, buckets] : column_index_) {
     uint64_t h;
     if (!MaskHash(entry->tuple, mask, &h)) continue;
     auto it = buckets.find(h);
     if (it == buckets.end()) continue;
     auto& vec = it->second;
+    size_t before = vec.size();
     vec.erase(std::remove(vec.begin(), vec.end(), entry), vec.end());
+    removed += before - vec.size();
   }
+  ReleaseIndexEntries(removed);
 }
 
 void Table::OrderPush(const StoredTuple* entry) {
@@ -183,6 +244,7 @@ void Table::EvictOver(const StoredTuple* just_inserted) {
       IndexErase(victim);
       insertion_order_.erase(insertion_order_.begin() +
                              static_cast<long>(i));
+      ReleaseRow(it->second);
       rows_.erase(it);
       return;
     }
@@ -239,6 +301,7 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
         return {InsertOutcome::kReplaced, it->second.tuple};
       }
       auto pos = rows_.emplace(key, std::move(agg_entry));
+      ChargeRow(pos->second);
       IndexInsert(&pos->second);
       OrderPush(&pos->second);
       return {InsertOutcome::kNew, pos->second.tuple};
@@ -270,6 +333,7 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
     }
     Tuple stored = entry.tuple;
     auto pos = rows_.emplace(key, std::move(entry));
+    ChargeRow(pos->second);
     IndexInsert(&pos->second);
     OrderPush(&pos->second);
     return {InsertOutcome::kNew, stored};
@@ -294,6 +358,7 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
 
   Tuple stored = entry.tuple;
   auto pos = rows_.emplace(key, std::move(entry));
+  ChargeRow(pos->second);
   IndexInsert(&pos->second);
   OrderPush(&pos->second);
   EvictOver(&pos->second);
@@ -336,10 +401,15 @@ const std::vector<const StoredTuple*>* Table::EqBucket(const ColumnEq* eqs,
   if (idx_it == column_index_.end()) {
     // Build the column set's index lazily.
     auto& buckets = column_index_[mask];
+    uint64_t added = 0;
     for (const auto& [key, entry] : rows_) {
       uint64_t h;
-      if (MaskHash(entry.tuple, mask, &h)) buckets[h].push_back(&entry);
+      if (MaskHash(entry.tuple, mask, &h)) {
+        buckets[h].push_back(&entry);
+        ++added;
+      }
     }
+    ChargeIndexEntries(added);
     idx_it = column_index_.find(mask);
   }
   // `eqs` arrives in ascending column order, matching MaskHash's mixing
@@ -372,6 +442,7 @@ std::vector<StoredTuple> Table::ExpireBefore(double now) {
       IndexErase(&it->second);
       OrderErase(&it->second);
       WitnessErase(it->first, it->second.tuple);
+      ReleaseRow(it->second);
       dropped.push_back(std::move(it->second));
       it = rows_.erase(it);
     } else {
@@ -417,6 +488,7 @@ Table::WitnessRemoval Table::RemoveWitness(const Tuple& candidate,
     IndexErase(&row->second);
     OrderErase(&row->second);
     WitnessErase(key, candidate);
+    ReleaseRow(row->second);
     rows_.erase(row);
     out.kind = WitnessRemoval::Kind::kGroupEmptied;
     return out;
@@ -445,6 +517,7 @@ std::optional<StoredTuple> Table::Remove(const Tuple& tuple) {
   IndexErase(&it->second);
   OrderErase(&it->second);
   WitnessErase(key, it->second.tuple);
+  ReleaseRow(it->second);
   StoredTuple removed = std::move(it->second);
   rows_.erase(it);
   return removed;

@@ -97,6 +97,7 @@ struct TableOptions {
 class Table {
  public:
   Table(std::string name, TableOptions options);
+  ~Table();
 
   const std::string& name() const { return name_; }
   const TableOptions& options() const { return options_; }
@@ -279,6 +280,16 @@ class Table {
       column_index_;
   // FIFO order for max_size eviction (bounded tables only).
   std::vector<const StoredTuple*> insertion_order_;
+
+  // Bytes currently charged against obs::MemSubsystem::kTableRows /
+  // kTableIndexes for this table; the destructor releases both so dead
+  // tables (per-point bench engines, test fixtures) do not pin the gauge.
+  uint64_t accounted_row_bytes_ = 0;
+  uint64_t accounted_index_bytes_ = 0;
+  void ChargeRow(const StoredTuple& entry);
+  void ReleaseRow(const StoredTuple& entry);
+  void ChargeIndexEntries(uint64_t n);
+  void ReleaseIndexEntries(uint64_t n);
 };
 
 }  // namespace provnet

@@ -44,13 +44,18 @@ void Engine::EnqueueRetraction(NodeId node, StoredTuple entry, bool rederive,
           DeltaState::RederiveItem{node, entry.tuple, rederive_group});
     }
   }
-  dynamics_->queue.push_back(DeltaState::Retraction{node, std::move(entry)});
+  // Capture the enqueuing context: a retraction cascade keeps the trace of
+  // the message (or external call) that started it.
+  dynamics_->queue.push_back(
+      DeltaState::Retraction{node, std::move(entry), exec().causal});
 }
 
 Status Engine::DeleteFact(NodeId node, const Tuple& tuple) {
   if (node >= contexts_.size()) {
     return InvalidArgumentError("DeleteFact: unknown node");
   }
+  // External deletion: the cascade roots a fresh causal trace.
+  exec().causal = CausalIds{};
   Table* table = contexts_[node]->FindTableMutable(tuple.predicate());
   std::optional<StoredTuple> removed =
       table == nullptr ? std::nullopt : table->Remove(tuple);
@@ -66,6 +71,8 @@ Status Engine::DeleteFact(NodeId node, const Tuple& tuple) {
 }
 
 Status Engine::RetractPrincipal(const Principal& principal) {
+  // External revocation: the cascade roots a fresh causal trace.
+  exec().causal = CausalIds{};
   // At principal grain one substitution covers every assertion; at tuple
   // grain each of the principal's base tuples contributes its own variable
   // (collected below as they are removed).
@@ -423,6 +430,14 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
   // header.
   ByteWriter content;
   PutAuthHeader(content, contexts_[from]->principal(), to);
+  ExecSlot& ex = exec();
+  // Causal span (core/causal.h): a cross-node retraction is a child span of
+  // the cascade that produced it, so distributed deletions stitch into one
+  // trace. Unconditional — bytes are identical with tracing on or off.
+  CausalIds ids;
+  ids.span_id = NewCausalSpan(from);
+  ids.trace_id = ex.causal.trace_id != 0 ? ex.causal.trace_id : ids.span_id;
+  PutCausalIds(content, ids);
   tuple.Serialize(content);
   std::vector<ProvVar> killed(dynamics_->killed.begin(),
                               dynamics_->killed.end());
@@ -445,7 +460,6 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
         auth_.Say(contexts_[from]->principal(), content.bytes(), level));
     tag.Serialize(msg);
   }
-  ExecSlot& ex = exec();
   ex.cells.auth_bytes->value += msg.size() - pre_auth;
   ex.cells.tuple_bytes->value += pre_auth;
   ChargeLink(from, to, kMsgRetract, msg.size());
@@ -454,6 +468,9 @@ Status Engine::SendRetract(NodeId from, NodeId to, const Tuple& tuple) {
     ev.sim_time = net_.now();
     ev.node = from;
     ev.kind = "send";
+    ev.trace_id = ids.trace_id;
+    ev.span_id = ids.span_id;
+    ev.parent_span = ex.causal.span_id;
     ev.attrs = {{"to", PrincipalOf(to)},
                 {"msg", "retract"},
                 {"pred", tuple.predicate()},
@@ -477,6 +494,9 @@ Status Engine::HandleRetractMessage(NodeId to, NodeId from,
                            VerifyInbound(to, from, tag, content, body,
                                          "retract"));
   if (!accepted) return OkStatus();  // rejected and audited; drop
+  // Adopt the sender's causal context: the local over-deletion (and any
+  // further kMsgRetract hops) continues the originating trace.
+  PROVNET_ASSIGN_OR_RETURN(exec().causal, GetCausalIds(body));
 
   PROVNET_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(body));
   PROVNET_ASSIGN_OR_RETURN(uint64_t killed_count, body.GetVarint());

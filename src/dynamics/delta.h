@@ -55,6 +55,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/causal.h"
 #include "core/table.h"
 #include "provenance/prov_expr.h"
 
@@ -63,10 +64,13 @@ namespace provnet {
 // Mutable state of one deletion epoch: from the first retraction enqueued
 // on a quiescent engine until Run() finishes the re-derivation phase.
 struct DeltaState {
-  // A deletion delta: the entry as it was stored, annotation and all.
+  // A deletion delta: the entry as it was stored, annotation and all, plus
+  // the causal context of whatever enqueued it (so a distributed deletion
+  // cascade stays one trace across hops — core/causal.h).
   struct Retraction {
     NodeId node = 0;
     StoredTuple entry;
+    CausalIds causal;
   };
 
   // A re-derivation work item. `group_only` re-derives the tuple's

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include "obs/mem.h"
 #include "util/logging.h"
 
 namespace provnet {
@@ -7,6 +8,13 @@ namespace {
 
 uint64_t PairKey(NodeId from, NodeId to) {
   return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+// Queued-message charge against obs::MemSubsystem::kNetworkQueues: payload
+// plus the NetMessage envelope. Push/pop use the same number (the payload
+// size is immutable while queued) so the gauge cannot drift.
+uint64_t QueuedAccountedBytes(const NetMessage& msg) {
+  return sizeof(NetMessage) + msg.payload.size();
 }
 
 }  // namespace
@@ -52,6 +60,8 @@ Status Network::Send(NodeId from, NodeId to, Bytes payload) {
   total_messages_ += 1;
   tx_bytes_[from] += msg.payload.size();
   rx_bytes_[to] += msg.payload.size();
+  obs::MemAccounting::Global().Add(obs::MemSubsystem::kNetworkQueues,
+                                   QueuedAccountedBytes(msg));
   queue_.push(std::move(msg));
   return OkStatus();
 }
@@ -60,6 +70,8 @@ bool Network::Step() {
   if (queue_.empty()) return false;
   NetMessage msg = queue_.top();
   queue_.pop();
+  obs::MemAccounting::Global().Sub(obs::MemSubsystem::kNetworkQueues,
+                                   QueuedAccountedBytes(msg));
   now_ = msg.deliver_time;
   if (handler_) handler_(msg.to, msg.from, msg.payload);
   return true;
@@ -81,12 +93,18 @@ std::vector<NetMessage> Network::PopWave() {
   while (!queue_.empty() && queue_.top().deliver_time == t) {
     wave.push_back(queue_.top());
     queue_.pop();
+    obs::MemAccounting::Global().Sub(obs::MemSubsystem::kNetworkQueues,
+                                     QueuedAccountedBytes(wave.back()));
   }
   return wave;
 }
 
 void Network::Requeue(std::vector<NetMessage> messages) {
-  for (NetMessage& msg : messages) queue_.push(std::move(msg));
+  for (NetMessage& msg : messages) {
+    obs::MemAccounting::Global().Add(obs::MemSubsystem::kNetworkQueues,
+                                     QueuedAccountedBytes(msg));
+    queue_.push(std::move(msg));
+  }
 }
 
 void Network::AdvanceTime(double seconds) {

@@ -257,5 +257,88 @@ std::string SnapshotText(const Registry& registry) {
   return out;
 }
 
+std::string ProfileJson(const Profiler& profiler, const MemAccounting& mem) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteProfileFields(w, profiler, mem);
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  return out;
+}
+
+void WriteProfileFields(JsonWriter& w, const Profiler& profiler,
+                        const MemAccounting& mem) {
+  w.Key("phases").BeginArray();
+  for (size_t i = 0; i < kNumProfilerPhases; ++i) {
+    Phase p = static_cast<Phase>(i);
+    if (profiler.PhaseCount(p) == 0 && profiler.PhaseNs(p) == 0) continue;
+    w.BeginObject();
+    w.Field("name", PhaseName(p));
+    w.Field("ns", profiler.PhaseNs(p));
+    w.Field("count", profiler.PhaseCount(p));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Field("commit_serial_fraction", profiler.CommitSerialFraction(), "%.6f");
+
+  w.Key("lanes").BeginArray();
+  for (size_t lane = 0; lane < profiler.num_lanes(); ++lane) {
+    w.BeginObject();
+    w.Field("lane", uint64_t(lane));
+    w.Field("ns", profiler.LaneNs(lane));
+    w.Field("utilization", profiler.LaneUtilization(lane), "%.6f");
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("mem").BeginObject();
+  w.Key("current").BeginObject();
+  for (size_t i = 0; i < kNumMemSubsystems; ++i) {
+    MemSubsystem s = static_cast<MemSubsystem>(i);
+    w.Field(MemSubsystemName(s), mem.CurrentBytes(s));
+  }
+  w.EndObject();
+  w.Key("peak").BeginObject();
+  for (size_t i = 0; i < kNumMemSubsystems; ++i) {
+    MemSubsystem s = static_cast<MemSubsystem>(i);
+    w.Field(MemSubsystemName(s), mem.PeakBytes(s));
+  }
+  w.EndObject();
+  w.Field("total_peak_bytes", mem.TotalPeakBytes());
+  w.EndObject();
+}
+
+std::string ProfileText(const Profiler& profiler, const MemAccounting& mem) {
+  std::string out;
+  out += "== profile (wall clock) ==\n";
+  for (size_t i = 0; i < kNumProfilerPhases; ++i) {
+    Phase p = static_cast<Phase>(i);
+    if (profiler.PhaseCount(p) == 0 && profiler.PhaseNs(p) == 0) continue;
+    out += StrFormat("%-18s %12.3f ms  (x%llu)\n", PhaseName(p),
+                     double(profiler.PhaseNs(p)) / 1e6,
+                     (unsigned long long)profiler.PhaseCount(p));
+  }
+  out += StrFormat("commit_serial_fraction  %.4f\n",
+                   profiler.CommitSerialFraction());
+  for (size_t lane = 0; lane < profiler.num_lanes(); ++lane) {
+    out += StrFormat("lane[%2zu]  %12.3f ms  utilization %.3f\n", lane,
+                     double(profiler.LaneNs(lane)) / 1e6,
+                     profiler.LaneUtilization(lane));
+  }
+  out += "== memory (accounted bytes) ==\n";
+  for (size_t i = 0; i < kNumMemSubsystems; ++i) {
+    MemSubsystem s = static_cast<MemSubsystem>(i);
+    if (mem.PeakBytes(s) == 0) continue;
+    out += StrFormat("%-18s current=%llu peak=%llu\n", MemSubsystemName(s),
+                     (unsigned long long)mem.CurrentBytes(s),
+                     (unsigned long long)mem.PeakBytes(s));
+  }
+  out += StrFormat("total_peak_bytes  %llu\n",
+                   (unsigned long long)mem.TotalPeakBytes());
+  return out;
+}
+
 }  // namespace obs
 }  // namespace provnet

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/mem.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace provnet {
 namespace obs {
@@ -84,6 +86,23 @@ std::string SnapshotJson(const Registry& registry);
 // Human-readable table for obs_dump: one line per instrument,
 // `name{k=v,...}` left column, values right.
 std::string SnapshotText(const Registry& registry);
+
+// Wall-clock + memory profile (PROF_fixpoint.json, obs_dump --prof):
+//   {"phases":[{"name","ns","count"}...],
+//    "commit_serial_fraction": f,
+//    "lanes":[{"lane","ns","utilization"}...],
+//    "mem":{"current":{sub:bytes...},"peak":{...},"total_peak_bytes":n}}
+// Layout is deterministic; the *values* are wall-clock and allocation-order
+// dependent, which is why none of this feeds SnapshotJson.
+std::string ProfileJson(const Profiler& profiler, const MemAccounting& mem);
+
+// Same fields written into an already-open JSON object — bench writers embed
+// the profile inline in their own documents (PROF_fixpoint.json fixtures).
+void WriteProfileFields(JsonWriter& w, const Profiler& profiler,
+                        const MemAccounting& mem);
+
+// Text rendering of the same data for obs_dump --prof.
+std::string ProfileText(const Profiler& profiler, const MemAccounting& mem);
 
 }  // namespace obs
 }  // namespace provnet

@@ -1,0 +1,44 @@
+#include "obs/profiler.h"
+
+namespace provnet::obs {
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kFixpoint:
+      return "fixpoint";
+    case Phase::kEvents:
+      return "events";
+    case Phase::kRetractions:
+      return "retractions";
+    case Phase::kRederive:
+      return "rederive";
+    case Phase::kDelivery:
+      return "delivery";
+    case Phase::kParallelCompute:
+      return "parallel_compute";
+    case Phase::kCommitReplay:
+      return "commit_replay";
+    case Phase::kVerify:
+      return "verify";
+    case Phase::kSign:
+      return "sign";
+    case Phase::kQueryServe:
+      return "query_serve";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+void Profiler::Reset() {
+  for (PhaseCell& cell : phases_) {
+    cell.ns.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+  }
+  for (LaneCell& cell : lanes_) {
+    cell.ns.store(0, std::memory_order_relaxed);
+  }
+  num_lanes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace provnet::obs

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "obs/export.h"
+#include "obs/mem.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace provnet {
@@ -16,20 +18,40 @@ double WallNow() {
 }
 }  // namespace
 
-void Tracer::Enable(size_t capacity, uint32_t sample_every, bool record_wall) {
+Tracer::~Tracer() {
+  if (accounted_bytes_ > 0) {
+    MemAccounting::Global().Sub(MemSubsystem::kTraceRing, accounted_bytes_);
+  }
+}
+
+void Tracer::Enable(size_t capacity, uint32_t sample_every, bool record_wall,
+                    bool record_spans) {
   enabled_ = capacity > 0;
   record_wall_ = record_wall;
+  record_spans_ = record_spans;
   sample_every_ = sample_every == 0 ? 1 : sample_every;
   sample_seq_ = 0;
   capacity_ = capacity;
   total_ = 0;
   ring_.clear();
   ring_.reserve(capacity_);
+  // Re-charge the ring capacity (events' attr strings are not tracked —
+  // the estimate is the fixed-slot cost of the ring itself).
+  MemAccounting& mem = MemAccounting::Global();
+  if (accounted_bytes_ > 0) {
+    mem.Sub(MemSubsystem::kTraceRing, accounted_bytes_);
+    accounted_bytes_ = 0;
+  }
+  if (mem.enabled() && enabled_) {
+    accounted_bytes_ = capacity_ * sizeof(TraceEvent);
+    mem.Add(MemSubsystem::kTraceRing, accounted_bytes_);
+  }
 }
 
 void Tracer::Disable() {
   enabled_ = false;
   record_wall_ = false;
+  record_spans_ = false;
 }
 
 void Tracer::Emit(TraceEvent ev) {
@@ -39,6 +61,7 @@ void Tracer::Emit(TraceEvent ev) {
     ring_.push_back(std::move(ev));
   } else {
     ring_[total_ % capacity_] = std::move(ev);
+    if (drop_counter_ != nullptr) ++drop_counter_->value;
   }
   ++total_;
 }
@@ -63,13 +86,20 @@ void Tracer::Clear() {
   sample_seq_ = 0;
 }
 
-std::string Tracer::ToJsonl() const {
+std::string Tracer::ToJsonl(bool with_spans) const {
   std::string out;
   for (const TraceEvent* ev : Events()) {
     out += StrFormat("{\"sim_time\":%.9f,", ev->sim_time);
     if (record_wall_) out += StrFormat("\"wall_time\":%.9f,", ev->wall_time);
-    out += StrFormat("\"dur\":%.9f,\"node\":%u,\"kind\":\"%s\",\"attrs\":{",
-                     ev->dur, unsigned(ev->node),
+    out += StrFormat("\"dur\":%.9f,\"node\":%u,", ev->dur, unsigned(ev->node));
+    if (with_spans) {
+      out += StrFormat(
+          "\"trace_id\":%llu,\"span_id\":%llu,\"parent_span\":%llu,",
+          static_cast<unsigned long long>(ev->trace_id),
+          static_cast<unsigned long long>(ev->span_id),
+          static_cast<unsigned long long>(ev->parent_span));
+    }
+    out += StrFormat("\"kind\":\"%s\",\"attrs\":{",
                      JsonEscape(ev->kind).c_str());
     bool first = true;
     for (const auto& [k, v] : ev->attrs) {

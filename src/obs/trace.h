@@ -29,23 +29,47 @@ struct TraceEvent {
   double dur = 0.0;        // virtual-time duration (0 for instantaneous)
   double wall_time = 0.0;  // process wall clock; recorded only when opted in
   uint32_t node = 0;       // executing/receiving node
-  std::string kind;        // "fire", "send", "verify", "deliver", ...
+  // Cross-node causal span ids (ISSUE 8). A wire message *is* a span: the
+  // sender mints span_id (deterministically, from a per-node counter),
+  // stamps its own causal context as parent_span, and ships
+  // (trace_id, span_id) on the wire; the receiver's events carry the same
+  // span id, so streams from different nodes stitch into one tree. 0 =
+  // no causal context. Serialized only when record_spans is on, exactly
+  // like wall_time, so the golden JSONL format is unchanged by default.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  std::string kind;  // "fire", "send", "verify", "deliver", ...
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 
+class Counter;  // obs/metrics.h
+
 class Tracer {
  public:
+  ~Tracer();
+
   // Turns tracing on with a ring of `capacity` events. `sample_every` thins
   // hot-path events (Sample() passes 1 in k); structural events (queries,
   // cascades, security) bypass sampling. `record_wall` adds wall_time to
   // each event and its JSONL line — off by default so identical seeded runs
-  // serialize identically.
+  // serialize identically. `record_spans` adds the causal trace/span id
+  // triple to each JSONL line; the ids are deterministic, so the stream
+  // stays a golden artifact, but the flag is opt-in so the default format
+  // (and every existing byte-identity oracle) is unchanged.
   void Enable(size_t capacity, uint32_t sample_every = 1,
-              bool record_wall = false);
+              bool record_wall = false, bool record_spans = false);
   void Disable();
 
   bool enabled() const { return enabled_; }
   bool record_wall() const { return record_wall_; }
+  bool record_spans() const { return record_spans_; }
+
+  // When set, ring evictions increment this registry counter (the
+  // trace.dropped_spans satellite): truncated traces become visible in the
+  // snapshot instead of silent. Evictions happen only in canonical commit
+  // order, so the count is deterministic.
+  void SetDropCounter(Counter* counter) { drop_counter_ = counter; }
 
   // Hot-path gate: false when disabled, else true for 1 in sample_every
   // calls (deterministic counter, not random).
@@ -80,16 +104,22 @@ class Tracer {
 
   // One JSON object per line, oldest first:
   //   {"sim_time":...,"dur":...,"node":N,"kind":"...","attrs":{...}}
-  // with "wall_time" after sim_time when record_wall is on.
-  std::string ToJsonl() const;
+  // with "wall_time" after sim_time when record_wall is on, and
+  // "trace_id"/"span_id"/"parent_span" after node when `with_spans`.
+  std::string ToJsonl(bool with_spans) const;
+  // Default view: spans included iff record_spans was enabled.
+  std::string ToJsonl() const { return ToJsonl(record_spans_); }
 
  private:
   bool enabled_ = false;
   bool record_wall_ = false;
+  bool record_spans_ = false;
   uint32_t sample_every_ = 1;
   uint64_t sample_seq_ = 0;
   size_t capacity_ = 0;
   uint64_t total_ = 0;  // events ever emitted (ring may have evicted some)
+  uint64_t accounted_bytes_ = 0;  // ring bytes charged to MemAccounting
+  Counter* drop_counter_ = nullptr;
   std::vector<TraceEvent> ring_;
 };
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/mem.h"
 #include "util/logging.h"
 
 namespace provnet {
@@ -15,6 +16,28 @@ struct ProvExpr::Node {
   ProvVar var = 0;
   std::shared_ptr<const Node> left;
   std::shared_ptr<const Node> right;
+
+  // Constructor/destructor pair meters live annotation nodes (the dominant
+  // full-provenance memory consumer). The estimate is the node itself plus
+  // the shared_ptr control block; Add/Sub use the same number so the gauge
+  // cannot drift. Short-circuited factory calls (0+x, 1*x, shared-node
+  // unions) construct nothing and are free.
+  Node(ProvExprKind k, ProvVar v, std::shared_ptr<const Node> l,
+       std::shared_ptr<const Node> r)
+      : kind(k), var(v), left(std::move(l)), right(std::move(r)) {
+    obs::MemAccounting::Global().Add(obs::MemSubsystem::kProvAnnotations,
+                                     kAccountedBytes);
+  }
+  ~Node() {
+    obs::MemAccounting::Global().Sub(obs::MemSubsystem::kProvAnnotations,
+                                     kAccountedBytes);
+  }
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  static constexpr uint64_t kAccountedBytes =
+      sizeof(ProvVar) + sizeof(ProvExprKind) + 2 * sizeof(void*) +  // payload
+      4 * sizeof(void*);  // shared_ptr control block estimate
 };
 
 ProvExpr ProvExpr::Zero() { return ProvExpr(); }
@@ -23,14 +46,13 @@ ProvExpr ProvExpr::One() {
   // Shared singleton for One (Zero is the null pointer). Function-local
   // static pointer avoids a non-trivially-destructible global.
   static const auto* node = new std::shared_ptr<const Node>(
-      std::make_shared<const Node>(
-          Node{ProvExprKind::kOne, 0, nullptr, nullptr}));
+      std::make_shared<const Node>(ProvExprKind::kOne, 0, nullptr, nullptr));
   return ProvExpr(*node);
 }
 
 ProvExpr ProvExpr::Var(ProvVar v) {
-  return ProvExpr(std::make_shared<const Node>(
-      Node{ProvExprKind::kVar, v, nullptr, nullptr}));
+  return ProvExpr(
+      std::make_shared<const Node>(ProvExprKind::kVar, v, nullptr, nullptr));
 }
 
 ProvExpr ProvExpr::Plus(const ProvExpr& a, const ProvExpr& b) {
@@ -40,8 +62,8 @@ ProvExpr ProvExpr::Plus(const ProvExpr& a, const ProvExpr& b) {
   // Re-observing the *same* derivation (shared node) is not a new
   // alternative; keep unions idempotent on physical identity.
   if (a.node_ == b.node_) return a;
-  ProvExpr out(std::make_shared<const Node>(
-      Node{ProvExprKind::kPlus, 0, a.node_, b.node_}));
+  ProvExpr out(std::make_shared<const Node>(ProvExprKind::kPlus, 0, a.node_,
+                                            b.node_));
   return out;
 }
 
@@ -50,8 +72,8 @@ ProvExpr ProvExpr::Times(const ProvExpr& a, const ProvExpr& b) {
   if (a.IsZero() || b.IsZero()) return Zero();
   if (a.IsOne()) return b;
   if (b.IsOne()) return a;
-  ProvExpr out(std::make_shared<const Node>(
-      Node{ProvExprKind::kTimes, 0, a.node_, b.node_}));
+  ProvExpr out(std::make_shared<const Node>(ProvExprKind::kTimes, 0, a.node_,
+                                            b.node_));
   return out;
 }
 

@@ -550,6 +550,12 @@ Result<QueryResult> ProvQuery::RunDistributed() {
   TupleDigest root = DigestOf(tuple_);
   session.depth.emplace(ProvQuerySession::Key{node_, root}, 0);
   session.local_frontier.push_back({node_, root});
+  // Root causal span: every request hop of the walk — and the cascades its
+  // responses trigger on other nodes — descends from this id, so the whole
+  // distributed pointer-walk stitches into one trace (core/causal.h).
+  uint64_t root_span = engine.NewCausalSpan(node_);
+  session.causal = CausalIds{root_span, root_span};
+  engine.exec().causal = session.causal;
 
   Network::Meters meters0 = engine.net_.MeterSnapshot();
   double sim0 = engine.net_.now();
@@ -575,6 +581,8 @@ Result<QueryResult> ProvQuery::RunDistributed() {
     ev.dur = sim_latency;
     ev.node = node_;
     ev.kind = "provquery";
+    ev.trace_id = root_span;
+    ev.span_id = root_span;
     ev.attrs = {{"records", StrFormat("%zu", session.stats.records)},
                 {"requests", StrFormat("%zu", session.stats.requests)}};
     engine.tracer_.Emit(std::move(ev));
@@ -791,7 +799,51 @@ Result<std::vector<CompareExchange::Conflict>> CompareExchange::Compare(
     }
   }
 
+  // Spot-check: a comparer's signature proves *who* answered, not that the
+  // answer is honest — a compromised comparer can suppress (or fabricate)
+  // conflicts it was asked to find. The auditor still holds every digest it
+  // shipped, so it re-runs a deterministic sample (1 in 4 buckets, by the
+  // same key hash that assigned them) locally. Disagreement is attributable
+  // evidence (kLyingComparer), and the local result replaces the comparer's
+  // answer for every sampled bucket.
+  std::map<uint64_t, NodeId> sampled;  // bucket id -> answering comparer
+  for (const auto& [target, assigned] : by_comparer) {
+    if (silent_.count(target) != 0) continue;  // already recomputed above
+    for (const auto& [bucket_id, digests] : assigned) {
+      (void)digests;
+      if (Fnv1a64(buckets[bucket_id].key) % 4 == 0) {
+        sampled.emplace(bucket_id, target);
+      }
+    }
+  }
+  std::set<uint64_t> claimed;  // sampled buckets the comparer flagged
   for (const Conflict& c : session.conflicts) {
+    if (sampled.count(c.bucket) != 0) claimed.insert(c.bucket);
+  }
+  for (const auto& [bucket_id, comparer] : sampled) {
+    const std::vector<TupleDigest>& digests = buckets[bucket_id].digests;
+    bool truth = false;
+    for (size_t j = 1; j < digests.size(); ++j) {
+      if (digests[j] != digests[0]) {
+        truth = true;
+        break;
+      }
+    }
+    if (truth != (claimed.count(bucket_id) != 0)) {
+      engine.RecordSecurityEvent(
+          SecurityEventKind::kLyingComparer, auditor_, comparer,
+          engine.PrincipalOf(comparer),
+          StrFormat("compare exchange: bucket %llu re-comparison disagrees",
+                    static_cast<unsigned long long>(bucket_id)));
+    }
+    ++stats_.local_lookups;
+    compare_locally(bucket_id);
+  }
+
+  for (const Conflict& c : session.conflicts) {
+    // Sampled buckets use the auditor's own re-comparison — a fabricated
+    // conflict from a lying comparer must not survive into the findings.
+    if (sampled.count(c.bucket) != 0) continue;
     // Trust but verify the shape: a comparer can only name buckets it was
     // handed, with in-range indices (a conflict for someone else's bucket
     // would corrupt the index mapping at the auditor).

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/causal.h"
+#include "obs/mem.h"
 #include "provenance/store.h"
 #include "query/provquery.h"
 
@@ -25,6 +27,29 @@ struct ProvQuerySession {
   bool local_only = false;  // QueryScope::kLocal: remote refs are cut
   QueryLimits limits;
   QueryStats stats;
+  // Root causal context of the walk (core/causal.h): the span every request
+  // hop of this session ultimately descends from.
+  CausalIds causal;
+
+  // Approximate bytes of collected walk state, charged against
+  // obs::MemSubsystem::kQuerySessions; released when the session dies.
+  int64_t accounted_bytes = 0;
+
+  void ChargeBytes(int64_t bytes) {
+    obs::MemAccounting& mem = obs::MemAccounting::Global();
+    if (!mem.enabled()) return;
+    mem.Add(obs::MemSubsystem::kQuerySessions,
+            static_cast<uint64_t>(bytes));
+    accounted_bytes += bytes;
+  }
+
+  ~ProvQuerySession() {
+    if (accounted_bytes > 0) {
+      obs::MemAccounting::Global().Sub(
+          obs::MemSubsystem::kQuerySessions,
+          static_cast<uint64_t>(accounted_bytes));
+    }
+  }
 
   // --- Records walk (kQueryRecords) ----------------------------------------
   std::map<Key, std::vector<ProvRecord>> collected;

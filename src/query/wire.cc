@@ -34,6 +34,14 @@ Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
                              const Bytes& inner) {
   ByteWriter content;
   PutAuthHeader(content, contexts_[from]->principal(), to);
+  // Causal span (core/causal.h): every query hop is a child span of the
+  // context that issued it, so a distributed pointer-walk (request →
+  // response → follow-up requests) stitches into one trace across nodes.
+  CausalIds ids;
+  ids.span_id = NewCausalSpan(from);
+  ids.trace_id =
+      exec().causal.trace_id != 0 ? exec().causal.trace_id : ids.span_id;
+  PutCausalIds(content, ids);
   content.PutRaw(inner.data(), inner.size());
 
   bool attach_says = options_.authenticate || plan_.sendlog();
@@ -58,6 +66,9 @@ Status Engine::SendQueryWire(NodeId from, NodeId to, uint8_t msg_type,
     ev.sim_time = net_.now();
     ev.node = from;
     ev.kind = "send";
+    ev.trace_id = ids.trace_id;
+    ev.span_id = ids.span_id;
+    ev.parent_span = exec().causal.span_id;
     ev.attrs = {{"to", PrincipalOf(to)},
                 {"msg", msg_type == kMsgProvRequest ? "prov_request"
                                                     : "prov_response"},
@@ -220,11 +231,20 @@ Status Engine::ProvQueryIngest(ProvQuerySession& session, NodeId at,
       }
     }
   }
+  // Session state is forensic working memory worth metering: charge the
+  // collected records (released when the session is destroyed).
+  int64_t record_bytes = 0;
+  for (const ProvRecord& rec : records) {
+    record_bytes += static_cast<int64_t>(
+        sizeof(ProvRecord) + rec.children.size() * sizeof(ProvChildRef));
+  }
+  session.ChargeBytes(record_bytes);
   session.collected[key] = std::move(records);
   return OkStatus();
 }
 
 Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
+  obs::Profiler::Scope serve_scope(profiler_, obs::Phase::kQueryServe);
   PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
   PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
   std::optional<SaysTag> tag;
@@ -237,6 +257,9 @@ Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
                            VerifyInbound(to, from, tag, content, body,
                                          "prov_request"));
   if (!accepted) return OkStatus();  // rejected and audited; drop
+  // Adopt the asker's causal context: the response span (and anything the
+  // serving touches) continues the query's trace.
+  PROVNET_ASSIGN_OR_RETURN(exec().causal, GetCausalIds(body));
 
   PROVNET_ASSIGN_OR_RETURN(uint8_t kind, body.GetU8());
   PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, body.GetU64());
@@ -311,8 +334,16 @@ Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
           ++nconflicts;
         }
       }
-      inner.PutVarint(nconflicts);
-      inner.PutRaw(conflicts.bytes().data(), conflicts.size());
+      if (lying_comparers_.count(to) != 0) {
+        // Fault-injection seam (SetLyingComparer): a compromised comparer
+        // suppresses every conflict it computed — its signature still
+        // verifies, so only the auditor's local spot-check of sampled
+        // buckets (query/provquery.cc) can catch the lie.
+        inner.PutVarint(0);
+      } else {
+        inner.PutVarint(nconflicts);
+        inner.PutRaw(conflicts.bytes().data(), conflicts.size());
+      }
       break;
     }
     default:
@@ -322,6 +353,7 @@ Status Engine::HandleProvRequest(NodeId to, NodeId from, ByteReader& reader) {
 }
 
 Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
+  obs::Profiler::Scope serve_scope(profiler_, obs::Phase::kQueryServe);
   PROVNET_ASSIGN_OR_RETURN(Bytes content, reader.GetBlob());
   PROVNET_ASSIGN_OR_RETURN(uint8_t has_says, reader.GetU8());
   std::optional<SaysTag> tag;
@@ -339,6 +371,9 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
     if (session != nullptr) ++session->stats.responses_rejected;
     return OkStatus();  // rejected and audited; drop
   }
+  // Adopt the responder's causal context; follow-up requests this response
+  // triggers become its children, chaining the walk into one trace.
+  PROVNET_ASSIGN_OR_RETURN(exec().causal, GetCausalIds(body));
 
   PROVNET_ASSIGN_OR_RETURN(uint8_t kind, body.GetU8());
   PROVNET_ASSIGN_OR_RETURN(uint64_t query_id, body.GetU64());
