@@ -10,11 +10,17 @@
 // Thread-count axis (the parallel sharded executor, ISSUE 7): none and
 // condensed points repeat at threads in {1, 2, 4, hw} (deduped after
 // resolving hw = hardware concurrency) with `speedup_vs_1t` relative to the
-// same (n, mode) at one thread. Full mode at tuple grain pins itself
-// sequential (receive-side provenance-variable interning must stay in
-// arrival order), so its points carry threads=1 only. The top-level
-// `hw_threads` field records the machine the numbers came from — a 1-CPU
-// host honestly reports ~1x speedups.
+// same (n, mode) at one thread. Full mode pins itself sequential (the
+// shared derivation arena and receive-side provenance-variable interning
+// must stay in arrival order), so its points carry threads=1 only. The
+// top-level `hw_threads` field records the machine the numbers came from —
+// a 1-CPU host honestly reports ~1x speedups.
+//
+// Durable-store axis (ISSUE 9): each full-mode point repeats once with the
+// on-disk offline archive enabled ("full+disk" rows, `archive: 1` in the
+// JSON) and reports `archive_disk_bytes`, the page-log footprint summed
+// over nodes. The arena's accounted peak rides along in every full point
+// as mem_peak_bytes.prov_arena.
 //
 // Usage:
 //   bench_fixpoint [--quick] [--out PATH]
@@ -34,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +71,8 @@ struct Point {
   size_t n = 0;
   ProvMode mode = ProvMode::kNone;
   size_t threads = 1;
+  bool archive = false;            // offline archive on disk (full mode)
+  uint64_t archive_disk_bytes = 0; // page-log bytes summed over nodes
   size_t runs = 1;                 // runs averaged into this point
   double wall_seconds = 0.0;       // mean over runs
   double speedup_vs_1t = 1.0;      // wall(1 thread) / wall, same (n, mode)
@@ -100,13 +109,15 @@ EngineOptions OptionsFor(ProvMode mode, uint64_t seed, size_t threads) {
   return opts;
 }
 
-Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
-                       const Config& cfg) {
+Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, bool archive,
+                       size_t runs, const Config& cfg) {
   Point point;
   point.n = n;
   point.mode = mode;
   point.threads = threads;
-  point.runs = runs;
+  point.archive = archive;
+  const std::string archive_dir =
+      archive ? "/tmp/provnet_bench_fixpoint_archive" : "";
   obs::MemAccounting& mem = obs::MemAccounting::Global();
   for (size_t run = 0; run < runs; ++run) {
     // Per-run accounting window: peaks reported for a point belong to its
@@ -114,12 +125,20 @@ Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
     // when it dies; Reset clears the peak high-water marks).
     mem.Reset();
     mem.Enable();
+    if (archive) {
+      std::error_code ec;
+      std::filesystem::remove_all(archive_dir, ec);  // fresh logs per run
+    }
     Rng rng(cfg.seed + run * 1000003 + n);
     Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
+    EngineOptions opts = OptionsFor(mode, cfg.seed + run, threads);
+    if (archive) {
+      opts.record_offline = true;
+      opts.archive_dir = archive_dir;
+    }
     PROVNET_ASSIGN_OR_RETURN(
         std::unique_ptr<Engine> engine,
-        Engine::Create(topo, BestPathNdlogProgram(),
-                       OptionsFor(mode, cfg.seed + run, threads)));
+        Engine::Create(topo, BestPathNdlogProgram(), opts));
     engine->profiler().Enable();
     PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
     auto t0 = std::chrono::steady_clock::now();
@@ -139,7 +158,15 @@ Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, size_t runs,
             mem.PeakBytes(static_cast<obs::MemSubsystem>(i));
       }
       point.total_peak_bytes = mem.TotalPeakBytes();
+      for (NodeId node = 0; node < engine->num_nodes(); ++node) {
+        point.archive_disk_bytes +=
+            engine->node(node).offline_store().DiskBytes();
+      }
     }
+  }
+  if (archive) {
+    std::error_code ec;
+    std::filesystem::remove_all(archive_dir, ec);
   }
   double nruns = static_cast<double>(runs);
   point.wall_seconds /= nruns;
@@ -182,6 +209,8 @@ void WriteJson(const Config& cfg, const std::vector<Point>& points) {
         .Field("n", uint64_t{p.n})
         .Field("prov_mode", ProvModeName(p.mode))
         .Field("threads", uint64_t{p.threads})
+        .Field("archive", uint64_t{p.archive ? 1u : 0u})
+        .Field("archive_disk_bytes", p.archive_disk_bytes)
         .Field("runs", uint64_t{p.runs})
         .Field("wall_seconds", p.wall_seconds, "%.6f")
         .Field("speedup_vs_1t", p.speedup_vs_1t, "%.3f")
@@ -324,9 +353,9 @@ int main(int argc, char** argv) {
               "candidates", "MB", "rss KiB");
 
   std::vector<Point> points;
-  auto run_point = [&](size_t n, ProvMode mode, size_t threads,
+  auto run_point = [&](size_t n, ProvMode mode, size_t threads, bool archive,
                        size_t runs) -> bool {
-    Result<Point> point = RunPoint(n, mode, threads, runs, cfg);
+    Result<Point> point = RunPoint(n, mode, threads, archive, runs, cfg);
     if (!point.ok()) {
       std::fprintf(stderr, "point n=%zu mode=%s threads=%zu failed: %s\n", n,
                    ProvModeName(mode), threads,
@@ -335,15 +364,17 @@ int main(int argc, char** argv) {
     }
     Point p = point.value();
     for (const Point& base : points) {
-      if (base.n == p.n && base.mode == p.mode && base.threads == 1 &&
-          p.wall_seconds > 0) {
+      if (base.n == p.n && base.mode == p.mode && base.archive == p.archive &&
+          base.threads == 1 && p.wall_seconds > 0) {
         p.speedup_vs_1t = base.wall_seconds / p.wall_seconds;
         break;
       }
     }
+    std::string label = ProvModeName(p.mode);
+    if (p.archive) label += "+disk";
     std::printf(
         "%5zu %-10s %3zu %12.4f %8.2f %14.0f %14.0f %12.0f %10.3f %12ld\n",
-        p.n, ProvModeName(p.mode), p.threads, p.wall_seconds, p.speedup_vs_1t,
+        p.n, label.c_str(), p.threads, p.wall_seconds, p.speedup_vs_1t,
         p.derivations, p.derivations_per_sec, p.join_candidates, p.mbytes,
         p.rss_peak_kb);
     points.push_back(p);
@@ -352,12 +383,20 @@ int main(int argc, char** argv) {
 
   for (size_t n : cfg.node_counts) {
     for (ProvMode mode : modes) {
-      // Full mode runs at tuple grain, which the engine pins to sequential
-      // execution (provenance-variable interning order); its thread-axis
-      // repeats would measure the identical pinned path.
+      // Full mode pins itself sequential (shared derivation arena plus
+      // receive-side provenance-variable interning must stay in arrival
+      // order); its thread-axis repeats would measure the identical pinned
+      // path. It runs twice instead: memory-resident, then with the
+      // on-disk offline archive (the durable-store cost axis).
       size_t axis_len = mode == ProvMode::kFull ? 1 : thread_axis.size();
       for (size_t ti = 0; ti < axis_len; ++ti) {
-        if (!run_point(n, mode, thread_axis[ti], cfg.runs)) return 1;
+        if (!run_point(n, mode, thread_axis[ti], /*archive=*/false, cfg.runs)) {
+          return 1;
+        }
+      }
+      if (mode == ProvMode::kFull &&
+          !run_point(n, mode, /*threads=*/1, /*archive=*/true, cfg.runs)) {
+        return 1;
       }
     }
   }
@@ -365,7 +404,10 @@ int main(int argc, char** argv) {
     // The headline scale point: 500-node condensed Best-Path, one run per
     // thread count (ROADMAP item 1's "500-node networks become routine").
     for (size_t threads : thread_axis) {
-      if (!run_point(500, ProvMode::kCondensed, threads, 1)) return 1;
+      if (!run_point(500, ProvMode::kCondensed, threads, /*archive=*/false,
+                     1)) {
+        return 1;
+      }
     }
   }
 

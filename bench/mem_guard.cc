@@ -1,19 +1,26 @@
 // mem_guard: the CI memory-regression tripwire.
 //
-// Runs the fixed guard fixture — 50-node ring+random condensed Best-Path at
-// one thread, fixed seed — with per-subsystem memory accounting enabled, and
-// compares the accounted total peak (obs::MemAccounting::TotalPeakBytes)
-// against the checked-in baseline. The accounted total is deterministic at
-// one thread (allocation order is canonical), unlike process RSS, so the
-// guard has no flake margin to eat: a >20% growth over baseline fails the
-// build and forces the regression (or a deliberate baseline bump) into
-// review.
+// Runs a fixed guard fixture — 50-node ring+random Best-Path at one thread,
+// fixed seed — with per-subsystem memory accounting enabled, and compares
+// the accounted total peak (obs::MemAccounting::TotalPeakBytes) against the
+// checked-in baseline. The accounted total is deterministic at one thread
+// (allocation order is canonical), unlike process RSS, so the guard has no
+// flake margin to eat: a >20% growth over baseline fails the build and
+// forces the regression (or a deliberate baseline bump) into review.
+//
+// Two fixtures cover the two memory regimes:
+//   condensed — the lean path (prov_annotations dominates);
+//   full      — the durable-store path (ISSUE 9): the derivation arena and
+//               offline-archive pages carry the footprint, so regressions
+//               in prov_arena / archive_pages trip here.
 //
 // Usage:
-//   mem_guard [--baseline PATH] [--write-baseline] [--tolerance PCT]
+//   mem_guard [--fixture condensed|full] [--baseline PATH]
+//             [--write-baseline] [--tolerance PCT]
 //
+//   --fixture NAME    guard fixture (default condensed)
 //   --baseline PATH   baseline JSON (default bench/baselines/
-//                     MEM_fixpoint_50_condensed.json, i.e. run from the
+//                     MEM_fixpoint_50_<fixture>.json, i.e. run from the
 //                     repo root)
 //   --write-baseline  write the measured numbers to the baseline path and
 //                     exit 0 (how the baseline gets bumped deliberately)
@@ -44,7 +51,7 @@ struct Measurement {
   uint64_t per_subsystem[obs::kNumMemSubsystems] = {};
 };
 
-Result<Measurement> RunGuardFixture() {
+Result<Measurement> RunGuardFixture(bool full) {
   obs::MemAccounting& mem = obs::MemAccounting::Global();
   mem.Reset();
   mem.Enable();
@@ -53,8 +60,11 @@ Result<Measurement> RunGuardFixture() {
   Topology topo = Topology::RingPlusRandom(kNodes, /*outdegree=*/3, rng);
   EngineOptions opts;
   opts.seed = kSeed;
-  opts.prov_mode = ProvMode::kCondensed;
+  opts.prov_mode = full ? ProvMode::kFull : ProvMode::kCondensed;
   opts.prov_grain = ProvGrain::kTuple;
+  // The full fixture archives offline records (memory-resident pages), so
+  // the archive_pages subsystem is part of what the guard watches.
+  opts.record_offline = full;
   opts.threads = 1;
   PROVNET_ASSIGN_OR_RETURN(
       std::unique_ptr<Engine> engine,
@@ -70,10 +80,10 @@ Result<Measurement> RunGuardFixture() {
   return m;
 }
 
-std::string MeasurementJson(const Measurement& m) {
+std::string MeasurementJson(const Measurement& m, const std::string& fixture) {
   obs::JsonWriter w;
   w.BeginObject()
-      .Field("fixture", "fixpoint_50_condensed_t1")
+      .Field("fixture", "fixpoint_50_" + fixture + "_t1")
       .Field("seed", kSeed)
       .Field("total_peak_bytes", m.total_peak_bytes);
   w.Key("peak_bytes").BeginObject();
@@ -98,11 +108,14 @@ bool ParseBaselineTotal(const std::string& body, uint64_t* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path = "bench/baselines/MEM_fixpoint_50_condensed.json";
+  std::string fixture = "condensed";
+  std::string baseline_path;
   bool write_baseline = false;
   double tolerance_pct = 20.0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--fixture") == 0 && i + 1 < argc) {
+      fixture = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
       write_baseline = true;
@@ -110,23 +123,30 @@ int main(int argc, char** argv) {
       tolerance_pct = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--baseline PATH] [--write-baseline] "
-                   "[--tolerance PCT]\n",
+                   "usage: %s [--fixture condensed|full] [--baseline PATH] "
+                   "[--write-baseline] [--tolerance PCT]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (fixture != "condensed" && fixture != "full") {
+    std::fprintf(stderr, "mem_guard: unknown fixture '%s'\n", fixture.c_str());
+    return 2;
+  }
+  if (baseline_path.empty()) {
+    baseline_path = "bench/baselines/MEM_fixpoint_50_" + fixture + ".json";
+  }
 
-  Result<Measurement> measured = RunGuardFixture();
+  Result<Measurement> measured = RunGuardFixture(fixture == "full");
   if (!measured.ok()) {
     std::fprintf(stderr, "mem_guard fixture failed: %s\n",
                  measured.status().ToString().c_str());
     return 1;
   }
   const Measurement& m = measured.value();
-  std::printf("mem_guard: fixture n=%zu condensed threads=1 "
+  std::printf("mem_guard: fixture n=%zu %s threads=1 "
               "total_peak_bytes=%llu\n",
-              kNodes, (unsigned long long)m.total_peak_bytes);
+              kNodes, fixture.c_str(), (unsigned long long)m.total_peak_bytes);
   for (size_t i = 0; i < obs::kNumMemSubsystems; ++i) {
     if (m.per_subsystem[i] == 0) continue;
     std::printf("  %-18s %llu\n",
@@ -141,7 +161,7 @@ int main(int argc, char** argv) {
                    baseline_path.c_str());
       return 1;
     }
-    std::string body = MeasurementJson(m);
+    std::string body = MeasurementJson(m, fixture);
     std::fwrite(body.data(), 1, body.size(), f);
     std::fclose(f);
     std::printf("wrote baseline %s\n", baseline_path.c_str());

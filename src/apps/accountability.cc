@@ -9,20 +9,20 @@ namespace provnet {
 FlowAuditor::FlowAuditor(Engine& engine, double from, double to) {
   for (NodeId n = 0; n < engine.num_nodes(); ++n) {
     const OfflineProvStore& offline = engine.node(n).offline_store();
-    for (const ProvRecord* rec : offline.FindInWindow(from, to)) {
-      if (rec->asserted_by.empty()) continue;
-      UsageRecord& usage = ledger_[rec->asserted_by];
+    for (const ProvRecord& rec : offline.FindInWindow(from, to)) {
+      if (rec.asserted_by.empty()) continue;
+      UsageRecord& usage = ledger_[rec.asserted_by];
       if (usage.assertions == 0) {
-        usage.principal = rec->asserted_by;
-        usage.first_seen = rec->created_at;
-        usage.last_seen = rec->created_at;
+        usage.principal = rec.asserted_by;
+        usage.first_seen = rec.created_at;
+        usage.last_seen = rec.created_at;
       }
       ++usage.assertions;
       ByteWriter w;
-      rec->Serialize(w);
+      rec.Serialize(w);
       usage.bytes += w.size();
-      usage.first_seen = std::min(usage.first_seen, rec->created_at);
-      usage.last_seen = std::max(usage.last_seen, rec->created_at);
+      usage.first_seen = std::min(usage.first_seen, rec.created_at);
+      usage.last_seen = std::max(usage.last_seen, rec.created_at);
     }
   }
 }

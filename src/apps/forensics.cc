@@ -41,14 +41,10 @@ Result<std::map<NodeId, size_t>> RandomMoonwalk(Engine& engine, NodeId node,
   TupleDigest root = DigestOf(tuple);
 
   auto records_of = [&engine](NodeId n, TupleDigest digest)
-      -> std::vector<const ProvRecord*> {
-    std::vector<const ProvRecord*> out;
+      -> std::vector<ProvRecord> {
     const std::vector<ProvRecord>* online =
         engine.node(n).online_store().Lookup(digest);
-    if (online != nullptr) {
-      for (const ProvRecord& rec : *online) out.push_back(&rec);
-      return out;
-    }
+    if (online != nullptr) return *online;
     return engine.node(n).offline_store().FindByDigest(digest);
   };
 
@@ -61,13 +57,12 @@ Result<std::map<NodeId, size_t>> RandomMoonwalk(Engine& engine, NodeId node,
     TupleDigest digest = root;
     // Bounded walk (cycles in pointer graphs are cut by the step limit).
     for (int step = 0; step < 256; ++step) {
-      std::vector<const ProvRecord*> records = records_of(at, digest);
+      std::vector<ProvRecord> records = records_of(at, digest);
       if (records.empty()) break;
-      const ProvRecord* rec =
-          records[rng.NextBelow(records.size())];
-      if (rec->children.empty()) break;  // base record: an origin
+      const ProvRecord& rec = records[rng.NextBelow(records.size())];
+      if (rec.children.empty()) break;  // base record: an origin
       const ProvChildRef& ref =
-          rec->children[rng.NextBelow(rec->children.size())];
+          rec.children[rng.NextBelow(rec.children.size())];
       if (ref.is_base) {
         at = ref.node;
         break;
@@ -87,8 +82,8 @@ DigestTraceback::DigestTraceback(Engine& engine, double window_seconds,
     stores_.emplace_back(window_seconds, bits, hashes, /*max_windows=*/0);
     // Ingest everything the node archived, in creation order.
     const OfflineProvStore& offline = engine.node(n).offline_store();
-    for (const ProvRecord* rec : offline.FindInWindow(0.0, 1e18)) {
-      stores_.back().Record(DigestOf(rec->tuple), rec->created_at);
+    for (const ProvRecord& rec : offline.FindInWindow(0.0, 1e18)) {
+      stores_.back().Record(DigestOf(rec.tuple), rec.created_at);
     }
   }
 }

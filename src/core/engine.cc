@@ -8,6 +8,7 @@
 #include "dynamics/delta.h"
 #include "obs/mem.h"
 #include "provenance/sampling.h"
+#include "store/arena.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
@@ -157,6 +158,23 @@ Status Engine::Init(Program program) {
   // never allocates or races.
   causal_seqs_.assign(topo_.num_nodes, 0);
 
+  // Durable provenance store (src/store/): the hash-consing arena backs
+  // every kFull derivation and annotation, and a non-empty archive_dir
+  // moves each node's offline archive onto disk. Opening replays any
+  // existing log at that path, so recovery completes before the first
+  // fact flows.
+  if (options_.prov_mode == ProvMode::kFull) {
+    arena_ = std::make_unique<store::ProvArena>();
+  }
+  if (options_.record_offline && !options_.archive_dir.empty()) {
+    for (const auto& ctx : contexts_) {
+      PROVNET_RETURN_IF_ERROR(ctx->offline_store().Open(
+          options_.archive_dir + "/node" + std::to_string(ctx->id()) +
+              ".prov",
+          options_.archive_page_bytes, options_.archive_cache_pages));
+    }
+  }
+
   // Pre-derive key material so PKI setup is not charged to query completion
   // time (the paper measures steady-state execution, not key distribution).
   if (options_.authenticate) {
@@ -218,6 +236,19 @@ void Engine::InitObs() {
       obs_.GetCounter("provquery.responses_rejected");
   cells_.prov_frames_rejected = obs_.GetCounter("provquery.frames_rejected");
   cells_.query_offline_hits = obs_.GetCounter("provquery.offline_hits");
+
+  // Durable-store instruments (src/store/), registered only when the
+  // subsystem is active so none/condensed runs keep exactly their
+  // pre-store snapshot key set (golden telemetry).
+  if (options_.prov_mode == ProvMode::kFull) {
+    cells_.store_interned_nodes = obs_.GetCounter("store.interned_nodes");
+    cells_.store_interned_hits = obs_.GetCounter("store.interned_hits");
+  }
+  if (options_.record_offline) {
+    cells_.archive_page_reads = obs_.GetCounter("store.archive_page_reads");
+    cells_.archive_page_writes = obs_.GetCounter("store.archive_page_writes");
+    cells_.archive_compactions = obs_.GetCounter("store.archive_compactions");
+  }
 
   const std::vector<CompiledRule>& rules = plan_.rules();
   cells_.rule_firings.reserve(rules.size());
@@ -297,10 +328,12 @@ Result<NodeId> Engine::NodeOf(const Principal& principal) const {
 
 ProvExpr Engine::BaseAnnotation(const Principal& principal,
                                 const Tuple& tuple) {
-  if (options_.prov_grain == ProvGrain::kPrincipal) {
-    return ProvExpr::Var(registry_.Intern(principal));
-  }
-  return ProvExpr::Var(registry_.Intern(tuple.ToString()));
+  ProvVar v = options_.prov_grain == ProvGrain::kPrincipal
+                  ? registry_.Intern(principal)
+                  : registry_.Intern(tuple.ToString());
+  // In kFull mode every leaf goes through the arena, so annotations built
+  // from the same variable share one node process-wide.
+  return arena_ != nullptr ? arena_->InternVar(v) : ProvExpr::Var(v);
 }
 
 Status Engine::InsertLinkFacts() {
@@ -337,6 +370,10 @@ Status Engine::InsertFact(NodeId node_id, const Tuple& tuple, double ttl) {
                                SignDerivation(base, auth_,
                                               options_.says_level));
     }
+    // Intern after signing so the arena copy carries the signature (RSA
+    // signatures are deterministic per content+principal, so content-equal
+    // nodes can never disagree about theirs).
+    if (arena_ != nullptr) base = arena_->Canonical(base, nullptr);
     entry.deriv = std::move(base);
   }
   return DeliverLocal(node_id, std::move(entry), {}, kBaseRule);
@@ -485,7 +522,36 @@ void Engine::RecordProvenance(NodeId node_id, const Tuple& tuple,
   bool online = options_.record_online ||
                 options_.prov_mode == ProvMode::kPointers;
   if (online) contexts_[node_id]->online_store().Add(rec);
-  if (options_.record_offline) contexts_[node_id]->offline_store().Add(rec);
+  if (options_.record_offline) {
+    contexts_[node_id]->offline_store().Add(rec);
+    RecordArchiveIo(node_id);
+  }
+}
+
+void Engine::RecordArchiveIo(NodeId node) const {
+  // exec() is non-const, but only to reach the lane's cell pointers — the
+  // counters themselves are mutable registry state.
+  ObsCells& cells = const_cast<Engine*>(this)->exec().cells;
+  if (cells.archive_page_reads == nullptr) return;  // not registered
+  store::ArchiveIo io = contexts_[node]->offline_store().TakeIo();
+  cells.archive_page_reads->value += io.page_reads;
+  cells.archive_page_writes->value += io.page_writes;
+  cells.archive_compactions->value += io.compactions;
+}
+
+Status Engine::FlushDurableStores() {
+  if (arena_ != nullptr && cells_.store_interned_nodes != nullptr) {
+    store::ProvArena::Stats s = arena_->TakeStats();
+    cells_.store_interned_nodes->value += s.interned_nodes;
+    cells_.store_interned_hits->value += s.interned_hits;
+  }
+  if (options_.record_offline) {
+    for (const auto& ctx : contexts_) {
+      PROVNET_RETURN_IF_ERROR(ctx->offline_store().Flush());
+      RecordArchiveIo(ctx->id());
+    }
+  }
+  return OkStatus();
 }
 
 Status Engine::ProcessEvent(const PendingEvent& event) {
@@ -586,13 +652,15 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
 
   const std::string& label = cr.prog.label;
 
-  // Provenance annotation: product over the body tuples used.
+  // Provenance annotation: product over the body tuples used (hash-consed
+  // through the arena in kFull mode, so identical products share nodes).
   ProvExpr prov;
   if (options_.prov_mode == ProvMode::kCondensed ||
       options_.prov_mode == ProvMode::kFull) {
     prov = ProvExpr::One();
     for (const StoredTuple* child : used) {
-      prov = ProvExpr::Times(prov, child->prov);
+      prov = arena_ != nullptr ? arena_->InternTimes(prov, child->prov)
+                               : ProvExpr::Times(prov, child->prov);
     }
   }
 
@@ -610,6 +678,9 @@ Status Engine::EmitHead(NodeId node_id, const CompiledRule& cr,
       PROVNET_ASSIGN_OR_RETURN(
           deriv, SignDerivation(deriv, auth_, options_.says_level));
     }
+    // Intern after signing (see InsertFact); shared sub-proofs — the body
+    // derivations — are already arena-owned, so only the new step is added.
+    if (arena_ != nullptr) deriv = arena_->Canonical(deriv, nullptr);
   }
 
   // Destination.
@@ -739,7 +810,32 @@ Status Engine::SendTuple(NodeId from, NodeId to, const Tuple& tuple,
     }
     case ProvMode::kFull: {
       PROVNET_CHECK(deriv != nullptr);
-      deriv->Serialize(content);
+      // The same canonical proof ships to every neighbor; serialize it once
+      // and replay the bytes from the arena's wire cache afterwards.
+      const store::DerivId id =
+          arena_ != nullptr ? arena_->IdOfOwned(deriv.get()) : 0;
+      const Bytes* cached = id != 0 ? arena_->CachedWire(id) : nullptr;
+      size_t at = content.size();
+      if (cached != nullptr) {
+        content.PutRaw(cached->data(), cached->size());
+      } else {
+        deriv->Serialize(content);
+        if (id != 0) {
+          arena_->CacheWire(id, Bytes(content.bytes().begin() + at,
+                                      content.bytes().end()));
+        }
+      }
+      // Prime the receive path's decode cache with the exact bytes just
+      // shipped: Canonical(Deserialize(bytes)) is an identity for bytes
+      // serialized from a canonical node, so the receiver can map them
+      // straight back to `id` without re-materializing the tree. The wire
+      // and its metering are untouched; payloads that SendTuple never
+      // produced (forged frames) miss the cache and take the full decode
+      // path with all its checks.
+      if (id != 0) {
+        arena_->CacheDecode(content.bytes().data() + at, content.size() - at,
+                            id);
+      }
       break;
     }
   }
@@ -896,6 +992,106 @@ Status Engine::HandleTupleMessage(NodeId to, NodeId from, ByteReader& reader) {
       break;
     }
     case kProvPayloadTree: {
+      if (arena_ != nullptr) {
+        // kFull: the proof tree is the tail of the signed content, and the
+        // send side replays bit-identical bytes per proof (CacheWire), so
+        // the payload bytes key a decode cache — a proof that arrived
+        // before (from any sender) maps straight to its interned root,
+        // skipping deserialization and the per-node digest pass. The key
+        // is the exact bytes, so a forged payload can never alias an
+        // honest proof.
+        const uint8_t* payload = content.data() + body.position();
+        const size_t payload_len = body.remaining();
+        store::DerivId root_id = arena_->CachedDecode(payload, payload_len);
+        if (root_id != 0) {
+          entry.deriv = arena_->Lookup(root_id);
+        } else {
+          PROVNET_ASSIGN_OR_RETURN(entry.deriv,
+                                   DerivationNode::Deserialize(body));
+          // Intern the tree so every shared sub-proof is stored once
+          // process-wide.
+          entry.deriv = arena_->Canonical(entry.deriv, &root_id);
+          arena_->CacheDecode(payload, payload_len, root_id);
+        }
+        // Rebuild the annotation through the arena's annotation cache — a
+        // sub-proof seen at any earlier hop costs O(1), not O(tree).
+        // Principal-grain leaves with no recorded asserter take the
+        // *sender's* variable, so subtrees containing one are
+        // sender-dependent and must not be cached across messages.
+        struct Ann {
+          ProvExpr expr;
+          bool sender_dep = false;
+        };
+        std::unordered_map<const DerivationNode*, Ann> memo;
+        std::function<Ann(const DerivationPtr&)> annotate =
+            [&](const DerivationPtr& n) -> Ann {
+          auto it = memo.find(n.get());
+          if (it != memo.end()) return it->second;
+          store::DerivId id = arena_->IdOfOwned(n.get());
+          if (id == 0) id = arena_->IdOf(n->ContentDigest());
+          if (const ProvExpr* hit = arena_->CachedAnnotation(id)) {
+            Ann out{*hit, false};
+            memo.emplace(n.get(), out);
+            return out;
+          }
+          // Sender-dependent sub-proofs cache per (derivation, sender): the
+          // first delivery from a sender interns its variable, so Find()
+          // succeeding means cached entries may exist.
+          if (id != 0 && options_.prov_grain == ProvGrain::kPrincipal) {
+            std::optional<ProvVar> sv = registry_.Find(sender_principal);
+            if (sv.has_value()) {
+              if (const ProvExpr* hit = arena_->CachedAnnotation(id, *sv)) {
+                Ann out{*hit, true};
+                memo.emplace(n.get(), out);
+                return out;
+              }
+            }
+          }
+          Ann out;
+          if (n->children.empty()) {
+            out.sender_dep = n->asserted_by.empty() &&
+                             options_.prov_grain == ProvGrain::kPrincipal;
+            out.expr = BaseAnnotation(
+                n->asserted_by.empty() ? sender_principal : n->asserted_by,
+                n->tuple);
+          } else if (n->rule == kUnionRule) {
+            out.expr = ProvExpr::Zero();
+            // Canonical children make duplicate alternatives pointer-equal;
+            // dedup so a crafted tree cannot inflate derivation counts
+            // (honest senders already dedup in MergeAlternatives).
+            std::unordered_set<const DerivationNode*> seen;
+            for (const DerivationPtr& c : n->children) {
+              if (!seen.insert(c.get()).second) continue;
+              Ann ca = annotate(c);
+              out.sender_dep |= ca.sender_dep;
+              out.expr = arena_->InternPlus(out.expr, ca.expr);
+            }
+          } else {
+            out.expr = ProvExpr::One();
+            for (const DerivationPtr& c : n->children) {
+              Ann ca = annotate(c);
+              out.sender_dep |= ca.sender_dep;
+              out.expr = arena_->InternTimes(out.expr, ca.expr);
+            }
+          }
+          if (id != 0) {
+            if (!out.sender_dep) {
+              arena_->CacheAnnotation(id, out.expr);
+            } else {
+              // A sender-dependent subtree implies a leaf already interned
+              // the sender's variable, so Find() cannot fail here.
+              std::optional<ProvVar> sv = registry_.Find(sender_principal);
+              if (sv.has_value()) {
+                arena_->CacheAnnotation(id, *sv, out.expr);
+              }
+            }
+          }
+          memo.emplace(n.get(), out);
+          return out;
+        };
+        entry.prov = annotate(entry.deriv).expr;
+        break;
+      }
       PROVNET_ASSIGN_OR_RETURN(entry.deriv, DerivationNode::Deserialize(body));
       // Rebuild the annotation from the tree so local semiring queries keep
       // working in full mode: leaves are base variables, unions are +,
@@ -957,13 +1153,13 @@ Result<RunStats> Engine::Run() {
 
   auto t0 = std::chrono::steady_clock::now();
   // Parallel lanes are worth engaging only when there are several nodes to
-  // shard across. kFull provenance at tuple grain is pinned sequential: its
-  // receive path interns provenance variables for unseen base tuples, and
-  // first-come interning order must stay the sequential one.
-  const bool parallel =
-      ResolvedThreads() > 1 && contexts_.size() > 1 &&
-      !(options_.prov_mode == ProvMode::kFull &&
-        options_.prov_grain == ProvGrain::kTuple);
+  // shard across. kFull provenance is pinned sequential at every grain:
+  // the hash-consing arena interns derivations and annotations in
+  // first-come order (and at tuple grain the receive path additionally
+  // interns provenance variables for unseen base tuples), so that order
+  // must stay the sequential one.
+  const bool parallel = ResolvedThreads() > 1 && contexts_.size() > 1 &&
+                        options_.prov_mode != ProvMode::kFull;
   if (parallel) EnsureParallelRuntime();
   // Phase meters (obs/profiler.h): kFixpoint spans the whole loop; the
   // branch scopes below meter where it goes. All wall-clock, none exported
@@ -1026,6 +1222,7 @@ Result<RunStats> Engine::Run() {
     }
   }
   dynamics_->EndEpoch();
+  PROVNET_RETURN_IF_ERROR(FlushDurableStores());
   auto t1 = std::chrono::steady_clock::now();
 
   RunStats cur = StatsView();

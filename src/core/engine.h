@@ -51,6 +51,10 @@ namespace provnet {
 
 class ThreadPool;  // util/threadpool.h
 
+namespace store {
+class ProvArena;  // store/arena.h
+}  // namespace store
+
 enum class ProvMode : uint8_t {
   kNone = 0,       // no provenance (NDLog / SeNDLog baselines)
   kCondensed = 1,  // BDD-condensed annotations piggybacked (SeNDLogProv)
@@ -108,6 +112,16 @@ struct EngineOptions {
   uint32_t sample_k = 1;          // 1-in-k provenance sampling (Section 5)
   // Local annotations are re-condensed when they outgrow this node count.
   size_t condense_threshold = 64;
+
+  // --- durable provenance store (src/store/) ---
+  // Non-empty: each node's offline archive lives on disk at
+  // <archive_dir>/node<i>.prov (append-only paged log; reopening an engine
+  // over the same directory replays the log, so archives — and the
+  // distributed ProvQuery offline fallback — survive process restarts).
+  // Empty: archives are memory-resident page images in the same format.
+  std::string archive_dir;
+  size_t archive_page_bytes = 4096;  // archive page size
+  size_t archive_cache_pages = 64;   // decoded-page LRU capacity per node
 
   // --- execution ---
   uint64_t seed = 1;
@@ -273,6 +287,11 @@ class Engine {
   // Full local derivation tree (ProvMode::kFull).
   Result<DerivationPtr> LocalDerivationOf(NodeId node,
                                           const Tuple& tuple) const;
+  // Hash-consing derivation arena (src/store/arena.h): non-null only in
+  // kFull mode, where every stored derivation and annotation is interned
+  // through it. Queries and tests reach it for memoized exact derivation
+  // counts over stable arena ids.
+  store::ProvArena* arena() const { return arena_.get(); }
   // Cumulative engine counters (RunStats returns per-Run() windows; this is
   // the running total). Meter-style fields — wall/sim seconds, messages,
   // bytes — are computed per window and stay zero here; the tuple/auth/prov
@@ -378,6 +397,16 @@ class Engine {
     obs::Counter* prov_responses_rejected = nullptr;
     obs::Counter* prov_frames_rejected = nullptr;
     obs::Counter* query_offline_hits = nullptr;
+    // Durable-store health (src/store/). Conditionally registered: the
+    // arena pair only in kFull mode, the archive trio only with
+    // record_offline — so condensed/none telemetry snapshots keep exactly
+    // their pre-store key set. Null when not registered (ForEachCell and
+    // the worker-mirror plumbing tolerate null handles).
+    obs::Counter* store_interned_nodes = nullptr;
+    obs::Counter* store_interned_hits = nullptr;
+    obs::Counter* archive_page_reads = nullptr;
+    obs::Counter* archive_page_writes = nullptr;
+    obs::Counter* archive_compactions = nullptr;
     // Indexed by position in plan_.rules().
     std::vector<obs::Counter*> rule_firings;
     std::vector<obs::Counter*> rule_candidates;
@@ -468,6 +497,15 @@ class Engine {
   // as fallback (forensics over expired state, Section 4.2).
   std::vector<ProvRecord> ProvRecordsAt(NodeId node, TupleDigest digest,
                                         bool* offline_hit) const;
+  // Folds the offline archive's I/O deltas (page reads/writes, compactions)
+  // at `node` into the executing lane's cells. No-op unless the archive
+  // counters were registered (record_offline). Const because the read-side
+  // query path is const; the counters live behind stable pointers.
+  void RecordArchiveIo(NodeId node) const;
+  // End-of-Run() barrier for the durable store: folds the arena's dedup
+  // counters into the registry cells and flushes every node's archive tail
+  // page to disk (crash durability at fixpoint), charging the I/O.
+  Status FlushDurableStores();
   // Attributable claims `node` stores of the given predicates — what a
   // claims request answers and what the auditor reads locally; one
   // definition so responders and the auditor can never diverge.
@@ -663,6 +701,11 @@ class Engine {
     fn(cells.prov_responses_rejected);
     fn(cells.prov_frames_rejected);
     fn(cells.query_offline_hits);
+    fn(cells.store_interned_nodes);
+    fn(cells.store_interned_hits);
+    fn(cells.archive_page_reads);
+    fn(cells.archive_page_writes);
+    fn(cells.archive_compactions);
     for (obs::Counter*& c : cells.rule_firings) fn(c);
     for (obs::Counter*& c : cells.rule_candidates) fn(c);
     for (obs::Counter*& c : cells.rule_derivations) fn(c);
@@ -761,6 +804,11 @@ class Engine {
   // Incremental-evaluator epoch state (deletion queue, overlay of deleted
   // tuples, killed provenance variables, re-derivation worklist).
   std::unique_ptr<DeltaState> dynamics_;
+
+  // Hash-consing arena for kFull derivations and annotations (src/store/).
+  // Null outside kFull. Not thread-safe: every kFull run is pinned to the
+  // sequential executor (see Run()).
+  std::unique_ptr<store::ProvArena> arena_;
 };
 
 }  // namespace provnet

@@ -123,7 +123,9 @@ void Engine::MergeWorkerSlots() {
     ExecSlot* raw = slot.get();
     ForEachCell(cells_, [raw, &at](obs::Counter*& cell) {
       obs::Counter& mirror = raw->cell_storage[at++];
-      cell->value += mirror.value;
+      // Conditionally registered cells (durable-store instruments) are null
+      // when their subsystem is off; their mirrors are never incremented.
+      if (cell != nullptr) cell->value += mirror.value;
       mirror.value = 0;
     });
     for (const ExecSlot::LinkCharge& charge : slot->link_charges) {

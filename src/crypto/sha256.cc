@@ -2,6 +2,16 @@
 
 #include <cstring>
 
+// SHA-NI fast path: the compression function is the hot spot of the whole
+// provenance pipeline (every Merkle ContentDigest, tuple digest, and wire
+// decode-cache key funnels through it), so use the dedicated x86
+// instructions when the CPU has them. Runtime-dispatched: the portable
+// scalar rounds below stay the fallback and the reference.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PROVNET_SHA_NI 1
+#include <immintrin.h>
+#endif
+
 namespace provnet {
 namespace {
 
@@ -19,6 +29,86 @@ constexpr uint32_t kK[64] = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
 uint32_t RotR(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+#if PROVNET_SHA_NI
+// One 64-byte block with the SHA extension: two lanes of four state words
+// (ABEF / CDGH), four rounds per _mm_sha256rnds2_epu32, message schedule
+// via _mm_sha256msg1/msg2. Round constants are kK packed pairwise.
+// w[i..i+3] + K[i..i+3] (kK packed four at a time).
+__attribute__((target("sha,sse4.1,ssse3"))) inline __m128i ShaK(int i) {
+  return _mm_set_epi32(static_cast<int>(kK[i + 3]), static_cast<int>(kK[i + 2]),
+                       static_cast<int>(kK[i + 1]), static_cast<int>(kK[i]));
+}
+
+// Four rounds: feed w[i..i+3]+K into both rnds2 halves.
+__attribute__((target("sha,sse4.1,ssse3"))) inline void ShaRounds(
+    __m128i& state0, __m128i& state1, __m128i wk) {
+  state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(wk, 0x0E));
+}
+
+// Schedule expansion: w0 <- next four w's from the previous four vectors.
+__attribute__((target("sha,sse4.1,ssse3"))) inline void ShaExpand(
+    __m128i& w0, __m128i w1, __m128i w2, __m128i w3) {
+  w0 = _mm_sha256msg1_epu32(w0, w1);
+  w0 = _mm_add_epi32(w0, _mm_alignr_epi8(w3, w2, 4));
+  w0 = _mm_sha256msg2_epu32(w0, w3);
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlockShaNi(
+    uint32_t* state, const uint8_t* data) {
+  const __m128i kShuf =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                   // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);             // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  __m128i msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuf);
+  __m128i msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuf);
+  __m128i msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuf);
+  __m128i msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuf);
+
+  ShaRounds(state0, state1, _mm_add_epi32(msg0, ShaK(0)));
+  ShaRounds(state0, state1, _mm_add_epi32(msg1, ShaK(4)));
+  ShaRounds(state0, state1, _mm_add_epi32(msg2, ShaK(8)));
+  ShaRounds(state0, state1, _mm_add_epi32(msg3, ShaK(12)));
+  for (int i = 16; i < 64; i += 16) {
+    ShaExpand(msg0, msg1, msg2, msg3);
+    ShaRounds(state0, state1, _mm_add_epi32(msg0, ShaK(i)));
+    ShaExpand(msg1, msg2, msg3, msg0);
+    ShaRounds(state0, state1, _mm_add_epi32(msg1, ShaK(i + 4)));
+    ShaExpand(msg2, msg3, msg0, msg1);
+    ShaRounds(state0, state1, _mm_add_epi32(msg2, ShaK(i + 8)));
+    ShaExpand(msg3, msg0, msg1, msg2);
+    ShaRounds(state0, state1, _mm_add_epi32(msg3, ShaK(i + 12)));
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE -> EFGH order below
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool HaveShaNi() {
+  static const bool have = __builtin_cpu_supports("sha");
+  return have;
+}
+#endif  // PROVNET_SHA_NI
 
 }  // namespace
 
@@ -38,6 +128,12 @@ void Sha256::Reset() {
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
+#if PROVNET_SHA_NI
+  if (HaveShaNi()) {
+    ProcessBlockShaNi(state_, block);
+    return;
+  }
+#endif
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<uint32_t>(block[i * 4]) << 24 |

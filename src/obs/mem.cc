@@ -18,6 +18,10 @@ const char* MemSubsystemName(MemSubsystem s) {
       return "trace_ring";
     case MemSubsystem::kQuerySessions:
       return "query_sessions";
+    case MemSubsystem::kProvArena:
+      return "prov_arena";
+    case MemSubsystem::kArchivePages:
+      return "archive_pages";
     case MemSubsystem::kNumSubsystems:
       break;
   }

@@ -38,6 +38,8 @@ enum class MemSubsystem : uint8_t {
   kNetworkQueues,        // queued wire messages
   kTraceRing,            // Tracer ring-buffer capacity
   kQuerySessions,        // in-flight ProvQuery session state
+  kProvArena,            // hash-consed derivation arena (src/store/arena.*)
+  kArchivePages,         // offline-archive page buffers + LRU cache
   kNumSubsystems,
 };
 

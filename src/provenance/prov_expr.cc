@@ -77,6 +77,19 @@ ProvExpr ProvExpr::Times(const ProvExpr& a, const ProvExpr& b) {
   return out;
 }
 
+ProvExpr ProvExpr::PlusRaw(const ProvExpr& a, const ProvExpr& b) {
+  if (a.IsZero()) return b;
+  if (b.IsZero()) return a;
+  return ProvExpr(
+      std::make_shared<const Node>(ProvExprKind::kPlus, 0, a.node_, b.node_));
+}
+
+ProvExpr ProvExpr::TimesRaw(const ProvExpr& a, const ProvExpr& b) {
+  if (a.IsZero() || b.IsZero()) return Zero();
+  return ProvExpr(
+      std::make_shared<const Node>(ProvExprKind::kTimes, 0, a.node_, b.node_));
+}
+
 ProvExprKind ProvExpr::kind() const {
   return node_ == nullptr ? ProvExprKind::kZero : node_->kind;
 }

@@ -49,6 +49,17 @@ class ProvExpr {
   static ProvExpr Plus(const ProvExpr& a, const ProvExpr& b);
   static ProvExpr Times(const ProvExpr& a, const ProvExpr& b);
 
+  // Structure-preserving variants for the derivation arena's interner
+  // (store/arena.*): the annihilator shortcuts (0+x, 0*x) still apply, but
+  // no node is ever *elided* — in particular Plus builds a union node even
+  // when both operands are the same physical node. The arena rebuilds
+  // expressions with maximal sharing, so operands that used to be
+  // structurally-equal-but-distinct become pointer-equal; letting the
+  // factory's physical-identity idempotence fire there would collapse
+  // genuinely distinct alternatives and change DerivationCount.
+  static ProvExpr PlusRaw(const ProvExpr& a, const ProvExpr& b);
+  static ProvExpr TimesRaw(const ProvExpr& a, const ProvExpr& b);
+
   ProvExprKind kind() const;
   bool IsZero() const { return kind() == ProvExprKind::kZero; }
   bool IsOne() const { return kind() == ProvExprKind::kOne; }

@@ -52,6 +52,11 @@ BigInt DerivationCountExact(const ProvExpr& expr) {
   return CountExactRec(expr, memo);
 }
 
+BigInt DerivationCountExact(const ProvExpr& expr,
+                            std::unordered_map<const void*, BigInt>* memo) {
+  return CountExactRec(expr, *memo);
+}
+
 uint64_t DerivationCount(const ProvExpr& expr) {
   BigInt exact = DerivationCountExact(expr);
   if (exact.Compare(BigInt::FromU64(UINT64_MAX)) > 0) return UINT64_MAX;

@@ -106,6 +106,14 @@ uint64_t DerivationCount(const ProvExpr& expr);
 // even when the count itself is astronomical.
 BigInt DerivationCountExact(const ProvExpr& expr);
 
+// As above but memoizing into a caller-owned table, so entries survive
+// across calls. Only sound when the node identities the table keys on stay
+// alive and stable for its lifetime — the derivation arena's interned
+// expressions (store/arena.*) are the intended caller; repeated queries
+// against the same interned sub-proofs then reuse counts.
+BigInt DerivationCountExact(const ProvExpr& expr,
+                            std::unordered_map<const void*, BigInt>* memo);
+
 }  // namespace provnet
 
 #endif  // PROVNET_PROVENANCE_SEMIRING_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "store/archive.h"
 #include "util/strings.h"
 
 namespace provnet {
@@ -144,73 +145,62 @@ std::vector<TupleDigest> OnlineProvStore::DependentsOf(
   return out;
 }
 
+OfflineProvStore::OfflineProvStore()
+    : archive_(std::make_unique<store::ProvArchive>()) {
+  // Memory-resident archive; cannot fail with the defaults.
+  (void)archive_->Open("", store::ArchiveOptions{});
+}
+
+OfflineProvStore::~OfflineProvStore() = default;
+
+Status OfflineProvStore::Open(const std::string& path, size_t page_bytes,
+                              size_t cache_pages) {
+  auto fresh = std::make_unique<store::ProvArchive>();
+  store::ArchiveOptions options;
+  options.page.page_bytes = page_bytes;
+  options.page.cache_pages = cache_pages;
+  PROVNET_RETURN_IF_ERROR(fresh->Open(path, options));
+  archive_ = std::move(fresh);
+  return OkStatus();
+}
+
 void OfflineProvStore::Add(const ProvRecord& record) {
-  by_digest_[DigestOf(record.tuple)].push_back(records_.size());
-  records_.push_back(record);
+  archive_->Add(record);
 }
 
 size_t OfflineProvStore::EvictOlderThan(double cutoff) {
-  std::vector<ProvRecord> kept;
-  kept.reserve(records_.size());
-  size_t evicted = 0;
-  for (ProvRecord& rec : records_) {
-    if (rec.created_at < cutoff && !rec.persist) {
-      ++evicted;
-    } else {
-      kept.push_back(std::move(rec));
-    }
-  }
-  records_ = std::move(kept);
-  by_digest_.clear();
-  for (size_t i = 0; i < records_.size(); ++i) {
-    by_digest_[DigestOf(records_[i].tuple)].push_back(i);
-  }
-  return evicted;
+  return archive_->EvictOlderThan(cutoff);
 }
 
 size_t OfflineProvStore::MarkPersistent(TupleDigest digest) {
-  auto it = by_digest_.find(digest);
-  if (it == by_digest_.end()) return 0;
-  for (size_t idx : it->second) records_[idx].persist = true;
-  return it->second.size();
+  return archive_->MarkPersistent(digest);
 }
 
-std::vector<const ProvRecord*> OfflineProvStore::FindByDigest(
+std::vector<ProvRecord> OfflineProvStore::FindByDigest(
     TupleDigest digest) const {
-  std::vector<const ProvRecord*> out;
-  auto it = by_digest_.find(digest);
-  if (it == by_digest_.end()) return out;
-  out.reserve(it->second.size());
-  for (size_t idx : it->second) out.push_back(&records_[idx]);
-  return out;
+  return archive_->FindByDigest(digest);
 }
 
-std::vector<const ProvRecord*> OfflineProvStore::FindByPredicate(
+std::vector<ProvRecord> OfflineProvStore::FindByPredicate(
     const std::string& predicate) const {
-  std::vector<const ProvRecord*> out;
-  for (const ProvRecord& rec : records_) {
-    if (rec.tuple.predicate() == predicate) out.push_back(&rec);
-  }
-  return out;
+  return archive_->FindByPredicate(predicate);
 }
 
-std::vector<const ProvRecord*> OfflineProvStore::FindInWindow(
-    double from, double to) const {
-  std::vector<const ProvRecord*> out;
-  for (const ProvRecord& rec : records_) {
-    if (rec.created_at >= from && rec.created_at < to) out.push_back(&rec);
-  }
-  return out;
+std::vector<ProvRecord> OfflineProvStore::FindInWindow(double from,
+                                                       double to) const {
+  return archive_->FindInWindow(from, to);
 }
 
-size_t OfflineProvStore::ApproxBytes() const {
-  size_t total = 0;
-  for (const ProvRecord& rec : records_) {
-    ByteWriter w;
-    rec.Serialize(w);
-    total += w.size();
-  }
-  return total;
-}
+size_t OfflineProvStore::size() const { return archive_->size(); }
+
+size_t OfflineProvStore::ApproxBytes() const { return archive_->ApproxBytes(); }
+
+Status OfflineProvStore::Flush() { return archive_->Flush(); }
+
+uint64_t OfflineProvStore::DiskBytes() const { return archive_->DiskBytes(); }
+
+bool OfflineProvStore::on_disk() const { return archive_->on_disk(); }
+
+store::ArchiveIo OfflineProvStore::TakeIo() const { return archive_->TakeIo(); }
 
 }  // namespace provnet

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -22,9 +23,14 @@
 
 #include "crypto/keystore.h"
 #include "datalog/tuple.h"
+#include "store/pagefile.h"
 #include "util/status.h"
 
 namespace provnet {
+
+namespace store {
+class ProvArchive;  // store/archive.h (depends back on ProvRecord)
+}  // namespace store
 
 // Stable identifier of a tuple instance for cross-node pointers: the hash of
 // its content. (Distinct tuples colliding is harmless for the simulation;
@@ -95,9 +101,24 @@ class OnlineProvStore {
   size_t count_ = 0;
 };
 
-// Offline archive with aging.
+// Offline archive with aging. Since ISSUE 9 this is a thin facade over the
+// durable paged archive (store/archive.*): records live in varint-encoded
+// page frames — memory-resident by default, on disk when Open() is given a
+// path — and queries decode them on demand through the page cache. The
+// facade exists so provenance/ does not depend on store/archive.h (which
+// depends back on ProvRecord) and so pre-archive callers keep compiling:
+// the Find* family now returns decoded records by value.
 class OfflineProvStore {
  public:
+  OfflineProvStore();  // memory-resident archive
+  ~OfflineProvStore();
+
+  // Re-binds the store to an on-disk archive at `path`, replaying any
+  // existing log (crash recovery: a torn final record is truncated away).
+  // Records added before Open() are not carried over — the engine opens
+  // archives at Init, before any fact flows.
+  Status Open(const std::string& path, size_t page_bytes, size_t cache_pages);
+
   void Add(const ProvRecord& record);
 
   // Ages out records created before `cutoff` unless persist-marked.
@@ -108,19 +129,26 @@ class OfflineProvStore {
   // them forensically interesting). Returns how many were marked.
   size_t MarkPersistent(TupleDigest digest);
 
-  // Query interface for forensics.
-  std::vector<const ProvRecord*> FindByDigest(TupleDigest digest) const;
-  std::vector<const ProvRecord*> FindByPredicate(
-      const std::string& predicate) const;
-  std::vector<const ProvRecord*> FindInWindow(double from, double to) const;
+  // Query interface for forensics: decoded records in append order.
+  std::vector<ProvRecord> FindByDigest(TupleDigest digest) const;
+  std::vector<ProvRecord> FindByPredicate(const std::string& predicate) const;
+  std::vector<ProvRecord> FindInWindow(double from, double to) const;
 
-  size_t size() const { return records_.size(); }
-  // Approximate storage footprint in bytes (for the storage-overhead bench).
+  size_t size() const;
+  // Approximate storage footprint in bytes (for the storage-overhead bench):
+  // live record payload bytes in the archive.
   size_t ApproxBytes() const;
 
+  // Durability surface (no-ops / zeros for the memory-resident default).
+  Status Flush();
+  uint64_t DiskBytes() const;
+  bool on_disk() const;
+
+  // Page read/write/compaction deltas since the last call.
+  store::ArchiveIo TakeIo() const;
+
  private:
-  std::vector<ProvRecord> records_;
-  std::unordered_map<TupleDigest, std::vector<size_t>> by_digest_;
+  std::unique_ptr<store::ProvArchive> archive_;
 };
 
 }  // namespace provnet

@@ -7,6 +7,7 @@
 
 #include "provenance/semiring.h"
 #include "query/session.h"
+#include "store/arena.h"
 #include "util/hash.h"
 #include "util/strings.h"
 
@@ -213,6 +214,7 @@ uint64_t QueryResult::DerivationCount() const {
 }
 
 BigInt QueryResult::DerivationCountExact() const {
+  if (arena != nullptr) return arena->CountExact(annotation);
   return provnet::DerivationCountExact(annotation);
 }
 
@@ -625,6 +627,7 @@ Result<QueryResult> ProvQuery::Run() {
   PROVNET_RETURN_IF_ERROR(result.status());
   QueryResult out = std::move(result).value();
   out.annotation = out.dag.Annotation(engine.registry(), grain_);
+  out.arena = engine.arena();
   out.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -166,9 +166,16 @@ struct QueryResult {
   // record legitimately count exponentially many derivations, so the
   // machine-word view clamps instead of wrapping mod 2^64.
   uint64_t DerivationCount() const;
-  // The exact count in arbitrary precision (src/bignum).
+  // The exact count in arbitrary precision (src/bignum). Routed through
+  // the queried engine's hash-consing arena when one exists (kFull): the
+  // annotation is interned first, so repeated counts — across queries and
+  // across tuples sharing sub-proofs — reuse the arena's persistent memo.
   BigInt DerivationCountExact() const;
   CondensedProv Condensed() const;
+
+  // Non-owning; set by ProvQuery::Run from Engine::arena() (null outside
+  // kFull). Must not outlive the engine.
+  store::ProvArena* arena = nullptr;
 };
 
 struct ProvQuerySession;  // internal wire-walk state (query/session.h)

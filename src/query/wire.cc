@@ -175,12 +175,10 @@ std::vector<ProvRecord> Engine::ProvRecordsAt(NodeId node, TupleDigest digest,
   const std::vector<ProvRecord>* online =
       contexts_[node]->online_store().Lookup(digest);
   if (online != nullptr) return *online;
-  std::vector<ProvRecord> out;
-  for (const ProvRecord* rec :
-       contexts_[node]->offline_store().FindByDigest(digest)) {
-    out.push_back(*rec);
-  }
+  std::vector<ProvRecord> out =
+      contexts_[node]->offline_store().FindByDigest(digest);
   if (offline_hit != nullptr && !out.empty()) *offline_hit = true;
+  RecordArchiveIo(node);
   return out;
 }
 

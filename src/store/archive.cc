@@ -1,0 +1,406 @@
+#include "store/archive.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace provnet::store {
+
+namespace {
+
+enum FrameType : uint8_t {
+  kHeader = 0,   // magic + version + generation
+  kString = 1,   // interned string (id = arrival order)
+  kRecord = 2,   // one ProvRecord, id-interned encoding
+  kEvict = 3,    // EvictOlderThan cutoff (replayed logically)
+  kPersist = 4,  // MarkPersistent digest (replayed logically)
+};
+
+constexpr const char* kMagic = "provarch";
+constexpr uint64_t kVersion = 1;
+// Frame trailer: 8-byte checksum.
+constexpr size_t kChecksumBytes = 8;
+
+uint64_t FrameChecksum(uint8_t type, const uint8_t* payload, size_t len) {
+  // Mix the type in so a frame whose payload survives a torn write but
+  // whose type byte flipped still fails verification.
+  return Fnv1a64(payload, len) ^ (0x9E3779B97F4A7C15ull * (type + 1));
+}
+
+}  // namespace
+
+Status ProvArchive::Open(const std::string& path, ArchiveOptions options) {
+  options_ = options;
+  PROVNET_RETURN_IF_ERROR(file_.Open(path, options.page));
+  if (file_.end_offset() == 0) {
+    ByteWriter w;
+    w.PutString(kMagic);
+    w.PutVarint(kVersion);
+    w.PutVarint(generation_);
+    AppendFrame(kHeader, std::move(w).Take(), nullptr);
+    return OkStatus();
+  }
+  return Replay();
+}
+
+void ProvArchive::AppendFrame(uint8_t type, const Bytes& payload,
+                              uint64_t* payload_offset) {
+  ByteWriter w;
+  w.PutU8(type);
+  w.PutVarint(payload.size());
+  size_t header_len = w.size();
+  w.PutRaw(payload.data(), payload.size());
+  w.PutU64(FrameChecksum(type, payload.data(), payload.size()));
+  Bytes frame = std::move(w).Take();
+  uint64_t at;
+  if (building_ != nullptr) {
+    at = building_->size();
+    building_->insert(building_->end(), frame.begin(), frame.end());
+  } else {
+    at = file_.Append(frame.data(), frame.size());
+  }
+  if (payload_offset != nullptr) *payload_offset = at + header_len;
+}
+
+uint32_t ProvArchive::InternString(const std::string& s) {
+  auto it = string_ids_.find(s);
+  if (it != string_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.push_back(s);
+  string_ids_.emplace(s, id);
+  Bytes payload(s.begin(), s.end());
+  AppendFrame(kString, payload, nullptr);
+  return id;
+}
+
+void ProvArchive::EncodeRecord(const ProvRecord& record, ByteWriter& out) {
+  // Strings are interned first so their frames precede this record's frame
+  // in the log — replay then always resolves every id.
+  out.PutVarint(InternString(record.tuple.predicate()));
+  out.PutVarint(record.tuple.arity());
+  for (const Value& v : record.tuple.args()) v.Serialize(out);
+  out.PutVarint(InternString(record.rule));
+  out.PutVarint(record.location);
+  out.PutVarint(InternString(record.asserted_by));
+  out.PutDouble(record.created_at);
+  out.PutDouble(record.expires_at);
+  out.PutU8(record.persist ? 1 : 0);
+  out.PutVarint(record.children.size());
+  for (const ProvChildRef& c : record.children) {
+    out.PutVarint(c.node);
+    out.PutU64(c.digest);
+    out.PutU8(c.is_base ? 1 : 0);
+    if (c.is_base) {
+      out.PutVarint(InternString(c.base_tuple.predicate()));
+      out.PutVarint(c.base_tuple.arity());
+      for (const Value& v : c.base_tuple.args()) v.Serialize(out);
+    }
+    out.PutVarint(InternString(c.asserted_by));
+  }
+}
+
+Result<ProvRecord> ProvArchive::DecodeRecord(const uint8_t* data,
+                                             size_t len) const {
+  ByteReader in(data, len);
+  auto get_string = [this](uint64_t id) -> Result<std::string> {
+    if (id >= strings_.size()) {
+      return InvalidArgumentError("archive string id out of range");
+    }
+    return strings_[static_cast<size_t>(id)];
+  };
+  auto get_tuple = [&](ByteReader& r) -> Result<Tuple> {
+    PROVNET_ASSIGN_OR_RETURN(uint64_t pred_id, r.GetVarint());
+    PROVNET_ASSIGN_OR_RETURN(std::string pred, get_string(pred_id));
+    PROVNET_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint());
+    if (arity > r.remaining()) return InvalidArgumentError("bad arity");
+    std::vector<Value> args;
+    args.reserve(static_cast<size_t>(arity));
+    for (uint64_t i = 0; i < arity; ++i) {
+      PROVNET_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+      args.push_back(std::move(v));
+    }
+    return Tuple(std::move(pred), std::move(args));
+  };
+
+  ProvRecord rec;
+  PROVNET_ASSIGN_OR_RETURN(rec.tuple, get_tuple(in));
+  PROVNET_ASSIGN_OR_RETURN(uint64_t rule_id, in.GetVarint());
+  PROVNET_ASSIGN_OR_RETURN(rec.rule, get_string(rule_id));
+  PROVNET_ASSIGN_OR_RETURN(uint64_t location, in.GetVarint());
+  rec.location = static_cast<NodeId>(location);
+  PROVNET_ASSIGN_OR_RETURN(uint64_t asserted_id, in.GetVarint());
+  PROVNET_ASSIGN_OR_RETURN(rec.asserted_by, get_string(asserted_id));
+  PROVNET_ASSIGN_OR_RETURN(rec.created_at, in.GetDouble());
+  PROVNET_ASSIGN_OR_RETURN(rec.expires_at, in.GetDouble());
+  PROVNET_ASSIGN_OR_RETURN(uint8_t persist, in.GetU8());
+  rec.persist = persist != 0;
+  PROVNET_ASSIGN_OR_RETURN(uint64_t n, in.GetVarint());
+  if (n > in.remaining()) return InvalidArgumentError("too many children");
+  for (uint64_t i = 0; i < n; ++i) {
+    ProvChildRef ref;
+    PROVNET_ASSIGN_OR_RETURN(uint64_t node, in.GetVarint());
+    ref.node = static_cast<NodeId>(node);
+    PROVNET_ASSIGN_OR_RETURN(ref.digest, in.GetU64());
+    PROVNET_ASSIGN_OR_RETURN(uint8_t base, in.GetU8());
+    ref.is_base = base != 0;
+    if (ref.is_base) {
+      PROVNET_ASSIGN_OR_RETURN(ref.base_tuple, get_tuple(in));
+    }
+    PROVNET_ASSIGN_OR_RETURN(uint64_t child_asserted, in.GetVarint());
+    PROVNET_ASSIGN_OR_RETURN(ref.asserted_by, get_string(child_asserted));
+    rec.children.push_back(std::move(ref));
+  }
+  return rec;
+}
+
+Result<ProvRecord> ProvArchive::DecodeSlot(const Slot& slot) const {
+  Bytes payload;
+  if (!file_.Read(slot.offset, slot.len, &payload)) {
+    return InternalError("archive payload read failed");
+  }
+  PROVNET_ASSIGN_OR_RETURN(ProvRecord rec,
+                           DecodeRecord(payload.data(), payload.size()));
+  // MarkPersistent flips the slot, not the stored bytes; surface the live
+  // value so callers see the same record the in-memory store would hold.
+  rec.persist = slot.persist;
+  return rec;
+}
+
+void ProvArchive::Add(const ProvRecord& record) {
+  ByteWriter w;
+  EncodeRecord(record, w);
+  Bytes payload = std::move(w).Take();
+  Slot slot;
+  slot.len = static_cast<uint32_t>(payload.size());
+  slot.digest = DigestOf(record.tuple);
+  slot.pred_id = string_ids_.at(record.tuple.predicate());
+  slot.created_at = record.created_at;
+  slot.persist = record.persist;
+  AppendFrame(kRecord, payload, &slot.offset);
+  by_digest_[slot.digest].push_back(slots_.size());
+  live_bytes_ += slot.len;
+  ++live_count_;
+  slots_.push_back(slot);
+}
+
+size_t ProvArchive::ApplyEvict(double cutoff) {
+  size_t evicted = 0;
+  for (Slot& slot : slots_) {
+    if (slot.dead || slot.persist || slot.created_at >= cutoff) continue;
+    slot.dead = true;
+    ++evicted;
+    --live_count_;
+    ++dead_count_;
+    live_bytes_ -= slot.len;
+  }
+  return evicted;
+}
+
+size_t ProvArchive::EvictOlderThan(double cutoff) {
+  size_t evicted = ApplyEvict(cutoff);
+  ByteWriter w;
+  w.PutDouble(cutoff);
+  AppendFrame(kEvict, std::move(w).Take(), nullptr);
+  MaybeCompact();
+  return evicted;
+}
+
+size_t ProvArchive::ApplyPersist(TupleDigest digest) {
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return 0;
+  size_t marked = 0;
+  for (size_t idx : it->second) {
+    if (slots_[idx].dead) continue;
+    slots_[idx].persist = true;
+    ++marked;
+  }
+  return marked;
+}
+
+size_t ProvArchive::MarkPersistent(TupleDigest digest) {
+  size_t marked = ApplyPersist(digest);
+  ByteWriter w;
+  w.PutU64(digest);
+  AppendFrame(kPersist, std::move(w).Take(), nullptr);
+  return marked;
+}
+
+std::vector<ProvRecord> ProvArchive::FindByDigest(TupleDigest digest) const {
+  std::vector<ProvRecord> out;
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return out;
+  for (size_t idx : it->second) {
+    if (slots_[idx].dead) continue;
+    Result<ProvRecord> rec = DecodeSlot(slots_[idx]);
+    if (rec.ok()) out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+std::vector<ProvRecord> ProvArchive::FindByPredicate(
+    const std::string& predicate) const {
+  std::vector<ProvRecord> out;
+  auto id = string_ids_.find(predicate);
+  if (id == string_ids_.end()) return out;
+  for (const Slot& slot : slots_) {
+    if (slot.dead || slot.pred_id != id->second) continue;
+    Result<ProvRecord> rec = DecodeSlot(slot);
+    if (rec.ok()) out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+std::vector<ProvRecord> ProvArchive::FindInWindow(double from,
+                                                  double to) const {
+  std::vector<ProvRecord> out;
+  for (const Slot& slot : slots_) {
+    if (slot.dead || slot.created_at < from || slot.created_at >= to) continue;
+    Result<ProvRecord> rec = DecodeSlot(slot);
+    if (rec.ok()) out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+void ProvArchive::MaybeCompact() {
+  if (dead_count_ <= live_count_ || dead_count_ < options_.compact_min_dead) {
+    return;
+  }
+  // Decode every survivor before resetting the index — they become the new
+  // snapshot, appended in their original order.
+  std::vector<ProvRecord> live;
+  live.reserve(live_count_);
+  for (const Slot& slot : slots_) {
+    if (slot.dead) continue;
+    Result<ProvRecord> rec = DecodeSlot(slot);
+    if (rec.ok()) live.push_back(std::move(rec).value());
+  }
+  ++generation_;
+  strings_.clear();
+  string_ids_.clear();
+  slots_.clear();
+  by_digest_.clear();
+  live_count_ = 0;
+  live_bytes_ = 0;
+  dead_count_ = 0;
+
+  Bytes snapshot;
+  building_ = &snapshot;
+  ByteWriter header;
+  header.PutString(kMagic);
+  header.PutVarint(kVersion);
+  header.PutVarint(generation_);
+  AppendFrame(kHeader, std::move(header).Take(), nullptr);
+  for (const ProvRecord& rec : live) Add(rec);
+  building_ = nullptr;
+  (void)file_.Rewrite(snapshot);
+  ++compactions_;
+}
+
+Status ProvArchive::Replay() {
+  uint64_t pos = 0;
+  uint64_t end = file_.end_offset();
+  bool saw_header = false;
+  while (pos < end) {
+    // Frame header: type byte + length varint (at most 1 + 10 bytes).
+    size_t probe = static_cast<size_t>(std::min<uint64_t>(11, end - pos));
+    Bytes head;
+    if (!file_.Read(pos, probe, &head)) break;
+    ByteReader hr(head);
+    Result<uint8_t> type = hr.GetU8();
+    Result<uint64_t> len = type.ok() ? hr.GetVarint() : Result<uint64_t>(
+                                           InvalidArgumentError("no header"));
+    if (!type.ok() || !len.ok()) break;
+    uint64_t header_len = hr.position();
+    uint64_t payload_at = pos + header_len;
+    uint64_t frame_end = payload_at + *len + kChecksumBytes;
+    if (frame_end > end) break;  // torn tail: frame extends past the log
+    Bytes body;
+    if (!file_.Read(payload_at, static_cast<size_t>(*len) + kChecksumBytes,
+                    &body)) {
+      break;
+    }
+    ByteReader cr(body.data() + *len, kChecksumBytes);
+    Result<uint64_t> stored = cr.GetU64();
+    if (!stored.ok() ||
+        *stored != FrameChecksum(*type, body.data(),
+                                 static_cast<size_t>(*len))) {
+      break;  // torn or corrupt frame
+    }
+    ByteReader pr(body.data(), static_cast<size_t>(*len));
+    if (!saw_header && *type != kHeader) break;  // header must come first
+    bool ok = true;
+    switch (*type) {
+      case kHeader: {
+        Result<std::string> magic = pr.GetString();
+        ok = magic.ok() && *magic == kMagic;
+        if (ok) {
+          Result<uint64_t> version = pr.GetVarint();
+          ok = version.ok() && *version == kVersion;
+        }
+        if (ok) {
+          Result<uint64_t> gen = pr.GetVarint();
+          ok = gen.ok();
+          if (ok) generation_ = *gen;
+        }
+        saw_header = ok;
+        break;
+      }
+      case kString: {
+        std::string s(body.begin(), body.begin() + static_cast<long>(*len));
+        uint32_t id = static_cast<uint32_t>(strings_.size());
+        strings_.push_back(s);
+        string_ids_.emplace(std::move(s), id);
+        break;
+      }
+      case kRecord: {
+        Result<ProvRecord> rec = DecodeRecord(body.data(),
+                                              static_cast<size_t>(*len));
+        ok = rec.ok();
+        if (ok) {
+          Slot slot;
+          slot.offset = payload_at;
+          slot.len = static_cast<uint32_t>(*len);
+          slot.digest = DigestOf(rec->tuple);
+          slot.pred_id = string_ids_.at(rec->tuple.predicate());
+          slot.created_at = rec->created_at;
+          slot.persist = rec->persist;
+          by_digest_[slot.digest].push_back(slots_.size());
+          live_bytes_ += slot.len;
+          ++live_count_;
+          slots_.push_back(slot);
+        }
+        break;
+      }
+      case kEvict: {
+        Result<double> cutoff = pr.GetDouble();
+        ok = cutoff.ok();
+        if (ok) ApplyEvict(*cutoff);
+        break;
+      }
+      case kPersist: {
+        Result<uint64_t> digest = pr.GetU64();
+        ok = digest.ok();
+        if (ok) ApplyPersist(*digest);
+        break;
+      }
+      default:
+        ok = false;
+    }
+    if (!ok) break;  // undecodable frame: treat like a torn tail
+    pos = frame_end;
+  }
+  // Drop everything from the first bad frame on. If even the header was
+  // unreadable the archive restarts empty (the log was corrupt at birth).
+  PROVNET_RETURN_IF_ERROR(file_.TruncateTo(pos));
+  if (!saw_header) {
+    ByteWriter w;
+    w.PutString(kMagic);
+    w.PutVarint(kVersion);
+    w.PutVarint(generation_);
+    AppendFrame(kHeader, std::move(w).Take(), nullptr);
+  }
+  return OkStatus();
+}
+
+}  // namespace provnet::store

@@ -1,0 +1,650 @@
+// Durable provenance store (ISSUE 9): the paged byte log, the framed
+// archive on top of it, the hash-consed derivation arena, and the engine's
+// end-to-end crash recovery.
+//
+// The oracles:
+//   * byte-log     - PageFile round-trips appended bytes through the page
+//     boundary, survives a reopen byte-for-byte, truncates and atomically
+//     rewrites; the LRU read cache never changes what a read returns;
+//   * archive      - ProvArchive decodes records identical (serialized
+//     bytes) to what was added, replays its log on reopen including evict
+//     and persist frames, compacts dead records away, and truncates a torn
+//     tail instead of failing recovery;
+//   * arena        - Canonical() interns structurally-equal derivations to
+//     one id, the expression/count/wire/annotation/decode caches answer
+//     what was put in them and nothing else;
+//   * crash        - a full-provenance engine restarted over its archive
+//     directory answers the same distributed provenance query with
+//     byte-identical ProofDag CanonicalBytes, without re-running the
+//     protocol — even when the log tail was torn mid-frame.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/programs.h"
+#include "core/engine.h"
+#include "net/topology.h"
+#include "provenance/derivation.h"
+#include "provenance/semiring.h"
+#include "provenance/store.h"
+#include "query/provquery.h"
+#include "store/archive.h"
+#include "store/arena.h"
+#include "store/pagefile.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace provnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test, removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() /
+              ("provnet_store_test_" + name + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string File(const std::string& leaf) const {
+    return (path_ / leaf).string();
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+Bytes Payload(uint8_t tag, size_t len) {
+  Bytes out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(tag + i * 7);
+  }
+  return out;
+}
+
+// --- PageFile ---------------------------------------------------------------
+
+TEST(PageFileTest, MemoryModeRoundTripsAcrossPageBoundaries) {
+  store::PageFile file;
+  ASSERT_TRUE(file.Open("", {.page_bytes = 64, .cache_pages = 4}).ok());
+  EXPECT_FALSE(file.on_disk());
+
+  std::vector<std::pair<uint64_t, Bytes>> written;
+  for (uint8_t i = 0; i < 10; ++i) {
+    Bytes b = Payload(i, 40 + i * 11);  // lengths straddle the 64B pages
+    written.emplace_back(file.Append(b.data(), b.size()), b);
+  }
+  EXPECT_EQ(file.end_offset(), written.back().first + written.back().second.size());
+
+  for (const auto& [off, bytes] : written) {
+    Bytes back;
+    ASSERT_TRUE(file.Read(off, bytes.size(), &back));
+    EXPECT_EQ(back, bytes);
+  }
+  // Out-of-range reads fail instead of fabricating bytes.
+  Bytes back;
+  EXPECT_FALSE(file.Read(file.end_offset(), 1, &back));
+  EXPECT_EQ(file.DiskBytes(), 0u);  // memory mode never touches disk
+}
+
+TEST(PageFileTest, DiskModePersistsAcrossReopen) {
+  TempDir dir("pagefile_reopen");
+  const std::string path = dir.File("log.pages");
+  Bytes a = Payload(1, 100), b = Payload(2, 200);
+  uint64_t off_a, off_b, end;
+  {
+    store::PageFile file;
+    ASSERT_TRUE(file.Open(path, {.page_bytes = 64, .cache_pages = 4}).ok());
+    EXPECT_TRUE(file.on_disk());
+    off_a = file.Append(a.data(), a.size());
+    off_b = file.Append(b.data(), b.size());
+    end = file.end_offset();
+    ASSERT_TRUE(file.Flush().ok());
+    EXPECT_GT(file.DiskBytes(), 0u);
+  }
+  store::PageFile file;
+  ASSERT_TRUE(file.Open(path, {.page_bytes = 64, .cache_pages = 4}).ok());
+  EXPECT_EQ(file.end_offset(), end);  // resumes exactly where it stopped
+  Bytes back;
+  ASSERT_TRUE(file.Read(off_a, a.size(), &back));
+  EXPECT_EQ(back, a);
+  ASSERT_TRUE(file.Read(off_b, b.size(), &back));
+  EXPECT_EQ(back, b);
+  // And appending after a reopen keeps the log consistent.
+  Bytes c = Payload(3, 77);
+  uint64_t off_c = file.Append(c.data(), c.size());
+  ASSERT_TRUE(file.Read(off_c, c.size(), &back));
+  EXPECT_EQ(back, c);
+}
+
+TEST(PageFileTest, TinyLruCacheNeverChangesReadResults) {
+  TempDir dir("pagefile_lru");
+  store::PageFile file;
+  // 2 cached pages over a log spanning ~30 pages: most reads miss.
+  ASSERT_TRUE(
+      file.Open(dir.File("log.pages"), {.page_bytes = 64, .cache_pages = 2})
+          .ok());
+  std::vector<std::pair<uint64_t, Bytes>> written;
+  for (int i = 0; i < 30; ++i) {
+    Bytes b = Payload(static_cast<uint8_t>(i), 60);
+    written.emplace_back(file.Append(b.data(), b.size()), b);
+  }
+  ASSERT_TRUE(file.Flush().ok());
+  (void)file.TakeIo();
+
+  // Alternate between far-apart offsets to churn the LRU.
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < written.size(); ++i) {
+      size_t pick = (i % 2 == 0) ? i / 2 : written.size() - 1 - i / 2;
+      Bytes back;
+      ASSERT_TRUE(file.Read(written[pick].first, written[pick].second.size(),
+                            &back));
+      EXPECT_EQ(back, written[pick].second);
+    }
+  }
+  EXPECT_GT(file.TakeIo().page_reads, 0u);  // the cache actually missed
+}
+
+TEST(PageFileTest, TruncateToDropsTail) {
+  store::PageFile file;
+  ASSERT_TRUE(file.Open("", {.page_bytes = 64, .cache_pages = 4}).ok());
+  Bytes a = Payload(1, 100), b = Payload(2, 100);
+  uint64_t off_a = file.Append(a.data(), a.size());
+  uint64_t off_b = file.Append(b.data(), b.size());
+  ASSERT_TRUE(file.TruncateTo(off_b).ok());
+  EXPECT_EQ(file.end_offset(), off_b);
+  Bytes back;
+  ASSERT_TRUE(file.Read(off_a, a.size(), &back));
+  EXPECT_EQ(back, a);
+  EXPECT_FALSE(file.Read(off_b, b.size(), &back));  // gone
+  // The truncated region is reusable.
+  Bytes c = Payload(3, 50);
+  uint64_t off_c = file.Append(c.data(), c.size());
+  EXPECT_EQ(off_c, off_b);
+  ASSERT_TRUE(file.Read(off_c, c.size(), &back));
+  EXPECT_EQ(back, c);
+}
+
+TEST(PageFileTest, RewriteReplacesLogAtomically) {
+  TempDir dir("pagefile_rewrite");
+  const std::string path = dir.File("log.pages");
+  store::PageFile file;
+  ASSERT_TRUE(file.Open(path, {.page_bytes = 64, .cache_pages = 4}).ok());
+  Bytes old = Payload(1, 300);
+  file.Append(old.data(), old.size());
+  ASSERT_TRUE(file.Flush().ok());
+
+  Bytes fresh = Payload(9, 150);
+  ASSERT_TRUE(file.Rewrite(fresh).ok());
+  EXPECT_EQ(file.end_offset(), fresh.size());
+  Bytes back;
+  ASSERT_TRUE(file.Read(0, fresh.size(), &back));
+  EXPECT_EQ(back, fresh);
+
+  // No .tmp litter, and a reopen sees only the new log.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  store::PageFile again;
+  ASSERT_TRUE(again.Open(path, {.page_bytes = 64, .cache_pages = 4}).ok());
+  EXPECT_EQ(again.end_offset(), fresh.size());
+  ASSERT_TRUE(again.Read(0, fresh.size(), &back));
+  EXPECT_EQ(back, fresh);
+}
+
+// --- ProvArchive ------------------------------------------------------------
+
+ProvRecord MakeRecord(const Tuple& t, const std::string& rule, NodeId loc,
+                      const Principal& who, double created) {
+  ProvRecord rec;
+  rec.tuple = t;
+  rec.rule = rule;
+  rec.location = loc;
+  rec.asserted_by = who;
+  rec.created_at = created;
+  return rec;
+}
+
+Bytes RecordBytes(const ProvRecord& rec) {
+  ByteWriter w;
+  rec.Serialize(w);
+  return w.bytes();
+}
+
+// The archive must reproduce records *byte-for-byte*, not just field-wise:
+// ProofDag identity across restarts depends on it.
+void ExpectSameRecords(const std::vector<ProvRecord>& got,
+                       const std::vector<ProvRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(RecordBytes(got[i]), RecordBytes(want[i])) << "record " << i;
+  }
+}
+
+store::ArchiveOptions SmallPages() {
+  store::ArchiveOptions opts;
+  opts.page.page_bytes = 128;
+  opts.page.cache_pages = 4;
+  return opts;
+}
+
+TEST(ProvArchiveTest, RoundTripsAllQueryAxes) {
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open("", SmallPages()).ok());
+
+  Tuple ta("link", {Value::Address(0), Value::Address(1)});
+  Tuple tb("bestPath", {Value::Address(0), Value::Address(2)});
+  ProvRecord ra = MakeRecord(ta, "base", 0, "n0", 1.0);
+  ProvRecord rb1 = MakeRecord(tb, "sp2", 0, "n0", 2.0);
+  ProvRecord rb2 = MakeRecord(tb, "sp2", 0, "n1", 3.0);
+  // One record with a remote child ref, to exercise child encoding.
+  ProvChildRef ref;
+  ref.node = 1;
+  ref.digest = DigestOf(ta);
+  ref.asserted_by = "n1";
+  rb2.children.push_back(ref);
+
+  archive.Add(ra);
+  archive.Add(rb1);
+  archive.Add(rb2);
+  EXPECT_EQ(archive.size(), 3u);
+  EXPECT_GT(archive.ApproxBytes(), 0u);
+
+  ExpectSameRecords(archive.FindByDigest(DigestOf(ta)), {ra});
+  ExpectSameRecords(archive.FindByDigest(DigestOf(tb)), {rb1, rb2});
+  ExpectSameRecords(archive.FindByPredicate("bestPath"), {rb1, rb2});
+  ExpectSameRecords(archive.FindInWindow(1.5, 2.5), {rb1});
+  EXPECT_TRUE(archive.FindByDigest(0xdeadbeef).empty());
+}
+
+TEST(ProvArchiveTest, EvictRespectsPersistMarks) {
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open("", SmallPages()).ok());
+  Tuple told("x", {Value::Int(1)});
+  Tuple tnew("x", {Value::Int(2)});
+  archive.Add(MakeRecord(told, "r", 0, "a", 1.0));
+  archive.Add(MakeRecord(tnew, "r", 0, "a", 5.0));
+
+  EXPECT_EQ(archive.MarkPersistent(DigestOf(told)), 1u);
+  EXPECT_EQ(archive.EvictOlderThan(4.0), 0u);  // persist-marked survives
+  EXPECT_EQ(archive.size(), 2u);
+
+  archive.Add(MakeRecord(Tuple("y", {Value::Int(3)}), "r", 0, "a", 2.0));
+  EXPECT_EQ(archive.EvictOlderThan(4.0), 1u);  // the unmarked old record
+  EXPECT_EQ(archive.size(), 2u);
+  EXPECT_EQ(archive.FindByDigest(DigestOf(told)).size(), 1u);
+  EXPECT_TRUE(archive.FindByPredicate("y").empty());
+}
+
+TEST(ProvArchiveTest, CompactionDropsDeadRecordsFromDisk) {
+  TempDir dir("archive_compact");
+  store::ArchiveOptions opts = SmallPages();
+  opts.compact_min_dead = 4;  // compact eagerly for the test
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open(dir.File("node0.prov"), opts).ok());
+
+  Tuple keep("keep", {Value::Int(0)});
+  archive.Add(MakeRecord(keep, "r", 0, "a", 100.0));
+  for (int i = 0; i < 32; ++i) {
+    archive.Add(MakeRecord(Tuple("junk", {Value::Int(i)}), "r", 0, "a", 1.0));
+  }
+  ASSERT_TRUE(archive.Flush().ok());
+  const uint64_t disk_before = archive.DiskBytes();
+  (void)archive.TakeIo();
+
+  EXPECT_EQ(archive.EvictOlderThan(50.0), 32u);
+  EXPECT_GE(archive.TakeIo().compactions, 1u);
+  ASSERT_TRUE(archive.Flush().ok());
+  EXPECT_LT(archive.DiskBytes(), disk_before);  // snapshot shed dead bytes
+
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_EQ(archive.FindByDigest(DigestOf(keep)).size(), 1u);
+  EXPECT_TRUE(archive.FindByPredicate("junk").empty());
+}
+
+TEST(ProvArchiveTest, ReopenReplaysRecordsEvictionsAndPersistMarks) {
+  TempDir dir("archive_reopen");
+  const std::string path = dir.File("node0.prov");
+  Tuple kept("kept", {Value::Int(1)});
+  Tuple marked("marked", {Value::Int(2)});
+  std::vector<ProvRecord> want_kept, want_marked;
+  {
+    store::ProvArchive archive;
+    ASSERT_TRUE(archive.Open(path, SmallPages()).ok());
+    ProvRecord rm = MakeRecord(marked, "r", 0, "a", 1.0);
+    ProvRecord rk = MakeRecord(kept, "r", 0, "a", 9.0);
+    archive.Add(rm);
+    archive.Add(MakeRecord(Tuple("aged", {Value::Int(3)}), "r", 0, "a", 1.5));
+    archive.Add(rk);
+    archive.MarkPersistent(DigestOf(marked));
+    archive.EvictOlderThan(5.0);  // drops "aged", keeps the marked record
+    ASSERT_TRUE(archive.Flush().ok());
+    // Fingerprint what the live archive answers (persist marks included):
+    // replay must reproduce exactly this.
+    want_marked = archive.FindByDigest(DigestOf(marked));
+    want_kept = archive.FindByDigest(DigestOf(kept));
+    EXPECT_EQ(archive.size(), 2u);
+  }
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open(path, SmallPages()).ok());
+  EXPECT_EQ(archive.size(), 2u);
+  ExpectSameRecords(archive.FindByDigest(DigestOf(kept)), want_kept);
+  ExpectSameRecords(archive.FindByDigest(DigestOf(marked)), want_marked);
+  EXPECT_TRUE(archive.FindByPredicate("aged").empty());
+  // Replayed persist marks still shield the record from further aging.
+  EXPECT_EQ(archive.EvictOlderThan(5.0), 0u);
+}
+
+// Append raw garbage to a finished log: a crash mid-frame leaves exactly
+// this shape (intact prefix + partial frame).
+void TearTail(const std::string& path, const Bytes& garbage) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(garbage.data(), 1, garbage.size(), f), garbage.size());
+  std::fclose(f);
+}
+
+TEST(ProvArchiveTest, TornTailGarbageIsTruncatedOnRecovery) {
+  TempDir dir("archive_torn_garbage");
+  const std::string path = dir.File("node0.prov");
+  Tuple t("x", {Value::Int(7)});
+  std::vector<ProvRecord> want;
+  {
+    store::ProvArchive archive;
+    ASSERT_TRUE(archive.Open(path, SmallPages()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ProvRecord rec = MakeRecord(t, "r", 0, "a", 1.0 + i);
+      archive.Add(rec);
+      want.push_back(rec);
+    }
+    ASSERT_TRUE(archive.Flush().ok());
+  }
+  TearTail(path, Payload(0xEE, 11));  // half-written frame at the tail
+
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open(path, SmallPages()).ok());  // recovery, not error
+  EXPECT_EQ(archive.size(), 5u);                       // intact prefix whole
+  ExpectSameRecords(archive.FindByDigest(DigestOf(t)), want);
+  // The archive is writable again after recovery.
+  archive.Add(MakeRecord(t, "r", 0, "a", 9.0));
+  EXPECT_EQ(archive.size(), 6u);
+}
+
+TEST(ProvArchiveTest, TornFinalRecordIsDroppedNotFatal) {
+  TempDir dir("archive_torn_record");
+  const std::string path = dir.File("node0.prov");
+  Tuple t("x", {Value::Int(7)});
+  {
+    store::ProvArchive archive;
+    ASSERT_TRUE(archive.Open(path, SmallPages()).ok());
+    for (int i = 0; i < 5; ++i) {
+      archive.Add(MakeRecord(t, "r", 0, "a", 1.0 + i));
+    }
+    ASSERT_TRUE(archive.Flush().ok());
+  }
+  // Chop bytes off the last frame's checksum: the record is torn.
+  fs::resize_file(path, fs::file_size(path) - 3);
+
+  store::ProvArchive archive;
+  ASSERT_TRUE(archive.Open(path, SmallPages()).ok());
+  EXPECT_EQ(archive.size(), 4u);  // every intact record survives
+  EXPECT_EQ(archive.FindByDigest(DigestOf(t)).size(), 4u);
+}
+
+// --- ProvArena --------------------------------------------------------------
+
+// Two structurally-identical trees built from distinct allocations.
+DerivationPtr BuildTree(double base_time) {
+  Tuple link("link", {Value::Address(0), Value::Address(1)});
+  Tuple path("path", {Value::Address(0), Value::Address(1)});
+  DerivationPtr leaf = MakeBaseDerivation(link, 0, "n0", base_time, -1.0);
+  return MakeRuleDerivation(path, "sp1", 0, "n0", base_time, -1.0, {leaf});
+}
+
+TEST(ProvArenaTest, CanonicalInternsStructurallyEqualTrees) {
+  store::ProvArena arena;
+  DerivationPtr first = BuildTree(1.0);
+  DerivationPtr second = BuildTree(1.0);  // equal content, different nodes
+  ASSERT_NE(first.get(), second.get());
+
+  store::DerivId id1 = 0, id2 = 0;
+  DerivationPtr canon1 = arena.Canonical(first, &id1);
+  DerivationPtr canon2 = arena.Canonical(second, &id2);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(canon1.get(), canon2.get());  // one owned copy, process-wide
+  EXPECT_EQ(arena.NodeCount(), 2u);       // leaf + rule node
+
+  store::ProvArena::Stats stats = arena.TakeStats();
+  EXPECT_EQ(stats.interned_nodes, 2u);
+  EXPECT_GE(stats.interned_hits, 2u);  // the whole second tree deduped
+
+  // All three id lookups agree.
+  EXPECT_EQ(arena.Lookup(id1).get(), canon1.get());
+  EXPECT_EQ(arena.IdOf(first->ContentDigest()), id1);
+  EXPECT_EQ(arena.IdOfOwned(canon1.get()), id1);
+  // `first` was adopted wholesale (its nodes ARE the arena's); the deduped
+  // second tree stays foreign to the identity map.
+  EXPECT_EQ(arena.IdOfOwned(second.get()), 0u);
+  EXPECT_EQ(arena.Lookup(0), nullptr);
+
+  // A different tree gets a different id.
+  store::DerivId id3 = 0;
+  arena.Canonical(BuildTree(2.0), &id3);
+  EXPECT_NE(id3, id1);
+}
+
+TEST(ProvArenaTest, CanonicalRebuildsParentsAroundOwnedChildren) {
+  store::ProvArena arena;
+  DerivationPtr child = BuildTree(1.0);
+  store::DerivId child_id = 0;
+  DerivationPtr owned_child = arena.Canonical(child, &child_id);
+
+  // A parent built over the *non-canonical* child must come out holding the
+  // arena's copy.
+  Tuple best("bestPath", {Value::Address(0), Value::Address(1)});
+  DerivationPtr parent =
+      MakeRuleDerivation(best, "sp3", 0, "n0", 2.0, -1.0, {child});
+  store::DerivId parent_id = 0;
+  DerivationPtr canon_parent = arena.Canonical(parent, &parent_id);
+  ASSERT_EQ(canon_parent->children.size(), 1u);
+  EXPECT_EQ(canon_parent->children[0].get(), owned_child.get());
+  // Rebuilding preserved content: digests match the original.
+  EXPECT_EQ(arena.IdOf(parent->ContentDigest()), parent_id);
+}
+
+TEST(ProvArenaTest, ExpressionInterningSharesNodes) {
+  store::ProvArena arena;
+  ProvExpr a = arena.InternVar(1);
+  ProvExpr b = arena.InternVar(1);
+  EXPECT_EQ(a.NodeIdentity(), b.NodeIdentity());
+
+  // Same structure from separate constructions -> same physical node.
+  ProvExpr e1 = arena.InternTimes(arena.InternVar(1), arena.InternVar(2));
+  ProvExpr e2 = arena.InternTimes(arena.InternVar(1), arena.InternVar(2));
+  EXPECT_EQ(e1.NodeIdentity(), e2.NodeIdentity());
+
+  // InternExpr rebuilds an outside expression onto the arena's nodes.
+  ProvExpr outside = ProvExpr::Times(ProvExpr::Var(1), ProvExpr::Var(2));
+  EXPECT_EQ(arena.InternExpr(outside).NodeIdentity(), e1.NodeIdentity());
+
+  // Semiring shortcuts match the ProvExpr factories.
+  EXPECT_TRUE(arena.InternPlus(ProvExpr::Zero(), a).Equals(a));
+  EXPECT_TRUE(arena.InternTimes(ProvExpr::One(), a).Equals(a));
+  EXPECT_TRUE(arena.InternTimes(ProvExpr::Zero(), a).IsZero());
+}
+
+TEST(ProvArenaTest, CountExactMatchesUnmemoizedCount) {
+  store::ProvArena arena;
+  // (v1 * v2) + (v1 * v3): two derivations.
+  ProvExpr e = ProvExpr::Plus(ProvExpr::Times(ProvExpr::Var(1), ProvExpr::Var(2)),
+                              ProvExpr::Times(ProvExpr::Var(1), ProvExpr::Var(3)));
+  BigInt direct = DerivationCountExact(e);
+  EXPECT_TRUE(arena.CountExact(e) == direct);
+  // Second count hits the persistent memo and still agrees.
+  EXPECT_TRUE(arena.CountExact(e) == direct);
+}
+
+TEST(ProvArenaTest, DecodeCacheMapsShippedBytesBackToRoot) {
+  store::ProvArena arena;
+  store::DerivId id = 0;
+  DerivationPtr canon = arena.Canonical(BuildTree(1.0), &id);
+
+  // SendTuple's priming: the exact serialized bytes of the canonical node.
+  ByteWriter w;
+  canon->Serialize(w);
+  const Bytes& wire = w.bytes();
+  EXPECT_EQ(arena.CachedDecode(wire.data(), wire.size()), 0u);  // not yet
+  arena.CacheDecode(wire.data(), wire.size(), id);
+  EXPECT_EQ(arena.CachedDecode(wire.data(), wire.size()), id);
+
+  // A forged payload (different bytes) misses and must take the slow path.
+  Bytes forged = wire;
+  forged.back() ^= 0x01;
+  EXPECT_EQ(arena.CachedDecode(forged.data(), forged.size()), 0u);
+}
+
+TEST(ProvArenaTest, WireAndAnnotationCachesRoundTrip) {
+  store::ProvArena arena;
+  store::DerivId id = 0;
+  arena.Canonical(BuildTree(1.0), &id);
+
+  EXPECT_EQ(arena.CachedWire(id), nullptr);
+  arena.CacheWire(id, Payload(5, 32));
+  ASSERT_NE(arena.CachedWire(id), nullptr);
+  EXPECT_EQ(*arena.CachedWire(id), Payload(5, 32));
+
+  // Sender-independent and sender-keyed annotation entries are disjoint.
+  ProvExpr ann = arena.InternVar(7);
+  EXPECT_EQ(arena.CachedAnnotation(id), nullptr);
+  arena.CacheAnnotation(id, ann);
+  ASSERT_NE(arena.CachedAnnotation(id), nullptr);
+  EXPECT_TRUE(arena.CachedAnnotation(id)->Equals(ann));
+
+  ProvExpr sender_ann = arena.InternTimes(ann, arena.InternVar(8));
+  EXPECT_EQ(arena.CachedAnnotation(id, /*sender=*/8), nullptr);
+  arena.CacheAnnotation(id, /*sender=*/8, sender_ann);
+  ASSERT_NE(arena.CachedAnnotation(id, 8), nullptr);
+  EXPECT_TRUE(arena.CachedAnnotation(id, 8)->Equals(sender_ann));
+  EXPECT_EQ(arena.CachedAnnotation(id, 9), nullptr);
+
+  EXPECT_GT(arena.ResidentBytes(), 0u);  // caches are accounted
+}
+
+// --- Engine crash recovery --------------------------------------------------
+
+// Full-provenance engine over an on-disk archive directory: run the
+// protocol once, fingerprint a distributed proof, "crash", restart over the
+// same directory, and demand the byte-identical proof without re-running.
+class DurableEngineTest : public ::testing::Test {
+ protected:
+  EngineOptions ArchiveOptions(const std::string& dir) {
+    EngineOptions opts;
+    opts.prov_mode = ProvMode::kFull;
+    opts.record_offline = true;
+    opts.archive_dir = dir;
+    opts.archive_page_bytes = 1024;  // small pages: exercise page churn
+    opts.archive_cache_pages = 8;
+    return opts;
+  }
+
+  // Runs the fixpoint, picks node 0's longest bestPath, and returns the
+  // canonical bytes of its distributed proof DAG.
+  Bytes RunAndFingerprint(const Topology& topo, const EngineOptions& opts,
+                          Tuple* suspect) {
+    auto engine_or = Engine::Create(topo, BestPathNdlogProgram(), opts);
+    EXPECT_TRUE(engine_or.ok());
+    std::unique_ptr<Engine> engine = std::move(engine_or).value();
+    EXPECT_TRUE(engine->InsertLinkFacts().ok());
+    EXPECT_TRUE(engine->Run().ok());
+
+    size_t longest = 0;
+    for (const Tuple& t : engine->TuplesAt(0, "bestPath")) {
+      if (t.arg(2).AsList().size() > longest) {
+        longest = t.arg(2).AsList().size();
+        *suspect = t;
+      }
+    }
+    auto q = ProvQueryBuilder(*engine)
+                 .At(0)
+                 .Of(*suspect)
+                 .WithScope(QueryScope::kDistributed)
+                 .Run();
+    EXPECT_TRUE(q.ok());
+    return q.value().dag.CanonicalBytes();
+  }
+
+  // Restarts an engine over `dir` WITHOUT inserting facts or running, and
+  // re-issues the distributed query against the replayed archives.
+  void ExpectRecoveredProof(const Topology& topo, const EngineOptions& opts,
+                            const Tuple& suspect, const Bytes& want) {
+    auto engine_or = Engine::Create(topo, BestPathNdlogProgram(), opts);
+    ASSERT_TRUE(engine_or.ok());
+    std::unique_ptr<Engine> engine = std::move(engine_or).value();
+
+    size_t recovered = 0;
+    for (NodeId n = 0; n < engine->num_nodes(); ++n) {
+      recovered += engine->node(n).offline_store().size();
+    }
+    EXPECT_GT(recovered, 0u);  // the logs actually replayed
+
+    auto q = ProvQueryBuilder(*engine)
+                 .At(0)
+                 .Of(suspect)
+                 .WithScope(QueryScope::kDistributed)
+                 .Run();
+    ASSERT_TRUE(q.ok());
+    EXPECT_GT(q.value().stats.offline_hits, 0u);  // served from archives
+    EXPECT_EQ(q.value().dag.CanonicalBytes(), want);
+  }
+};
+
+TEST_F(DurableEngineTest, ProofDagIsByteIdenticalAcrossRestart) {
+  TempDir dir("engine_restart");
+  EngineOptions opts = ArchiveOptions(dir.File("archives"));
+  Rng rng(20080407);
+  Topology topo = Topology::RingPlusRandom(12, 2, rng);
+
+  Tuple suspect;
+  Bytes before = RunAndFingerprint(topo, opts, &suspect);
+  ASSERT_FALSE(before.empty());
+  // First engine destroyed here: the crash. Archives were flushed by Run.
+  ExpectRecoveredProof(topo, opts, suspect, before);
+}
+
+TEST_F(DurableEngineTest, TornArchiveTailRecoversToIdenticalProof) {
+  TempDir dir("engine_torn");
+  const std::string archives = dir.File("archives");
+  EngineOptions opts = ArchiveOptions(archives);
+  Rng rng(20080407);
+  Topology topo = Topology::RingPlusRandom(12, 2, rng);
+
+  Tuple suspect;
+  Bytes before = RunAndFingerprint(topo, opts, &suspect);
+  ASSERT_FALSE(before.empty());
+
+  // Tear every node's log: a partial frame after the flushed prefix, as a
+  // crash mid-append would leave. Recovery must truncate the garbage and
+  // keep every intact record.
+  size_t torn = 0;
+  for (const auto& entry : fs::directory_iterator(archives)) {
+    TearTail(entry.path().string(), Payload(0xAB, 7));
+    ++torn;
+  }
+  ASSERT_EQ(torn, 12u);  // one log per node
+
+  ExpectRecoveredProof(topo, opts, suspect, before);
+}
+
+}  // namespace
+}  // namespace provnet
