@@ -22,9 +22,14 @@
 // any honest fixpoint). Writes BENCH_adversary.json (CI uploads it per PR).
 //
 // Usage:
-//   bench_adversary [--quick] [--out PATH]
+//   bench_adversary [--quick] [--loss RATE] [--out PATH]
 //
 //   --quick      20 nodes, 1 injection per class (CI smoke)
+//   --loss RATE  uniform link-loss fault plan on all three variants (ISSUE
+//                10 loss-robustness check): the ack/retransmit transport
+//                masks the loss, every detection must still land, and no
+//                retransmission may be booked as a kReplay security event
+//                (the JSON records kreplay_false_positives; >0 fails)
 //   --out PATH   JSON output path (default BENCH_adversary.json)
 //
 // Environment knobs:
@@ -32,6 +37,7 @@
 //   PROVNET_ADV_CLASSES  injections per attack class (default 2)
 //   PROVNET_ADV_SEED     topology/script seed (default 20080407)
 //   PROVNET_ADV_RSA      1 = RSA says tags (default), 0 = HMAC
+//   PROVNET_ADV_LOSS     same as --loss
 
 #include <chrono>
 #include <cstdio>
@@ -58,8 +64,18 @@ struct Config {
   size_t per_class = 2;
   uint64_t seed = 20080407;
   bool rsa = true;
+  double loss = 0.0;  // uniform link-loss rate; 0 = no fault plan
   std::string out_path = "BENCH_adversary.json";
 };
+
+// With --loss, every variant runs the same seeded uniform-loss plan (the
+// plan arms the reliable transport implicitly), so the ndlog/secure/attacked
+// comparison stays apples-to-apples under faults.
+void ApplyFaults(EngineOptions& opts, const Config& cfg) {
+  if (cfg.loss > 0) {
+    opts.fault_plan = FaultPlan::UniformLoss(cfg.loss, cfg.seed ^ 0xfa017ull);
+  }
+}
 
 struct VariantStats {
   std::string name;
@@ -73,6 +89,7 @@ struct VariantStats {
 EngineOptions NdlogOptions(const Config& cfg) {
   EngineOptions opts;
   opts.seed = cfg.seed;
+  ApplyFaults(opts, cfg);
   return opts;
 }
 
@@ -84,6 +101,7 @@ EngineOptions SecureOptions(const Config& cfg) {
   opts.prov_mode = ProvMode::kCondensed;
   opts.prov_grain = ProvGrain::kPrincipal;
   opts.record_online = true;
+  ApplyFaults(opts, cfg);
   return opts;
 }
 
@@ -127,6 +145,12 @@ struct AttackedResult {
   CampaignReport report;
   std::map<std::string, size_t> injected_per_class;
   std::map<std::string, size_t> detected_per_class;
+  // Loss-robustness bookkeeping (ISSUE 10): every kReplay SecurityEvent in
+  // the engine's whole lifetime must be attributable to an injected replay
+  // attack. Retransmitted honest frames dedup silently; if one were booked
+  // as a replay, kreplay_events would exceed the injected replay count.
+  uint64_t kreplay_events = 0;
+  uint64_t kreplay_false_positives = 0;
 };
 
 Result<AttackedResult> RunAttacked(const Config& cfg, const Topology& topo,
@@ -172,6 +196,13 @@ Result<AttackedResult> RunAttacked(const Config& cfg, const Topology& topo,
     ++out.injected_per_class[kind];
     if (o.detected) ++out.detected_per_class[kind];
   }
+  out.kreplay_events = engine->security_log().CountOf(SecurityEventKind::kReplay);
+  uint64_t replay_injected = 0;
+  auto it = out.injected_per_class.find(AttackKindName(AttackKind::kReplay));
+  if (it != out.injected_per_class.end()) replay_injected = it->second;
+  out.kreplay_false_positives = out.kreplay_events > replay_injected
+                                    ? out.kreplay_events - replay_injected
+                                    : 0;
   out.report = std::move(report);
   return out;
 }
@@ -185,7 +216,8 @@ void WriteJson(const Config& cfg, const std::vector<VariantStats>& variants,
       .Field("n", uint64_t{cfg.n})
       .Field("per_class", uint64_t{cfg.per_class})
       .Field("says", cfg.rsa ? "rsa" : "hmac")
-      .Field("seed", cfg.seed);
+      .Field("seed", cfg.seed)
+      .Field("loss", cfg.loss, "%.3f");
   w.Key("variants").BeginArray();
   for (const VariantStats& v : variants) {
     w.BeginObject()
@@ -207,7 +239,9 @@ void WriteJson(const Config& cfg, const std::vector<VariantStats>& variants,
       .Field("localized_correct", uint64_t{r.localized_correct})
       .Field("forged_in_fixpoint", uint64_t{r.forged_in_fixpoint})
       .Field("mean_detection_latency_s", r.mean_detection_latency_s, "%.4f")
-      .Field("max_detection_latency_s", r.max_detection_latency_s, "%.4f");
+      .Field("max_detection_latency_s", r.max_detection_latency_s, "%.4f")
+      .Field("kreplay_events", attacked.kreplay_events)
+      .Field("kreplay_false_positives", attacked.kreplay_false_positives);
   w.Key("per_class").BeginObject();
   for (const auto& [kind, injected] : attacked.injected_per_class) {
     size_t detected = 0;
@@ -261,10 +295,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.n = 20;
       cfg.per_class = 1;
+    } else if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      cfg.loss = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       cfg.out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--loss RATE] [--out PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -282,6 +319,13 @@ int main(int argc, char** argv) {
   if (const char* v = std::getenv("PROVNET_ADV_RSA")) {
     cfg.rsa = std::atoi(v) != 0;
   }
+  if (const char* v = std::getenv("PROVNET_ADV_LOSS")) {
+    cfg.loss = std::atof(v);
+  }
+  if (cfg.loss < 0 || cfg.loss >= 1) {
+    std::fprintf(stderr, "--loss must be in [0, 1)\n");
+    return 2;
+  }
 
   Rng rng(cfg.seed);
   Topology topo = Topology::RingPlusRandom(cfg.n, 3, rng);
@@ -294,9 +338,10 @@ int main(int argc, char** argv) {
   };
 
   std::printf("bench_adversary: Best-Path on %zu nodes, 4 link flaps, "
-              "%zu injections/class, attackers {%u, %u}, says=%s\n\n",
+              "%zu injections/class, attackers {%u, %u}, says=%s, "
+              "loss=%.1f%%\n\n",
               cfg.n, cfg.per_class, attackers[0], attackers[1],
-              cfg.rsa ? "rsa" : "hmac");
+              cfg.rsa ? "rsa" : "hmac", cfg.loss * 100.0);
   std::printf("%-9s %10s %10s %9s %8s %9s\n", "variant", "wall s", "MB",
               "msgs", "signs", "verifies");
 
@@ -346,11 +391,15 @@ int main(int argc, char** argv) {
   WriteJson(cfg, variants, attacked.value());
 
   bool pass = r.forged_in_fixpoint == 0 && r.detected == r.injected &&
-              attacked.value().injected_per_class.size() >= 4;
+              attacked.value().injected_per_class.size() >= 4 &&
+              attacked.value().kreplay_false_positives == 0;
   std::printf("\n%s: %zu attack classes, %zu/%zu detected, %zu forged "
-              "tuples left in honest fixpoints\n",
+              "tuples left in honest fixpoints, %llu kReplay false "
+              "positives\n",
               pass ? "PASS" : "FAIL",
               attacked.value().injected_per_class.size(), r.detected,
-              r.injected, r.forged_in_fixpoint);
+              r.injected, r.forged_in_fixpoint,
+              static_cast<unsigned long long>(
+                  attacked.value().kreplay_false_positives));
   return pass ? 0 : 1;
 }

@@ -22,6 +22,14 @@
 // over nodes. The arena's accounted peak rides along in every full point
 // as mem_peak_bytes.prov_arena.
 //
+// Fault axis (ISSUE 10): a 50-node condensed fixture repeats under the
+// ack/retransmit transport at uniform link loss in {0, 1%, 5%}
+// (`fault_axis` rows in the JSON). Each row records the wall time, the
+// virtual-time convergence instant (the real cost of loss — retransmission
+// backoff runs on the virtual clock), and the retransmit overhead: frames
+// resent per data frame delivered. The loss=0 row is the armed-but-idle
+// transport, so the 1%/5% deltas isolate the faults from the ack machinery.
+//
 // Usage:
 //   bench_fixpoint [--quick] [--out PATH]
 //
@@ -89,6 +97,22 @@ struct Point {
   double commit_serial_fraction = 0.0;
   uint64_t mem_peak[obs::kNumMemSubsystems] = {};
   uint64_t total_peak_bytes = 0;
+};
+
+// One row of the loss axis: the same Best-Path fixpoint with the reliable
+// transport armed and a seeded uniform-loss plan on every link.
+struct FaultPoint {
+  size_t n = 0;
+  double loss = 0.0;
+  size_t runs = 1;
+  double wall_seconds = 0.0;      // mean over runs
+  double vt_converge_s = 0.0;     // virtual-time quiescence instant (mean)
+  double derivations = 0.0;
+  double messages = 0.0;          // data frames delivered
+  double retransmits = 0.0;
+  double acks = 0.0;
+  double losses = 0.0;            // frames the injector dropped
+  double retransmit_overhead = 0.0;  // retransmits per delivered data frame
 };
 
 long PeakRssKb() {
@@ -181,6 +205,56 @@ Result<Point> RunPoint(size_t n, ProvMode mode, size_t threads, bool archive,
   return point;
 }
 
+uint64_t CounterValue(const Engine& engine, const char* name) {
+  const obs::Counter* c = engine.metrics().FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+Result<FaultPoint> RunFaultPoint(size_t n, double loss, size_t runs,
+                                 const Config& cfg) {
+  FaultPoint point;
+  point.n = n;
+  point.loss = loss;
+  point.runs = runs;
+  for (size_t run = 0; run < runs; ++run) {
+    Rng rng(cfg.seed + run * 1000003 + n);
+    Topology topo = Topology::RingPlusRandom(n, /*outdegree=*/3, rng);
+    EngineOptions opts =
+        OptionsFor(ProvMode::kCondensed, cfg.seed + run, /*threads=*/1);
+    // loss=0 still arms the ack/retransmit transport so the row measures
+    // the idle transport, not the lossless fast path.
+    opts.reliable_transport = true;
+    if (loss > 0) opts.fault_plan = FaultPlan::UniformLoss(loss, cfg.seed + run);
+    PROVNET_ASSIGN_OR_RETURN(
+        std::unique_ptr<Engine> engine,
+        Engine::Create(topo, BestPathNdlogProgram(), opts));
+    PROVNET_RETURN_IF_ERROR(engine->InsertLinkFacts());
+    auto t0 = std::chrono::steady_clock::now();
+    PROVNET_ASSIGN_OR_RETURN(RunStats stats, engine->Run());
+    auto t1 = std::chrono::steady_clock::now();
+    point.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
+    point.vt_converge_s += engine->network().now();
+    point.derivations += static_cast<double>(stats.derivations);
+    point.messages += static_cast<double>(stats.messages);
+    point.retransmits +=
+        static_cast<double>(CounterValue(*engine, "net.retransmits"));
+    point.acks +=
+        static_cast<double>(CounterValue(*engine, "net.acks_received"));
+    point.losses += static_cast<double>(CounterValue(*engine, "faults.losses"));
+  }
+  double nruns = static_cast<double>(runs);
+  point.wall_seconds /= nruns;
+  point.vt_converge_s /= nruns;
+  point.derivations /= nruns;
+  point.messages /= nruns;
+  point.retransmits /= nruns;
+  point.acks /= nruns;
+  point.losses /= nruns;
+  point.retransmit_overhead =
+      point.messages > 0 ? point.retransmits / point.messages : 0.0;
+  return point;
+}
+
 bool WriteFile(const std::string& path, const std::string& body) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -193,7 +267,8 @@ bool WriteFile(const std::string& path, const std::string& body) {
   return true;
 }
 
-void WriteJson(const Config& cfg, const std::vector<Point>& points) {
+void WriteJson(const Config& cfg, const std::vector<Point>& points,
+               const std::vector<FaultPoint>& fault_points) {
   obs::JsonWriter w;
   w.BeginObject()
       .Field("bench", "fixpoint")
@@ -232,6 +307,23 @@ void WriteJson(const Config& cfg, const std::vector<Point>& points) {
     w.EndObject();
     w.Field("total_peak_bytes", p.total_peak_bytes);
     w.EndObject();
+  }
+  w.EndArray();
+  w.Key("fault_axis").BeginArray();
+  for (const FaultPoint& p : fault_points) {
+    w.BeginObject()
+        .Field("n", uint64_t{p.n})
+        .Field("loss", p.loss, "%.3f")
+        .Field("runs", uint64_t{p.runs})
+        .Field("wall_seconds", p.wall_seconds, "%.6f")
+        .Field("vt_converge_s", p.vt_converge_s, "%.4f")
+        .Field("derivations", p.derivations, "%.0f")
+        .Field("messages", p.messages, "%.0f")
+        .Field("retransmits", p.retransmits, "%.1f")
+        .Field("acks", p.acks, "%.1f")
+        .Field("losses", p.losses, "%.1f")
+        .Field("retransmit_overhead", p.retransmit_overhead, "%.4f")
+        .EndObject();
   }
   w.EndArray().EndObject();
   std::printf("\n");
@@ -411,7 +503,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  WriteJson(cfg, points);
+  // Fault axis: 50-node condensed fixture under the reliable transport at
+  // uniform loss in {0, 1%, 5%} — convergence time and retransmit overhead.
+  const double loss_axis[] = {0.0, 0.01, 0.05};
+  std::vector<FaultPoint> fault_points;
+  std::printf("\nfault axis: 50-node condensed, reliable transport, "
+              "uniform loss\n");
+  std::printf("%6s %12s %12s %12s %12s %10s %12s\n", "loss", "wall s",
+              "vt conv s", "messages", "retransmits", "losses", "rtx/frame");
+  for (double loss : loss_axis) {
+    Result<FaultPoint> fp = RunFaultPoint(/*n=*/50, loss, cfg.runs, cfg);
+    if (!fp.ok()) {
+      std::fprintf(stderr, "fault point loss=%.2f failed: %s\n", loss,
+                   fp.status().ToString().c_str());
+      return 1;
+    }
+    const FaultPoint& p = fp.value();
+    std::printf("%6.2f %12.4f %12.4f %12.0f %12.1f %10.1f %12.4f\n", p.loss,
+                p.wall_seconds, p.vt_converge_s, p.messages, p.retransmits,
+                p.losses, p.retransmit_overhead);
+    fault_points.push_back(p);
+  }
+
+  WriteJson(cfg, points, fault_points);
   Status obs_status = WriteObsArtifacts(cfg);
   if (!obs_status.ok()) {
     std::fprintf(stderr, "obs artifacts failed: %s\n",

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/keystore.h"
@@ -79,11 +80,16 @@ class SecurityLog {
 // increasing (but gappy — one counter feeds many receivers) subsequence.
 // Accept() tracks the highest sequence seen plus a 64-wide bitmap of recent
 // ones, so moderate reordering passes while any duplicate — the replayed
-// message — is rejected. Sequences older than the window are rejected too
-// (conservative: a long-delayed original is indistinguishable from replay).
+// message — is rejected. Sequences older than the bitmap are checked
+// exactly against the archive of accepted-then-aged-out sequences: a frame
+// whose original was lost and retransmitted arrives arbitrarily late but
+// *fresh*, and must not be booked as a replay (the loss-vs-malice
+// distinction the fault-tolerant transport depends on), while a captured
+// message re-sent by an attacker was genuinely accepted once and is
+// rejected however old it is.
 class ReplayGuard {
  public:
-  // True if `seq` is fresh (records it); false on replay or stale sequence.
+  // True if `seq` is fresh (records it); false on replay.
   bool Accept(uint64_t seq);
 
   uint64_t high_water() const { return high_; }
@@ -93,6 +99,10 @@ class ReplayGuard {
   bool any_ = false;
   uint64_t high_ = 0;   // highest accepted sequence
   uint64_t mask_ = 1;   // bit i set => (high_ - i) seen; bit 0 is high_
+  // Accepted sequences that slid out of the bitmap. Exact history (memory
+  // grows with accepted traffic per principal pair) — the price of zero
+  // false positives on loss-delayed honest frames.
+  std::unordered_set<uint64_t> old_;
 };
 
 }  // namespace provnet

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
+#include <limits>
 
 #include "datalog/analysis.h"
 #include "dynamics/delta.h"
@@ -119,6 +121,20 @@ Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
 Result<std::unique_ptr<Engine>> Engine::Create(const Topology& topo,
                                                Program program,
                                                EngineOptions options) {
+  // PROVNET_FAULT_PLAN mirrors PROVNET_THREADS: a spec like "loss=0.01,
+  // seed=7" arms a uniform fault plan for runs that never touch
+  // EngineOptions (CI's fault matrix), unless the caller installed one.
+  if (options.fault_plan.Empty()) {
+    if (const char* env = std::getenv("PROVNET_FAULT_PLAN");
+        env != nullptr && env[0] != '\0') {
+      bool ok = false;
+      options.fault_plan = FaultPlan::ParseSpec(env, &ok);
+      if (!ok) {
+        return InvalidArgumentError(std::string("bad PROVNET_FAULT_PLAN: ") +
+                                    env);
+      }
+    }
+  }
   std::unique_ptr<Engine> engine(new Engine(topo, std::move(options)));
   PROVNET_RETURN_IF_ERROR(engine->Init(std::move(program)));
   return engine;
@@ -195,6 +211,37 @@ Status Engine::Init(Program program) {
     Status s = HandleMessage(to, from, payload);
     if (!s.ok() && async_error_.ok()) async_error_ = s;
   });
+
+  // Fault-tolerant transport (src/net/faults.*), armed before any fact
+  // flows so every wire message of the run is acked/retransmitted.
+  net_.SetObsRegistry(&obs_);
+  if (TransportActive()) {
+    net_.EnableTransport(options_.transport);
+    // Loss recovery re-derives upstream and re-sends, so receivers see
+    // content-identical refreshes; dedup keeps them from reshaping stored
+    // annotations, which must match the fault-free fixpoint bytes.
+    for (auto& ctx : contexts_) ctx->SetDedupRefresh(true);
+  }
+  if (!options_.fault_plan.Empty()) {
+    net_.InstallFaultPlan(options_.fault_plan);
+  }
+  base_fact_journal_.resize(topo_.num_nodes);
+  journal_digests_.resize(topo_.num_nodes);
+  for (const CrashSpec& c : options_.fault_plan.crashes) {
+    if (c.node >= topo_.num_nodes) {
+      return InvalidArgumentError("fault plan crashes an unknown node");
+    }
+    fault_events_.push_back(FaultEvent{c.crash_at, c.node, false});
+    if (c.restart_at >= 0) {
+      fault_events_.push_back(FaultEvent{c.restart_at, c.node, true});
+    }
+  }
+  std::sort(fault_events_.begin(), fault_events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.node != b.node) return a.node < b.node;
+              return a.restart < b.restart;  // a crash precedes its restart
+            });
 
   // Program facts: stored at their first address-valued argument (or the
   // declared location attribute).
@@ -349,6 +396,13 @@ Status Engine::InsertFact(NodeId node_id, const Tuple& tuple, double ttl) {
   if (node_id >= contexts_.size()) {
     return InvalidArgumentError("InsertFact: unknown node");
   }
+  // Journal external base facts (digest-deduped): RestartNode replays this
+  // per-node log, the crash model's stand-in for an operator's fact file
+  // surviving on stable storage. DeleteFact un-journals.
+  if (node_id < journal_digests_.size() &&
+      journal_digests_[node_id].insert(tuple.Hash()).second) {
+    base_fact_journal_[node_id].emplace_back(tuple, ttl);
+  }
   // A base-fact insertion is a causal root: whatever cascade it triggers
   // starts a fresh trace rather than inheriting stale message context.
   exec().causal = CausalIds{};
@@ -434,9 +488,15 @@ Status Engine::DeliverLocal(NodeId node_id, StoredTuple entry,
     case InsertOutcome::kRefreshed: {
       // Alternative derivation of an existing tuple: record it, and keep the
       // merged local annotation compact (re-condense when it outgrows the
-      // threshold).
-      RecordProvenance(node_id, result.stored, rule_label, origin, from_node,
-                       asserted_by, std::move(children), expires_at);
+      // threshold). A content-duplicate refresh (dedup_refresh: loss
+      // recovery re-deriving what the node already holds) recorded nothing
+      // new, so the provenance stores skip it too — archives stay
+      // byte-identical to the fault-free run.
+      if (!result.duplicate) {
+        RecordProvenance(node_id, result.stored, rule_label, origin,
+                         from_node, asserted_by, std::move(children),
+                         expires_at);
+      }
       // A refresh under a different principal is an additional assertion of
       // the same tuple; retraction authorization honors every asserter.
       const StoredTuple* merged_entry = table.Find(result.stored);
@@ -554,6 +614,117 @@ Status Engine::FlushDurableStores() {
   return OkStatus();
 }
 
+// --- Fail-stop crash & recovery (src/net/faults.*) --------------------------
+
+double Engine::NextFaultEventTime() const {
+  return next_fault_event_ < fault_events_.size()
+             ? fault_events_[next_fault_event_].at
+             : std::numeric_limits<double>::infinity();
+}
+
+Status Engine::ProcessFaultEventsUpTo(double t) {
+  while (next_fault_event_ < fault_events_.size() &&
+         fault_events_[next_fault_event_].at <= t) {
+    const FaultEvent ev = fault_events_[next_fault_event_++];
+    if (ev.at > net_.now()) net_.AdvanceTo(ev.at);
+    if (ev.restart) {
+      PROVNET_RETURN_IF_ERROR(RestartNode(ev.node));
+    } else {
+      PROVNET_RETURN_IF_ERROR(CrashNode(ev.node));
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::CrashNode(NodeId node) {
+  if (node >= contexts_.size()) {
+    return InvalidArgumentError("CrashNode: unknown node");
+  }
+  if (net_.IsCrashed(node)) {
+    return InvalidArgumentError("CrashNode: node is already down");
+  }
+  // Wire first — in-flight frames to/from the node vanish and peers start
+  // burning their retry budgets — then memory, then the archive's unflushed
+  // tail (torn off, exactly what a real fail-stop loses).
+  net_.SetCrashed(node, true);
+  contexts_[node]->ResetForCrash();
+  if (faults_crashes_ == nullptr) {
+    // Lazily registered so fault-free runs keep their golden key set.
+    faults_crashes_ = obs_.GetCounter("faults.crashes");
+  }
+  ++faults_crashes_->value;
+  if (tracer_.enabled()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = node;
+    ev.kind = "crash";
+    tracer_.Emit(std::move(ev));
+  }
+  return OkStatus();
+}
+
+Status Engine::RestartNode(NodeId node) {
+  if (node >= contexts_.size()) {
+    return InvalidArgumentError("RestartNode: unknown node");
+  }
+  if (!net_.IsCrashed(node)) {
+    return InvalidArgumentError("RestartNode: node is not down");
+  }
+  // Transport back first: the node's links restart on a fresh frame
+  // generation, so peers reset their dedup windows instead of discarding
+  // the reborn node's traffic as stale.
+  net_.SetCrashed(node, false);
+  if (options_.record_offline && !options_.archive_dir.empty()) {
+    // Replay the on-disk log: every intact frame survives; a torn tail
+    // (records buffered past the last flush when the crash hit) is
+    // truncated away.
+    PROVNET_RETURN_IF_ERROR(contexts_[node]->offline_store().Open(
+        options_.archive_dir + "/node" + std::to_string(node) + ".prov",
+        options_.archive_page_bytes, options_.archive_cache_pages));
+    RecordArchiveIo(node);
+  }
+  // Recovery is a network-wide bounce of every base fact, in two phases.
+  // Phase 1 (here): delete each live node's base facts from the journal
+  // ("stable storage"). The retraction cascade scrubs derivations and
+  // their online provenance records everywhere — including derivation
+  // records at live nodes whose heads were shipped to the wiped store.
+  // Phase 2 (the run loop, once the over-deletion drains to quiescence):
+  // reinsert everything and re-derive the fixpoint from stable inputs, so
+  // peers re-send the reborn node the remote state it lost. Bouncing only
+  // facts that *mention* the node is not enough — content-duplicate
+  // refreshes at unaffected peers would be deduped and never propagate
+  // downstream — and interleaving delete with reinsert livelocks on
+  // cyclic topologies (see recovery_reinserts_).
+  const std::vector<std::pair<Tuple, double>> replay =
+      base_fact_journal_[node];  // copy: DeleteFact below mutates journals
+  for (const auto& [tuple, ttl] : replay) {
+    recovery_reinserts_.push_back(RecoveryReinsert{node, tuple, ttl});
+  }
+  for (NodeId m = 0; m < contexts_.size(); ++m) {
+    if (m == node || net_.IsCrashed(m)) continue;
+    const std::vector<std::pair<Tuple, double>> bounce =
+        base_fact_journal_[m];
+    for (const auto& [tuple, ttl] : bounce) {
+      Status s = DeleteFact(m, tuple);
+      // Tolerate a fact already gone (TTL expiry or churn beat us to it).
+      if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+      recovery_reinserts_.push_back(RecoveryReinsert{m, tuple, ttl});
+    }
+  }
+  if (faults_restarts_ == nullptr) {
+    faults_restarts_ = obs_.GetCounter("faults.restarts");
+  }
+  ++faults_restarts_->value;
+  if (tracer_.enabled()) {
+    obs::TraceEvent ev;
+    ev.sim_time = net_.now();
+    ev.node = node;
+    ev.kind = "restart";
+    tracer_.Emit(std::move(ev));
+  }
+  return OkStatus();
+}
+
 Status Engine::ProcessEvent(const PendingEvent& event) {
   // Restore the causal context captured when the event was queued, so
   // cascades triggered by a remote delivery stay in the sender's trace.
@@ -632,14 +803,29 @@ Status Engine::FireStrand(NodeId node_id, const CompiledRule& cr,
   std::vector<const StoredTuple*> used;
   used.reserve(prog.body.size());
   used.push_back(&delta_entry);
-  // Keep `used` in body order for readable derivation trees: we simply
-  // record the delta first, then joins in literal order. The shared join
-  // recursion (dynamics/delta.cc) runs without the deletion overlay here.
+  // The join recursion collects `used` delta-first; emit restores body
+  // order below. Canonical order matters beyond readability: a derivation
+  // must record identical bytes no matter which body literal's delta
+  // triggered it, or a crash-recovery re-derivation (triggered by a
+  // different delta than the original run) would produce a provenance
+  // record — and proof — that differs from the fault-free one.
+  const size_t delta_pos = [&] {
+    size_t atoms = 0;
+    for (int i = 0; i < delta_index; ++i) {
+      if (prog.body[static_cast<size_t>(i)].kind == LiteralKind::kAtom) {
+        ++atoms;
+      }
+    }
+    return atoms;
+  }();
   PROVNET_RETURN_IF_ERROR(DynJoin(
       node_id, cr, 0, delta_index, /*use_overlay=*/false, frame, used,
-      [this, node_id, &cr](Frame& f,
-                           const std::vector<const StoredTuple*>& u) {
-        return EmitHead(node_id, cr, f, u);
+      [this, node_id, &cr, delta_pos](
+          Frame& f, const std::vector<const StoredTuple*>& u) {
+        std::vector<const StoredTuple*> body_order(u.begin() + 1, u.end());
+        body_order.insert(body_order.begin() + static_cast<long>(delta_pos),
+                          u.front());
+        return EmitHead(node_id, cr, f, body_order);
       }));
   return DrainPending();
 }
@@ -756,6 +942,13 @@ Status Engine::DrainPending() {
             OverDeleteAt(action.node, action.head, action.deriv_id));
         break;
       case PendingAction::Kind::kSendRetract:
+        // The firing node recorded the derivation of this shipped head in
+        // its own online store; the head tuple (and its recv record) lives
+        // at the destination. The remote over-deletion scrubs only the
+        // destination's records, so the dead derivation must be dropped
+        // here — otherwise a later re-derivation records a second copy and
+        // the proof gains a spurious union branch.
+        contexts_[action.node]->online_store().Remove(DigestOf(action.head));
         PROVNET_RETURN_IF_ERROR(
             SendRetract(action.node, action.dest, action.head));
         break;
@@ -1200,19 +1393,43 @@ Result<RunStats> Engine::Run() {
       }
     } else if (!net_.Idle()) {
       obs::Profiler::Scope scope(profiler_, obs::Phase::kDelivery);
-      bool handled = false;
-      if (parallel) {
-        PROVNET_ASSIGN_OR_RETURN(handled, TryParallelWave(&steps));
+      // Scripted faults fire on the virtual clock: a crash/restart due no
+      // later than the next network event interposes here (ties: the fault
+      // wins, so a crash at t kills deliveries at t).
+      if (NextFaultEventTime() <= net_.NextEventTime()) {
+        PROVNET_RETURN_IF_ERROR(ProcessFaultEventsUpTo(NextFaultEventTime()));
+      } else {
+        bool handled = false;
+        if (parallel) {
+          PROVNET_ASSIGN_OR_RETURN(handled, TryParallelWave(&steps));
+        }
+        if (!handled) {
+          // Step may instead fire a retransmit timer or consume an ack;
+          // only handler invocations count as deliveries.
+          uint64_t delivered = net_.deliveries();
+          net_.Step();
+          cells_.deliveries->value += net_.deliveries() - delivered;
+        }
       }
-      if (!handled) {
-        net_.Step();
-        ++cells_.deliveries->value;
+    } else if (!recovery_reinserts_.empty()) {
+      // Phase 2 of crash recovery (RestartNode): the network-wide
+      // over-deletion has drained — no deltas, nothing in flight — so the
+      // base facts can come back from stable storage and the fixpoint
+      // re-derives from scratch without racing in-flight retracts.
+      std::vector<RecoveryReinsert> batch;
+      batch.swap(recovery_reinserts_);
+      for (const RecoveryReinsert& r : batch) {
+        PROVNET_RETURN_IF_ERROR(InsertFact(r.node, r.tuple, r.ttl));
       }
     } else if (!dynamics_->rederive.empty()) {
       obs::Profiler::Scope scope(profiler_, obs::Phase::kRederive);
       // Quiescent (no deltas, nothing in flight): the over-deletion cascade
       // is complete, so DRed's re-derivation phase may restore survivors.
       PROVNET_RETURN_IF_ERROR(RunRederivePass());
+    } else if (next_fault_event_ < fault_events_.size()) {
+      // Quiescent with scripted events still pending (e.g. a restart after
+      // the crashed network reached fixpoint): jump the clock to the next.
+      PROVNET_RETURN_IF_ERROR(ProcessFaultEventsUpTo(NextFaultEventTime()));
     } else {
       break;  // distributed fixpoint: no events, no in-flight messages
     }

@@ -123,6 +123,25 @@ struct EngineOptions {
   size_t archive_page_bytes = 4096;  // archive page size
   size_t archive_cache_pages = 64;   // decoded-page LRU capacity per node
 
+  // --- fault tolerance (src/net/faults.*) ---
+  // A non-empty plan arms the deterministic fault injector and (because
+  // lossy links are useless without it) the reliable transport. Scripted
+  // crash/restart events are driven by Run() on the virtual clock. The
+  // PROVNET_FAULT_PLAN environment variable ("loss=0.01,seed=7") installs
+  // a uniform plan when this is left empty.
+  FaultPlan fault_plan;
+  // Ack/retransmit framing even without a fault plan (loss-free reliable
+  // delivery costs only the frame bytes). Off and with an empty plan, the
+  // wire format, meters, and telemetry key set are byte-identical to the
+  // lossless FIFO.
+  bool reliable_transport = false;
+  TransportOptions transport;
+  // Distributed ProvQuery per-hop timeout, in virtual seconds. <= 0 picks
+  // a default when the transport is on (10 x rto_initial) and disables
+  // timeouts otherwise (the lossless network always answers).
+  double query_hop_timeout = 0.0;
+  size_t query_max_attempts = 3;  // request transmissions before giving up
+
   // --- execution ---
   uint64_t seed = 1;
   double default_ttl = -1.0;  // table TTL unless materialize says otherwise
@@ -232,6 +251,21 @@ class Engine {
   // principals survive (or are re-derived with untainted provenance).
   // Follow with Run() to reach the post-revocation fixpoint.
   Status RetractPrincipal(const Principal& principal);
+
+  // --- Fail-stop crash & recovery (src/net/faults.*) ------------------------
+  // Crashes `node` now: all in-memory state (tables, online provenance,
+  // anti-replay windows) is lost, the durable archive's unflushed tail is
+  // torn off, in-flight messages to/from the node vanish, and deliveries
+  // while down are discarded. Engine-held identity (the principal's signing
+  // key and send sequence — the node's "stable storage") survives.
+  // Run() drives scripted CrashSpec events through these automatically.
+  Status CrashNode(NodeId node);
+  // Restarts a crashed node: re-opens its archive_dir log (replaying every
+  // intact frame; a torn tail is truncated away), re-inserts the node's
+  // base facts from the engine's journal, and bounces each neighbor's link
+  // fact toward the node so the next Run() re-derives — and re-advertises —
+  // everything the node held, converging back to the fault-free fixpoint.
+  Status RestartNode(NodeId node);
 
   // Processes events and messages to the distributed fixpoint.
   Result<RunStats> Run();
@@ -518,6 +552,21 @@ class Engine {
                          TupleDigest digest, std::vector<ProvRecord> records);
   Status HandleProvRequest(NodeId to, NodeId from, ByteReader& reader);
   Status HandleProvResponse(NodeId to, NodeId from, ByteReader& reader);
+  // Effective per-hop virtual-time deadline for distributed queries:
+  // query_hop_timeout when set, 10x the transport's initial RTO when the
+  // fault-tolerant transport is active, 0 (disabled) otherwise.
+  double QueryTimeoutSeconds() const;
+  // Fires every armed per-hop deadline at or before net_.now(): due requests
+  // are re-sent under the same query id with exponential backoff until the
+  // session's attempt budget runs out, then degrade — records hops fall back
+  // to the responder's offline archive (or an `unreachable` proof leaf),
+  // claims/compare hops are disarmed and left for the caller's
+  // silent-responder audit.
+  Status HandleQueryTimeouts(ProvQuerySession& session);
+  // One pump round for a query driver: advances the network by one event or
+  // fires due deadlines, whichever is sooner in virtual time. Returns false
+  // when neither can make progress anymore (network idle, nothing armed).
+  Result<bool> PumpQueryOnce(ProvQuerySession& session);
 
   // --- Receive-side verification (implemented in src/adversary/verify.cc) --
   // Appends the signed (sequence, destination) header authenticated senders
@@ -788,6 +837,46 @@ class Engine {
   std::vector<uint64_t> causal_seqs_;
   // Nodes flagged by SetLyingComparer (fault injection).
   std::set<NodeId> lying_comparers_;
+
+  // --- Fault-plan driving (src/net/faults.*) --------------------------------
+  // True when the ack/retransmit transport is armed: reliable_transport, or
+  // a non-empty fault plan (lossy links need retransmission to converge).
+  bool TransportActive() const {
+    return options_.reliable_transport || !options_.fault_plan.Empty();
+  }
+  // Scripted crash/restart instants, expanded from fault_plan.crashes into
+  // one time-sorted schedule Run() consumes against the virtual clock.
+  struct FaultEvent {
+    double at = 0.0;
+    NodeId node = 0;
+    bool restart = false;  // false = crash
+  };
+  // Virtual time of the next unconsumed scripted event (+inf when drained).
+  double NextFaultEventTime() const;
+  // Fires every scheduled crash/restart at or before `t` (advancing the
+  // network clock to each event's instant first, so timers and TTLs agree).
+  Status ProcessFaultEventsUpTo(double t);
+  std::vector<FaultEvent> fault_events_;
+  size_t next_fault_event_ = 0;
+  // Externally inserted base facts per node — (tuple, ttl), digest-deduped.
+  // This is the engine-side "stable storage" RestartNode replays: the
+  // simulation's stand-in for an operator's fact file surviving the crash.
+  std::vector<std::vector<std::pair<Tuple, double>>> base_fact_journal_;
+  std::vector<std::unordered_set<uint64_t>> journal_digests_;
+  // Phase 2 of crash recovery. RestartNode deletes every live node's base
+  // facts (phase 1) and stages the reinserts here; the run loop applies
+  // them only once the global over-deletion has drained to quiescence.
+  // Interleaving delete and reinsert synchronously livelocks on cyclic
+  // topologies: in-flight cross-node retracts race the re-derivation
+  // refreshes around the cycle, each lap re-triggering the other.
+  struct RecoveryReinsert {
+    NodeId node = 0;
+    Tuple tuple;
+    double ttl = -1.0;
+  };
+  std::vector<RecoveryReinsert> recovery_reinserts_;
+  obs::Counter* faults_crashes_ = nullptr;
+  obs::Counter* faults_restarts_ = nullptr;
 
   // The provenance query currently pumping the network (nullptr when none).
   // Non-owning: the ProvQuery/ClaimsExchange driver owns the session on its

@@ -49,6 +49,18 @@ class NodeContext {
   size_t ExpireTablesBefore(double now,
                             std::vector<StoredTuple>* expired = nullptr);
 
+  // Content-idempotent refreshes for every table (current and future); see
+  // Table::set_dedup_refresh. The engine turns this on with the reliable
+  // transport so retransmitted advertisements stay byte-invisible.
+  void SetDedupRefresh(bool on);
+
+  // Fail-stop crash: drops everything this node kept in memory — tables,
+  // online provenance, anti-replay windows, co-asserter notes. The offline
+  // archive facade is re-bound to a fresh memory-resident store; a restart
+  // re-opens the durable archive_dir log (whose unflushed tail is exactly
+  // what the crash tore off). Engine::CrashNode drives this.
+  void ResetForCrash();
+
   // --- Receive-side verification state (src/adversary/) --------------------
   // Anti-replay window for authenticated messages from `sender`.
   ReplayGuard& ReplayGuardFor(const Principal& sender) {
@@ -68,6 +80,7 @@ class NodeContext {
   NodeId id_;
   Principal principal_;
   const Plan* plan_;
+  bool dedup_refresh_ = false;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   OnlineProvStore online_;
   OfflineProvStore offline_;

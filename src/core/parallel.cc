@@ -317,6 +317,12 @@ Status Engine::ParallelDrainEvents(uint64_t* steps) {
 }
 
 Result<bool> Engine::TryParallelWave(uint64_t* steps) {
+  // With the reliable transport on, frames must flow through Step(): it
+  // sequences ack handling and retransmit timers against deliveries, and
+  // that single sequential order is what keeps lossy runs byte-identical
+  // at every thread count. (Framed payloads would also fail the kMsgTuple
+  // eligibility check below; this just skips the wasted PopWave/Requeue.)
+  if (net_.TransportEnabled()) return false;
   std::vector<NetMessage> wave = net_.PopWave();
   if (wave.empty()) return false;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 
 #include "obs/mem.h"
 #include "util/hash.h"
@@ -251,6 +252,37 @@ void Table::EvictOver(const StoredTuple* just_inserted) {
   }
 }
 
+bool Table::MergeRefresh(StoredTuple& row, StoredTuple& entry) {
+  if (dedup_refresh_) {
+    if (row.deriv != nullptr || entry.deriv != nullptr) {
+      DerivationPtr merged = MergeAlternatives(row.deriv, entry.deriv);
+      if (row.deriv != nullptr && merged != nullptr &&
+          merged->ContentDigest() == row.deriv->ContentDigest()) {
+        return true;  // every incoming alternative was already stored
+      }
+      row.prov = ProvExpr::Plus(row.prov, entry.prov);
+      row.deriv = std::move(merged);
+      return false;
+    }
+    // No trees (condensed/none): duplicate iff the incoming annotation is
+    // already one of the stored Plus alternatives.
+    std::function<bool(const ProvExpr&)> contains =
+        [&](const ProvExpr& stored) {
+          if (stored.Equals(entry.prov)) return true;
+          if (stored.kind() == ProvExprKind::kPlus) {
+            return contains(stored.left()) || contains(stored.right());
+          }
+          return false;
+        };
+    if (contains(row.prov)) return true;
+    row.prov = ProvExpr::Plus(row.prov, entry.prov);
+    return false;
+  }
+  row.prov = ProvExpr::Plus(row.prov, entry.prov);
+  row.deriv = MergeAlternatives(row.deriv, entry.deriv);
+  return false;
+}
+
 InsertResult Table::Insert(StoredTuple entry, double now) {
   entry.inserted_at = now;
   if (entry.expires_at < 0 && options_.default_ttl >= 0) {
@@ -284,9 +316,8 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
       Tuple stored(entry.tuple.predicate(), std::move(args));
       if (!fresh && it != rows_.end()) {
         // Duplicate witness: merge provenance only.
-        it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
-        it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
-        return {InsertOutcome::kRefreshed, it->second.tuple};
+        bool dup = MergeRefresh(it->second, entry);
+        return {InsertOutcome::kRefreshed, it->second.tuple, dup};
       }
       StoredTuple agg_entry = std::move(entry);
       agg_entry.tuple = stored;
@@ -317,11 +348,10 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
       if (!improves) {
         if (cmp == 0 && entry.tuple == it->second.tuple) {
           // Same extremum re-derived: merge provenance, refresh TTL.
-          it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
-          it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+          bool dup = MergeRefresh(it->second, entry);
           it->second.expires_at =
               std::max(it->second.expires_at, entry.expires_at);
-          return {InsertOutcome::kRefreshed, it->second.tuple};
+          return {InsertOutcome::kRefreshed, it->second.tuple, dup};
         }
         return {InsertOutcome::kRejected, it->second.tuple};
       }
@@ -342,11 +372,10 @@ InsertResult Table::Insert(StoredTuple entry, double now) {
   // --- Plain tables -------------------------------------------------------
   if (it != rows_.end()) {
     if (it->second.tuple == entry.tuple) {
-      it->second.prov = ProvExpr::Plus(it->second.prov, entry.prov);
-      it->second.deriv = MergeAlternatives(it->second.deriv, entry.deriv);
+      bool dup = MergeRefresh(it->second, entry);
       it->second.expires_at = std::max(it->second.expires_at,
                                        entry.expires_at);
-      return {InsertOutcome::kRefreshed, it->second.tuple};
+      return {InsertOutcome::kRefreshed, it->second.tuple, dup};
     }
     // Same primary key, different value: replace (P2 update semantics).
     IndexErase(&it->second);

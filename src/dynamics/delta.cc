@@ -62,7 +62,21 @@ Status Engine::DeleteFact(NodeId node, const Tuple& tuple) {
   if (!removed.has_value()) {
     return NotFoundError("DeleteFact: tuple not stored: " + tuple.ToString());
   }
-  if (removed->origin == TupleOrigin::kBase) NoteKilledBase(tuple);
+  if (removed->origin == TupleOrigin::kBase) {
+    NoteKilledBase(tuple);
+    // Un-journal: an externally deleted base fact must not be resurrected
+    // by RestartNode's stable-storage replay.
+    if (node < journal_digests_.size() &&
+        journal_digests_[node].erase(tuple.Hash()) != 0) {
+      auto& log = base_fact_journal_[node];
+      const uint64_t digest = tuple.Hash();
+      log.erase(std::remove_if(log.begin(), log.end(),
+                               [digest](const std::pair<Tuple, double>& e) {
+                                 return e.first.Hash() == digest;
+                               }),
+                log.end());
+    }
+  }
   // An external retraction is authoritative: the fact itself must not be
   // resurrected by the re-derivation phase (its consequences may be).
   EnqueueRetraction(node, std::move(*removed), /*rederive=*/false,

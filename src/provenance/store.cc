@@ -164,6 +164,12 @@ Status OfflineProvStore::Open(const std::string& path, size_t page_bytes,
   return OkStatus();
 }
 
+void OfflineProvStore::Crash() {
+  archive_->Abandon();
+  archive_ = std::make_unique<store::ProvArchive>();
+  (void)archive_->Open("", store::ArchiveOptions{});
+}
+
 void OfflineProvStore::Add(const ProvRecord& record) {
   archive_->Add(record);
 }

@@ -139,6 +139,11 @@ class OfflineProvStore {
   // live record payload bytes in the archive.
   size_t ApproxBytes() const;
 
+  // Fail-stop crash: abandons the backing file without flushing (tearing
+  // off records buffered since the last Flush) and re-binds to an empty
+  // memory-resident archive. Open() the same path again to recover.
+  void Crash();
+
   // Durability surface (no-ops / zeros for the memory-resident default).
   Status Flush();
   uint64_t DiskBytes() const;

@@ -26,7 +26,7 @@ const char* QueryScopeName(QueryScope scope) {
 }
 
 std::string QueryStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "msgs=%llu bytes=%llu requests=%llu responses=%llu rejected=%llu "
       "records=%llu local=%llu offline=%llu depth=%zu truncated=%zu "
       "wall=%.4fs",
@@ -39,6 +39,15 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(local_lookups),
       static_cast<unsigned long long>(offline_hits), depth, truncated,
       wall_seconds);
+  // Degradation fields only appear when faults actually bit: a healthy
+  // network keeps the historical string byte-for-byte.
+  if (timeouts != 0 || retries != 0 || unreachable != 0) {
+    out += StrFormat(" timeouts=%llu retries=%llu unreachable=%llu",
+                     static_cast<unsigned long long>(timeouts),
+                     static_cast<unsigned long long>(retries),
+                     static_cast<unsigned long long>(unreachable));
+  }
+  return out;
 }
 
 // --- ProofDag ---------------------------------------------------------------
@@ -334,8 +343,9 @@ class DagAssembler {
  public:
   explicit DagAssembler(
       const std::map<ProvQuerySession::Key, std::vector<ProvRecord>>&
-          collected)
-      : collected_(collected) {}
+          collected,
+      const std::set<ProvQuerySession::Key>* unreachable = nullptr)
+      : collected_(collected), unreachable_(unreachable) {}
 
   ProofDag Assemble(NodeId node, TupleDigest digest, const Tuple& known) {
     dag_.root = Build(node, digest, &known);
@@ -374,11 +384,16 @@ class DagAssembler {
 
     auto it = collected_.find(key);
     if (it == collected_.end() || it->second.empty()) {
-      // Unknown (sampled-out, expired, rejected, or cut by a limit).
+      // Unknown — either the responder timed out past its retry budget with
+      // an empty archive (unreachable: may resolve once the partition
+      // heals), or the records genuinely are not there (missing:
+      // sampled-out, expired, rejected, or cut by a limit).
       ProofNode node;
       node.tuple =
           known_tuple != nullptr ? *known_tuple : Tuple("unknown", {});
-      node.rule = kMissingRule;
+      node.rule = (unreachable_ != nullptr && unreachable_->count(key) != 0)
+                      ? kUnreachableRule
+                      : kMissingRule;
       node.location = n;
       uint32_t idx = AddNode(std::move(node));
       memo_.emplace(key, idx);
@@ -454,6 +469,7 @@ class DagAssembler {
   }
 
   const std::map<ProvQuerySession::Key, std::vector<ProvRecord>>& collected_;
+  const std::set<ProvQuerySession::Key>* unreachable_;
   ProofDag dag_;
   std::map<ProvQuerySession::Key, uint32_t> memo_;
   std::set<ProvQuerySession::Key> visiting_;
@@ -488,15 +504,13 @@ Status ProvQuery::DrainLocalFrontier(Engine& engine,
 Status ProvQuery::Pump(Engine& engine, ProvQuerySession& session) {
   PROVNET_RETURN_IF_ERROR(DrainLocalFrontier(engine, session));
   // Pump the network until every outstanding request resolved (or can no
-  // longer resolve: a rejected response leaves its subtree missing).
+  // longer resolve: a rejected response leaves its subtree missing, a
+  // timed-out one degrades to the responder's offline archive or an
+  // unreachable leaf — see Engine::HandleQueryTimeouts).
   uint64_t guard = 0;
-  while (session.outstanding > 0 && !engine.net_.Idle()) {
-    engine.net_.Step();
-    if (!engine.async_error_.ok()) {
-      Status s = engine.async_error_;
-      engine.async_error_ = OkStatus();
-      return s;
-    }
+  while (session.outstanding > 0) {
+    PROVNET_ASSIGN_OR_RETURN(bool progressed, engine.PumpQueryOnce(session));
+    if (!progressed) break;
     // Responses may have queued asker-local references.
     PROVNET_RETURN_IF_ERROR(DrainLocalFrontier(engine, session));
     if (++guard > engine.options_.max_steps) {
@@ -549,6 +563,8 @@ Result<QueryResult> ProvQuery::RunDistributed() {
   session.asker = node_;
   session.kind = kQueryRecords;
   session.limits = limits_;
+  session.hop_timeout = engine.QueryTimeoutSeconds();
+  session.max_attempts = std::max<size_t>(1, engine.options_.query_max_attempts);
   TupleDigest root = DigestOf(tuple_);
   session.depth.emplace(ProvQuerySession::Key{node_, root}, 0);
   session.local_frontier.push_back({node_, root});
@@ -596,7 +612,8 @@ Result<QueryResult> ProvQuery::RunDistributed() {
   }
   QueryResult out;
   out.used = QueryScope::kDistributed;
-  out.dag = DagAssembler(session.collected).Assemble(node_, root, tuple_);
+  out.dag = DagAssembler(session.collected, &session.unreachable)
+                .Assemble(node_, root, tuple_);
   out.stats = session.stats;
   return out;
 }
@@ -652,6 +669,8 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
   ProvQuerySession session;
   session.asker = auditor_;
   session.kind = kQueryClaims;
+  session.hop_timeout = engine.QueryTimeoutSeconds();
+  session.max_attempts = std::max<size_t>(1, engine.options_.query_max_attempts);
 
   Network::Meters meters0 = engine.net_.MeterSnapshot();
   engine.query_session_ = &session;
@@ -661,11 +680,14 @@ Result<std::vector<ClaimsExchange::Claim>> ClaimsExchange::Collect(
     status = engine.ProvQuerySendClaimsRequest(session, n, predicates);
   }
   uint64_t guard = 0;
-  while (status.ok() && session.outstanding > 0 && !engine.net_.Idle()) {
-    engine.net_.Step();
-    if (!engine.async_error_.ok()) {
-      status = engine.async_error_;
-      engine.async_error_ = OkStatus();
+  while (status.ok() && session.outstanding > 0) {
+    // A partitioned responder's deadline fires here (retry, then give up):
+    // its leftover pending flows into the silent-responder audit below.
+    Result<bool> progressed = engine.PumpQueryOnce(session);
+    if (!progressed.ok()) {
+      status = progressed.status();
+    } else if (!progressed.value()) {
+      break;
     }
     if (++guard > engine.options_.max_steps) {
       status = ResourceExhaustedError("claims exchange did not converge");
@@ -761,6 +783,8 @@ Result<std::vector<CompareExchange::Conflict>> CompareExchange::Compare(
   ProvQuerySession session;
   session.asker = auditor_;
   session.kind = kQueryCompare;
+  session.hop_timeout = engine.QueryTimeoutSeconds();
+  session.max_attempts = std::max<size_t>(1, engine.options_.query_max_attempts);
 
   Network::Meters meters0 = engine.net_.MeterSnapshot();
   engine.query_session_ = &session;
@@ -770,11 +794,14 @@ Result<std::vector<CompareExchange::Conflict>> CompareExchange::Compare(
     status = engine.ProvQuerySendCompareRequest(session, target, assigned);
   }
   uint64_t guard = 0;
-  while (status.ok() && session.outstanding > 0 && !engine.net_.Idle()) {
-    engine.net_.Step();
-    if (!engine.async_error_.ok()) {
-      status = engine.async_error_;
-      engine.async_error_ = OkStatus();
+  while (status.ok() && session.outstanding > 0) {
+    // A partitioned comparer's deadline fires here; after the retry budget
+    // its buckets fall back to local comparison via the silent set below.
+    Result<bool> progressed = engine.PumpQueryOnce(session);
+    if (!progressed.ok()) {
+      status = progressed.status();
+    } else if (!progressed.value()) {
+      break;
     }
     if (++guard > engine.options_.max_steps) {
       status = ResourceExhaustedError("compare exchange did not converge");
@@ -875,6 +902,8 @@ Result<std::vector<CompareExchange::Conflict>> CompareExchange::Compare(
   stats_.requests = session.stats.requests;
   stats_.responses = session.stats.responses;
   stats_.responses_rejected = session.stats.responses_rejected;
+  stats_.timeouts = session.stats.timeouts;
+  stats_.retries = session.stats.retries;
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -51,6 +51,11 @@ namespace provnet {
 // produced by a real rule firing).
 inline constexpr char kMissingRule[] = "missing";  // records unavailable
 inline constexpr char kCycleRule[] = "cycle";      // pointer-graph cycle cut
+// A responder that never answered within the per-hop deadline (after every
+// retry, and with nothing in its offline archive to fall back on): the
+// branch is unreachable *now*, not known-absent — re-running the query once
+// the partition heals can resolve it.
+inline constexpr char kUnreachableRule[] = "unreachable";
 
 // Payload kinds inside the provenance-query wire messages. Public because
 // the fault-injection layer (src/adversary/) crafts wire-faithful forged
@@ -85,6 +90,13 @@ struct QueryStats {
   uint64_t records = 0;         // ProvRecords folded into the DAG
   uint64_t local_lookups = 0;   // store lookups answered without messages
   uint64_t offline_hits = 0;    // lookups that fell back to the archive
+  // Degradation under faults (EngineOptions::query_hop_timeout): per-hop
+  // deadlines that expired, requests re-sent with backoff, and branches
+  // finally surfaced as kUnreachableRule leaves. All zero on a healthy
+  // network (ToString omits them then, keeping historical bytes).
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t unreachable = 0;
   size_t depth = 0;             // deepest level expanded
   size_t truncated = 0;         // refs cut by depth/fanout/record limits
   double wall_seconds = 0.0;
@@ -105,7 +117,8 @@ struct ProofNode {
   bool IsLeaf() const { return children.empty(); }
   // A real origin: a base assertion (not a reconstruction artifact).
   bool IsOrigin() const {
-    return children.empty() && rule != kMissingRule && rule != kCycleRule;
+    return children.empty() && rule != kMissingRule && rule != kCycleRule &&
+           rule != kUnreachableRule;
   }
 };
 

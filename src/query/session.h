@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "obs/mem.h"
 #include "provenance/store.h"
 #include "query/provquery.h"
+#include "util/bytes.h"
 
 namespace provnet {
 
@@ -64,9 +66,28 @@ struct ProvQuerySession {
     NodeId responder = 0;
     TupleDigest digest = 0;
     double sent_at = 0.0;  // virtual send time, for hop-latency histograms
+    // Degradation state (Engine::HandleQueryTimeouts). `inner` keeps the
+    // request payload so an expired hop can be re-sent under the same query
+    // id; `deadline` is the armed virtual-time expiry (0 = disarmed — either
+    // timeouts are off, or a claims/compare hop exhausted its attempts and
+    // is left for the silent-responder audit).
+    Bytes inner;
+    size_t attempts = 1;
+    double deadline = 0.0;
   };
   std::unordered_map<uint64_t, Pending> pending;
   size_t outstanding = 0;
+
+  // --- Fault degradation (EngineOptions::query_hop_timeout) ----------------
+  // Per-hop deadline and retry budget, resolved by the driver from the
+  // engine options; hop_timeout <= 0 disables deadlines entirely (the
+  // pre-fault-tolerance behavior: pump until the network drains).
+  double hop_timeout = 0.0;
+  size_t max_attempts = 1;
+  // Records-walk keys whose responder never answered and whose offline
+  // archive had nothing: the assembler plants kUnreachableRule (instead of
+  // kMissingRule) leaves for these.
+  std::set<Key> unreachable;
 
   // --- Claims exchange (kQueryClaims) --------------------------------------
   std::vector<ClaimsExchange::Claim> claims;

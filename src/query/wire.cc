@@ -23,6 +23,7 @@
 //     audit's pairwise comparison, spread across responder nodes).
 
 #include <algorithm>
+#include <limits>
 
 #include "core/engine.h"
 #include "query/session.h"
@@ -112,8 +113,13 @@ Status Engine::ProvQuerySendRequest(ProvQuerySession& session, NodeId to,
   inner.PutU8(kQueryRecords);
   inner.PutU64(query_id);
   inner.PutU64(digest);
-  session.pending.emplace(query_id,
-                          ProvQuerySession::Pending{to, digest, net_.now()});
+  ProvQuerySession::Pending p;
+  p.responder = to;
+  p.digest = digest;
+  p.sent_at = net_.now();
+  p.inner = inner.bytes();
+  if (session.hop_timeout > 0) p.deadline = net_.now() + session.hop_timeout;
+  session.pending.emplace(query_id, std::move(p));
   ++session.outstanding;
   ++session.stats.requests;
   return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
@@ -128,8 +134,12 @@ Status Engine::ProvQuerySendClaimsRequest(
   inner.PutU64(query_id);
   inner.PutVarint(predicates.size());
   for (const std::string& pred : predicates) inner.PutString(pred);
-  session.pending.emplace(query_id,
-                          ProvQuerySession::Pending{to, 0, net_.now()});
+  ProvQuerySession::Pending p;
+  p.responder = to;
+  p.sent_at = net_.now();
+  p.inner = inner.bytes();
+  if (session.hop_timeout > 0) p.deadline = net_.now() + session.hop_timeout;
+  session.pending.emplace(query_id, std::move(p));
   ++session.outstanding;
   ++session.stats.requests;
   return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
@@ -149,11 +159,121 @@ Status Engine::ProvQuerySendCompareRequest(
     inner.PutVarint(digests.size());
     for (TupleDigest d : digests) inner.PutU64(d);
   }
-  session.pending.emplace(query_id,
-                          ProvQuerySession::Pending{to, 0, net_.now()});
+  ProvQuerySession::Pending p;
+  p.responder = to;
+  p.sent_at = net_.now();
+  p.inner = inner.bytes();
+  if (session.hop_timeout > 0) p.deadline = net_.now() + session.hop_timeout;
+  session.pending.emplace(query_id, std::move(p));
   ++session.outstanding;
   ++session.stats.requests;
   return SendQueryWire(session.asker, to, kMsgProvRequest, inner.bytes());
+}
+
+double Engine::QueryTimeoutSeconds() const {
+  // Explicit option wins; otherwise deadlines only make sense when the
+  // transport (and thus faults) can actually lose traffic — a lossless
+  // simulated network always answers, so they stay disabled and the pump
+  // keeps its historical drain-until-idle behavior.
+  if (options_.query_hop_timeout > 0) return options_.query_hop_timeout;
+  if (TransportActive()) return 10.0 * options_.transport.rto_initial_s;
+  return 0.0;
+}
+
+Status Engine::HandleQueryTimeouts(ProvQuerySession& session) {
+  const double now = net_.now();
+  // Snapshot the due ids first: retries and fallback ingest mutate
+  // session.pending mid-flight. Sorted for deterministic fire order.
+  std::vector<uint64_t> due;
+  for (const auto& [query_id, p] : session.pending) {
+    if (p.deadline > 0 && p.deadline <= now) due.push_back(query_id);
+  }
+  std::sort(due.begin(), due.end());
+  for (uint64_t query_id : due) {
+    auto it = session.pending.find(query_id);
+    if (it == session.pending.end()) continue;
+    ProvQuerySession::Pending& p = it->second;
+    ++session.stats.timeouts;
+    if (p.attempts < session.max_attempts) {
+      // Re-ask under the SAME query id (a late answer to any attempt still
+      // matches), with an exponentially backed-off deadline. This is the
+      // engine-level retry above the transport's retransmit: it survives
+      // the transport declaring the link dead and the responder crashing
+      // away its receive state.
+      ++p.attempts;
+      ++session.stats.retries;
+      p.sent_at = now;
+      p.deadline = now + session.hop_timeout *
+                             static_cast<double>(uint64_t{1} << (p.attempts - 1));
+      PROVNET_RETURN_IF_ERROR(
+          SendQueryWire(session.asker, p.responder, kMsgProvRequest, p.inner));
+      continue;
+    }
+    if (session.kind != kQueryRecords) {
+      // Claims/compare hops have their own leftover-pending audit
+      // (kSilentResponder) at the caller; just stop retrying and leave the
+      // entry in place for it.
+      p.deadline = 0;
+      continue;
+    }
+    // Records walk: the responder is unreachable. Degrade gracefully — the
+    // responder's durable archive outlives its reachability, so the
+    // operator-level fallback reads it directly (the simulation's stand-in
+    // for pulling the partitioned node's disk) and the walk completes
+    // offline. Only when even the archive is empty (e.g. the node crashed
+    // before flushing) does the branch surface as an `unreachable` leaf.
+    const NodeId responder = p.responder;
+    const TupleDigest digest = p.digest;
+    // A very late answer to this id is stale honest traffic, not an attack.
+    abandoned_queries_.insert(query_id);
+    session.pending.erase(it);
+    if (session.outstanding > 0) --session.outstanding;
+    std::vector<ProvRecord> records =
+        contexts_[responder]->offline_store().FindByDigest(digest);
+    RecordArchiveIo(responder);
+    if (!records.empty()) {
+      ++session.stats.offline_hits;
+      ++cells_.query_offline_hits->value;
+      PROVNET_RETURN_IF_ERROR(
+          ProvQueryIngest(session, responder, digest, std::move(records)));
+    } else {
+      session.unreachable.insert(ProvQuerySession::Key{responder, digest});
+      ++session.stats.unreachable;
+    }
+    if (tracer_.enabled()) {
+      obs::TraceEvent ev;
+      ev.sim_time = net_.now();
+      ev.node = session.asker;
+      ev.kind = "query_timeout";
+      ev.attrs = {{"responder", PrincipalOf(responder)},
+                  {"fallback", records.empty() ? "unreachable" : "archive"}};
+      tracer_.Emit(std::move(ev));
+    }
+  }
+  return OkStatus();
+}
+
+Result<bool> Engine::PumpQueryOnce(ProvQuerySession& session) {
+  // Race the earliest armed per-hop deadline against the network's next
+  // event: whichever is sooner drives this round. With no armed deadlines
+  // this degenerates to the historical step-until-idle pump.
+  double deadline = std::numeric_limits<double>::infinity();
+  for (const auto& [query_id, p] : session.pending) {
+    if (p.deadline > 0 && p.deadline < deadline) deadline = p.deadline;
+  }
+  if (deadline <= net_.now() || deadline < net_.NextEventTime()) {
+    if (deadline > net_.now()) net_.AdvanceTo(deadline);
+    PROVNET_RETURN_IF_ERROR(HandleQueryTimeouts(session));
+    return true;
+  }
+  if (net_.Idle()) return false;
+  net_.Step();
+  if (!async_error_.ok()) {
+    Status failed = async_error_;
+    async_error_ = OkStatus();
+    return failed;
+  }
+  return true;
 }
 
 std::vector<const StoredTuple*> Engine::ClaimTuplesAt(
@@ -434,6 +554,9 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
         ++cells_.query_offline_hits->value;
       }
       ObserveQueryHop(to, from, it->second.sent_at);
+      // If this hop was retried, an earlier attempt's answer may still be in
+      // flight; remember the id so that duplicate drops as stale, not bogus.
+      if (it->second.attempts > 1) abandoned_queries_.insert(query_id);
       session->pending.erase(it);
       if (session->outstanding > 0) --session->outstanding;
       ++session->stats.responses;
@@ -445,6 +568,9 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
         return InvalidArgumentError("prov_response: bad claim count");
       }
       ObserveQueryHop(to, from, it->second.sent_at);
+      // If this hop was retried, an earlier attempt's answer may still be in
+      // flight; remember the id so that duplicate drops as stale, not bogus.
+      if (it->second.attempts > 1) abandoned_queries_.insert(query_id);
       session->pending.erase(it);
       if (session->outstanding > 0) --session->outstanding;
       ++session->stats.responses;
@@ -463,6 +589,9 @@ Status Engine::HandleProvResponse(NodeId to, NodeId from, ByteReader& reader) {
         return InvalidArgumentError("prov_response: bad conflict count");
       }
       ObserveQueryHop(to, from, it->second.sent_at);
+      // If this hop was retried, an earlier attempt's answer may still be in
+      // flight; remember the id so that duplicate drops as stale, not bogus.
+      if (it->second.attempts > 1) abandoned_queries_.insert(query_id);
       session->pending.erase(it);
       if (session->outstanding > 0) --session->outstanding;
       ++session->stats.responses;

@@ -79,6 +79,9 @@ class ProvArchive {
   size_t ApproxBytes() const { return live_bytes_; }
 
   Status Flush() { return file_.Flush(); }
+  // Fail-stop crash: drops the unflushed tail and releases the backing
+  // file so a restart can re-open (and recover) the archive at `path`.
+  void Abandon() { file_.Abandon(); }
   uint64_t DiskBytes() const { return file_.DiskBytes(); }
   bool on_disk() const { return file_.on_disk(); }
 

@@ -24,6 +24,13 @@ PageFile::~PageFile() {
   ReleaseResident(resident_bytes_);
 }
 
+void PageFile::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // no Flush(): the buffered tail dies with us
+    file_ = nullptr;
+  }
+}
+
 void PageFile::ChargeResident(size_t bytes) const {
   resident_bytes_ += bytes;
   obs::MemAccounting::Global().Add(obs::MemSubsystem::kArchivePages, bytes);

@@ -72,6 +72,12 @@ class PageFile {
   // memory mode and when nothing changed since the last flush.
   Status Flush();
 
+  // Closes the backing file WITHOUT flushing the buffered tail page —
+  // simulating a fail-stop crash that tears off everything since the last
+  // Flush(). Completed pages already written through survive; the instance
+  // becomes memory-resident and should be discarded.
+  void Abandon();
+
   // Drops everything at and after `offset` (recovery truncating a torn
   // tail). Requires offset <= end_offset().
   Status TruncateTo(uint64_t offset);

@@ -102,9 +102,15 @@ TEST(ReplayGuardTest, AcceptsFreshRejectsDuplicatesAndStale) {
   EXPECT_TRUE(guard.Accept(6));   // late but inside the window
   EXPECT_FALSE(guard.Accept(6));
   EXPECT_TRUE(guard.Accept(1000));
-  EXPECT_FALSE(guard.Accept(7));    // replay after window advance
-  EXPECT_FALSE(guard.Accept(900));  // older than the 64-wide window
-  EXPECT_TRUE(guard.Accept(990));   // within it, never seen
+  EXPECT_FALSE(guard.Accept(7));  // replay after window advance: archived
+  EXPECT_FALSE(guard.Accept(6));  // so is its in-window-accepted neighbor
+  // Older than the 64-wide bitmap but never accepted: a lost original
+  // retransmitted late. Exact history accepts it once, then rejects the
+  // true replay of the same bytes.
+  EXPECT_TRUE(guard.Accept(900));
+  EXPECT_FALSE(guard.Accept(900));
+  EXPECT_TRUE(guard.Accept(990));   // within the bitmap, never seen
+  EXPECT_FALSE(guard.Accept(990));
 }
 
 // --- Network send tap -------------------------------------------------------
@@ -229,6 +235,45 @@ TEST(AdversaryTest, ReplayedMessageRejectedBySequenceWindow) {
 
   ExpectSamePredAt(*engine, *golden, "bestPath");
   ExpectSamePredAt(*engine, *golden, "link");
+}
+
+TEST(AdversaryTest, FaultDuplicationDedupsSilentlyButTrueReplayStillAudits) {
+  // Two kinds of "the same bytes twice" must be told apart: a benign
+  // duplication fault re-delivers an honest frame (the transport dedups it
+  // below the engine, no audit), while an adversarial replay re-sends
+  // captured signed bytes under a fresh frame (the ReplayGuard fires).
+  Topology topo = Ring(6);
+  EngineOptions opts = AuthOptions();
+  FaultPlan plan;
+  plan.seed = 13;
+  LinkFaultSpec dup;
+  dup.duplication = 0.5;  // every other frame arrives twice
+  plan.links.push_back(dup);
+  opts.fault_plan = plan;
+  Result<std::unique_ptr<Engine>> created =
+      Engine::Create(topo, BestPathNdlogProgram(), opts);
+  ASSERT_TRUE(created.ok()) << created.status();
+  std::unique_ptr<Engine> engine = std::move(created).value();
+  Adversary adversary(*engine, /*seed=*/7);
+  adversary.Compromise(2);  // on-path capture of traffic crossing node 2
+
+  ASSERT_TRUE(engine->InsertLinkFacts().ok());
+  ASSERT_TRUE(engine->Run().ok());
+
+  // Duplication bit, was masked, and raised zero replay audits.
+  EXPECT_GT(engine->network().duplicates_deduped(), 0u);
+  EXPECT_EQ(engine->security_log().CountOf(SecurityEventKind::kReplay), 0u);
+  std::unique_ptr<Engine> golden = BestPathEngine(topo, AuthOptions());
+  ExpectSamePredAt(*engine, *golden, "bestPath");
+
+  // The attacker replays the very bytes the transport would have deduped if
+  // they were a benign duplicate — but they arrive as a fresh transmission,
+  // so the adversary layer's sequence window still catches them.
+  ASSERT_GT(adversary.captured_count(), 0u);
+  ASSERT_TRUE(adversary.InjectReplay(2).ok());
+  ASSERT_TRUE(engine->Run().ok());
+  EXPECT_EQ(engine->security_log().CountOf(SecurityEventKind::kReplay), 1u);
+  ExpectSamePredAt(*engine, *golden, "bestPath");
 }
 
 // --- Retraction authorization (ROADMAP follow-up from PR 1) -----------------
